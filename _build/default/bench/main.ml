@@ -1,0 +1,158 @@
+(* Benchmark & reproduction harness.
+
+   Usage:
+     main.exe            run every experiment (E1-E18) then the timing suite
+     main.exe e7         run one experiment
+     main.exe bench      run only the Bechamel timing suite
+
+   Each experiment regenerates one figure/number of the paper (see
+   DESIGN.md's index); the Bechamel suite times the building blocks. *)
+
+open Zipchannel
+module Prng = Util.Prng
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing suite *)
+
+let text_10k =
+  let prng = Prng.create ~seed:42 () in
+  Bytes.of_string (Util.Lipsum.repetitive_file prng ~level:4 ~size:10_000)
+
+let random_4k = Prng.bytes (Prng.create ~seed:43 ()) 4096
+
+let staged = Bechamel.Staged.stage
+
+let bench_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"bzip2/compress-10k-text" (staged (fun () ->
+        ignore (Compress.Bzip2.compress text_10k)));
+    Test.make ~name:"deflate/compress-10k-text" (staged (fun () ->
+        ignore (Compress.Deflate.compress text_10k)));
+    Test.make ~name:"lzw/compress-10k-text" (staged (fun () ->
+        ignore (Compress.Lzw.compress text_10k)));
+    Test.make ~name:"huffman/encode-10k-text" (staged (fun () ->
+        ignore (Compress.Huffman.encode text_10k)));
+    Test.make ~name:"bwt/transform-4k-random" (staged (fun () ->
+        ignore (Compress.Bwt.transform random_4k)));
+    Test.make ~name:"taintchannel/zlib-gadget-1k"
+      (staged (fun () ->
+           ignore (Taintchannel.Zlib_gadget.run (Bytes.sub random_4k 0 1024))));
+    Test.make ~name:"aes/encrypt-4k" (staged (fun () ->
+        ignore
+          (Taintchannel.Aes.encrypt
+             ~key:(Bytes.of_string "0123456789abcdef")
+             random_4k)));
+    (let cache = Cache.Cache.create Cache.Cache.default_config in
+     let prng = Prng.create ~seed:44 () in
+     let pp = Cache.Prime_probe.create ~cache ~prng () in
+     Test.make ~name:"cache/prime+probe-round" (staged (fun () ->
+         Cache.Prime_probe.prime pp ~set:17;
+         ignore (Cache.Prime_probe.probe pp ~set:17))));
+    (let cache = Cache.Cache.create Cache.Cache.default_config in
+     let prng = Prng.create ~seed:45 () in
+     let fr = Cache.Flush_reload.create ~cache ~prng () in
+     Test.make ~name:"cache/flush+reload-round" (staged (fun () ->
+         ignore (Cache.Flush_reload.round fr 0x7f0000000000))));
+    (let prng = Prng.create ~seed:46 () in
+     let input = Prng.bytes prng 256 in
+     Test.make ~name:"sgx/attack-256b-block" (staged (fun () ->
+         ignore (Attack.Sgx_attack.run input))));
+    (let prng = Prng.create ~seed:47 () in
+     let x =
+       Array.init 64 (fun _ -> Array.init 100 (fun _ -> Prng.float prng))
+     in
+     let y = Array.init 64 (fun i -> i mod 4) in
+     let mlp = Classifier.Mlp.create ~layers:[ 100; 32; 4 ] () in
+     Test.make ~name:"classifier/mlp-epoch" (staged (fun () ->
+         Classifier.Mlp.train ~epochs:1 mlp ~x ~y)));
+    (let input = Prng.bytes (Prng.create ~seed:48 ()) 64 in
+     Test.make ~name:"mitigation/oblivious-histogram-64b" (staged (fun () ->
+         ignore (Mitigation.Oblivious.histogram input))));
+    (let input = Prng.bytes (Prng.create ~seed:49 ()) 64 in
+     Test.make ~name:"compress/plain-histogram-64b" (staged (fun () ->
+         ignore (Compress.Block_sort.histogram input))));
+    Test.make ~name:"checksum/crc32-10k" (staged (fun () ->
+        ignore (Compress.Checksum.Crc32.digest text_10k)));
+    Test.make ~name:"container/archive-pack-10k" (staged (fun () ->
+        ignore
+          (Compress.Container.Archive.pack
+             [ { Compress.Container.Archive.name = "f"; data = text_10k } ])));
+  ]
+
+let run_bench () =
+  let open Bechamel in
+  Format.fprintf ppf "@.=== Bechamel timing suite ===@.";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw =
+            Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt
+          in
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          Format.fprintf ppf "  %-32s %12.0f ns/run@." (Test.Elt.name elt) ns)
+        (Test.elements test))
+    bench_tests;
+  Format.fprintf ppf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let experiment_of_id = function
+  | "e1" -> Some (fun ppf -> Experiments.e1_zlib_gadget ppf)
+  | "e2" -> Some (fun ppf -> Experiments.e2_lzw_gadget ppf)
+  | "e3" -> Some (fun ppf -> Experiments.e3_bzip2_gadget ppf)
+  | "e4" -> Some (fun ppf -> Experiments.e4_survey ppf)
+  | "e5" -> Some (fun ppf -> Experiments.e5_zlib_recovery ppf)
+  | "e6" -> Some (fun ppf -> Experiments.e6_lzw_recovery ppf)
+  | "e7" -> Some (fun ppf -> Experiments.e7_sgx_attack ppf)
+  | "e8" -> Some (fun ppf -> Experiments.e8_sgx_ablations ppf)
+  | "e9" -> Some (fun ppf -> Experiments.e9_sort_control_flow ppf)
+  | "e10" -> Some (fun ppf -> Experiments.e10_fingerprint_corpus ppf)
+  | "e11" -> Some (fun ppf -> Experiments.e11_fingerprint_repetitiveness ppf)
+  | "e12" -> Some (fun ppf -> Experiments.e12_aes_validation ppf)
+  | "e13" -> Some (fun ppf -> Experiments.e13_memcpy_divergence ppf)
+  | "e14" -> Some (fun ppf -> Experiments.e14_mitigation ppf)
+  | "e15" -> Some (fun ppf -> Experiments.e15_timer_stepping ppf)
+  | "e16" -> Some (fun ppf -> Experiments.e16_tool_comparison ppf)
+  | "e17" -> Some (fun ppf -> Experiments.e17_lzw_sgx_attack ppf)
+  | "e18" -> Some (fun ppf -> Experiments.e18_zlib_sgx_attack ppf)
+  | _ -> None
+
+let summarize outcomes =
+  Format.fprintf ppf "@.=== summary ===@.";
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "%-4s %s@." o.Experiments.id o.Experiments.title;
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf "       %-36s %.4f@." k v)
+        o.Experiments.metrics)
+    outcomes
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+      let outcomes = Experiments.all ppf in
+      summarize outcomes;
+      run_bench ()
+  | [| _; "bench" |] -> run_bench ()
+  | [| _; id |] -> (
+      match experiment_of_id (String.lowercase_ascii id) with
+      | Some f -> ignore (f ppf)
+      | None ->
+          prerr_endline ("unknown experiment: " ^ id ^ " (use e1..e18 or bench)");
+          exit 1)
+  | _ ->
+      prerr_endline "usage: main.exe [e1..e18|bench]";
+      exit 1

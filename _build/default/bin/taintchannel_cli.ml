@@ -1,0 +1,74 @@
+(* taintchannel: run the TaintChannel analysis against one of the built-in
+   targets and print the gadget report.
+
+     taintchannel -t zlib -n 4096
+     taintchannel -t bzip2 -f secret.bin
+     taintchannel -t aes
+     taintchannel -t memcpy *)
+
+open Cmdliner
+open Zipchannel
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let input_bytes file size seed =
+  match file with
+  | Some path -> Bytes.of_string (read_file path)
+  | None ->
+      let prng = Util.Prng.create ~seed () in
+      Util.Prng.bytes prng size
+
+let run target file size seed =
+  let ppf = Format.std_formatter in
+  let input () = input_bytes file size seed in
+  match target with
+  | "zlib" ->
+      Taintchannel.Engine.report ppf (Taintchannel.Zlib_gadget.run (input ()));
+      `Ok ()
+  | "ncompress" | "lzw" ->
+      Taintchannel.Engine.report ppf (Taintchannel.Lzw_gadget.run (input ()));
+      `Ok ()
+  | "bzip2" ->
+      Taintchannel.Engine.report ppf (Taintchannel.Bzip2_gadget.run (input ()));
+      `Ok ()
+  | "aes" ->
+      let key = Bytes.of_string "0123456789abcdef" in
+      Taintchannel.Engine.report ppf
+        (Taintchannel.Aes.run_taint ~key (input ()));
+      `Ok ()
+  | "memcpy" ->
+      let t1 = Taintchannel.Memcpy_model.trace ~size in
+      let t2 = Taintchannel.Memcpy_model.trace ~size:(size + 1) in
+      (match Taintchannel.Trace_diff.compare_traces t1 t2 with
+      | Some r ->
+          Format.fprintf ppf "%a@." Taintchannel.Trace_diff.pp_report r
+      | None -> Format.fprintf ppf "no divergence@.");
+      `Ok ()
+  | other -> `Error (false, "unknown target: " ^ other)
+
+let target =
+  let doc = "Analysis target: zlib, ncompress, bzip2, aes or memcpy." in
+  Arg.(value & opt string "bzip2" & info [ "t"; "target" ] ~docv:"TARGET" ~doc)
+
+let file =
+  let doc = "Input file to analyze (default: random data)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let size =
+  let doc = "Size of the generated random input in bytes." in
+  Arg.(value & opt int 4096 & info [ "n"; "size" ] ~docv:"BYTES" ~doc)
+
+let seed =
+  let doc = "PRNG seed for generated input." in
+  Arg.(value & opt int 0xDECAF & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let cmd =
+  let doc = "detect cache side-channel gadgets in compression code" in
+  let info = Cmd.info "taintchannel" ~doc in
+  Cmd.v info Term.(ret (const run $ target $ file $ size $ seed))
+
+let () = exit (Cmd.eval cmd)

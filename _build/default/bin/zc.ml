@@ -1,0 +1,135 @@
+(* zc: the compression utility surface of the library.
+
+     zc compress  -a bzip2  file.txt file.zc
+     zc decompress -a bzip2 file.zc file.txt
+     zc archive create out.zca file1 file2 ...
+     zc archive list out.zca
+     zc archive extract out.zca entryname outfile
+
+   Algorithms: bzip2, gzip, zlib, deflate (raw RFC 1951), lzw, huffman,
+   store.  gzip/zlib streams interoperate with standard tools. *)
+
+open Cmdliner
+open Zipchannel
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Bytes.of_string (really_input_string ic (in_channel_length ic)))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc data)
+
+let codecs =
+  [
+    ("bzip2", (Compress.Bzip2.compress ?block_size:None ?budget_factor:None,
+               Compress.Bzip2.decompress));
+    ("gzip", ((fun b -> Compress.Rfc1951.Gzip.compress b),
+              Compress.Rfc1951.Gzip.decompress));
+    ("zlib", ((fun b -> Compress.Rfc1951.Zlib.compress b),
+              Compress.Rfc1951.Zlib.decompress));
+    ("deflate", ((fun b -> Compress.Rfc1951.deflate b), Compress.Rfc1951.inflate));
+    ("lzw", (Compress.Lzw.compress, Compress.Lzw.decompress));
+    ("huffman", (Compress.Huffman.encode, Compress.Huffman.decode));
+    ("store", (Mitigation.Oblivious.store_pack, Mitigation.Oblivious.store_unpack));
+  ]
+
+let codec_names = List.map fst codecs
+
+let run_codec ~decompress algo input output =
+  match List.assoc_opt algo codecs with
+  | None ->
+      `Error (false, "unknown algorithm (use " ^ String.concat "/" codec_names ^ ")")
+  | Some (enc, dec) -> (
+      let data = read_file input in
+      match (if decompress then dec else enc) data with
+      | out ->
+          write_file output out;
+          Printf.printf "%s: %d -> %d bytes\n" algo (Bytes.length data)
+            (Bytes.length out);
+          `Ok ()
+      | exception (Failure msg | Invalid_argument msg) ->
+          `Error (false, msg)
+      | exception Compress.Container.Corrupt msg -> `Error (false, msg))
+
+let algo =
+  let doc = "Compression algorithm: " ^ String.concat ", " codec_names ^ "." in
+  Arg.(value & opt string "bzip2" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let in_file n = Arg.(required & pos n (some file) None & info [] ~docv:"INPUT")
+
+let out_file n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"OUTPUT")
+
+let compress_cmd =
+  Cmd.v (Cmd.info "compress" ~doc:"Compress a file")
+    Term.(ret (const (run_codec ~decompress:false) $ algo $ in_file 0 $ out_file 1))
+
+let decompress_cmd =
+  Cmd.v (Cmd.info "decompress" ~doc:"Decompress a file")
+    Term.(ret (const (run_codec ~decompress:true) $ algo $ in_file 0 $ out_file 1))
+
+(* ------------------------------------------------------------------ *)
+(* Archive *)
+
+let archive_create out inputs =
+  match
+    Compress.Container.Archive.pack
+      (List.map
+         (fun path ->
+           { Compress.Container.Archive.name = Filename.basename path;
+             data = read_file path })
+         inputs)
+  with
+  | packed ->
+      write_file out packed;
+      Printf.printf "%d entries -> %d bytes\n" (List.length inputs)
+        (Bytes.length packed);
+      `Ok ()
+  | exception Invalid_argument msg -> `Error (false, msg)
+
+let archive_list archive =
+  match Compress.Container.Archive.names (read_file archive) with
+  | names ->
+      List.iter print_endline names;
+      `Ok ()
+  | exception Compress.Container.Corrupt msg -> `Error (false, msg)
+
+let archive_extract archive entry out =
+  match Compress.Container.Archive.extract (read_file archive) entry with
+  | data ->
+      write_file out data;
+      Printf.printf "%s: %d bytes\n" entry (Bytes.length data);
+      `Ok ()
+  | exception Not_found -> `Error (false, "no such entry: " ^ entry)
+  | exception Compress.Container.Corrupt msg -> `Error (false, msg)
+
+let archive_cmd =
+  let create =
+    let inputs =
+      Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILES")
+    in
+    Cmd.v (Cmd.info "create" ~doc:"Create an archive from files")
+      Term.(ret (const archive_create $ out_file 0 $ inputs))
+  in
+  let list =
+    Cmd.v (Cmd.info "list" ~doc:"List archive entries")
+      Term.(ret (const archive_list $ in_file 0))
+  in
+  let extract =
+    let entry = Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTRY") in
+    Cmd.v (Cmd.info "extract" ~doc:"Extract one entry")
+      Term.(ret (const archive_extract $ in_file 0 $ entry $ out_file 2))
+  in
+  Cmd.group (Cmd.info "archive" ~doc:"Multi-file archives") [ create; list; extract ]
+
+let cmd =
+  Cmd.group
+    (Cmd.info "zc" ~doc:"compress and decompress files with the ZipChannel codecs")
+    [ compress_cmd; decompress_cmd; archive_cmd ]
+
+let () = exit (Cmd.eval cmd)

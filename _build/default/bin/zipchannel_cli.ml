@@ -1,0 +1,98 @@
+(* zipchannel: run the end-to-end attacks.
+
+     zipchannel sgx -n 10000               leak random data from the enclave
+     zipchannel sgx -f secret.bin          leak a file
+     zipchannel sgx --no-cat               ablate Intel CAT
+     zipchannel fingerprint                train & evaluate the classifier
+     zipchannel experiments                run every paper experiment *)
+
+open Cmdliner
+open Zipchannel
+
+let ppf = Format.std_formatter
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let sgx file size seed no_cat no_frame_selection =
+  let input =
+    match file with
+    | Some path -> Bytes.of_string (read_file path)
+    | None -> Util.Prng.bytes (Util.Prng.create ~seed ()) size
+  in
+  let config =
+    {
+      Attack.Sgx_attack.default_config with
+      Attack.Sgx_attack.use_cat = not no_cat;
+      use_frame_selection = not no_frame_selection;
+      seed;
+    }
+  in
+  let t0 = Sys.time () in
+  let r = Attack.Sgx_attack.run ~config input in
+  Format.fprintf ppf
+    "leaked %d bytes: %.2f%% of bits, %.2f%% of bytes (%d lost readings, %d faults, %.1f s)@."
+    (Bytes.length input)
+    (100.0 *. r.Attack.Sgx_attack.bit_accuracy)
+    (100.0 *. r.byte_accuracy)
+    r.lost_readings r.faults
+    (Sys.time () -. t0);
+  `Ok ()
+
+let fingerprint seed traces =
+  ignore (Experiments.e11_fingerprint_repetitiveness ~seed ~traces_per_file:traces ppf);
+  ignore (Experiments.e10_fingerprint_corpus ~seed ~traces_per_file:traces ppf);
+  `Ok ()
+
+let experiments seed =
+  ignore (Experiments.all ~seed ppf);
+  `Ok ()
+
+let seed =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 0xDECAF & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let sgx_cmd =
+  let file =
+    let doc = "File to leak from the enclave (default: random data)." in
+    Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let size =
+    let doc = "Random input size in bytes." in
+    Arg.(value & opt int 10_000 & info [ "n"; "size" ] ~docv:"BYTES" ~doc)
+  in
+  let no_cat =
+    Arg.(value & flag & info [ "no-cat" ] ~doc:"Disable the Intel CAT technique.")
+  in
+  let no_fs =
+    Arg.(value & flag
+         & info [ "no-frame-selection" ] ~doc:"Disable frame selection.")
+  in
+  Cmd.v
+    (Cmd.info "sgx" ~doc:"Prime+Probe attack on Bzip2 inside SGX (Section V)")
+    Term.(ret (const sgx $ file $ size $ seed $ no_cat $ no_fs))
+
+let fingerprint_cmd =
+  let traces =
+    let doc = "Traces collected per file." in
+    Arg.(value & opt int 25 & info [ "traces" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:"Flush+Reload file fingerprinting on Bzip2 (Section VI)")
+    Term.(ret (const fingerprint $ seed $ traces))
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run every paper experiment (E1-E18)")
+    Term.(ret (const experiments $ seed))
+
+let cmd =
+  let doc = "cache side-channel attacks on compression algorithms" in
+  Cmd.group (Cmd.info "zipchannel" ~doc)
+    [ sgx_cmd; fingerprint_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval cmd)

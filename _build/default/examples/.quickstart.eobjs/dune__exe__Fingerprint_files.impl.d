@@ -1,0 +1,1 @@
+examples/fingerprint_files.ml: Array Attack Classifier Format List Util Zipchannel

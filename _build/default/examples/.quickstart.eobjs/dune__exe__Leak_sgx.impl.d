@@ -1,0 +1,1 @@
+examples/leak_sgx.ml: Attack Bytes Format Util Zipchannel

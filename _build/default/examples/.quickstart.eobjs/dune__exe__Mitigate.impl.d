@@ -1,0 +1,1 @@
+examples/mitigate.ml: Array Attack Compress Float Format Mitigation Sys Util Zipchannel

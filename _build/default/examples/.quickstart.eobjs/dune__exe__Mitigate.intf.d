@@ -1,0 +1,1 @@
+examples/mitigate.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Compress Format Taintchannel Zipchannel

@@ -1,0 +1,1 @@
+examples/recover_text.ml: Array Attack Bytes Compress Format List String Taintchannel Util Zipchannel

@@ -1,0 +1,1 @@
+examples/recover_text.mli:

@@ -1,0 +1,1 @@
+examples/survey.ml: Bytes Float Format List Taintchannel Util Zipchannel

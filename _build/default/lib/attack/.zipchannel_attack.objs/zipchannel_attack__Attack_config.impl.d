@@ -1,0 +1,1 @@
+lib/attack/attack_config.ml: Noise Zipchannel_cache

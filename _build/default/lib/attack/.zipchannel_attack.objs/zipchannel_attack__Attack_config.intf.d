@@ -1,0 +1,1 @@
+lib/attack/attack_config.mli: Noise Zipchannel_cache

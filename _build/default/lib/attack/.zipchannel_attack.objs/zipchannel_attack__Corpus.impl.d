@@ -1,0 +1,1 @@
+lib/attack/corpus.ml: Buffer Bytes Char Lipsum List Printf Prng String Zipchannel_compress Zipchannel_util

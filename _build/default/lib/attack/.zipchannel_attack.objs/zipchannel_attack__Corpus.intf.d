@@ -1,0 +1,1 @@
+lib/attack/corpus.mli: Zipchannel_util

@@ -1,0 +1,1 @@
+lib/attack/fingerprint.ml: Array List Prng Zipchannel_cache Zipchannel_classifier Zipchannel_compress Zipchannel_util

@@ -1,0 +1,1 @@
+lib/attack/lzw_sgx_attack.mli: Attack_config Zipchannel_trace

@@ -1,0 +1,1 @@
+lib/attack/noise.ml: Array List Prng Zipchannel_cache Zipchannel_util

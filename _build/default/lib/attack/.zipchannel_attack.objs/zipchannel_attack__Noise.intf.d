@@ -1,0 +1,1 @@
+lib/attack/noise.mli: Zipchannel_cache Zipchannel_util

@@ -1,0 +1,1 @@
+lib/attack/page_channel.ml: Array Attack_config Hashtbl Int List Noise Prng Set Zipchannel_cache Zipchannel_sgx Zipchannel_util

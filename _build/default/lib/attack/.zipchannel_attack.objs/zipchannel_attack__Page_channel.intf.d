@@ -1,0 +1,1 @@
+lib/attack/page_channel.mli: Attack_config Noise Zipchannel_cache Zipchannel_sgx Zipchannel_util

@@ -1,0 +1,1 @@
+lib/attack/recovery.ml: Array Bytes Char List Zipchannel_compress

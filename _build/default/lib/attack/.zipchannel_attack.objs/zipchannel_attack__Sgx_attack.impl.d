@@ -1,0 +1,1 @@
+lib/attack/sgx_attack.ml: Array Attack_config Bytes List Noise Page_channel Prng Recovery Stats Victim Zipchannel_cache Zipchannel_sgx Zipchannel_trace Zipchannel_util

@@ -1,0 +1,1 @@
+lib/attack/sgx_attack.mli: Attack_config Noise Zipchannel_cache

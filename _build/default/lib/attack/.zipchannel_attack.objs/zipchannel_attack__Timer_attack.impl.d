@@ -1,0 +1,1 @@
+lib/attack/timer_attack.ml: Array Bytes Float Hashtbl List Prng Recovery Stats Victim Zipchannel_cache Zipchannel_compress Zipchannel_sgx Zipchannel_util

@@ -1,0 +1,1 @@
+lib/attack/timer_attack.mli: Zipchannel_cache

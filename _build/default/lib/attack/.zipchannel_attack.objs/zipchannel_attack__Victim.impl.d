@@ -1,0 +1,1 @@
+lib/attack/victim.ml: Array Bytes Event Layout List Zipchannel_compress Zipchannel_trace

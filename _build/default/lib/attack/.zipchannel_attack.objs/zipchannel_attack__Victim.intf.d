@@ -1,0 +1,1 @@
+lib/attack/victim.mli: Event Layout Zipchannel_trace

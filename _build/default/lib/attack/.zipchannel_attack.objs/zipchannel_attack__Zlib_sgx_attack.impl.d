@@ -1,0 +1,1 @@
+lib/attack/zlib_sgx_attack.ml: Array Attack_config Bytes Char List Noise Page_channel Prng Recovery Stats Zipchannel_cache Zipchannel_compress Zipchannel_sgx Zipchannel_trace Zipchannel_util

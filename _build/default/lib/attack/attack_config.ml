@@ -1,0 +1,27 @@
+module Cache = Zipchannel_cache.Cache
+module Timing = Zipchannel_cache.Timing
+
+type t = {
+  use_cat : bool;
+  use_frame_selection : bool;
+  frame_candidates : int;
+  background_noise : bool;
+  cache_config : Cache.config;
+  timing : Timing.t;
+  noise_config : Noise.config;
+  seed : int;
+}
+
+let default =
+  {
+    use_cat = true;
+    use_frame_selection = true;
+    frame_candidates = 16;
+    background_noise = true;
+    cache_config = Cache.default_config;
+    (* The attacker pins the core and quiesces interrupts, so timing
+       outliers are much rarer than in the general-purpose default. *)
+    timing = { Timing.default with Timing.outlier_prob = 0.0005 };
+    noise_config = Noise.default_config;
+    seed = 0xA77AC4;
+  }

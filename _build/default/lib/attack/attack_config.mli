@@ -1,0 +1,21 @@
+(** Configuration shared by the enclave attacks (Section V).
+
+    Both end-to-end controlled-channel attacks ({!Sgx_attack} on Bzip2,
+    {!Lzw_sgx_attack} on Ncompress) drive the same {!Page_channel} with
+    this configuration; the two technique toggles exist for the E8
+    ablations. *)
+
+type t = {
+  use_cat : bool;  (** Intel CAT as an offensive tool (Section V-C1) *)
+  use_frame_selection : bool;  (** Section V-C2 *)
+  frame_candidates : int;  (** remap attempts before the paper's timeout *)
+  background_noise : bool;  (** other-core LLC traffic present *)
+  cache_config : Zipchannel_cache.Cache.config;
+  timing : Zipchannel_cache.Timing.t;
+  noise_config : Noise.config;
+  seed : int;
+}
+
+val default : t
+(** Both techniques on, background noise on, default cache, quiesced-core
+    timing. *)

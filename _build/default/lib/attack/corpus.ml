@@ -1,0 +1,69 @@
+open Zipchannel_util
+
+let repeat_to ~size s =
+  let buf = Buffer.create size in
+  while Buffer.length buf < size do
+    Buffer.add_string buf s
+  done;
+  Bytes.of_string (String.sub (Buffer.contents buf) 0 size)
+
+let quickfox = "The quick brown fox jumps over the lazy dog. "
+
+let backward ~size =
+  Bytes.init size (fun i -> Char.chr (255 - (i mod 256)))
+
+let alternating prng ~size =
+  (* Structured binary: stretches of random bytes separated by zero
+     runs, like map tiles. *)
+  let b = Bytes.create size in
+  let pos = ref 0 in
+  let zero = ref false in
+  while !pos < size do
+    let run = min (size - !pos) (64 + Prng.int prng 192) in
+    for k = !pos to !pos + run - 1 do
+      Bytes.set b k (if !zero then '\000' else Char.chr (Prng.byte prng))
+    done;
+    zero := not !zero;
+    pos := !pos + run
+  done;
+  b
+
+let brotli_like prng =
+  let text level size =
+    Bytes.of_string (Lipsum.repetitive_file prng ~level ~size)
+  in
+  let compressed size =
+    (* Already-compressed content: near-incompressible but structured. *)
+    Zipchannel_compress.Deflate.compress (text 5 size)
+  in
+  let compressed_once = compressed 18_000 in
+  [
+    ("alice29.txt", text 5 45_000);
+    ("asyoulik.txt", text 4 39_000);
+    ("lcet10.txt", text 5 52_000);
+    ("plrabn12.txt", text 5 60_000);
+    ("random10k.bin", Prng.bytes prng 10_000);
+    ("random30k.bin", Prng.bytes prng 30_000);
+    ("zeros", Bytes.make 20_000 '\000');
+    ("x", Bytes.of_string "x");
+    ("xyzzy", Bytes.of_string "xyzzy");
+    ("10x10y", Bytes.of_string (String.make 10 'x' ^ String.make 10 'y'));
+    ("64x", Bytes.make 64 'x');
+    ("quickfox", Bytes.of_string quickfox);
+    ("quickfox_repeated", repeat_to ~size:20_000 quickfox);
+    ("backward65536", backward ~size:20_000);
+    ("monkey", text 2 20_000);
+    ("ukkonooa", repeat_to ~size:8_000 "ukko nooa ukko nooa on iso mies ");
+    ("compressed_file", compressed_once);
+    ( "compressed_repeated",
+      Bytes.concat Bytes.empty [ compressed_once; compressed_once; compressed_once ] );
+    ("mapsdatazrh", alternating prng ~size:25_000);
+    ("test.txt", text 3 10_000);
+    ("alphabet", repeat_to ~size:15_000 "abcdefghijklmnopqrstuvwxyz")
+  ]
+
+let repetitiveness prng =
+  List.init 5 (fun k ->
+      let level = k + 1 in
+      ( Printf.sprintf "test_%05d.txt" level,
+        Bytes.of_string (Lipsum.repetitive_file prng ~level ~size:20_000) ))

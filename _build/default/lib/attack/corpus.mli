@@ -1,0 +1,17 @@
+(** Test corpora for the fingerprinting experiments.
+
+    The paper's Fig. 7 uses the 21 files shipped with Brotli (the most
+    comprehensive compression test set its authors could find); that
+    corpus is proprietary to reproduce byte-for-byte, so {!brotli_like}
+    synthesises 21 files spanning the same character: large natural text,
+    incompressible random data, pathologically repetitive strings, a
+    one-byte file ("x"), already-compressed data, and so on.  Fig. 8's
+    five same-size files of graded repetitiveness come from
+    {!repetitiveness}. *)
+
+val brotli_like : Zipchannel_util.Prng.t -> (string * bytes) list
+(** 21 (name, contents) pairs; deterministic in the generator state. *)
+
+val repetitiveness : Zipchannel_util.Prng.t -> (string * bytes) list
+(** The Fig. 8 corpus: [test_0000i.txt] for i = 1..5, each 20,000 bytes
+    drawn from the first i of five 20-character lipsum fragments. *)

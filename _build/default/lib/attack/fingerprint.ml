@@ -1,0 +1,105 @@
+open Zipchannel_util
+module Cache = Zipchannel_cache.Cache
+module Timing = Zipchannel_cache.Timing
+module Flush_reload = Zipchannel_cache.Flush_reload
+module Block_sort = Zipchannel_compress.Block_sort
+module Bzip2 = Zipchannel_compress.Bzip2
+
+type config = {
+  samples : int;
+  work_per_sample : int;
+  bins : int;
+  block_size : int;
+  budget_factor : int;
+  timing : Timing.t;
+  shared_lib_noise : float;
+}
+
+let default_config =
+  {
+    samples = 2500;
+    work_per_sample = 10_000;
+    bins = 100;
+    block_size = Bzip2.default_block_size;
+    budget_factor = Block_sort.default_budget_factor;
+    timing = Timing.default;
+    shared_lib_noise = 0.002;
+  }
+
+let mainsort_addr = 0x7f944c470000
+
+let fallbacksort_addr = 0x7f944c478000
+
+(* Flatten the per-block sort paths into one timeline of (function, work)
+   segments — the execution the attacker samples. *)
+let timeline ?(config = default_config) input =
+  let _, infos =
+    Bzip2.compress_with_info ~block_size:config.block_size
+      ~budget_factor:config.budget_factor input
+  in
+  List.concat_map
+    (fun info -> info.Bzip2.path.Block_sort.segments)
+    infos
+
+let collect_segments ?(config = default_config) ~prng segs =
+  let segments = ref segs in
+  let remaining_in_segment = ref 0 in
+  let current_func = ref None in
+  let advance_to_next_segment () =
+    match !segments with
+    | [] ->
+        current_func := None;
+        remaining_in_segment := 0
+    | seg :: rest ->
+        segments := rest;
+        current_func := Some seg.Block_sort.func;
+        remaining_in_segment := max 1 seg.Block_sort.work
+  in
+  advance_to_next_segment ();
+  let cache = Cache.create Cache.default_config in
+  let fr = Flush_reload.create ~timing:config.timing ~cache ~prng () in
+  Flush_reload.flush fr mainsort_addr;
+  Flush_reload.flush fr fallbacksort_addr;
+  let main_trace = Array.make config.samples false in
+  let fallback_trace = Array.make config.samples false in
+  for round = 0 to config.samples - 1 do
+    (* The victim runs for one sampling window, touching the entry line of
+       whichever sort function is executing. *)
+    let budget = ref config.work_per_sample in
+    while !budget > 0 && !current_func <> None do
+      let spend = min !budget !remaining_in_segment in
+      (match !current_func with
+      | Some Block_sort.Main_sort ->
+          ignore (Cache.access cache ~owner:Cache.Victim mainsort_addr)
+      | Some Block_sort.Fallback_sort ->
+          ignore (Cache.access cache ~owner:Cache.Victim fallbacksort_addr)
+      | None -> ());
+      budget := !budget - spend;
+      remaining_in_segment := !remaining_in_segment - spend;
+      if !remaining_in_segment <= 0 then advance_to_next_segment ()
+    done;
+    (* Unrelated users of the shared library occasionally warm the lines. *)
+    if Prng.float prng < config.shared_lib_noise then
+      ignore (Cache.access cache ~owner:Cache.Background mainsort_addr);
+    if Prng.float prng < config.shared_lib_noise then
+      ignore (Cache.access cache ~owner:Cache.Background fallbacksort_addr);
+    main_trace.(round) <- Flush_reload.round fr mainsort_addr;
+    fallback_trace.(round) <- Flush_reload.round fr fallbacksort_addr
+  done;
+  (main_trace, fallback_trace)
+
+let collect ?(config = default_config) ~prng input =
+  collect_segments ~config ~prng (timeline ~config input)
+
+let features ?(config = default_config) (main_trace, fallback_trace) =
+  let any = Array.exists (fun b -> b) in
+  if (not (any main_trace)) && not (any fallback_trace) then
+    (* The paper's timeout encoding: a tensor filled with the value 2. *)
+    Array.make (2 * config.bins) 2.0
+  else
+    Array.append
+      (Zipchannel_classifier.Dataset.downsample ~bins:config.bins main_trace)
+      (Zipchannel_classifier.Dataset.downsample ~bins:config.bins fallback_trace)
+
+let collect_features ?(config = default_config) ~prng input =
+  features ~config (collect ~config ~prng input)

@@ -1,0 +1,56 @@
+(** The Flush+Reload fingerprinting attack on Bzip2 (paper Section VI).
+
+    The attacker maps libbz2 into its own address space and monitors the
+    cache lines holding the entry points of [mainSort] and
+    [fallbackSort].  While the victim compresses a file, the attacker
+    records one hit/miss pair per round; the resulting 2xN boolean trace
+    reflects the sorting control flow of Fig. 6 — which function ran, for
+    how long, and when the compressor abandoned mainSort — and a
+    classifier identifies the file from it. *)
+
+type config = {
+  samples : int;  (** monitoring rounds (the paper uses 10,000) *)
+  work_per_sample : int;  (** victim sort-work units per round *)
+  bins : int;  (** downsampling bins per monitored line *)
+  block_size : int;
+  budget_factor : int;
+  timing : Zipchannel_cache.Timing.t;
+  shared_lib_noise : float;
+      (** probability per round that an unrelated process touches a
+          monitored line (shared libraries are shared) *)
+}
+
+val default_config : config
+
+val mainsort_addr : int
+(** Line address of mainSort's entry in the shared libbz2 mapping. *)
+
+val fallbacksort_addr : int
+
+val timeline :
+  ?config:config -> bytes -> Zipchannel_compress.Block_sort.segment list
+(** The victim's sorting control flow as a flat (function, work) timeline
+    (Fig. 6 over all blocks).  Deterministic per file — compute once and
+    reuse across noisy trace collections. *)
+
+val collect_segments :
+  ?config:config ->
+  prng:Zipchannel_util.Prng.t ->
+  Zipchannel_compress.Block_sort.segment list ->
+  bool array * bool array
+(** Monitor one victim run replayed from a precomputed timeline. *)
+
+val collect :
+  ?config:config -> prng:Zipchannel_util.Prng.t -> bytes ->
+  bool array * bool array
+(** Monitor one compression of the given file: per-round hit booleans for
+    (mainSort, fallbackSort). *)
+
+val features : ?config:config -> bool array * bool array -> float array
+(** Classifier features: each channel downsampled to [bins] hit
+    fractions, concatenated.  A completely silent trace (the victim never
+    ran — e.g. an empty file) is encoded as the constant 2.0 vector, the
+    paper's timeout encoding. *)
+
+val collect_features :
+  ?config:config -> prng:Zipchannel_util.Prng.t -> bytes -> float array

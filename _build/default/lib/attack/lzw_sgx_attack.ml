@@ -1,0 +1,142 @@
+open Zipchannel_util
+module Cache = Zipchannel_cache.Cache
+module Page_table = Zipchannel_sgx.Page_table
+module Enclave = Zipchannel_sgx.Enclave
+module Event = Zipchannel_trace.Event
+module Lzw = Zipchannel_compress.Lzw
+
+type result = {
+  recovered : bytes;
+  byte_accuracy : float;
+  bit_accuracy : float;
+  lookups : int;
+  lost_readings : int;
+  faults : int;
+  frame_remaps : int;
+}
+
+let htab_base = 0x720000000000
+
+let input_base = 0x720010000000
+
+let htab_bytes = 8 * (1 lsl Lzw.htab_bits)
+
+let program input =
+  let n = Bytes.length input in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  if n > 0 then begin
+    emit (Event.read ~label:"input[0]" ~addr:input_base ~size:1 ());
+    let st = Lzw.Stepper.create ~first:(Char.code (Bytes.get input 0)) in
+    for i = 1 to n - 1 do
+      emit (Event.read ~label:"input[i]" ~addr:(input_base + i) ~size:1 ());
+      let probes, emitted = Lzw.Stepper.feed st (Char.code (Bytes.get input i)) in
+      List.iter
+        (fun p ->
+          emit
+            (Event.read ~label:"htab[hp]"
+               ~addr:(htab_base + (8 * p.Lzw.hp))
+               ~size:8 ()))
+        probes;
+      (* A miss inserts into the last probed slot. *)
+      match emitted with
+      | Some _ ->
+          let last = List.nth probes (List.length probes - 1) in
+          emit
+            (Event.write ~label:"htab insert"
+               ~addr:(htab_base + (8 * last.Lzw.hp))
+               ~size:8 ())
+      | None -> ()
+    done
+  end;
+  Array.of_list (List.rev !events)
+
+let run ?(config = Attack_config.default) input =
+  let n = Bytes.length input in
+  let prng = Prng.create ~seed:config.Attack_config.seed () in
+  let cache = Cache.create config.Attack_config.cache_config in
+  Page_channel.setup_cat ~config cache;
+  let page_table = Page_table.create () in
+  let enclave =
+    Enclave.create ~cos:0 ~program:(program input) ~page_table ~cache ()
+  in
+  let channel = Page_channel.create ~config ~cache ~page_table ~prng in
+  let faults = ref 0 in
+  let expect_fault () =
+    match Enclave.run_to_fault enclave with
+    | Enclave.Fault f ->
+        incr faults;
+        Some f
+    | Enclave.Done -> None
+    | Enclave.Executed -> assert false
+  in
+  let protect_input () =
+    Page_table.protect_range page_table ~addr:input_base ~size:(max 1 n)
+  in
+  let unprotect_input () =
+    Page_table.unprotect_range page_table ~addr:input_base ~size:(max 1 n)
+  in
+  let protect_htab () =
+    Page_table.protect_range page_table ~addr:htab_base ~size:htab_bytes
+  in
+  let unprotect_htab () =
+    Page_table.unprotect_range page_table ~addr:htab_base ~size:htab_bytes
+  in
+  (* Collection: one candidate set of line-masked addresses per lookup;
+     recovery runs offline over the 2^3 first-byte hypotheses
+     (Section IV-C), which also repairs the mirror when the first byte
+     recurs in the input. *)
+  let observations = Array.make (max 1 (n - 1)) [] in
+  let lookups = ref 0 in
+  if n > 1 then begin
+    protect_input ();
+    protect_htab ();
+    (* The very first fault is the input[0] read. *)
+    assert (expect_fault () <> None);
+    let finished = ref false in
+    let k = ref 0 in
+    while (not !finished) && !k < n - 1 do
+      (* At an input fault, htab revoked: release the input buffer and run
+         into the first probe of the next lookup. *)
+      Noise.on_transition (Page_channel.noise channel);
+      unprotect_input ();
+      (match expect_fault () with
+      | Some f ->
+          let vpage = Page_table.vpage_of f.Enclave.page_addr in
+          incr lookups;
+          Page_channel.prime_page channel ~vpage;
+          (* Let the probes (and a possible insert) run; regain control at
+             the next input read. *)
+          Noise.on_transition (Page_channel.noise channel);
+          protect_input ();
+          unprotect_htab ();
+          (match expect_fault () with Some _ -> () | None -> finished := true);
+          if config.Attack_config.background_noise then
+            Noise.background (Page_channel.noise channel) ~cos:1;
+          observations.(!k) <-
+            List.map
+              (fun line -> (vpage lsl Page_table.page_bits) lor (line lsl 6))
+              (Page_channel.probe_page channel ~vpage);
+          incr k;
+          protect_htab ()
+      | None -> finished := true)
+    done
+  end;
+  let recovered =
+    if n = 0 then Bytes.empty
+    else if n = 1 then Bytes.make 1 '\000'
+    else Recovery.lzw_recover_candidates_auto ~htab_base observations
+  in
+  let lost =
+    if n <= 1 then 0
+    else Array.fold_left (fun a o -> if o = [] then a + 1 else a) 0 observations
+  in
+  {
+    recovered;
+    byte_accuracy = Stats.fraction_equal recovered input;
+    bit_accuracy = Stats.bit_accuracy recovered input;
+    lookups = !lookups;
+    lost_readings = lost;
+    faults = !faults;
+    frame_remaps = Page_channel.frame_remaps channel;
+  }

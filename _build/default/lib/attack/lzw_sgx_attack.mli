@@ -1,0 +1,39 @@
+(** End-to-end controlled-channel attack on LZW compression in an enclave.
+
+    The paper extracts the Ncompress input from a trace of Listing 2's
+    hash-table probes "with a Python script that simulates the attack"
+    (Section IV-C); this module mounts the extraction through the same
+    microarchitectural machinery as the Bzip2 attack: an mprotect
+    single-stepping state machine over the input buffer and [htab], the
+    page-fault channel for page numbers, and the {!Page_channel}
+    Prime+Probe for the in-page offset of the {e first} probe of every
+    lookup.
+
+    Recovery runs offline over the collected candidate sets
+    ({!Recovery.lzw_recover_candidates_auto}): for each of the 2^3
+    first-byte hypotheses a mirrored dictionary filters candidates by
+    predicted-[ent] consistency (bits 3-8 of the index come only from
+    [ent]); the hypothesis whose mirror stays synchronised — including
+    through later recurrences of the first byte — wins. *)
+
+type result = {
+  recovered : bytes;
+  byte_accuracy : float;
+  bit_accuracy : float;
+  lookups : int;  (** dictionary lookups observed *)
+  lost_readings : int;
+  faults : int;
+  frame_remaps : int;
+}
+
+val htab_base : int
+(** Virtual base of the victim's hash table (line- and page-aligned, as in
+    Ncompress). *)
+
+val input_base : int
+
+val program : bytes -> Zipchannel_trace.Event.t array
+(** The victim's access sequence: per input byte, the buffer read, each
+    hash-table probe, and the insert store on a miss. *)
+
+val run : ?config:Attack_config.t -> bytes -> result

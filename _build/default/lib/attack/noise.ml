@@ -1,0 +1,50 @@
+open Zipchannel_util
+module Cache = Zipchannel_cache.Cache
+
+type config = {
+  transition_lines : int;
+  transition_touch_prob : float;
+  background_per_window : int;
+  address_space : int;
+}
+
+let default_config =
+  {
+    transition_lines = 24;
+    transition_touch_prob = 0.8;
+    background_per_window = 48;
+    address_space = 1 lsl 30;
+  }
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  prng : Prng.t;
+  working_set : int array; (* addresses of the OS working set *)
+}
+
+let create ?(config = default_config) ~cache ~prng () =
+  (* The OS working set is fixed for the lifetime of the system: pick it
+     once, deterministically from the seed. *)
+  let working_set =
+    Array.init config.transition_lines (fun _ ->
+        0x7fe000000000 + (64 * Prng.int prng (1 lsl 20)))
+  in
+  { config; cache; prng; working_set }
+
+let on_transition t =
+  Array.iter
+    (fun addr ->
+      if Prng.float t.prng < t.config.transition_touch_prob then
+        ignore (Cache.access t.cache ~cos:0 ~owner:Cache.System addr))
+    t.working_set
+
+let background t ~cos =
+  for _ = 1 to t.config.background_per_window do
+    let addr = Prng.int t.prng t.config.address_space in
+    ignore (Cache.access t.cache ~cos ~owner:Cache.Background addr)
+  done
+
+let transition_sets t =
+  List.sort_uniq compare
+    (Array.to_list (Array.map (fun a -> Cache.set_index t.cache a) t.working_set))

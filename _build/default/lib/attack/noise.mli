@@ -1,0 +1,39 @@
+(** Noise sources that real cache attacks contend with.
+
+    Two kinds, matching the paper's Section V-C analysis:
+    - {b transition noise}: the OS/SGX machinery run on every page fault
+      and [mprotect] touches a fixed working set of its own (handler code,
+      page-table data) — deterministic per system boot, which is why the
+      frame-selection technique can dodge it;
+    - {b background noise}: unrelated applications on other cores hitting
+      the shared LLC at random — the traffic Intel CAT walls off. *)
+
+type config = {
+  transition_lines : int;  (** lines in the OS working set *)
+  transition_touch_prob : float;  (** chance each line is touched per
+                                      transition *)
+  background_per_window : int;  (** random accesses per measurement window *)
+  address_space : int;  (** background addresses are drawn below this *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  cache:Zipchannel_cache.Cache.t ->
+  prng:Zipchannel_util.Prng.t ->
+  unit ->
+  t
+
+val on_transition : t -> unit
+(** OS/SGX accesses caused by one fault-and-mprotect round trip (class of
+    service 0 — same core as the attacker). *)
+
+val background : t -> cos:int -> unit
+(** One window of other-application traffic under the given CAT class. *)
+
+val transition_sets : t -> int list
+(** The cache sets the transition working set maps to (for tests; the
+    attacker must discover them empirically via frame selection). *)

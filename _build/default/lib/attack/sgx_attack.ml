@@ -1,0 +1,138 @@
+open Zipchannel_util
+module Cache = Zipchannel_cache.Cache
+module Timing = Zipchannel_cache.Timing
+module Page_table = Zipchannel_sgx.Page_table
+module Enclave = Zipchannel_sgx.Enclave
+
+type config = Attack_config.t = {
+  use_cat : bool;
+  use_frame_selection : bool;
+  frame_candidates : int;
+  background_noise : bool;
+  cache_config : Cache.config;
+  timing : Timing.t;
+  noise_config : Noise.config;
+  seed : int;
+}
+
+let default_config = Attack_config.default
+
+type result = {
+  recovered : bytes;
+  byte_accuracy : float;
+  bit_accuracy : float;
+  observations : int list array;
+  lost_readings : int;
+  faults : int;
+  frame_remaps : int;
+}
+
+type state = {
+  channel : Page_channel.t;
+  page_table : Page_table.t;
+  enclave : Enclave.t;
+  layout : Zipchannel_trace.Layout.t;
+  mutable faults : int;
+}
+
+let region_range st name =
+  let r = Zipchannel_trace.Layout.region st.layout name in
+  (r.Zipchannel_trace.Layout.base, r.Zipchannel_trace.Layout.size)
+
+let protect st name =
+  let addr, size = region_range st name in
+  Page_table.protect_range st.page_table ~addr ~size
+
+let unprotect st name =
+  let addr, size = region_range st name in
+  Page_table.unprotect_range st.page_table ~addr ~size
+
+let expect_fault st =
+  match Enclave.run_to_fault st.enclave with
+  | Enclave.Fault f ->
+      st.faults <- st.faults + 1;
+      Some f
+  | Enclave.Done -> None
+  | Enclave.Executed -> assert false
+
+let run ?(config = default_config) input =
+  let n = Bytes.length input in
+  let prng = Prng.create ~seed:config.seed () in
+  let cache = Cache.create config.cache_config in
+  Page_channel.setup_cat ~config cache;
+  let page_table = Page_table.create () in
+  let enclave =
+    Enclave.create ~cos:0 ~program:(Victim.program input) ~page_table ~cache ()
+  in
+  let channel = Page_channel.create ~config ~cache ~page_table ~prng in
+  let st =
+    { channel; page_table; enclave; layout = Victim.layout ~n; faults = 0 }
+  in
+  let observations = Array.make (max 1 n) [] in
+  if n > 0 then begin
+    protect st "quadrant";
+    (* S0 of the first iteration: the quadrant store faults. *)
+    let fault = expect_fault st in
+    assert (fault <> None);
+    let finished = ref false in
+    let k = ref 0 in
+    while not !finished && !k < n do
+      (* S0 -> S1: restore quadrant, revoke block. *)
+      Noise.on_transition (Page_channel.noise st.channel);
+      unprotect st "quadrant";
+      protect st "block";
+      (match expect_fault st with
+      | Some _ -> ()
+      | None -> finished := true);
+      (* S1 -> S2: restore block, revoke ftab. *)
+      Noise.on_transition (Page_channel.noise st.channel);
+      unprotect st "block";
+      protect st "ftab";
+      let vpage =
+        match expect_fault st with
+        | Some f -> Page_table.vpage_of f.Enclave.page_addr
+        | None ->
+            finished := true;
+            0
+      in
+      if not !finished then begin
+        (* S2: pick a quiet frame for the faulting page, then prime. *)
+        Page_channel.prime_page st.channel ~vpage;
+        (* S2 -> S3: restore ftab, revoke quadrant for the next round. *)
+        Noise.on_transition (Page_channel.noise st.channel);
+        unprotect st "ftab";
+        protect st "quadrant";
+        (* S3 -> S4: the victim performs the single ftab access, then
+           faults on the next quadrant store (or finishes). *)
+        (match expect_fault st with
+        | Some _ -> ()
+        | None -> finished := true);
+        if config.background_noise then
+          Noise.background (Page_channel.noise st.channel) ~cos:1;
+        observations.(!k) <-
+          List.map
+            (fun line -> (vpage lsl Page_table.page_bits) lor (line lsl 6))
+            (Page_channel.probe_page st.channel ~vpage);
+        incr k
+      end
+    done
+  end;
+  let observations = if n = 0 then [||] else observations in
+  let recovered =
+    if n = 0 then Bytes.empty
+    else
+      Recovery.bzip2_recover_candidates ~ftab_base:Victim.ftab_base ~n
+        observations
+  in
+  let lost =
+    Array.fold_left (fun a o -> if o = [] then a + 1 else a) 0 observations
+  in
+  {
+    recovered;
+    byte_accuracy = Stats.fraction_equal recovered input;
+    bit_accuracy = Stats.bit_accuracy recovered input;
+    observations;
+    lost_readings = lost;
+    faults = st.faults;
+    frame_remaps = Page_channel.frame_remaps st.channel;
+  }

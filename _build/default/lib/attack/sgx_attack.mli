@@ -1,0 +1,44 @@
+(** The end-to-end ZipChannel attack on Bzip2 inside SGX (paper Section V).
+
+    The attacker plays the untrusted OS: it single-steps the enclave's
+    Listing-3 loop with an mprotect controlled channel (the S0–S4 state
+    machine of Fig. 5), learns the touched [ftab] page from each fault,
+    recovers the offset inside the page with a Prime+Probe over the 64
+    lines of the page's frame, and feeds the per-iteration line addresses
+    to {!Recovery.bzip2_recover}.
+
+    The two techniques the paper introduces are both modelled and can be
+    ablated: Intel CAT reduces the attacker's class of service to a single
+    way (deterministic eviction, no cross-core pollution), and frame
+    selection remaps each [ftab] page to a physical frame whose cache sets
+    stay quiet during the state-transition machinery. *)
+
+type config = Attack_config.t = {
+  use_cat : bool;
+  use_frame_selection : bool;
+  frame_candidates : int;  (** remap attempts before the paper's timeout *)
+  background_noise : bool;  (** other-core LLC traffic present *)
+  cache_config : Zipchannel_cache.Cache.config;
+  timing : Zipchannel_cache.Timing.t;
+  noise_config : Noise.config;
+  seed : int;
+}
+
+val default_config : config
+(** Both techniques on, background noise on, default cache and timing. *)
+
+type result = {
+  recovered : bytes;
+  byte_accuracy : float;  (** fraction of bytes exactly recovered *)
+  bit_accuracy : float;  (** the paper's headline metric: data bits *)
+  observations : int list array;
+      (** per-iteration candidate line addresses (empty = lost reading) *)
+  lost_readings : int;  (** iterations with no usable probe result *)
+  faults : int;  (** controlled-channel page faults taken *)
+  frame_remaps : int;  (** frames tried during frame selection *)
+}
+
+val run : ?config:config -> bytes -> result
+(** Attack one block while "the enclave" builds its frequency table over
+    it.  The block is the secret; the result reports how much of it the
+    cache channel recovered. *)

@@ -1,0 +1,147 @@
+open Zipchannel_util
+module Cache = Zipchannel_cache.Cache
+module Timing = Zipchannel_cache.Timing
+module Prime_probe = Zipchannel_cache.Prime_probe
+module Page_table = Zipchannel_sgx.Page_table
+module Enclave = Zipchannel_sgx.Enclave
+module Block_sort = Zipchannel_compress.Block_sort
+
+type config = {
+  interval_mean : float;
+  interval_jitter : float;
+  use_cat : bool;
+  cache_config : Cache.config;
+  timing : Timing.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    interval_mean = 3.0;
+    interval_jitter = 1.0;
+    use_cat = true;
+    cache_config = Cache.default_config;
+    timing = { Timing.default with Timing.outlier_prob = 0.0005 };
+    seed = 0x71AE2;
+  }
+
+type result = {
+  recovered : bytes;
+  byte_accuracy : float;
+  bit_accuracy : float;
+  windows : int;
+  observed_events : int;
+}
+
+let run ?(config = default_config) input =
+  let n = Bytes.length input in
+  let prng = Prng.create ~seed:config.seed () in
+  let cache = Cache.create config.cache_config in
+  if config.use_cat then begin
+    let all = (1 lsl config.cache_config.Cache.ways) - 1 in
+    Cache.set_cat_mask cache ~cos:0 ~mask:1;
+    if config.cache_config.Cache.ways > 1 then
+      Cache.set_cat_mask cache ~cos:1 ~mask:(all lxor 1)
+  end;
+  let page_table = Page_table.create () in
+  let enclave =
+    Enclave.create ~cos:0 ~program:(Victim.program input) ~page_table ~cache ()
+  in
+  let pp =
+    Prime_probe.create ~timing:config.timing ~cos:0 ~cache
+      ~prng:(Prng.split prng) ()
+  in
+  (* Without the page-fault channel there is no per-access page hint: the
+     attacker monitors every line of the whole ftab region (the threat
+     model gives it the base address). *)
+  let first_line = Victim.ftab_base lsr 6 in
+  let last_line = (Victim.ftab_base + (4 * Block_sort.ftab_size) - 1) lsr 6 in
+  let monitored =
+    Array.init (last_line - first_line + 1) (fun k -> (first_line + k) lsl 6)
+  in
+  let set_of_line = Array.map (fun addr -> Cache.set_index cache addr) monitored in
+  (* set -> indices of monitored lines mapping there (collisions make some
+     sets ambiguous, which is part of the baseline's trouble). *)
+  let set_to_lines = Hashtbl.create 4096 in
+  Array.iteri
+    (fun idx set ->
+      let prev = try Hashtbl.find set_to_lines set with Not_found -> [] in
+      Hashtbl.replace set_to_lines set (idx :: prev))
+    set_of_line;
+  let distinct_sets =
+    Array.of_list (Hashtbl.fold (fun set _ acc -> set :: acc) set_to_lines [])
+  in
+  Array.iter (fun set -> Prime_probe.prime pp ~set) distinct_sets;
+  let observations = Array.make (max 1 n) [] in
+  let iteration = ref 0 in
+  let windows = ref 0 in
+  let events = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !iteration < n do
+    (* Victim runs until the (jittery) timer fires. *)
+    let k =
+      max 1
+        (int_of_float
+           (Float.round
+              (Prng.gaussian prng ~mean:config.interval_mean
+                 ~stddev:config.interval_jitter)))
+    in
+    for _ = 1 to k do
+      match Enclave.step enclave with
+      | Enclave.Done -> finished := true
+      | Enclave.Executed | Enclave.Fault _ -> ()
+    done;
+    incr windows;
+    (* The victim's quadrant/block accesses also evict monitored sets; the
+       attacker predicts them from its estimated loop position and filters
+       those sets out.  Jitter makes the estimate drift, so the filter
+       leaks spurious events — part of the baseline's unreliability. *)
+    let excluded = Hashtbl.create 16 in
+    for di = -1 to 2 do
+      let est = !iteration + di in
+      if est >= 0 && est < n then begin
+        let i_victim = n - 1 - est in
+        let q = Victim.quadrant_base + (2 * i_victim) in
+        let b = Victim.block_base + i_victim in
+        Hashtbl.replace excluded (Cache.set_index cache q) ();
+        Hashtbl.replace excluded (Cache.set_index cache b) ()
+      end
+    done;
+    (* Probe every monitored set; surviving evicted sets name candidate
+       lines.  The attacker expects one ftab access per window (its timer
+       aims at one loop iteration) and assigns the whole candidate set to
+       the next iteration — the only option without the fault channel.  A
+       window that actually held zero or two accesses shifts every later
+       reading, which is exactly the unreliability the paper reports. *)
+    let candidates = ref [] in
+    Array.iter
+      (fun set ->
+        if Prime_probe.probe pp ~set > 0 && not (Hashtbl.mem excluded set)
+        then
+          List.iter
+            (fun idx -> candidates := monitored.(idx) :: !candidates)
+            (Hashtbl.find set_to_lines set))
+      distinct_sets;
+    if !iteration < n then begin
+      (* A hopelessly polluted window (many evictions) carries no
+         information; keep at most a handful of candidates. *)
+      let kept = if List.length !candidates > 6 then [] else !candidates in
+      observations.(!iteration) <- kept;
+      if kept <> [] then incr events;
+      incr iteration
+    end;
+    if Enclave.finished enclave then finished := true
+  done;
+  let recovered =
+    if n = 0 then Bytes.empty
+    else
+      Recovery.bzip2_recover_candidates ~ftab_base:Victim.ftab_base ~n
+        observations
+  in
+  {
+    recovered;
+    byte_accuracy = Stats.fraction_equal recovered input;
+    bit_accuracy = Stats.bit_accuracy recovered input;
+    windows = !windows;
+    observed_events = !events;
+  }

@@ -1,0 +1,32 @@
+(** Baseline attack using timer-interrupt single stepping.
+
+    The paper notes that prior enclave attacks single-step with timer
+    interrupts, which the authors "found to be unreliable", motivating
+    their mprotect controlled channel (Section V-A).  This module makes
+    that comparison measurable: the same Prime+Probe channel and recovery
+    math as {!Sgx_attack}, but windows are delimited by a jittery
+    instruction-count timer instead of page faults, so the attacker must
+    guess how many ftab accesses each window held — and misalignments
+    corrupt the downstream recovery chain. *)
+
+type config = {
+  interval_mean : float;  (** victim instructions per interrupt *)
+  interval_jitter : float;  (** standard deviation of the interval *)
+  use_cat : bool;
+  cache_config : Zipchannel_cache.Cache.config;
+  timing : Zipchannel_cache.Timing.t;
+  seed : int;
+}
+
+val default_config : config
+(** Mean 3 (one loop iteration), jitter 1, CAT on. *)
+
+type result = {
+  recovered : bytes;
+  byte_accuracy : float;
+  bit_accuracy : float;
+  windows : int;  (** interrupts taken *)
+  observed_events : int;  (** evictions the attacker assigned to iterations *)
+}
+
+val run : ?config:config -> bytes -> result

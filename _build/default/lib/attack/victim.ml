@@ -1,0 +1,44 @@
+open Zipchannel_trace
+module Block_sort = Zipchannel_compress.Block_sort
+
+let block_base = 0x710000000000
+
+let quadrant_base = 0x710000100000
+
+let ftab_base = 0x710000200030
+
+let layout ~n =
+  Layout.create
+    [
+      { Layout.name = "block"; base = block_base; size = max 1 n; elem_size = 1 };
+      {
+        Layout.name = "quadrant";
+        base = quadrant_base;
+        size = max 2 (2 * n);
+        elem_size = 2;
+      };
+      {
+        Layout.name = "ftab";
+        base = ftab_base;
+        size = 4 * Block_sort.ftab_size;
+        elem_size = 4;
+      };
+    ]
+
+let program input =
+  let n = Bytes.length input in
+  let js = Block_sort.ftab_indices input in
+  let events = ref [] in
+  for k = 0 to n - 1 do
+    let i = n - 1 - k in
+    events :=
+      Event.write ~label:"ftab[j]++" ~addr:(ftab_base + (4 * js.(k))) ~size:4 ()
+      :: Event.read ~label:"block[i]" ~addr:(block_base + i) ~size:1 ()
+      :: Event.write ~label:"quadrant[i]=0" ~addr:(quadrant_base + (2 * i))
+           ~size:2 ()
+      :: !events
+  done;
+  Array.of_list (List.rev !events)
+
+let ftab_addresses input =
+  Array.map (fun j -> ftab_base + (4 * j)) (Block_sort.ftab_indices input)

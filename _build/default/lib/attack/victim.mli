@@ -1,0 +1,27 @@
+(** The victim of the SGX attack: Bzip2's frequency-table loop (paper
+    Listing 3) as an enclave memory-access program.
+
+    Each loop iteration performs exactly three accesses — the
+    [quadrant\[i\] = 0] store, the [block\[i\]] load, and the [ftab\[j\]++]
+    read-modify-write — which is what lets the attacker single-step it by
+    revoking one array's pages at a time (Fig. 5). *)
+
+open Zipchannel_trace
+
+val block_base : int
+val quadrant_base : int
+
+val ftab_base : int
+(** Deliberately not cache-line aligned (offset 0x30), as in the paper's
+    Section IV-D discussion of the off-by-one ambiguity. *)
+
+val layout : n:int -> Layout.t
+(** Regions for a block of [n] bytes. *)
+
+val program : bytes -> Event.t array
+(** The access sequence of Listing 3 over one block, in execution order:
+    3 events per iteration, iterations running i = n-1 downto 0. *)
+
+val ftab_addresses : bytes -> int array
+(** The exact virtual address of the [ftab] access of each iteration —
+    the ground truth the attack tries to observe. *)

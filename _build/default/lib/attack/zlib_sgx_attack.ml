@@ -1,0 +1,151 @@
+open Zipchannel_util
+module Cache = Zipchannel_cache.Cache
+module Page_table = Zipchannel_sgx.Page_table
+module Enclave = Zipchannel_sgx.Enclave
+module Event = Zipchannel_trace.Event
+module Lz77 = Zipchannel_compress.Lz77
+
+type result = {
+  recovered : bytes;
+  byte_accuracy : float;
+  direct_bits_accuracy : float;
+  lost_readings : int;
+  faults : int;
+  frame_remaps : int;
+}
+
+let head_base = 0x730000000000
+
+let window_base = 0x730010000000
+
+let head_bytes = 2 * (Lz77.hash_mask + 1)
+
+let program input =
+  let n = Bytes.length input in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  (* ins_h is seeded from the first two bytes, then every INSERT_STRING
+     reads the byte two ahead and stores into head[ins_h]. *)
+  if n >= 2 then begin
+    emit (Event.read ~label:"window[0]" ~addr:window_base ~size:1 ());
+    emit (Event.read ~label:"window[1]" ~addr:(window_base + 1) ~size:1 ())
+  end;
+  if n >= 3 then
+    Array.iteri
+      (fun k ins_h ->
+        emit
+          (Event.read ~label:"window[k+2]" ~addr:(window_base + k + 2) ~size:1 ());
+        emit
+          (Event.write ~label:"head[ins_h]"
+             ~addr:(head_base + (2 * ins_h))
+             ~size:2 ()))
+      (Lz77.hash_head_trace input);
+  Array.of_list (List.rev !events)
+
+let run ?(config = Attack_config.default) ?(high_bits = 0b011) input =
+  let n = Bytes.length input in
+  let windows = max 0 (n - 2) in
+  let prng = Prng.create ~seed:config.Attack_config.seed () in
+  let cache = Cache.create config.Attack_config.cache_config in
+  Page_channel.setup_cat ~config cache;
+  let page_table = Page_table.create () in
+  let enclave =
+    Enclave.create ~cos:0 ~program:(program input) ~page_table ~cache ()
+  in
+  let channel = Page_channel.create ~config ~cache ~page_table ~prng in
+  let faults = ref 0 in
+  let expect_fault () =
+    match Enclave.run_to_fault enclave with
+    | Enclave.Fault f ->
+        incr faults;
+        Some f
+    | Enclave.Done -> None
+    | Enclave.Executed -> assert false
+  in
+  let protect_window () =
+    Page_table.protect_range page_table ~addr:window_base ~size:(max 1 n)
+  in
+  let unprotect_window () =
+    Page_table.unprotect_range page_table ~addr:window_base ~size:(max 1 n)
+  in
+  let protect_head () =
+    Page_table.protect_range page_table ~addr:head_base ~size:head_bytes
+  in
+  let unprotect_head () =
+    Page_table.unprotect_range page_table ~addr:head_base ~size:head_bytes
+  in
+  let observations = Array.make (max 1 windows) [] in
+  let lost = ref 0 in
+  if windows > 0 then begin
+    protect_window ();
+    protect_head ();
+    (* First fault: the window[0] read of the hash seed. *)
+    assert (expect_fault () <> None);
+    let finished = ref false in
+    let k = ref 0 in
+    while (not !finished) && !k < windows do
+      (* At a window fault, head revoked: run into the next store. *)
+      Noise.on_transition (Page_channel.noise channel);
+      unprotect_window ();
+      (match expect_fault () with
+      | Some f ->
+          let vpage = Page_table.vpage_of f.Enclave.page_addr in
+          Page_channel.prime_page channel ~vpage;
+          (* Let the store run; regain control at the next window read. *)
+          Noise.on_transition (Page_channel.noise channel);
+          protect_window ();
+          unprotect_head ();
+          (match expect_fault () with Some _ -> () | None -> finished := true);
+          if config.Attack_config.background_noise then
+            Noise.background (Page_channel.noise channel) ~cos:1;
+          observations.(!k) <-
+            List.map
+              (fun line -> (vpage lsl Page_table.page_bits) lor (line lsl 6))
+              (Page_channel.probe_page channel ~vpage);
+          incr k;
+          protect_head ()
+      | None -> finished := true)
+    done
+  end;
+  (* The window-overlap redundancy (Section V-D) resolves ambiguous
+     readings; what remains unresolved is filled with the head base (hash
+     0) — only that window's two bytes suffer, there is no chain to
+     derail. *)
+  let resolved = Recovery.zlib_resolve_candidates ~head_base observations in
+  let filled =
+    Array.map
+      (fun o ->
+        match o with
+        | Some obs -> obs
+        | None ->
+            incr lost;
+            head_base)
+      resolved
+  in
+  let recovered =
+    if n = 0 then Bytes.empty
+    else if windows = 0 then Bytes.make n (Char.chr ((high_bits lsl 5) land 0xff))
+    else Recovery.zlib_recover_lowercase ~high_bits ~head_base ~n filled
+  in
+  (* The unconditional leak: bits 3-4 of every middle byte. *)
+  let direct_acc =
+    if windows = 0 then 0.0
+    else begin
+      let bits = Recovery.zlib_direct_bits ~head_base filled in
+      let ok = ref 0 in
+      Array.iteri
+        (fun k v ->
+          let truth = (Char.code (Bytes.get input (k + 1)) lsr 3) land 0x3 in
+          if truth = v then incr ok)
+        bits;
+      float_of_int !ok /. float_of_int windows
+    end
+  in
+  {
+    recovered;
+    byte_accuracy = Stats.fraction_equal recovered input;
+    direct_bits_accuracy = direct_acc;
+    lost_readings = !lost;
+    faults = !faults;
+    frame_remaps = Page_channel.frame_remaps channel;
+  }

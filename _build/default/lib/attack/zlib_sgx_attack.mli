@@ -1,0 +1,39 @@
+(** End-to-end controlled-channel attack on Zlib's hash insertion in an
+    enclave.
+
+    Completes the set: the paper's Listing 1 gadget — the
+    [head\[ins_h\] = pos] store of deflate's INSERT_STRING — observed
+    through the same machinery as the Bzip2 and LZW attacks (mprotect
+    single stepping over the window and [head], page-fault page numbers,
+    {!Page_channel} Prime+Probe for in-page offsets).
+
+    What the channel yields per window is bits 5–14 of [ins_h]
+    (Section IV-B): unconditionally the two middle bits of every input
+    byte, and the whole input under a known-plaintext-class assumption
+    ({!Recovery.zlib_recover_lowercase}). *)
+
+type result = {
+  recovered : bytes;  (** under the lowercase-class assumption *)
+  byte_accuracy : float;
+  direct_bits_accuracy : float;
+      (** fraction of windows whose unconditional 2-bit leak read
+          correctly — meaningful for any input class *)
+  lost_readings : int;
+  faults : int;
+  frame_remaps : int;
+}
+
+val head_base : int
+(** Base of the victim's [head] array (page-aligned, as zlib's allocation
+    is). *)
+
+val window_base : int
+
+val program : bytes -> Zipchannel_trace.Event.t array
+(** The INSERT_STRING loop's access sequence: the rolling-hash byte read
+    and the tainted-address store, per 3-byte window. *)
+
+val run :
+  ?config:Attack_config.t -> ?high_bits:int -> bytes -> result
+(** Attack one buffer; [high_bits] is the plaintext-class assumption for
+    full recovery (default 0b011, lowercase ASCII). *)

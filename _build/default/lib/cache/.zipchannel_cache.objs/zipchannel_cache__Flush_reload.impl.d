@@ -1,0 +1,1 @@
+lib/cache/flush_reload.ml: Cache Timing Zipchannel_util

@@ -1,0 +1,1 @@
+lib/cache/flush_reload.mli: Cache Timing Zipchannel_util

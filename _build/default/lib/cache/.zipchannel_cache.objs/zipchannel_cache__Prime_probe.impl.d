@@ -1,0 +1,1 @@
+lib/cache/prime_probe.ml: Array Cache Hashtbl List Timing Zipchannel_util

@@ -1,0 +1,1 @@
+lib/cache/prime_probe.mli: Cache Timing Zipchannel_util

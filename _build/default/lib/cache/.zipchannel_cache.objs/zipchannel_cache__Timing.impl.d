@@ -1,0 +1,1 @@
+lib/cache/timing.ml: Float Zipchannel_util

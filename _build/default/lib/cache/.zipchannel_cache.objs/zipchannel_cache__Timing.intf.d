@@ -1,0 +1,1 @@
+lib/cache/timing.mli: Zipchannel_util

@@ -1,0 +1,189 @@
+type owner = Attacker | Victim | System | Background
+
+type replacement = Lru | Random_replacement
+
+type config = {
+  sets_per_slice : int;
+  ways : int;
+  slices : int;
+  line_bits : int;
+  policy : replacement;
+}
+
+let default_config =
+  { sets_per_slice = 1024; ways = 16; slices = 4; line_bits = 6; policy = Lru }
+
+let small_config =
+  { sets_per_slice = 64; ways = 4; slices = 1; line_bits = 6; policy = Lru }
+
+type line = { mutable tag : int; mutable who : owner; mutable last_use : int }
+
+type t = {
+  cfg : config;
+  sets : line array array; (* global set -> way -> line *)
+  cat : int array; (* class of service -> way mask *)
+  mutable clock : int;
+  slice_masks : int array; (* one parity mask per slice-index bit *)
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Parity masks in the spirit of the reconstructed Intel slice hash
+   (Maurice et al., RAID'15): each slice bit is the XOR of a spread
+   selection of line-address bits. *)
+let base_slice_masks = [| 0x1b5f575440; 0x2eb5faa880; 0x3cccc93100 |]
+
+let create cfg =
+  if not (is_pow2 cfg.sets_per_slice) then
+    invalid_arg "Cache.create: sets_per_slice must be a power of two";
+  if not (is_pow2 cfg.slices) then
+    invalid_arg "Cache.create: slices must be a power of two";
+  if cfg.ways < 1 then invalid_arg "Cache.create: ways";
+  let n_sets = cfg.sets_per_slice * cfg.slices in
+  let slice_bits =
+    let rec bits n = if n <= 1 then 0 else 1 + bits (n / 2) in
+    bits cfg.slices
+  in
+  if slice_bits > Array.length base_slice_masks then
+    invalid_arg "Cache.create: too many slices";
+  {
+    cfg;
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init cfg.ways (fun _ -> { tag = -1; who = System; last_use = 0 }));
+    cat = Array.make 4 ((1 lsl cfg.ways) - 1);
+    clock = 0;
+    slice_masks = Array.sub base_slice_masks 0 slice_bits;
+  }
+
+let config t = t.cfg
+
+let line_of t addr = addr lsr t.cfg.line_bits
+
+let parity v =
+  let v = v lxor (v lsr 32) in
+  let v = v lxor (v lsr 16) in
+  let v = v lxor (v lsr 8) in
+  let v = v lxor (v lsr 4) in
+  let v = v lxor (v lsr 2) in
+  let v = v lxor (v lsr 1) in
+  v land 1
+
+let slice_of t addr =
+  let line = line_of t addr in
+  let s = ref 0 in
+  Array.iteri
+    (fun bit mask -> s := !s lor (parity (line land mask) lsl bit))
+    t.slice_masks;
+  !s
+
+let set_of t addr = line_of t addr land (t.cfg.sets_per_slice - 1)
+
+let set_index t addr = (slice_of t addr * t.cfg.sets_per_slice) + set_of t addr
+
+let n_sets t = t.cfg.sets_per_slice * t.cfg.slices
+
+let set_cat_mask t ~cos ~mask =
+  if cos < 0 || cos >= Array.length t.cat then
+    invalid_arg "Cache.set_cat_mask: cos";
+  if mask = 0 || mask lsr t.cfg.ways <> 0 then
+    invalid_arg "Cache.set_cat_mask: mask";
+  t.cat.(cos) <- mask
+
+let cat_mask t ~cos =
+  if cos < 0 || cos >= Array.length t.cat then invalid_arg "Cache.cat_mask: cos";
+  t.cat.(cos)
+
+let find_way set tag =
+  let n = Array.length set in
+  let rec go w =
+    if w >= n then None else if set.(w).tag = tag then Some w else go (w + 1)
+  in
+  go 0
+
+let access t ?(cos = 0) ~owner addr =
+  t.clock <- t.clock + 1;
+  let tag = line_of t addr in
+  let set = t.sets.(set_index t addr) in
+  match find_way set tag with
+  | Some w ->
+      set.(w).last_use <- t.clock;
+      true
+  | None ->
+      (* Fill into a way the CAT mask allows: the least recently used one
+         (an invalid way counts as oldest), or a pseudo-random one under
+         the random-replacement policy; invalid ways are always taken
+         first. *)
+      let mask = t.cat.(cos) in
+      let victim = ref (-1) in
+      (match t.cfg.policy with
+      | Lru ->
+          for w = 0 to Array.length set - 1 do
+            if mask land (1 lsl w) <> 0 then
+              if !victim < 0 then victim := w
+              else begin
+                let cand = set.(w) and cur = set.(!victim) in
+                let age l = if l.tag = -1 then min_int else l.last_use in
+                if age cand < age cur then victim := w
+              end
+          done
+      | Random_replacement ->
+          let allowed = ref [] and empty = ref [] in
+          for w = Array.length set - 1 downto 0 do
+            if mask land (1 lsl w) <> 0 then begin
+              allowed := w :: !allowed;
+              if set.(w).tag = -1 then empty := w :: !empty
+            end
+          done;
+          let pool = if !empty <> [] then !empty else !allowed in
+          (* Deterministic pseudo-randomness from the access clock. *)
+          let r = (t.clock * 0x9E3779B1) lsr 7 in
+          victim := List.nth pool (r mod List.length pool));
+      assert (!victim >= 0);
+      let l = set.(!victim) in
+      l.tag <- tag;
+      l.who <- owner;
+      l.last_use <- t.clock;
+      false
+
+let is_cached t addr =
+  let tag = line_of t addr in
+  find_way t.sets.(set_index t addr) tag <> None
+
+let flush t addr =
+  let tag = line_of t addr in
+  let set = t.sets.(set_index t addr) in
+  match find_way set tag with
+  | Some w ->
+      set.(w).tag <- -1;
+      set.(w).last_use <- 0
+  | None -> ()
+
+let owner_in_set t ~set who =
+  if set < 0 || set >= n_sets t then invalid_arg "Cache.owner_in_set: set";
+  Array.fold_left
+    (fun acc l -> if l.tag <> -1 && l.who = who then acc + 1 else acc)
+    0 t.sets.(set)
+
+let addrs_for_set t ~set ~count =
+  if set < 0 || set >= n_sets t then invalid_arg "Cache.addrs_for_set: set";
+  if count < 0 then invalid_arg "Cache.addrs_for_set: count";
+  let out = Array.make count 0 in
+  let found = ref 0 in
+  (* Only lines whose low set-index bits already match can hit the target
+     set, so stride by sets_per_slice. *)
+  let low = set land (t.cfg.sets_per_slice - 1) in
+  let line = ref low in
+  while !found < count do
+    let addr = !line lsl t.cfg.line_bits in
+    if set_index t addr = set then begin
+      out.(!found) <- addr;
+      incr found
+    end;
+    line := !line + t.cfg.sets_per_slice
+  done;
+  out
+
+let addr_for_set t ~set ~seq =
+  if seq < 0 then invalid_arg "Cache.addr_for_set: seq";
+  (addrs_for_set t ~set ~count:(seq + 1)).(seq)

@@ -1,0 +1,91 @@
+(** Set-associative last-level cache model.
+
+    Physically-indexed, sliced, with LRU replacement and Intel CAT-style
+    way partitioning.  This is the substrate that stands in for the real
+    LLC in the paper's attacks: the attack code only ever consumes which
+    sets changed state plus noisy access timing, and this model produces
+    exactly that interface.
+
+    Addresses are byte addresses; a line is [2^line_bits] bytes (64).  The
+    slice of a line is computed with an XOR-parity hash of its address
+    bits, after Maurice et al.'s reconstruction of Intel's slice
+    function. *)
+
+type owner = Attacker | Victim | System | Background
+(** Who placed a line: the attacker's probe data, the victim enclave,
+    OS/SGX machinery (page-fault handling, context switches), or unrelated
+    applications. *)
+
+type replacement = Lru | Random_replacement
+(** Victim-way selection on a miss.  Real LLCs approximate LRU but are not
+    exact; [Random_replacement] models the adversarial end of that
+    spectrum — the "replacement policy challenge" the paper's offensive
+    CAT use sidesteps by reducing the cache to a single way
+    (Section V-C1). *)
+
+type config = {
+  sets_per_slice : int;  (** power of two *)
+  ways : int;
+  slices : int;  (** power of two *)
+  line_bits : int;  (** log2 of the line size, 6 for 64-byte lines *)
+  policy : replacement;
+}
+
+val default_config : config
+(** 4 slices x 1024 sets x 16 ways x 64-byte lines (a 4 MiB LLC). *)
+
+val small_config : config
+(** 1 slice x 64 sets x 4 ways — convenient for unit tests. *)
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+val line_of : t -> int -> int
+(** Address to line number (drops the offset bits — the 6 bits the cache
+    channel can never observe, Section IV-A). *)
+
+val slice_of : t -> int -> int
+(** Slice of an address. *)
+
+val set_of : t -> int -> int
+(** Set index within the slice. *)
+
+val set_index : t -> int -> int
+(** Global set index in [0, slices * sets_per_slice):
+    [slice * sets_per_slice + set]. *)
+
+val n_sets : t -> int
+
+val set_cat_mask : t -> cos:int -> mask:int -> unit
+(** Restrict allocations of class-of-service [cos] to the ways set in
+    [mask].  Classes 0–3 exist; the default mask allows every way.
+    @raise Invalid_argument for an empty or out-of-range mask. *)
+
+val cat_mask : t -> cos:int -> int
+
+val access : t -> ?cos:int -> owner:owner -> int -> bool
+(** Perform a load/store of one address.  Returns [true] on hit.  On miss
+    the line fills into the least-recently-used way among those the [cos]
+    mask (default class 0) allows, evicting its previous occupant. *)
+
+val is_cached : t -> int -> bool
+(** Lookup without disturbing LRU state (the model's observer view; the
+    attacker only gets this through {!access} timing). *)
+
+val flush : t -> int -> unit
+(** Evict the line containing the address, wherever it is ([clflush]). *)
+
+val owner_in_set : t -> set:int -> owner -> int
+(** Number of ways of a global set currently holding lines of [owner]. *)
+
+val addrs_for_set : t -> set:int -> count:int -> int array
+(** The first [count] distinct line-aligned addresses (from address 0
+    upward) whose global set index is [set] — how the attacker builds an
+    eviction buffer for a target set.  @raise Invalid_argument on a bad
+    set or negative count. *)
+
+val addr_for_set : t -> set:int -> seq:int -> int
+(** [(addrs_for_set t ~set ~count:(seq+1)).(seq)]. *)

@@ -1,0 +1,17 @@
+type t = { cache : Cache.t; timing : Timing.t; prng : Zipchannel_util.Prng.t }
+
+let create ?(timing = Timing.default) ~cache ~prng () = { cache; timing; prng }
+
+let flush t addr = Cache.flush t.cache addr
+
+let reload t addr =
+  let hit = Cache.is_cached t.cache addr in
+  let observed = Timing.measure t.timing t.prng ~hit in
+  (* The measuring load itself fills the cache. *)
+  ignore (Cache.access t.cache ~owner:Attacker addr);
+  observed
+
+let round t addr =
+  let r = reload t addr in
+  flush t addr;
+  r

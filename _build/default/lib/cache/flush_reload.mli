@@ -1,0 +1,21 @@
+(** The Flush+Reload attack primitive (Yarom & Falkner).
+
+    Requires a line shared between attacker and victim (e.g. code of a
+    shared library such as libbz2).  [flush] evicts it; after the victim
+    has had a chance to run, [reload] times a load of the line: a short
+    latency means the victim touched it in between.  The reload itself
+    re-caches the line, so each round ends with [flush] again. *)
+
+type t
+
+val create :
+  ?timing:Timing.t -> cache:Cache.t -> prng:Zipchannel_util.Prng.t -> unit -> t
+
+val flush : t -> int -> unit
+
+val reload : t -> int -> bool
+(** Timed reload: [true] when classified as a hit.  Subject to the timing
+    model's false positives/negatives.  Leaves the line cached. *)
+
+val round : t -> int -> bool
+(** [reload] then [flush]: one monitoring round on one address. *)

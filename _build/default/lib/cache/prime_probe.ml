@@ -1,0 +1,58 @@
+type t = {
+  cache : Cache.t;
+  timing : Timing.t;
+  prng : Zipchannel_util.Prng.t;
+  cos : int;
+  addr_memo : (int, int array) Hashtbl.t; (* set -> eviction buffer lines *)
+}
+
+let create ?(timing = Timing.default) ?(cos = 0) ~cache ~prng () =
+  { cache; timing; prng; cos; addr_memo = Hashtbl.create 256 }
+
+let cos t = t.cos
+
+let allowed_ways t =
+  let mask = Cache.cat_mask t.cache ~cos:t.cos in
+  let ways = (Cache.config t.cache).Cache.ways in
+  let count = ref 0 in
+  for w = 0 to ways - 1 do
+    if mask land (1 lsl w) <> 0 then incr count
+  done;
+  !count
+
+(* The attacker's eviction buffer: the k-th line of the buffer that maps
+   to [set].  Finding congruent addresses scans the address space, so the
+   full way-set is computed once per set and memoized. *)
+let buffer t ~set ~count =
+  match Hashtbl.find_opt t.addr_memo set with
+  | Some lines when Array.length lines >= count -> lines
+  | _ ->
+      let lines = Cache.addrs_for_set t.cache ~set ~count in
+      Hashtbl.replace t.addr_memo set lines;
+      lines
+
+let prime t ~set =
+  let n = allowed_ways t in
+  let lines = buffer t ~set ~count:n in
+  for seq = 0 to n - 1 do
+    ignore (Cache.access t.cache ~cos:t.cos ~owner:Attacker lines.(seq))
+  done
+
+let probe t ~set =
+  let n = allowed_ways t in
+  let lines = buffer t ~set ~count:n in
+  let evicted = ref 0 in
+  for seq = 0 to n - 1 do
+    let addr = lines.(seq) in
+    let hit = Cache.is_cached t.cache addr in
+    if not (Timing.measure t.timing t.prng ~hit) then incr evicted;
+    (* The probing access refills the line: probe doubles as re-prime. *)
+    ignore (Cache.access t.cache ~cos:t.cos ~owner:Attacker addr)
+  done;
+  !evicted
+
+let probe_hit t ~set = probe t ~set > 0
+
+let prime_sets t ~sets = List.iter (fun set -> prime t ~set) sets
+
+let probe_sets t ~sets = List.map (fun set -> (set, probe t ~set)) sets

@@ -1,0 +1,37 @@
+(** The Prime+Probe attack primitive (Osvik et al.), set-granular.
+
+    The attacker owns an eviction buffer with lines mapping to every cache
+    set.  [prime] fills the ways of a target set that the attacker's CAT
+    class of service may allocate; [probe] times a reload of each primed
+    line — a miss means the victim (or noise) evicted it, i.e. touched the
+    set.  Under the paper's offensive use of Intel CAT the class is
+    restricted to a single way, which makes one victim access evict the
+    attacker's line deterministically and shields the set from other
+    cores' traffic. *)
+
+type t
+
+val create :
+  ?timing:Timing.t ->
+  ?cos:int ->
+  cache:Cache.t ->
+  prng:Zipchannel_util.Prng.t ->
+  unit ->
+  t
+
+val cos : t -> int
+
+val prime : t -> set:int -> unit
+(** Fill every CAT-allowed way of the global set with attacker lines. *)
+
+val probe : t -> set:int -> int
+(** Number of primed lines measured as evicted (misses).  Re-primes as a
+    side effect, as real probe loops do. *)
+
+val probe_hit : t -> set:int -> bool
+(** [probe t ~set > 0]: did anything touch the set? *)
+
+val prime_sets : t -> sets:int list -> unit
+
+val probe_sets : t -> sets:int list -> (int * int) list
+(** Per-set eviction counts, in the order given. *)

@@ -1,0 +1,45 @@
+type t = {
+  hit_mean : float;
+  miss_mean : float;
+  stddev : float;
+  outlier_prob : float;
+  outlier_cycles : float;
+  threshold : float;
+}
+
+let default =
+  {
+    hit_mean = 45.0;
+    miss_mean = 210.0;
+    stddev = 12.0;
+    outlier_prob = 0.005;
+    outlier_cycles = 400.0;
+    threshold = 120.0;
+  }
+
+let noiseless =
+  {
+    hit_mean = 45.0;
+    miss_mean = 210.0;
+    stddev = 0.0;
+    outlier_prob = 0.0;
+    outlier_cycles = 0.0;
+    threshold = 120.0;
+  }
+
+let sample t prng ~hit =
+  let mean = if hit then t.hit_mean else t.miss_mean in
+  let base =
+    if t.stddev = 0.0 then mean
+    else Zipchannel_util.Prng.gaussian prng ~mean ~stddev:t.stddev
+  in
+  let outlier =
+    if t.outlier_prob > 0.0 && Zipchannel_util.Prng.float prng < t.outlier_prob
+    then t.outlier_cycles
+    else 0.0
+  in
+  Float.max 1.0 (base +. outlier)
+
+let is_hit t latency = latency < t.threshold
+
+let measure t prng ~hit = is_hit t (sample t prng ~hit)

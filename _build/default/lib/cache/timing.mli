@@ -1,0 +1,33 @@
+(** Memory access timing model.
+
+    Latencies are drawn from Gaussian distributions around a hit and a
+    miss mean, with an occasional heavy outlier (TLB miss, interrupt) —
+    the noise structure that makes real cache attacks probabilistic.  The
+    threshold classifier is what attack code uses in place of rdtsc
+    arithmetic. *)
+
+type t = {
+  hit_mean : float;  (** cycles *)
+  miss_mean : float;
+  stddev : float;
+  outlier_prob : float;  (** probability of an additive heavy outlier *)
+  outlier_cycles : float;
+  threshold : float;  (** classify below as hit *)
+}
+
+val default : t
+(** hit 45cy, miss 210cy, stddev 12, 0.5% outliers of +400cy,
+    threshold 120. *)
+
+val noiseless : t
+(** Zero variance — for deterministic unit tests. *)
+
+val sample : t -> Zipchannel_util.Prng.t -> hit:bool -> float
+(** Latency of one access given the true cache state. *)
+
+val is_hit : t -> float -> bool
+(** Threshold classification of a measured latency. *)
+
+val measure : t -> Zipchannel_util.Prng.t -> hit:bool -> bool
+(** [is_hit] of [sample]: the attacker-visible boolean, wrong with the
+    probability induced by the noise model. *)

@@ -1,0 +1,1 @@
+lib/classifier/dataset.ml: Array List Zipchannel_util

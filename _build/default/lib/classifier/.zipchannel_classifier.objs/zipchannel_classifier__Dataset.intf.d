@@ -1,0 +1,1 @@
+lib/classifier/dataset.mli: Zipchannel_util

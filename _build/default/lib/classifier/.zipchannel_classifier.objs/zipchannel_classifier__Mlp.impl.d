@@ -1,0 +1,1 @@
+lib/classifier/mlp.ml: Array Float List Prng Zipchannel_util

@@ -1,0 +1,41 @@
+type t = { x : float array array; y : int array }
+
+let make samples =
+  let x = Array.of_list (List.map fst samples) in
+  let y = Array.of_list (List.map snd samples) in
+  { x; y }
+
+let shuffle prng t =
+  let order = Array.init (Array.length t.x) (fun i -> i) in
+  Zipchannel_util.Prng.shuffle prng order;
+  {
+    x = Array.map (fun i -> t.x.(i)) order;
+    y = Array.map (fun i -> t.y.(i)) order;
+  }
+
+let split t ~train_fraction =
+  if train_fraction < 0.0 || train_fraction > 1.0 then
+    invalid_arg "Dataset.split: fraction";
+  let n = Array.length t.x in
+  let k = int_of_float (train_fraction *. float_of_int n) in
+  ( { x = Array.sub t.x 0 k; y = Array.sub t.y 0 k },
+    { x = Array.sub t.x k (n - k); y = Array.sub t.y k (n - k) } )
+
+let features_of_bools rows =
+  Array.concat
+    (Array.to_list
+       (Array.map (Array.map (fun b -> if b then 1.0 else 0.0)) rows))
+
+let downsample ~bins trace =
+  if bins <= 0 then invalid_arg "Dataset.downsample: bins";
+  let n = Array.length trace in
+  Array.init bins (fun b ->
+      let lo = b * n / bins and hi = (b + 1) * n / bins in
+      if hi <= lo then 0.0
+      else begin
+        let hits = ref 0 in
+        for i = lo to hi - 1 do
+          if trace.(i) then incr hits
+        done;
+        float_of_int !hits /. float_of_int (hi - lo)
+      end)

@@ -1,0 +1,20 @@
+(** Dataset bookkeeping for the fingerprinting experiments: deterministic
+    shuffling and the paper's train/evaluation/test split. *)
+
+type t = { x : float array array; y : int array }
+
+val make : (float array * int) list -> t
+
+val shuffle : Zipchannel_util.Prng.t -> t -> t
+
+val split : t -> train_fraction:float -> t * t
+(** Leading fraction to the first component.  Samples are taken in the
+    dataset's current order — shuffle first. *)
+
+val features_of_bools : bool array array -> float array
+(** Flatten an [n x m] boolean trace matrix into floats (row-major),
+    1.0 for a cache hit. *)
+
+val downsample : bins:int -> bool array -> float array
+(** Pool a long boolean trace into [bins] hit-fraction buckets — the
+    dimensionality reduction applied before the classifier. *)

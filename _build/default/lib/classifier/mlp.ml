@@ -1,0 +1,149 @@
+open Zipchannel_util
+
+type layer = {
+  weights : float array array; (* out x in *)
+  biases : float array;
+  w_vel : float array array; (* momentum buffers *)
+  b_vel : float array;
+}
+
+type t = { layers : layer array; prng : Prng.t }
+
+let create ?(seed = 0x5EED) ~layers () =
+  (match layers with
+  | _ :: _ :: _ -> ()
+  | _ -> invalid_arg "Mlp.create: need at least input and output sizes");
+  List.iter (fun d -> if d <= 0 then invalid_arg "Mlp.create: layer size") layers;
+  let prng = Prng.create ~seed () in
+  let rec build = function
+    | d_in :: (d_out :: _ as rest) ->
+        (* He initialisation: N(0, sqrt(2/fan_in)). *)
+        let std = sqrt (2.0 /. float_of_int d_in) in
+        let layer =
+          {
+            weights =
+              Array.init d_out (fun _ ->
+                  Array.init d_in (fun _ ->
+                      Prng.gaussian prng ~mean:0.0 ~stddev:std));
+            biases = Array.make d_out 0.0;
+            w_vel = Array.make_matrix d_out d_in 0.0;
+            b_vel = Array.make d_out 0.0;
+          }
+        in
+        layer :: build rest
+    | [ _ ] | [] -> []
+  in
+  { layers = Array.of_list (build layers); prng }
+
+let n_inputs t = Array.length t.layers.(0).weights.(0)
+
+let n_classes t =
+  Array.length t.layers.(Array.length t.layers - 1).biases
+
+let affine layer x =
+  Array.mapi
+    (fun o row ->
+      let acc = ref layer.biases.(o) in
+      Array.iteri (fun i w -> acc := !acc +. (w *. x.(i))) row;
+      !acc)
+    layer.weights
+
+let relu v = Array.map (fun x -> if x > 0.0 then x else 0.0) v
+
+let softmax v =
+  let m = Array.fold_left Float.max neg_infinity v in
+  let e = Array.map (fun x -> exp (x -. m)) v in
+  let s = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun x -> x /. s) e
+
+(* Forward pass keeping every layer's post-activation, for backprop. *)
+let forward_acts t x =
+  let n = Array.length t.layers in
+  let acts = Array.make (n + 1) x in
+  for l = 0 to n - 1 do
+    let z = affine t.layers.(l) acts.(l) in
+    acts.(l + 1) <- (if l = n - 1 then softmax z else relu z)
+  done;
+  acts
+
+let forward t x =
+  if Array.length x <> n_inputs t then invalid_arg "Mlp.forward: input size";
+  (forward_acts t x).(Array.length t.layers)
+
+let predict t x =
+  let p = forward t x in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > p.(!best) then best := i) p;
+  !best
+
+let loss t ~x ~y =
+  let n = Array.length x in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i xi ->
+        let p = forward t xi in
+        acc := !acc -. log (Float.max 1e-12 p.(y.(i))))
+      x;
+    !acc /. float_of_int n
+  end
+
+let accuracy t ~x ~y =
+  let n = Array.length x in
+  if n = 0 then 0.0
+  else begin
+    let ok = ref 0 in
+    Array.iteri (fun i xi -> if predict t xi = y.(i) then incr ok) x;
+    float_of_int !ok /. float_of_int n
+  end
+
+let train_sample t ~learning_rate ~momentum x label =
+  let n = Array.length t.layers in
+  let acts = forward_acts t x in
+  (* Output delta for softmax + cross-entropy: p - onehot. *)
+  let delta = ref (Array.copy acts.(n)) in
+  !delta.(label) <- !delta.(label) -. 1.0;
+  for l = n - 1 downto 0 do
+    let layer = t.layers.(l) in
+    let input = acts.(l) in
+    let d = !delta in
+    (* Propagate before updating the weights. *)
+    let next_delta =
+      if l = 0 then [||]
+      else begin
+        let d_in = Array.length input in
+        let nd = Array.make d_in 0.0 in
+        for o = 0 to Array.length d - 1 do
+          let row = layer.weights.(o) in
+          let dv = d.(o) in
+          for i = 0 to d_in - 1 do
+            nd.(i) <- nd.(i) +. (row.(i) *. dv)
+          done
+        done;
+        (* ReLU derivative at the previous activation. *)
+        Array.mapi (fun i v -> if input.(i) > 0.0 then v else 0.0) nd
+      end
+    in
+    for o = 0 to Array.length d - 1 do
+      let row = layer.weights.(o) and vel = layer.w_vel.(o) in
+      let dv = d.(o) in
+      for i = 0 to Array.length row - 1 do
+        vel.(i) <- (momentum *. vel.(i)) -. (learning_rate *. dv *. input.(i));
+        row.(i) <- row.(i) +. vel.(i)
+      done;
+      layer.b_vel.(o) <- (momentum *. layer.b_vel.(o)) -. (learning_rate *. dv);
+      layer.biases.(o) <- layer.biases.(o) +. layer.b_vel.(o)
+    done;
+    delta := next_delta
+  done
+
+let train ?(epochs = 30) ?(learning_rate = 0.01) ?(momentum = 0.9) t ~x ~y =
+  if Array.length x <> Array.length y then invalid_arg "Mlp.train: sizes";
+  let order = Array.init (Array.length x) (fun i -> i) in
+  for _ = 1 to epochs do
+    Prng.shuffle t.prng order;
+    Array.iter
+      (fun i -> train_sample t ~learning_rate ~momentum x.(i) y.(i))
+      order
+  done

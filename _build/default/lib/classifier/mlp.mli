@@ -1,0 +1,40 @@
+(** A small multi-layer perceptron.
+
+    Stand-in for the paper's PyTorch DNN (Section VI): dense layers with
+    ReLU hidden activations, a softmax output, cross-entropy loss, and
+    SGD with momentum.  Everything is deterministic given the seed, so
+    the confusion matrices of Figs. 7/8 are reproducible. *)
+
+type t
+
+val create : ?seed:int -> layers:int list -> unit -> t
+(** [create ~layers:\[d_in; h1; ...; n_classes\]] with He-initialised
+    weights.  @raise Invalid_argument with fewer than two layer sizes or a
+    non-positive size. *)
+
+val n_inputs : t -> int
+
+val n_classes : t -> int
+
+val forward : t -> float array -> float array
+(** Class probabilities (softmax), summing to 1.
+    @raise Invalid_argument on a wrong input size. *)
+
+val predict : t -> float array -> int
+(** Argmax class. *)
+
+val loss : t -> x:float array array -> y:int array -> float
+(** Mean cross-entropy over a dataset. *)
+
+val accuracy : t -> x:float array array -> y:int array -> float
+
+val train :
+  ?epochs:int ->
+  ?learning_rate:float ->
+  ?momentum:float ->
+  t ->
+  x:float array array ->
+  y:int array ->
+  unit
+(** In-place SGD (per-sample updates, deterministic shuffling).  Defaults:
+    30 epochs, lr 0.01, momentum 0.9. *)

@@ -1,0 +1,1 @@
+lib/compress/block_sort.ml: Array Bwt Bytes Char

@@ -1,0 +1,1 @@
+lib/compress/bzip2.ml: Array Bitio Block_sort Buffer Bwt Bytes Char Huffman List Mtf Rle1 Rle2 String

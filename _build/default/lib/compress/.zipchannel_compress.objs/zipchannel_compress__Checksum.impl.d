@@ -1,0 +1,1 @@
+lib/compress/checksum.ml: Array Bytes Char Lazy

@@ -1,0 +1,1 @@
+lib/compress/container.ml: Bitio Buffer Bytes Char Checksum Deflate List Printf String

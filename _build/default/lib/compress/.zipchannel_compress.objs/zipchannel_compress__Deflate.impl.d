@@ -1,0 +1,1 @@
+lib/compress/deflate.ml: Array Bitio Char Huffman List Lz77

@@ -1,0 +1,1 @@
+lib/compress/huffman.ml: Array Bitio Bytes Char List

@@ -1,0 +1,1 @@
+lib/compress/rfc1951.ml: Array Bitio Buffer Bytes Char Checksum Deflate Huffman List Lz77 String

@@ -1,0 +1,1 @@
+lib/compress/rfc1951.mli: Lz77

@@ -1,0 +1,1 @@
+lib/compress/rle1.ml: Buffer Bytes Char

@@ -1,0 +1,1 @@
+lib/compress/rle2.ml: Array List

@@ -1,0 +1,165 @@
+module Writer = struct
+  type t = {
+    buf : Buffer.t;
+    mutable acc : int; (* pending bits, MSB side of current byte first *)
+    mutable nbits : int; (* number of pending bits, 0..7 *)
+  }
+
+  let create () = { buf = Buffer.create 256; acc = 0; nbits = 0 }
+
+  let add_bit t b =
+    t.acc <- (t.acc lsl 1) lor (if b then 1 else 0);
+    t.nbits <- t.nbits + 1;
+    if t.nbits = 8 then begin
+      Buffer.add_char t.buf (Char.chr t.acc);
+      t.acc <- 0;
+      t.nbits <- 0
+    end
+
+  let add_bits_msb t ~value ~count =
+    if count < 0 || count > 30 then invalid_arg "Bitio.add_bits_msb: count";
+    if value lsr count <> 0 then invalid_arg "Bitio.add_bits_msb: value too wide";
+    for i = count - 1 downto 0 do
+      add_bit t ((value lsr i) land 1 = 1)
+    done
+
+  let add_bits_lsb t ~value ~count =
+    if count < 0 || count > 30 then invalid_arg "Bitio.add_bits_lsb: count";
+    if value lsr count <> 0 then invalid_arg "Bitio.add_bits_lsb: value too wide";
+    for i = 0 to count - 1 do
+      add_bit t ((value lsr i) land 1 = 1)
+    done
+
+  let align_byte t = while t.nbits <> 0 do add_bit t false done
+
+  let bit_length t = (8 * Buffer.length t.buf) + t.nbits
+
+  let to_bytes t =
+    if t.nbits = 0 then Buffer.to_bytes t.buf
+    else begin
+      let b = Buffer.create (Buffer.length t.buf + 1) in
+      Buffer.add_buffer b t.buf;
+      Buffer.add_char b (Char.chr (t.acc lsl (8 - t.nbits)));
+      Buffer.to_bytes b
+    end
+end
+
+module Lsb_writer = struct
+  type t = {
+    buf : Buffer.t;
+    mutable acc : int; (* pending bits, bit 0 = next stream position *)
+    mutable nbits : int;
+  }
+
+  let create () = { buf = Buffer.create 256; acc = 0; nbits = 0 }
+
+  let flush_bytes t =
+    while t.nbits >= 8 do
+      Buffer.add_char t.buf (Char.chr (t.acc land 0xff));
+      t.acc <- t.acc lsr 8;
+      t.nbits <- t.nbits - 8
+    done
+
+  let add_bits t ~value ~count =
+    if count < 0 || count > 24 then invalid_arg "Bitio.Lsb_writer.add_bits: count";
+    if value lsr count <> 0 then
+      invalid_arg "Bitio.Lsb_writer.add_bits: value too wide";
+    t.acc <- t.acc lor (value lsl t.nbits);
+    t.nbits <- t.nbits + count;
+    flush_bytes t
+
+  let add_huffman t ~code ~length =
+    (* RFC 1951: Huffman codes are packed most significant bit first, so
+       reverse before the LSB-first append. *)
+    let rev = ref 0 in
+    for i = 0 to length - 1 do
+      rev := (!rev lsl 1) lor ((code lsr i) land 1)
+    done;
+    add_bits t ~value:!rev ~count:length
+
+  let align_byte t =
+    if t.nbits > 0 then begin
+      Buffer.add_char t.buf (Char.chr (t.acc land 0xff));
+      t.acc <- 0;
+      t.nbits <- 0
+    end
+
+  let to_bytes t =
+    if t.nbits = 0 then Buffer.to_bytes t.buf
+    else begin
+      let b = Buffer.create (Buffer.length t.buf + 1) in
+      Buffer.add_buffer b t.buf;
+      Buffer.add_char b (Char.chr (t.acc land 0xff));
+      Buffer.to_bytes b
+    end
+end
+
+module Lsb_reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Out_of_bits
+
+  let create ?(start = 0) data = { data; pos = 8 * start }
+
+  let total_bits t = 8 * Bytes.length t.data
+
+  let read_bit t =
+    if t.pos >= total_bits t then raise Out_of_bits;
+    let byte = Char.code (Bytes.get t.data (t.pos lsr 3)) in
+    let bit = (byte lsr (t.pos land 7)) land 1 in
+    t.pos <- t.pos + 1;
+    bit = 1
+
+  let read_bits t count =
+    if count < 0 || count > 24 then invalid_arg "Bitio.Lsb_reader.read_bits";
+    let v = ref 0 in
+    for i = 0 to count - 1 do
+      if read_bit t then v := !v lor (1 lsl i)
+    done;
+    !v
+
+  let align_byte t = if t.pos land 7 <> 0 then t.pos <- (t.pos lor 7) + 1
+
+  let byte_position t = t.pos lsr 3
+
+  let bits_remaining t = max 0 (total_bits t - t.pos)
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int (* absolute bit position *) }
+
+  exception Out_of_bits
+
+  let create ?(start = 0) data = { data; pos = 8 * start }
+
+  let total_bits t = 8 * Bytes.length t.data
+
+  let read_bit t =
+    if t.pos >= total_bits t then raise Out_of_bits;
+    let byte = Char.code (Bytes.get t.data (t.pos lsr 3)) in
+    let bit = (byte lsr (7 - (t.pos land 7))) land 1 in
+    t.pos <- t.pos + 1;
+    bit = 1
+
+  let read_bits_msb t count =
+    if count < 0 || count > 30 then invalid_arg "Bitio.read_bits_msb: count";
+    let v = ref 0 in
+    for _ = 1 to count do
+      v := (!v lsl 1) lor (if read_bit t then 1 else 0)
+    done;
+    !v
+
+  let read_bits_lsb t count =
+    if count < 0 || count > 30 then invalid_arg "Bitio.read_bits_lsb: count";
+    let v = ref 0 in
+    for i = 0 to count - 1 do
+      if read_bit t then v := !v lor (1 lsl i)
+    done;
+    !v
+
+  let align_byte t = if t.pos land 7 <> 0 then t.pos <- (t.pos lor 7) + 1
+
+  let bits_remaining t = max 0 (total_bits t - t.pos)
+
+  let byte_position t = t.pos lsr 3
+end

@@ -1,0 +1,110 @@
+type func = Main_sort | Fallback_sort
+
+type segment = { func : func; work : int }
+
+type path = { segments : segment list; abandoned : bool }
+
+let ftab_size = 65537
+
+let ftab_indices block =
+  let n = Bytes.length block in
+  if n = 0 then [||]
+  else begin
+    let byte i = Char.code (Bytes.get block i) in
+    (* Listing 3: j starts as block[0] << 8; each iteration shifts in
+       block[i] from the top, so j = block[i] << 8 | block[(i+1) mod n]. *)
+    let j = ref (byte 0 lsl 8) in
+    Array.init n (fun k ->
+        let i = n - 1 - k in
+        j := (!j lsr 8) lor (byte i lsl 8);
+        !j)
+  end
+
+let histogram block =
+  let ftab = Array.make ftab_size 0 in
+  Array.iter (fun j -> ftab.(j) <- ftab.(j) + 1) (ftab_indices block);
+  ftab
+
+exception Abandoned of int
+
+let main_sort ~budget block =
+  let n = Bytes.length block in
+  if n = 0 then ([||], 0)
+  else begin
+    let byte i = Char.code (Bytes.get block i) in
+    let work = ref 0 in
+    let spend k =
+      work := !work + k;
+      if !work > budget then raise (Abandoned !work)
+    in
+    (* Stage 1: the ftab histogram (the paper's leakage gadget). *)
+    let ftab = histogram block in
+    spend n;
+    (* Stage 2: bucket rotations by their first two bytes via the running
+       sums of ftab, exactly how mainSort derives bucket boundaries. *)
+    let starts = Array.make ftab_size 0 in
+    let acc = ref 0 in
+    for j = 0 to ftab_size - 1 do
+      starts.(j) <- !acc;
+      acc := !acc + ftab.(j)
+    done;
+    let perm = Array.make n 0 in
+    let fill = Array.copy starts in
+    for i = 0 to n - 1 do
+      let j = (byte i lsl 8) lor byte ((i + 1) mod n) in
+      perm.(fill.(j)) <- i;
+      fill.(j) <- fill.(j) + 1
+    done;
+    (* Stage 3: finish each bucket by comparison sort on the rotation
+       suffixes past the two bucketed bytes, paying one work unit per byte
+       comparison.  Repetitive input makes comparisons deep and trips the
+       budget. *)
+    let compare_rotations i1 i2 =
+      if i1 = i2 then 0
+      else begin
+        let rec loop k =
+          if k >= n then compare i1 i2
+          else begin
+            spend 1;
+            let c =
+              compare (byte ((i1 + k) mod n)) (byte ((i2 + k) mod n))
+            in
+            if c <> 0 then c else loop (k + 1)
+          end
+        in
+        loop 2
+      end
+    in
+    for j = 0 to ftab_size - 1 do
+      let len = ftab.(j) in
+      if len > 1 then begin
+        let bucket = Array.sub perm starts.(j) len in
+        Array.sort compare_rotations bucket;
+        Array.blit bucket 0 perm starts.(j) len
+      end
+    done;
+    (perm, !work)
+  end
+
+let fallback_sort block = Bwt.sort_rotations_work block
+
+let default_budget_factor = 30
+
+let block_sort ?(budget_factor = default_budget_factor) ~full_block block =
+  if not full_block then begin
+    let perm, work = fallback_sort block in
+    (perm, { segments = [ { func = Fallback_sort; work } ]; abandoned = false })
+  end
+  else begin
+    let budget = budget_factor * max 1 (Bytes.length block) in
+    match main_sort ~budget block with
+    | perm, work ->
+        (perm, { segments = [ { func = Main_sort; work } ]; abandoned = false })
+    | exception Abandoned spent ->
+        let perm, work = fallback_sort block in
+        ( perm,
+          { segments =
+              [ { func = Main_sort; work = spent };
+                { func = Fallback_sort; work } ];
+            abandoned = true } )
+  end

@@ -1,0 +1,52 @@
+(** Bzip2's block-sorting stage, with the control-flow structure the paper
+    attacks (Sections IV-D, V and VI).
+
+    [main_sort] first builds the two-byte frequency table [ftab] — the
+    paper's Listing 3, the gadget exploited by the SGX attack — then
+    bucket-sorts rotations by their first two bytes and finishes each
+    bucket with comparison sorting under a work budget.  When the budget is
+    exhausted (highly repetitive input) it abandons and the caller retreats
+    to [fallback_sort], reproducing the divergence of the paper's Fig. 6.
+    Blocks shorter than the nominal block size skip [main_sort] entirely. *)
+
+type func = Main_sort | Fallback_sort
+
+type segment = { func : func; work : int }
+(** A stretch of execution inside one sorting function, measured in
+    abstract work units (byte comparisons / rank rounds). *)
+
+type path = { segments : segment list; abandoned : bool }
+(** The control-flow trace of sorting one block, in execution order. *)
+
+val ftab_size : int
+(** 65537, as in bzip2's [mainSort]. *)
+
+val ftab_indices : bytes -> int array
+(** The successive values of [j] used to index [ftab] in Listing 3, in
+    loop order (i = nblock-1 downto 0).  Element [k] is
+    [block.(n-1-k) lsl 8 lor block.((n-k) mod n)].  This is the exact
+    address-relevant quantity the SGX attack observes. *)
+
+val histogram : bytes -> int array
+(** The completed frequency table: [ftab_size] counters of two-byte
+    pairs. *)
+
+exception Abandoned of int
+(** Raised by [main_sort] when the work budget runs out; carries the work
+    performed so far. *)
+
+val main_sort : budget:int -> bytes -> int array * int
+(** Rotation permutation and work spent.  @raise Abandoned on budget
+    exhaustion. *)
+
+val fallback_sort : bytes -> int array * int
+(** Always succeeds (prefix doubling); returns permutation and work. *)
+
+val default_budget_factor : int
+(** 30, mirroring bzip2's default work factor. *)
+
+val block_sort :
+  ?budget_factor:int -> full_block:bool -> bytes -> int array * path
+(** The dispatch of the paper's Fig. 6: a full-size block starts in
+    [main_sort] and falls back on abandonment; a short block goes directly
+    to [fallback_sort]. *)

@@ -1,0 +1,106 @@
+(* Prefix doubling over cyclic rotations: after round k every rotation is
+   ranked by its first 2^k characters; ranks are refined until all are
+   distinct or the window covers the block.  The comparison count is
+   returned because it is data-dependent — repetitive input needs more
+   refinement rounds — and the fingerprinting attack observes exactly that
+   run-time difference. *)
+let sort_rotations_work block =
+  let n = Bytes.length block in
+  if n = 0 then ([||], 0)
+  else begin
+    let work = ref 0 in
+    let rank = Array.init n (fun i -> Char.code (Bytes.get block i)) in
+    let perm = Array.init n (fun i -> i) in
+    let tmp = Array.make n 0 in
+    let k = ref 1 in
+    let distinct = ref false in
+    while (not !distinct) && !k < n do
+      let key i =
+        incr work;
+        (rank.(i), rank.((i + !k) mod n))
+      in
+      Array.sort (fun a b -> compare (key a) (key b)) perm;
+      (* Re-rank: equal keys share a rank. *)
+      tmp.(perm.(0)) <- 0;
+      let all_distinct = ref true in
+      for j = 1 to n - 1 do
+        let prev = perm.(j - 1) and cur = perm.(j) in
+        if key prev = key cur then begin
+          tmp.(cur) <- tmp.(prev);
+          all_distinct := false
+        end
+        else tmp.(cur) <- j
+      done;
+      Array.blit tmp 0 rank 0 n;
+      distinct := !all_distinct;
+      k := !k * 2
+    done;
+    (* Identical rotations (period divides n): order by start index for
+       determinism. *)
+    if not !distinct then
+      Array.sort
+        (fun a b ->
+          incr work;
+          match compare rank.(a) rank.(b) with 0 -> compare a b | c -> c)
+        perm;
+    (perm, !work)
+  end
+
+let sort_rotations block = fst (sort_rotations_work block)
+
+let check_perm n perm =
+  if Array.length perm <> n then invalid_arg "Bwt: permutation length";
+  let seen = Array.make (max 1 n) false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then invalid_arg "Bwt: not a permutation";
+      seen.(i) <- true)
+    perm
+
+let transform_with ~perm block =
+  let n = Bytes.length block in
+  check_perm n perm;
+  if n = 0 then (Bytes.create 0, 0)
+  else begin
+    let last = Bytes.create n in
+    let primary = ref (-1) in
+    for k = 0 to n - 1 do
+      let start = perm.(k) in
+      if start = 0 then primary := k;
+      Bytes.set last k (Bytes.get block ((start + n - 1) mod n))
+    done;
+    (last, !primary)
+  end
+
+let transform block = transform_with ~perm:(sort_rotations block) block
+
+let inverse last primary =
+  let n = Bytes.length last in
+  if n = 0 then Bytes.create 0
+  else begin
+    if primary < 0 || primary >= n then invalid_arg "Bwt.inverse: index";
+    (* LF mapping: T.(i) is the row whose rotation is the left-rotation of
+       row i; walking T from the primary row spells the input backwards. *)
+    let counts = Array.make 256 0 in
+    Bytes.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) last;
+    let base = Array.make 256 0 in
+    let acc = ref 0 in
+    for c = 0 to 255 do
+      base.(c) <- !acc;
+      acc := !acc + counts.(c)
+    done;
+    let t = Array.make n 0 in
+    let seen = Array.make 256 0 in
+    for i = 0 to n - 1 do
+      let c = Char.code (Bytes.get last i) in
+      t.(i) <- base.(c) + seen.(c);
+      seen.(c) <- seen.(c) + 1
+    done;
+    let out = Bytes.create n in
+    let idx = ref primary in
+    for k = n - 1 downto 0 do
+      Bytes.set out k (Bytes.get last !idx);
+      idx := t.(!idx)
+    done;
+    out
+  end

@@ -1,0 +1,29 @@
+(** Burrows–Wheeler transform over cyclic rotations.
+
+    [transform] sorts all cyclic rotations of the input lexicographically
+    and returns the last column together with the row index of the
+    original string — exactly the object Bzip2's block sort computes.
+    The built-in sorter uses prefix doubling (O(n log² n), no pathological
+    inputs); Bzip2's budgeted [main_sort]/[fallback_sort] live in
+    {!Block_sort} and can be injected through [transform_with]. *)
+
+val sort_rotations : bytes -> int array
+(** Permutation [p] such that rotation starting at [p.(k)] is the k-th
+    smallest; ties between identical rotations are broken by start index. *)
+
+val sort_rotations_work : bytes -> int array * int
+(** Also returns the number of rank comparisons performed — a
+    data-dependent run-time measure (repetitive input refines for more
+    rounds), which is precisely the side channel Section VI's
+    fingerprinting attack observes. *)
+
+val transform_with : perm:int array -> bytes -> bytes * int
+(** Last column and primary index from a precomputed rotation order.
+    @raise Invalid_argument if [perm] is not a permutation of the right
+    length. *)
+
+val transform : bytes -> bytes * int
+
+val inverse : bytes -> int -> bytes
+(** [inverse last_column primary_index] recovers the original string.
+    @raise Invalid_argument if the index is out of range. *)

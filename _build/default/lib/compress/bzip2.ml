@@ -1,0 +1,218 @@
+type block_info = {
+  index : int;
+  length : int;
+  path : Block_sort.path;
+}
+
+let default_block_size = 10_000
+
+let magic = "ZBZ2"
+
+let block_marker = 0x31
+
+let end_marker = 0x17
+
+(* Multi-table Huffman coding of the RLE2 symbol stream, as in bzip2:
+   the stream is cut into groups of 50 symbols; between 2 and 6 tables are
+   trained by iterative reassignment (each group picks its cheapest
+   table, tables are refit to their groups); the chosen table per group
+   (the selector) is MTF'd and written in unary. *)
+let group_size = 50
+
+let n_groups_for n_symbols =
+  if n_symbols < 200 then 2
+  else if n_symbols < 600 then 3
+  else if n_symbols < 1200 then 4
+  else if n_symbols < 2400 then 5
+  else 6
+
+let refinement_iters = 4
+
+let add_u32 w v =
+  Bitio.Writer.add_bits_msb w ~value:(v lsr 16) ~count:16;
+  Bitio.Writer.add_bits_msb w ~value:(v land 0xffff) ~count:16
+
+let read_u32 r =
+  let hi = Bitio.Reader.read_bits_msb r 16 in
+  let lo = Bitio.Reader.read_bits_msb r 16 in
+  (hi lsl 16) lor lo
+
+let n_syms_of symbols = Array.length symbols
+
+let group_count symbols = (n_syms_of symbols + group_size - 1) / group_size
+
+let group_bounds symbols g =
+  let lo = g * group_size in
+  (lo, min (n_syms_of symbols) (lo + group_size) - 1)
+
+(* Train the tables: initial assignment is round-robin over contiguous
+   chunks, then a few rounds of cheapest-table reassignment. *)
+let train_tables symbols =
+  let n_groups = n_groups_for (n_syms_of symbols) in
+  let groups = group_count symbols in
+  let selectors = Array.init groups (fun g -> g * n_groups / max 1 groups) in
+  let lengths = Array.make n_groups [||] in
+  let refit () =
+    let freqs = Array.init n_groups (fun _ -> Array.make Rle2.alphabet_size 0) in
+    Array.iteri
+      (fun g table ->
+        let lo, hi = group_bounds symbols g in
+        for k = lo to hi do
+          let s = symbols.(k) in
+          freqs.(table).(s) <- freqs.(table).(s) + 1
+        done)
+      selectors;
+    Array.iteri
+      (fun t f ->
+        (* An unused table still needs a valid (dummy) code set. *)
+        if Array.for_all (fun c -> c = 0) f then f.(Rle2.eob) <- 1;
+        lengths.(t) <- Huffman.lengths_of_freqs f)
+      freqs
+  in
+  refit ();
+  for _ = 2 to refinement_iters do
+    (* Reassign each group to its cheapest table.  A symbol without a code
+       in some table makes that table infinitely expensive. *)
+    Array.iteri
+      (fun g _ ->
+        let lo, hi = group_bounds symbols g in
+        let best = ref selectors.(g) and best_cost = ref max_int in
+        for t = 0 to n_groups - 1 do
+          let cost = ref 0 in
+          for k = lo to hi do
+            let l = lengths.(t).(symbols.(k)) in
+            if l = 0 then cost := max_int / 2 else cost := !cost + l
+          done;
+          if !cost < !best_cost then begin
+            best_cost := !cost;
+            best := t
+          end
+        done;
+        selectors.(g) <- !best)
+      selectors;
+    refit ()
+  done;
+  (n_groups, selectors, lengths)
+
+(* Selectors are MTF-coded over table indices and written in unary
+   (k ones then a zero), exactly bzip2's scheme. *)
+let write_selectors w ~n_groups selectors =
+  let order = Array.init n_groups (fun i -> i) in
+  Array.iter
+    (fun sel ->
+      let pos = ref 0 in
+      while order.(!pos) <> sel do incr pos done;
+      for _ = 1 to !pos do Bitio.Writer.add_bit w true done;
+      Bitio.Writer.add_bit w false;
+      let v = order.(!pos) in
+      Array.blit order 0 order 1 !pos;
+      order.(0) <- v)
+    selectors
+
+let read_selectors r ~n_groups ~count =
+  let order = Array.init n_groups (fun i -> i) in
+  Array.init count (fun _ ->
+      let pos = ref 0 in
+      while Bitio.Reader.read_bit r do
+        incr pos;
+        if !pos >= n_groups then failwith "Bzip2.decompress: bad selector"
+      done;
+      let v = order.(!pos) in
+      Array.blit order 0 order 1 !pos;
+      order.(0) <- v;
+      v)
+
+let compress_block w ~budget_factor ~block_size ~index block =
+  let full_block = Bytes.length block = block_size in
+  let perm, path = Block_sort.block_sort ~budget_factor ~full_block block in
+  let last, primary = Bwt.transform_with ~perm block in
+  let symbols = Rle2.encode (Mtf.encode last) in
+  let n_groups, selectors, lengths = train_tables symbols in
+  let codes = Array.map Huffman.canonical_codes lengths in
+  Bitio.Writer.add_bits_msb w ~value:block_marker ~count:8;
+  add_u32 w (Bytes.length block);
+  add_u32 w primary;
+  Bitio.Writer.add_bits_msb w ~value:n_groups ~count:3;
+  Bitio.Writer.add_bits_msb w ~value:(Array.length selectors) ~count:15;
+  write_selectors w ~n_groups selectors;
+  Array.iter (fun l -> Huffman.write_lengths w l) lengths;
+  Array.iteri
+    (fun k s ->
+      let table = selectors.(k / group_size) in
+      Huffman.write_symbol w codes.(table) s)
+    symbols;
+  { index; length = Bytes.length block; path }
+
+let compress_with_info ?(block_size = default_block_size)
+    ?(budget_factor = Block_sort.default_budget_factor) input =
+  if block_size < 16 then invalid_arg "Bzip2.compress: block_size too small";
+  let data = Rle1.encode input in
+  let n = Bytes.length data in
+  let w = Bitio.Writer.create () in
+  String.iter
+    (fun c -> Bitio.Writer.add_bits_msb w ~value:(Char.code c) ~count:8)
+    magic;
+  let infos = ref [] in
+  let pos = ref 0 and index = ref 0 in
+  while !pos < n do
+    let len = min block_size (n - !pos) in
+    let block = Bytes.sub data !pos len in
+    let info = compress_block w ~budget_factor ~block_size ~index:!index block in
+    infos := info :: !infos;
+    pos := !pos + len;
+    incr index
+  done;
+  Bitio.Writer.add_bits_msb w ~value:end_marker ~count:8;
+  (Bitio.Writer.to_bytes w, List.rev !infos)
+
+let compress ?block_size ?budget_factor input =
+  fst (compress_with_info ?block_size ?budget_factor input)
+
+let decompress data =
+  let r = Bitio.Reader.create data in
+  String.iter
+    (fun c ->
+      if Bitio.Reader.read_bits_msb r 8 <> Char.code c then
+        failwith "Bzip2.decompress: bad magic")
+    magic;
+  let out = Buffer.create (Bytes.length data * 2) in
+  let rec blocks () =
+    match Bitio.Reader.read_bits_msb r 8 with
+    | m when m = end_marker -> ()
+    | m when m = block_marker ->
+        let len = read_u32 r in
+        let primary = read_u32 r in
+        let n_groups = Bitio.Reader.read_bits_msb r 3 in
+        if n_groups < 2 || n_groups > 6 then
+          failwith "Bzip2.decompress: bad table count";
+        let n_selectors = Bitio.Reader.read_bits_msb r 15 in
+        let selectors = read_selectors r ~n_groups ~count:n_selectors in
+        let decoders =
+          Array.init n_groups (fun _ ->
+              let lengths = Huffman.read_lengths r in
+              if Array.length lengths <> Rle2.alphabet_size then
+                failwith "Bzip2.decompress: bad table";
+              Huffman.decoder_of_lengths lengths)
+        in
+        let symbols = ref [] in
+        let count = ref 0 in
+        let finished = ref false in
+        while not !finished do
+          let group = !count / group_size in
+          if group >= n_selectors then
+            failwith "Bzip2.decompress: selectors exhausted";
+          let s = Huffman.read_symbol r decoders.(selectors.(group)) in
+          symbols := s :: !symbols;
+          incr count;
+          if s = Rle2.eob then finished := true
+        done;
+        let mtf = Rle2.decode (Array.of_list (List.rev !symbols)) in
+        let last = Mtf.decode mtf in
+        if Bytes.length last <> len then
+          failwith "Bzip2.decompress: length mismatch";
+        Buffer.add_bytes out (Bwt.inverse last primary);
+        blocks ()
+    | _ -> failwith "Bzip2.decompress: bad block marker"
+  in
+  blocks ();
+  Rle1.decode (Buffer.to_bytes out)

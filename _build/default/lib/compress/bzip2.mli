@@ -1,0 +1,27 @@
+(** The Bzip2 compression pipeline: RLE1 → block split → BWT (budgeted
+    block sort) → MTF → RLE2 → canonical Huffman.
+
+    Every stage is the OCaml counterpart of the bzip2-1.0.6 stage of the
+    same name; the container format is this library's own (bzip2's bit-
+    exact file format is out of scope, the algorithms are not).  The paper
+    uses 10,000-byte blocks when describing the sorting control flow
+    (Section VI); that is the default here. *)
+
+type block_info = {
+  index : int;  (** block number, 0-based *)
+  length : int;  (** bytes of post-RLE1 data in the block *)
+  path : Block_sort.path;  (** which sort functions ran, and for how long *)
+}
+
+val default_block_size : int
+(** 10,000 bytes, per the paper's description. *)
+
+val compress : ?block_size:int -> ?budget_factor:int -> bytes -> bytes
+
+val compress_with_info :
+  ?block_size:int -> ?budget_factor:int -> bytes -> bytes * block_info list
+(** Also reports the per-block sorting control flow — the observable the
+    fingerprinting attack of Section VI classifies. *)
+
+val decompress : bytes -> bytes
+(** @raise Failure on malformed input. *)

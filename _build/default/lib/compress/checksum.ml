@@ -1,0 +1,49 @@
+module Crc32 = struct
+  type t = int (* current remainder, pre-inversion *)
+
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 1 to 8 do
+             if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+             else c := !c lsr 1
+           done;
+           !c))
+
+  let init = 0xFFFFFFFF
+
+  let feed_byte t b =
+    let table = Lazy.force table in
+    table.((t lxor b) land 0xff) lxor (t lsr 8)
+
+  let feed_bytes t data =
+    let acc = ref t in
+    Bytes.iter (fun c -> acc := feed_byte !acc (Char.code c)) data;
+    !acc
+
+  let value t = t lxor 0xFFFFFFFF
+
+  let digest data = value (feed_bytes init data)
+end
+
+module Adler32 = struct
+  type t = { a : int; b : int }
+
+  let modulus = 65521
+
+  let init = { a = 1; b = 0 }
+
+  let feed_byte t byte =
+    let a = (t.a + byte) mod modulus in
+    { a; b = (t.b + a) mod modulus }
+
+  let feed_bytes t data =
+    let acc = ref t in
+    Bytes.iter (fun c -> acc := feed_byte !acc (Char.code c)) data;
+    !acc
+
+  let value t = (t.b lsl 16) lor t.a
+
+  let digest data = value (feed_bytes init data)
+end

@@ -1,0 +1,28 @@
+(** Data-integrity checksums used by the container formats.
+
+    CRC-32 is the gzip/zip polynomial (reflected 0xEDB88320); Adler-32 is
+    zlib's checksum.  Both match the standard test vectors. *)
+
+module Crc32 : sig
+  type t
+  (** Running state. *)
+
+  val init : t
+  val feed_byte : t -> int -> t
+  val feed_bytes : t -> bytes -> t
+  val value : t -> int
+  (** Finalized 32-bit checksum. *)
+
+  val digest : bytes -> int
+  (** One-shot. *)
+end
+
+module Adler32 : sig
+  type t
+
+  val init : t
+  val feed_byte : t -> int -> t
+  val feed_bytes : t -> bytes -> t
+  val value : t -> int
+  val digest : bytes -> int
+end

@@ -1,0 +1,167 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Little-endian integer helpers over Buffer / Bytes. *)
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let add_u32 buf v =
+  add_u16 buf (v land 0xffff);
+  add_u16 buf ((v lsr 16) land 0xffff)
+
+let get_u16 data off =
+  if off + 2 > Bytes.length data then corrupt "truncated at u16 offset %d" off;
+  Char.code (Bytes.get data off) lor (Char.code (Bytes.get data (off + 1)) lsl 8)
+
+let get_u32 data off =
+  get_u16 data off lor (get_u16 data (off + 2) lsl 16)
+
+let get_sub data off len =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    corrupt "truncated at slice %d+%d" off len;
+  Bytes.sub data off len
+
+module Stream = struct
+  (* magic "ZC" | method 0x08 | u32 compressed length | body
+     | u32 crc32(plain) | u32 plain length *)
+  let magic0 = 0x5a (* 'Z' *)
+
+  let magic1 = 0x43 (* 'C' *)
+
+  let method_deflate = 0x08
+
+  let pack data =
+    let body = Deflate.compress data in
+    let buf = Buffer.create (Bytes.length body + 15) in
+    Buffer.add_char buf (Char.chr magic0);
+    Buffer.add_char buf (Char.chr magic1);
+    Buffer.add_char buf (Char.chr method_deflate);
+    add_u32 buf (Bytes.length body);
+    Buffer.add_bytes buf body;
+    add_u32 buf (Checksum.Crc32.digest data);
+    add_u32 buf (Bytes.length data);
+    Buffer.to_bytes buf
+
+  let unpack data =
+    if Bytes.length data < 15 then corrupt "stream too short";
+    if Char.code (Bytes.get data 0) <> magic0
+       || Char.code (Bytes.get data 1) <> magic1
+    then corrupt "bad magic";
+    if Char.code (Bytes.get data 2) <> method_deflate then
+      corrupt "unknown method %d" (Char.code (Bytes.get data 2));
+    let body_len = get_u32 data 3 in
+    let body = get_sub data 7 body_len in
+    let crc = get_u32 data (7 + body_len) in
+    let plain_len = get_u32 data (11 + body_len) in
+    let plain =
+      try Deflate.decompress body with
+      | Failure msg | Invalid_argument msg -> corrupt "bad body: %s" msg
+      | Bitio.Reader.Out_of_bits -> corrupt "bad body: truncated bitstream"
+    in
+    if Bytes.length plain <> plain_len then corrupt "length mismatch";
+    if Checksum.Crc32.digest plain <> crc then corrupt "crc mismatch";
+    plain
+end
+
+module Archive = struct
+  type entry = { name : string; data : bytes }
+
+  (* Layout: a sequence of compressed bodies, then a central directory of
+     records (name length | name | body offset | body length | crc32 |
+     plain length), then u32 directory offset | u32 entry count |
+     magic "ZCAR". *)
+  let magic = "ZCAR"
+
+  let pack entries =
+    let names = List.map (fun e -> e.name) entries in
+    if List.length (List.sort_uniq compare names) <> List.length names then
+      invalid_arg "Archive.pack: duplicate entry name";
+    List.iter
+      (fun n ->
+        if String.length n > 0xffff then invalid_arg "Archive.pack: name too long")
+      names;
+    let buf = Buffer.create 1024 in
+    let records =
+      List.map
+        (fun e ->
+          let offset = Buffer.length buf in
+          let body = Deflate.compress e.data in
+          Buffer.add_bytes buf body;
+          (e, offset, Bytes.length body))
+        entries
+    in
+    let dir_offset = Buffer.length buf in
+    List.iter
+      (fun (e, offset, body_len) ->
+        add_u16 buf (String.length e.name);
+        Buffer.add_string buf e.name;
+        add_u32 buf offset;
+        add_u32 buf body_len;
+        add_u32 buf (Checksum.Crc32.digest e.data);
+        add_u32 buf (Bytes.length e.data))
+      records;
+    add_u32 buf dir_offset;
+    add_u32 buf (List.length records);
+    Buffer.add_string buf magic;
+    Buffer.to_bytes buf
+
+  type record = {
+    r_name : string;
+    r_offset : int;
+    r_body_len : int;
+    r_crc : int;
+    r_plain_len : int;
+  }
+
+  let directory data =
+    let n = Bytes.length data in
+    if n < 12 then corrupt "archive too short";
+    if Bytes.sub_string data (n - 4) 4 <> magic then corrupt "bad archive magic";
+    let count = get_u32 data (n - 8) in
+    let dir_offset = get_u32 data (n - 12) in
+    let pos = ref dir_offset in
+    List.init count (fun _ ->
+        let name_len = get_u16 data !pos in
+        let name = Bytes.to_string (get_sub data (!pos + 2) name_len) in
+        let base = !pos + 2 + name_len in
+        let r =
+          {
+            r_name = name;
+            r_offset = get_u32 data base;
+            r_body_len = get_u32 data (base + 4);
+            r_crc = get_u32 data (base + 8);
+            r_plain_len = get_u32 data (base + 12);
+          }
+        in
+        pos := base + 16;
+        r)
+
+  let extract_record data r =
+    let body = get_sub data r.r_offset r.r_body_len in
+    let plain =
+      try Deflate.decompress body with
+      | Failure msg | Invalid_argument msg ->
+          corrupt "entry %s: bad body: %s" r.r_name msg
+      | Bitio.Reader.Out_of_bits ->
+          corrupt "entry %s: bad body: truncated bitstream" r.r_name
+    in
+    if Bytes.length plain <> r.r_plain_len then
+      corrupt "entry %s: length mismatch" r.r_name;
+    if Checksum.Crc32.digest plain <> r.r_crc then
+      corrupt "entry %s: crc mismatch" r.r_name;
+    plain
+
+  let unpack data =
+    List.map
+      (fun r -> { name = r.r_name; data = extract_record data r })
+      (directory data)
+
+  let names data = List.map (fun r -> r.r_name) (directory data)
+
+  let extract data name =
+    match List.find_opt (fun r -> r.r_name = name) (directory data) with
+    | Some r -> extract_record data r
+    | None -> raise Not_found
+end

@@ -1,0 +1,41 @@
+(** Gzip-style single-stream container and a multi-entry archive over the
+    DEFLATE-style compressor.
+
+    The framing mirrors gzip/zip structure — magic, method id, CRC-32 of
+    the plaintext, size fields, per-entry directory — around this
+    library's own DEFLATE-shaped stream (which is not bit-compatible with
+    RFC 1951, so neither container claims interoperability; the integrity
+    and API semantics are the point). *)
+
+exception Corrupt of string
+(** Raised by the decoders on malformed framing or checksum mismatch. *)
+
+(** Single compressed stream with integrity checking, gzip-style. *)
+module Stream : sig
+  val pack : bytes -> bytes
+  (** Header (magic, method), deflate body, CRC-32 + length trailer. *)
+
+  val unpack : bytes -> bytes
+  (** @raise Corrupt on bad magic, truncation or checksum mismatch. *)
+end
+
+(** Multi-entry archive, zip-style: named entries, per-entry CRC, central
+    directory at the end. *)
+module Archive : sig
+  type entry = { name : string; data : bytes }
+
+  val pack : entry list -> bytes
+  (** @raise Invalid_argument on duplicate or oversized (>65535 byte)
+      names. *)
+
+  val unpack : bytes -> entry list
+  (** Entries in original order.  @raise Corrupt on framing or checksum
+      errors. *)
+
+  val names : bytes -> string list
+  (** Read just the central directory. *)
+
+  val extract : bytes -> string -> bytes
+  (** One entry by name.  @raise Not_found if absent; @raise Corrupt on
+      damage. *)
+end

@@ -1,0 +1,138 @@
+(* RFC 1951 Section 3.2.5 tables. *)
+let length_bases =
+  [| 3; 4; 5; 6; 7; 8; 9; 10; 11; 13; 15; 17; 19; 23; 27; 31; 35; 43; 51; 59;
+     67; 83; 99; 115; 131; 163; 195; 227; 258 |]
+
+let length_extra =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 4; 4; 4;
+     5; 5; 5; 5; 0 |]
+
+let distance_bases =
+  [| 1; 2; 3; 4; 5; 7; 9; 13; 17; 25; 33; 49; 65; 97; 129; 193; 257; 385;
+     513; 769; 1025; 1537; 2049; 3073; 4097; 6145; 8193; 12289; 16385;
+     24577 |]
+
+let distance_extra =
+  [| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 6; 6; 7; 7; 8; 8; 9; 9; 10;
+     10; 11; 11; 12; 12; 13; 13 |]
+
+let end_of_block = 256
+
+let litlen_alphabet = 286
+
+let dist_alphabet = 30
+
+let find_code bases extra v name =
+  let n = Array.length bases in
+  let rec search idx =
+    if idx < 0 then invalid_arg name
+    else if bases.(idx) <= v then idx
+    else search (idx - 1)
+  in
+  let idx = search (n - 1) in
+  let bits = extra.(idx) in
+  let off = v - bases.(idx) in
+  if off lsr bits <> 0 then invalid_arg name;
+  (idx, bits, off)
+
+let length_code len =
+  if len < 3 || len > 258 then invalid_arg "Deflate.length_code";
+  if len = 258 then (285, 0, 0)
+  else begin
+    let idx, bits, off = find_code length_bases length_extra len "Deflate.length_code" in
+    (257 + idx, bits, off)
+  end
+
+let distance_code dist =
+  if dist < 1 || dist > 32768 then invalid_arg "Deflate.distance_code";
+  find_code distance_bases distance_extra dist "Deflate.distance_code"
+
+let base_of_length_code sym =
+  if sym < 257 || sym > 285 then invalid_arg "Deflate.base_of_length_code";
+  (length_bases.(sym - 257), length_extra.(sym - 257))
+
+let base_of_distance_code sym =
+  if sym < 0 || sym >= dist_alphabet then
+    invalid_arg "Deflate.base_of_distance_code";
+  (distance_bases.(sym), distance_extra.(sym))
+
+let encode_tokens tokens =
+  let litlen_freqs = Array.make litlen_alphabet 0 in
+  let dist_freqs = Array.make dist_alphabet 0 in
+  let bump a i = a.(i) <- a.(i) + 1 in
+  List.iter
+    (fun token ->
+      match token with
+      | Lz77.Literal c -> bump litlen_freqs (Char.code c)
+      | Lz77.Match { length; distance } ->
+          let lsym, _, _ = length_code length in
+          let dsym, _, _ = distance_code distance in
+          bump litlen_freqs lsym;
+          bump dist_freqs dsym)
+    tokens;
+  bump litlen_freqs end_of_block;
+  let litlen_lengths = Huffman.lengths_of_freqs litlen_freqs in
+  let dist_lengths = Huffman.lengths_of_freqs dist_freqs in
+  let litlen_codes = Huffman.canonical_codes litlen_lengths in
+  let dist_codes = Huffman.canonical_codes dist_lengths in
+  let w = Bitio.Writer.create () in
+  Huffman.write_lengths w litlen_lengths;
+  Huffman.write_lengths w dist_lengths;
+  List.iter
+    (fun token ->
+      match token with
+      | Lz77.Literal c -> Huffman.write_symbol w litlen_codes (Char.code c)
+      | Lz77.Match { length; distance } ->
+          let lsym, lbits, lval = length_code length in
+          let dsym, dbits, dval = distance_code distance in
+          Huffman.write_symbol w litlen_codes lsym;
+          if lbits > 0 then Bitio.Writer.add_bits_msb w ~value:lval ~count:lbits;
+          Huffman.write_symbol w dist_codes dsym;
+          if dbits > 0 then Bitio.Writer.add_bits_msb w ~value:dval ~count:dbits)
+    tokens;
+  Huffman.write_symbol w litlen_codes end_of_block;
+  Bitio.Writer.to_bytes w
+
+let decode_tokens data =
+  let r = Bitio.Reader.create data in
+  let litlen_lengths = Huffman.read_lengths r in
+  let dist_lengths = Huffman.read_lengths r in
+  if Array.length litlen_lengths <> litlen_alphabet
+     || Array.length dist_lengths <> dist_alphabet
+  then failwith "Deflate.decode_tokens: bad header";
+  let litlen = Huffman.decoder_of_lengths litlen_lengths in
+  let dist =
+    if Array.exists (fun l -> l > 0) dist_lengths then
+      Some (Huffman.decoder_of_lengths dist_lengths)
+    else None
+  in
+  let tokens = ref [] in
+  let rec loop () =
+    let sym = Huffman.read_symbol r litlen in
+    if sym = end_of_block then ()
+    else if sym < 256 then begin
+      tokens := Lz77.Literal (Char.chr sym) :: !tokens;
+      loop ()
+    end
+    else begin
+      let lbase, lbits = base_of_length_code sym in
+      let length = lbase + Bitio.Reader.read_bits_msb r lbits in
+      let decoder =
+        match dist with
+        | Some d -> d
+        | None -> failwith "Deflate.decode_tokens: match without distances"
+      in
+      let dsym = Huffman.read_symbol r decoder in
+      let dbase, dbits = base_of_distance_code dsym in
+      let distance = dbase + Bitio.Reader.read_bits_msb r dbits in
+      tokens := Lz77.Match { length; distance } :: !tokens;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !tokens
+
+let compress ?strategy ?max_chain input =
+  encode_tokens (Lz77.tokenize ?strategy ?max_chain input)
+
+let decompress data = Lz77.detokenize (decode_tokens data)

@@ -1,0 +1,31 @@
+(** DEFLATE-style container over the {!Lz77} token stream.
+
+    Tokens are entropy-coded with two canonical Huffman tables — one for
+    literals/lengths, one for distances — using RFC 1951's length and
+    distance code ranges with extra bits.  The header stores the raw code
+    length arrays instead of RFC 1951's code-length code, so the output is
+    DEFLATE-shaped rather than bit-compatible with zlib. *)
+
+val length_code : int -> int * int * int
+(** [length_code len] is [(symbol, extra_bits, extra_value)] for a match
+    length in 3..258.  Symbols are 257..285 as in RFC 1951.
+    @raise Invalid_argument out of range. *)
+
+val distance_code : int -> int * int * int
+(** [distance_code dist] for a distance in 1..32768; symbols 0..29.
+    @raise Invalid_argument out of range. *)
+
+val base_of_length_code : int -> int * int
+(** [(base_length, extra_bits)] of a length symbol. *)
+
+val base_of_distance_code : int -> int * int
+
+val encode_tokens : Lz77.token list -> bytes
+
+val decode_tokens : bytes -> Lz77.token list
+(** @raise Failure on malformed input. *)
+
+val compress : ?strategy:Lz77.strategy -> ?max_chain:int -> bytes -> bytes
+(** [Lz77.tokenize] + [encode_tokens]. *)
+
+val decompress : bytes -> bytes

@@ -1,0 +1,257 @@
+type code = { length : int; bits : int }
+
+(* Minimal binary min-heap over (weight, node id), used only here. *)
+module Heap = struct
+  type t = {
+    mutable data : (int * int) array;
+    mutable size : int;
+  }
+
+  let create capacity = { data = Array.make (max 1 capacity) (0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    top
+
+  let size h = h.size
+end
+
+let lengths_of_freqs ?(max_length = 15) freqs =
+  let n = Array.length freqs in
+  let used = ref 0 in
+  Array.iter (fun f -> if f > 0 then incr used) freqs;
+  if !used > 1 lsl max_length then
+    invalid_arg "Huffman.lengths_of_freqs: too many symbols for max_length";
+  let lengths = Array.make n 0 in
+  if !used = 0 then lengths
+  else if !used = 1 then begin
+    Array.iteri (fun s f -> if f > 0 then lengths.(s) <- 1) freqs;
+    lengths
+  end
+  else begin
+    (* Internal tree nodes are numbered from [n]; [parent] links each node
+       to its parent so depths can be read off after construction. *)
+    let parent = Array.make (2 * n) (-1) in
+    let heap = Heap.create n in
+    Array.iteri (fun s f -> if f > 0 then Heap.push heap (f, s)) freqs;
+    let next = ref n in
+    while Heap.size heap > 1 do
+      let w1, n1 = Heap.pop heap in
+      let w2, n2 = Heap.pop heap in
+      parent.(n1) <- !next;
+      parent.(n2) <- !next;
+      Heap.push heap (w1 + w2, !next);
+      incr next
+    done;
+    for s = 0 to n - 1 do
+      if freqs.(s) > 0 then begin
+        let d = ref 0 and node = ref s in
+        while parent.(!node) >= 0 do
+          incr d;
+          node := parent.(!node)
+        done;
+        lengths.(s) <- !d
+      end
+    done;
+    (* Overflow repair (zlib-style): cap lengths at [max_length] and restore
+       the Kraft equality by demoting codes from shorter levels. *)
+    let bl_count = Array.make (max_length + 1) 0 in
+    Array.iter
+      (fun l -> if l > 0 then
+          let l = min l max_length in
+          bl_count.(l) <- bl_count.(l) + 1)
+      lengths;
+    let kraft () =
+      let acc = ref 0 in
+      for l = 1 to max_length do
+        acc := !acc + (bl_count.(l) lsl (max_length - l))
+      done;
+      !acc
+    in
+    let budget = 1 lsl max_length in
+    while kraft () > budget do
+      (* Take one code from the deepest non-empty level above the floor and
+         push it one level down, compensating at max_length. *)
+      let l = ref (max_length - 1) in
+      while bl_count.(!l) = 0 do decr l done;
+      bl_count.(!l) <- bl_count.(!l) - 1;
+      bl_count.(!l + 1) <- bl_count.(!l + 1) + 2;
+      bl_count.(max_length) <- bl_count.(max_length) - 1
+    done;
+    (* Reassign lengths from the repaired histogram: sort used symbols by
+       original length (ties by index) and deal lengths shortest-first. *)
+    let syms =
+      Array.of_list
+        (List.filter (fun s -> freqs.(s) > 0) (List.init n (fun i -> i)))
+    in
+    Array.sort
+      (fun a b ->
+        match compare lengths.(a) lengths.(b) with 0 -> compare a b | c -> c)
+      syms;
+    let idx = ref 0 in
+    for l = 1 to max_length do
+      for _ = 1 to bl_count.(l) do
+        lengths.(syms.(!idx)) <- l;
+        incr idx
+      done
+    done;
+    lengths
+  end
+
+let canonical_codes lengths =
+  let n = Array.length lengths in
+  let max_len = Array.fold_left max 0 lengths in
+  let codes = Array.make n { length = 0; bits = 0 } in
+  if max_len = 0 then codes
+  else begin
+    let bl_count = Array.make (max_len + 1) 0 in
+    Array.iter (fun l -> if l > 0 then bl_count.(l) <- bl_count.(l) + 1) lengths;
+    let next_code = Array.make (max_len + 2) 0 in
+    let code = ref 0 in
+    for l = 1 to max_len do
+      code := (!code + bl_count.(l - 1)) lsl 1;
+      next_code.(l) <- !code
+    done;
+    (* Oversubscription check: after assigning all codes of length l the
+       running code must fit in l bits. *)
+    for s = 0 to n - 1 do
+      let l = lengths.(s) in
+      if l > 0 then begin
+        let bits = next_code.(l) in
+        if bits lsr l <> 0 then
+          invalid_arg "Huffman.canonical_codes: oversubscribed lengths";
+        codes.(s) <- { length = l; bits };
+        next_code.(l) <- bits + 1
+      end
+    done;
+    codes
+  end
+
+let write_lengths w lengths =
+  Bitio.Writer.add_bits_msb w ~value:(Array.length lengths) ~count:16;
+  Array.iter
+    (fun l ->
+      if l < 0 || l > 15 then invalid_arg "Huffman.write_lengths: length";
+      Bitio.Writer.add_bits_msb w ~value:l ~count:4)
+    lengths
+
+let read_lengths r =
+  let n = Bitio.Reader.read_bits_msb r 16 in
+  Array.init n (fun _ -> Bitio.Reader.read_bits_msb r 4)
+
+let write_symbol w codes sym =
+  let c = codes.(sym) in
+  if c.length = 0 then invalid_arg "Huffman.write_symbol: symbol has no code";
+  Bitio.Writer.add_bits_msb w ~value:c.bits ~count:c.length
+
+(* Canonical bit-serial decoder: for each length we know the first code and
+   the symbols assigned at that length, so one running comparison per bit
+   suffices. *)
+type decoder = {
+  max_len : int;
+  first_code : int array; (* per length *)
+  first_index : int array; (* per length, index into [symbols] *)
+  counts : int array;
+  symbols : int array; (* used symbols ordered by (length, symbol) *)
+}
+
+let decoder_of_lengths lengths =
+  let max_len = Array.fold_left max 0 lengths in
+  let counts = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then counts.(l) <- counts.(l) + 1) lengths;
+  let order =
+    List.filter
+      (fun s -> lengths.(s) > 0)
+      (List.init (Array.length lengths) (fun i -> i))
+  in
+  let order =
+    List.sort
+      (fun a b ->
+        match compare lengths.(a) lengths.(b) with 0 -> compare a b | c -> c)
+      order
+  in
+  let symbols = Array.of_list order in
+  let first_code = Array.make (max_len + 2) 0 in
+  let first_index = Array.make (max_len + 2) 0 in
+  let code = ref 0 and index = ref 0 in
+  for l = 1 to max_len do
+    code := (!code + if l >= 2 then counts.(l - 1) else 0) lsl 1;
+    first_code.(l) <- !code;
+    first_index.(l) <- !index;
+    index := !index + counts.(l)
+  done;
+  { max_len; first_code; first_index; counts; symbols }
+
+let read_symbol_bits next_bit d =
+  let code = ref 0 and len = ref 0 in
+  let result = ref (-1) in
+  while !result < 0 do
+    if !len >= d.max_len then failwith "Huffman.read_symbol: invalid code";
+    code := (!code lsl 1) lor (if next_bit () then 1 else 0);
+    incr len;
+    let l = !len in
+    if d.counts.(l) > 0
+       && !code - d.first_code.(l) < d.counts.(l)
+       && !code >= d.first_code.(l)
+    then result := d.symbols.(d.first_index.(l) + (!code - d.first_code.(l)))
+  done;
+  !result
+
+let read_symbol r d = read_symbol_bits (fun () -> Bitio.Reader.read_bit r) d
+
+let encode data =
+  let freqs = Array.make 256 0 in
+  Bytes.iter (fun c -> freqs.(Char.code c) <- freqs.(Char.code c) + 1) data;
+  let lengths = lengths_of_freqs freqs in
+  let codes = canonical_codes lengths in
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits_msb w ~value:(Bytes.length data lsr 16) ~count:16;
+  Bitio.Writer.add_bits_msb w ~value:(Bytes.length data land 0xffff) ~count:16;
+  write_lengths w lengths;
+  Bytes.iter (fun c -> write_symbol w codes (Char.code c)) data;
+  Bitio.Writer.to_bytes w
+
+let decode data =
+  let r = Bitio.Reader.create data in
+  let hi = Bitio.Reader.read_bits_msb r 16 in
+  let lo = Bitio.Reader.read_bits_msb r 16 in
+  let n = (hi lsl 16) lor lo in
+  let lengths = read_lengths r in
+  if Array.length lengths <> 256 then failwith "Huffman.decode: bad header";
+  let d = decoder_of_lengths lengths in
+  Bytes.init n (fun _ -> Char.chr (read_symbol r d))

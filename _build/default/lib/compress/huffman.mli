@@ -1,0 +1,49 @@
+(** Canonical Huffman coding.
+
+    Code lengths are derived from symbol frequencies with a binary heap and
+    repaired to respect a maximum length (the zlib overflow-repair
+    technique); codes are then assigned canonically so that only the length
+    array needs to be serialized.  Encoding and decoding are MSB-first. *)
+
+type code = { length : int; bits : int }
+
+val lengths_of_freqs : ?max_length:int -> int array -> int array
+(** [lengths_of_freqs freqs] maps each symbol to its code length; symbols
+    with zero frequency get length 0.  [max_length] defaults to 15.
+    A lone used symbol gets length 1.  @raise Invalid_argument if more than
+    [2^max_length] symbols are in use. *)
+
+val canonical_codes : int array -> code array
+(** Canonical code assignment from lengths: shorter codes first, ties by
+    symbol index.  Length-0 symbols get [{length = 0; bits = 0}].
+    @raise Invalid_argument if the lengths oversubscribe the code space. *)
+
+val write_lengths : Bitio.Writer.t -> int array -> unit
+(** Serialize a length array (values 0..15, 4 bits each) preceded by the
+    16-bit symbol count. *)
+
+val read_lengths : Bitio.Reader.t -> int array
+
+val write_symbol : Bitio.Writer.t -> code array -> int -> unit
+(** @raise Invalid_argument when the symbol has no code. *)
+
+type decoder
+
+val decoder_of_lengths : int array -> decoder
+
+val read_symbol : Bitio.Reader.t -> decoder -> int
+(** @raise Failure on a code not present in the table. *)
+
+val read_symbol_bits : (unit -> bool) -> decoder -> int
+(** Decode one symbol from a bit source delivering the code most
+    significant bit first — lets the canonical decoder run over any bit
+    stream (e.g. RFC 1951's LSB-packed layout).
+    @raise Failure on an invalid code. *)
+
+val encode : bytes -> bytes
+(** Self-contained single-table byte compressor: header (lengths) + body +
+    32-bit symbol count.  Exercises the whole module and serves as the
+    entropy stage of the LZW-less pipelines. *)
+
+val decode : bytes -> bytes
+(** Inverse of {!encode}.  @raise Failure on malformed input. *)

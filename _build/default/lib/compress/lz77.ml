@@ -1,0 +1,143 @@
+let min_match = 3
+let max_match = 258
+let window_size = 32768
+let hash_bits = 15
+let hash_mask = (1 lsl hash_bits) - 1
+
+let update_hash h c = ((h lsl 5) lxor c) land hash_mask
+
+let hash_of_triple c0 c1 c2 = update_hash (update_hash (update_hash 0 c0) c1) c2
+
+type token = Literal of char | Match of { length : int; distance : int }
+
+type strategy = Greedy | Lazy
+
+let pp_token ppf = function
+  | Literal c -> Format.fprintf ppf "lit %C" c
+  | Match { length; distance } ->
+      Format.fprintf ppf "match len=%d dist=%d" length distance
+
+let hash_head_trace input =
+  let n = Bytes.length input in
+  if n < min_match then [||]
+  else begin
+    let byte i = Char.code (Bytes.get input i) in
+    (* ins_h is seeded with the first two bytes, then each INSERT_STRING
+       rolls in the byte two ahead of the insertion point. *)
+    let h = ref (update_hash (update_hash 0 (byte 0)) (byte 1)) in
+    Array.init (n - 2) (fun k ->
+        h := update_hash !h (byte (k + 2));
+        !h)
+  end
+
+let tokenize ?(strategy = Greedy) ?(max_chain = 128) input =
+  let n = Bytes.length input in
+  let byte i = Char.code (Bytes.get input i) in
+  let head = Array.make (hash_mask + 1) (-1) in
+  let prev = Array.make (max 1 n) (-1) in
+  let insert pos =
+    if pos + min_match <= n then begin
+      let h = hash_of_triple (byte pos) (byte (pos + 1)) (byte (pos + 2)) in
+      prev.(pos) <- head.(h);
+      head.(h) <- pos
+    end
+  in
+  let match_length pos cand =
+    let limit = min max_match (n - pos) in
+    let len = ref 0 in
+    while !len < limit && byte (cand + !len) = byte (pos + !len) do incr len done;
+    !len
+  in
+  let best_match pos =
+    if pos + min_match > n then None
+    else begin
+      let h = hash_of_triple (byte pos) (byte (pos + 1)) (byte (pos + 2)) in
+      let best_len = ref 0 and best_pos = ref (-1) in
+      let cand = ref head.(h) and chain = ref max_chain in
+      while !cand >= 0 && !chain > 0 do
+        if pos - !cand <= window_size then begin
+          let len = match_length pos !cand in
+          if len > !best_len then begin
+            best_len := len;
+            best_pos := !cand
+          end;
+          cand := prev.(!cand);
+          decr chain
+        end
+        else cand := -1
+      done;
+      if !best_len >= min_match then
+        Some (!best_len, pos - !best_pos)
+      else None
+    end
+  in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  (match strategy with
+  | Greedy ->
+      let pos = ref 0 in
+      while !pos < n do
+        match best_match !pos with
+        | Some (length, distance) ->
+            emit (Match { length; distance });
+            for p = !pos to !pos + length - 1 do insert p done;
+            pos := !pos + length
+        | None ->
+            emit (Literal (Bytes.get input !pos));
+            insert !pos;
+            incr pos
+      done
+  | Lazy ->
+      (* zlib's deflate_slow: hold a match found at pos-1 and abandon it
+         for a single literal when pos matches strictly longer. *)
+      let pos = ref 0 in
+      let pending = ref None (* best match at !pos - 1 *) in
+      while !pos < n do
+        let m = best_match !pos in
+        insert !pos;
+        (match !pending with
+        | None -> (
+            match m with
+            | Some _ ->
+                pending := m;
+                incr pos
+            | None ->
+                emit (Literal (Bytes.get input !pos));
+                incr pos)
+        | Some (plen, pdist) ->
+            let better =
+              match m with Some (len, _) -> len > plen | None -> false
+            in
+            if better then begin
+              emit (Literal (Bytes.get input (!pos - 1)));
+              pending := m;
+              incr pos
+            end
+            else begin
+              emit (Match { length = plen; distance = pdist });
+              let next = !pos - 1 + plen in
+              for p = !pos + 1 to next - 1 do insert p done;
+              pos := next;
+              pending := None
+            end)
+      done;
+      (match !pending with
+      | Some (plen, pdist) -> emit (Match { length = plen; distance = pdist })
+      | None -> ()));
+  List.rev !tokens
+
+let detokenize tokens =
+  let out = Buffer.create 256 in
+  List.iter
+    (fun token ->
+      match token with
+      | Literal c -> Buffer.add_char out c
+      | Match { length; distance } ->
+          let start = Buffer.length out - distance in
+          if start < 0 then invalid_arg "Lz77.detokenize: distance too large";
+          (* Byte-by-byte copy so that overlapping matches self-extend. *)
+          for k = 0 to length - 1 do
+            Buffer.add_char out (Buffer.nth out (start + k))
+          done)
+    tokens;
+  Buffer.to_bytes out

@@ -1,0 +1,53 @@
+(** LZ77 sliding-window matching with zlib's chained hash table.
+
+    The matcher maintains the exact hash of the DEFLATE specification's
+    recommended implementation, as analysed in the paper's Section IV-B
+    (Listing 1): a 15-bit rolling hash over 3-byte windows,
+    [h' = ((h << 5) lxor c) land 0x7fff], whose use as an index into the
+    [head] array is the cache side-channel gadget. *)
+
+val min_match : int
+(** 3 *)
+
+val max_match : int
+(** 258 *)
+
+val window_size : int
+(** 32768 *)
+
+val hash_bits : int
+(** 15 *)
+
+val hash_mask : int
+(** 0x7fff *)
+
+val update_hash : int -> int -> int
+(** [update_hash h c] is zlib's UPDATE_HASH: [((h lsl 5) lxor c) land
+    0x7fff]. *)
+
+val hash_of_triple : int -> int -> int -> int
+(** Hash of three consecutive bytes, oldest first: the value of [ins_h]
+    when the triple's first byte is inserted. *)
+
+type token = Literal of char | Match of { length : int; distance : int }
+
+type strategy = Greedy | Lazy
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : ?strategy:strategy -> ?max_chain:int -> bytes -> token list
+(** [max_chain] bounds the hash-chain walk (default 128).  [Greedy]
+    (default) takes every match immediately; [Lazy] is zlib's
+    deflate_slow evaluation — the paper's Fig. 2 gadget location — which
+    defers a match by one position when the next position matches
+    longer. *)
+
+val detokenize : token list -> bytes
+(** @raise Invalid_argument on a match reaching before the start of the
+    output. *)
+
+val hash_head_trace : bytes -> int array
+(** The successive values of [ins_h] at each INSERT_STRING call — index
+    [k] is the hash of input bytes [k, k+1, k+2]; length is
+    [max 0 (n - 2)].  This is the address-relevant observable of the Zlib
+    gadget. *)

@@ -1,0 +1,208 @@
+let eof_code = 256
+let first_code = 257
+let min_bits = 9
+let max_bits = 16
+let htab_bits = 17
+
+let htab_size = 1 lsl htab_bits
+
+let code_limit = 1 lsl max_bits
+
+let hash ~c ~ent = ((c lsl 9) lxor ent) land (htab_size - 1)
+
+type probe = { hp : int; first : bool; c : int; ent : int }
+
+(* The container stores the decompressed length up front instead of an
+   in-band EOF code: with a known code count the decoder's dictionary lags
+   the encoder's by exactly one entry at every read, which makes the code
+   width bumps provably synchronized (encoder checks [free_ent > maxcode],
+   decoder [free_ent + 1 > maxcode]).  Code 256 stays reserved, as in
+   (N)compress. *)
+
+(* The encoder walks the input byte stream keeping [ent], the code of the
+   longest dictionary string matching the pending input, exactly like
+   compress(1)'s main loop.  The stepper exposes one step of that loop so
+   that the attacker's recovery algorithm (paper Section IV-C) can mirror
+   the dictionary state from recovered plaintext. *)
+module Stepper = struct
+  type t = {
+    htab : int array;
+    codetab : int array;
+    mutable free_ent : int;
+    mutable n_bits : int;
+    mutable ent : int;
+  }
+
+  let create ~first =
+    if first < 0 || first > 255 then invalid_arg "Lzw.Stepper.create: byte";
+    {
+      htab = Array.make htab_size (-1);
+      codetab = Array.make htab_size 0;
+      free_ent = first_code;
+      n_bits = min_bits;
+      ent = first;
+    }
+
+  let copy t =
+    {
+      htab = Array.copy t.htab;
+      codetab = Array.copy t.codetab;
+      free_ent = t.free_ent;
+      n_bits = t.n_bits;
+      ent = t.ent;
+    }
+
+  let ent t = t.ent
+
+  (* Read-only lookup: the code for the (ent, c) pair, if present.  Used
+     by the attack's recovery to explore repair hypotheses without
+     mutating the mirror. *)
+  let probe_hit t ~ent ~c =
+    let fc = (ent lsl 8) lor c in
+    let hp = ref (hash ~c ~ent) in
+    let disp = if !hp = 0 then 1 else (htab_size - !hp) lor 1 in
+    let result = ref None and finished = ref false in
+    while not !finished do
+      if t.htab.(!hp) = fc then begin
+        result := Some t.codetab.(!hp);
+        finished := true
+      end
+      else if t.htab.(!hp) < 0 then finished := true
+      else begin
+        hp := !hp - disp;
+        if !hp < 0 then hp := !hp + htab_size
+      end
+    done;
+    !result
+
+  let maxcode t = (1 lsl t.n_bits) - 1
+
+  (* Width of the next emitted code, bumping the running width exactly as
+     compress(1) does right before output. *)
+  let emit_width t =
+    if t.free_ent > maxcode t && t.n_bits < max_bits then
+      t.n_bits <- t.n_bits + 1;
+    t.n_bits
+
+  let feed t c =
+    if c < 0 || c > 255 then invalid_arg "Lzw.Stepper.feed: byte";
+    let fc = (t.ent lsl 8) lor c in
+    (* Open-addressed lookup with compress(1)'s secondary probe.  The
+       original table size is prime (69001); ours is a power of two to
+       keep the paper's exact index formula, so the displacement is forced
+       odd to stay coprime with the table size and cycle every slot. *)
+    let hp = ref (hash ~c ~ent:t.ent) in
+    let disp = if !hp = 0 then 1 else (htab_size - !hp) lor 1 in
+    let probes = ref [] in
+    let found = ref false and missing = ref false in
+    let first = ref true in
+    while (not !found) && not !missing do
+      probes := { hp = !hp; first = !first; c; ent = t.ent } :: !probes;
+      first := false;
+      if t.htab.(!hp) = fc then found := true
+      else if t.htab.(!hp) < 0 then missing := true
+      else begin
+        hp := !hp - disp;
+        if !hp < 0 then hp := !hp + htab_size
+      end
+    done;
+    let emitted =
+      if !found then begin
+        t.ent <- t.codetab.(!hp);
+        None
+      end
+      else begin
+        let code = t.ent and width = emit_width t in
+        if t.free_ent < code_limit then begin
+          t.htab.(!hp) <- fc;
+          t.codetab.(!hp) <- t.free_ent;
+          t.free_ent <- t.free_ent + 1
+        end;
+        t.ent <- c;
+        Some (code, width)
+      end
+    in
+    (List.rev !probes, emitted)
+
+  let flush t = (t.ent, emit_width t)
+end
+
+let compress_with_probes input =
+  let n = Bytes.length input in
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits_lsb w ~value:(n land 0xffff) ~count:16;
+  Bitio.Writer.add_bits_lsb w ~value:(n lsr 16) ~count:16;
+  let probes = ref [] in
+  if n > 0 then begin
+    let st = Stepper.create ~first:(Char.code (Bytes.get input 0)) in
+    for i = 1 to n - 1 do
+      let step_probes, emitted = Stepper.feed st (Char.code (Bytes.get input i)) in
+      List.iter (fun p -> probes := p :: !probes) step_probes;
+      match emitted with
+      | Some (code, width) -> Bitio.Writer.add_bits_lsb w ~value:code ~count:width
+      | None -> ()
+    done;
+    let code, width = Stepper.flush st in
+    Bitio.Writer.add_bits_lsb w ~value:code ~count:width
+  end;
+  (Bitio.Writer.to_bytes w, List.rev !probes)
+
+let compress input = fst (compress_with_probes input)
+
+let decompress data =
+  let r = Bitio.Reader.create data in
+  let lo = Bitio.Reader.read_bits_lsb r 16 in
+  let hi = Bitio.Reader.read_bits_lsb r 16 in
+  let n = (hi lsl 16) lor lo in
+  let out = Buffer.create (max 16 n) in
+  if n > 0 then begin
+    (* prefix/suffix tables for codes >= 257; codes < 256 are literals. *)
+    let prefix = Array.make code_limit 0 in
+    let suffix = Array.make code_limit 0 in
+    let free_ent = ref first_code in
+    let n_bits = ref min_bits in
+    let maxcode () = (1 lsl !n_bits) - 1 in
+    let read_code () =
+      (* The decoder's dictionary is one entry behind the encoder's at
+         every read, hence the +1 in the width check. *)
+      if !free_ent + 1 > maxcode () && !n_bits < max_bits then incr n_bits;
+      Bitio.Reader.read_bits_lsb r !n_bits
+    in
+    let expand code =
+      let rec collect code acc =
+        if code >= 0 && code < 256 then Char.chr code :: acc
+        else if code >= first_code && code < !free_ent then
+          collect prefix.(code) (Char.chr suffix.(code) :: acc)
+        else failwith "Lzw.decompress: bad code"
+      in
+      collect code []
+    in
+    let code0 = read_code () in
+    if code0 > 255 then failwith "Lzw.decompress: bad first code";
+    Buffer.add_char out (Char.chr code0);
+    let prev = ref code0 in
+    while Buffer.length out < n do
+      let code = read_code () in
+      let chars =
+        if code = !free_ent && !free_ent < code_limit then begin
+          (* KwKwK: the string is prev's expansion plus its own first
+             character. *)
+          let prev_chars = expand !prev in
+          prev_chars @ [ List.hd prev_chars ]
+        end
+        else expand code
+      in
+      List.iter (Buffer.add_char out) chars;
+      if !free_ent < code_limit then begin
+        prefix.(!free_ent) <- !prev;
+        suffix.(!free_ent) <-
+          (match chars with
+          | c :: _ -> Char.code c
+          | [] -> failwith "Lzw.decompress: empty expansion");
+        incr free_ent
+      end;
+      prev := code
+    done;
+    if Buffer.length out <> n then failwith "Lzw.decompress: length mismatch"
+  end;
+  Buffer.to_bytes out

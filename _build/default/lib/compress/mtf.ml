@@ -1,0 +1,24 @@
+let initial_order () = Array.init 256 (fun i -> i)
+
+let move_to_front order pos =
+  let v = order.(pos) in
+  Array.blit order 0 order 1 pos;
+  order.(0) <- v
+
+let encode input =
+  let order = initial_order () in
+  Array.init (Bytes.length input) (fun i ->
+      let c = Char.code (Bytes.get input i) in
+      let pos = ref 0 in
+      while order.(!pos) <> c do incr pos done;
+      move_to_front order !pos;
+      !pos)
+
+let decode symbols =
+  let order = initial_order () in
+  Bytes.init (Array.length symbols) (fun i ->
+      let pos = symbols.(i) in
+      if pos < 0 || pos > 255 then invalid_arg "Mtf.decode: symbol out of range";
+      let c = order.(pos) in
+      move_to_front order pos;
+      Char.chr c)

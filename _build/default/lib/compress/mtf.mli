@@ -1,0 +1,11 @@
+(** Move-to-front transform over the byte alphabet.
+
+    The stage between BWT and the zero-run encoder in the Bzip2 pipeline:
+    each byte is replaced by its current position in a recency list, and
+    the byte moves to the front. *)
+
+val encode : bytes -> int array
+(** Output values are in 0..255. *)
+
+val decode : int array -> bytes
+(** @raise Invalid_argument on values outside 0..255. *)

@@ -1,0 +1,42 @@
+(** Bit-exact RFC 1951 DEFLATE.
+
+    Unlike {!Deflate} (which keeps zlib's matcher but uses a simplified
+    header), this module produces and consumes the real wire format —
+    stored, fixed-Huffman and dynamic-Huffman blocks, the code-length
+    code with repeat symbols, LSB-first packing — and interoperates with
+    any standard inflate (validated against Python's zlib; see
+    test/fixtures).  It is the format of the Gzip/Zlib targets of the
+    paper's Section IV-B. *)
+
+type block_kind = Stored | Fixed | Dynamic
+
+val deflate :
+  ?kind:block_kind -> ?strategy:Lz77.strategy -> ?max_chain:int -> bytes ->
+  bytes
+(** Compress into a single final block of the requested kind (default
+    [Dynamic]).  The token stream comes from {!Lz77.tokenize}. *)
+
+val inflate : bytes -> bytes
+(** Decompress a raw DEFLATE stream (any block sequence).
+    @raise Failure on malformed input. *)
+
+(** RFC 1950 zlib wrapper: 2-byte header + DEFLATE + Adler-32. *)
+module Zlib : sig
+  val compress : ?kind:block_kind -> bytes -> bytes
+
+  val decompress : bytes -> bytes
+  (** @raise Failure on a bad header, stream or checksum. *)
+end
+
+(** RFC 1952 gzip wrapper: magic/method/flags header (optional file
+    name) + DEFLATE + CRC-32 + ISIZE. *)
+module Gzip : sig
+  val compress : ?kind:block_kind -> ?name:string -> bytes -> bytes
+
+  val decompress : bytes -> bytes
+  (** Handles the FNAME/FEXTRA/FCOMMENT/FHCRC header fields.
+      @raise Failure on a bad header, stream, checksum or size. *)
+
+  val original_name : bytes -> string option
+  (** The FNAME field, when present.  @raise Failure on a bad header. *)
+end

@@ -1,0 +1,45 @@
+let encode input =
+  let n = Bytes.length input in
+  let out = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.get input !i in
+    let run = ref 1 in
+    while !i + !run < n && !run < 255 && Bytes.get input (!i + !run) = c do
+      incr run
+    done;
+    if !run >= 4 then begin
+      for _ = 1 to 4 do Buffer.add_char out c done;
+      Buffer.add_char out (Char.chr (!run - 4));
+      i := !i + !run
+    end
+    else begin
+      for _ = 1 to !run do Buffer.add_char out c done;
+      i := !i + !run
+    end
+  done;
+  Buffer.to_bytes out
+
+let decode input =
+  let n = Bytes.length input in
+  let out = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.get input !i in
+    (* Detect an encoded run: four equal bytes followed by a count. *)
+    if !i + 3 < n
+       && Bytes.get input (!i + 1) = c
+       && Bytes.get input (!i + 2) = c
+       && Bytes.get input (!i + 3) = c
+    then begin
+      if !i + 4 >= n then failwith "Rle1.decode: truncated run";
+      let extra = Char.code (Bytes.get input (!i + 4)) in
+      for _ = 1 to 4 + extra do Buffer.add_char out c done;
+      i := !i + 5
+    end
+    else begin
+      Buffer.add_char out c;
+      incr i
+    end
+  done;
+  Buffer.to_bytes out

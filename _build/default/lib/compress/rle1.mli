@@ -1,0 +1,11 @@
+(** Bzip2's first-stage run-length encoding.
+
+    Runs of 4 to 255 equal bytes are emitted as the first four bytes
+    followed by a count byte holding the number of additional repetitions
+    (0–251), exactly as bzip2 applies before block sorting.  The paper
+    treats RLE1 output as "the input" to the BWT stage; so do we. *)
+
+val encode : bytes -> bytes
+
+val decode : bytes -> bytes
+(** @raise Failure on a truncated run. *)

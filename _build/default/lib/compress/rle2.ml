@@ -1,0 +1,60 @@
+let runa = 0
+let runb = 1
+let eob = 257
+let alphabet_size = 258
+
+(* A zero-run of length [n >= 1] is written as the bijective base-2 digits
+   of [n], least significant first, with digit values 1 -> RUNA, 2 -> RUNB.
+   Decoding sums digit * 2^position. *)
+let encode symbols =
+  let out = ref [] in
+  let push s = out := s :: !out in
+  let flush_run n =
+    let n = ref n in
+    while !n > 0 do
+      if (!n - 1) land 1 = 0 then push runa else push runb;
+      n := (!n - 1) asr 1
+    done
+  in
+  let run = ref 0 in
+  Array.iter
+    (fun s ->
+      if s = 0 then incr run
+      else begin
+        flush_run !run;
+        run := 0;
+        push (s + 1)
+      end)
+    symbols;
+  flush_run !run;
+  push eob;
+  Array.of_list (List.rev !out)
+
+let decode symbols =
+  let out = ref [] in
+  let run_value = ref 0 and run_weight = ref 1 in
+  let flush_run () =
+    for _ = 1 to !run_value do out := 0 :: !out done;
+    run_value := 0;
+    run_weight := 1
+  in
+  let finished = ref false in
+  Array.iter
+    (fun s ->
+      if !finished then failwith "Rle2.decode: data after EOB";
+      if s = runa || s = runb then begin
+        run_value := !run_value + ((if s = runa then 1 else 2) * !run_weight);
+        run_weight := !run_weight * 2
+      end
+      else if s = eob then begin
+        flush_run ();
+        finished := true
+      end
+      else if s >= 2 && s <= 256 then begin
+        flush_run ();
+        out := (s - 1) :: !out
+      end
+      else failwith "Rle2.decode: symbol out of range")
+    symbols;
+  if not !finished then failwith "Rle2.decode: missing EOB";
+  Array.of_list (List.rev !out)

@@ -1,0 +1,26 @@
+(** Bzip2's second-stage encoding: zero-run coding of MTF output.
+
+    Runs of zeroes (the dominant MTF symbol after BWT) are written in
+    bijective base 2 using the two symbols RUNA and RUNB; every other MTF
+    symbol [s] is shifted to [s + 1].  The resulting alphabet is
+    [0 .. 257] with 257 reserved for the end-of-block marker appended by
+    {!encode}. *)
+
+val runa : int
+(** = 0 *)
+
+val runb : int
+(** = 1 *)
+
+val eob : int
+(** = 257, always the final symbol of {!encode}'s output. *)
+
+val alphabet_size : int
+(** = 258 *)
+
+val encode : int array -> int array
+(** MTF symbols (0..255) to the RLE2 alphabet, EOB-terminated. *)
+
+val decode : int array -> int array
+(** Inverse of {!encode}; input must be EOB-terminated.
+    @raise Failure on malformed input. *)

@@ -1,0 +1,660 @@
+open Zipchannel_util
+module Taint = Zipchannel_taint
+module Compress = Zipchannel_compress
+module Tc = Zipchannel_taintchannel
+module Attack = Zipchannel_attack
+module Classifier = Zipchannel_classifier
+
+type outcome = {
+  id : string;
+  title : string;
+  metrics : (string * float) list;
+}
+
+let default_seed = 0x21bc
+
+let header ppf id title =
+  Format.fprintf ppf "@.=== %s: %s ===@." id title
+
+let footer ppf outcome =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %-32s %.4f@." k v)
+    outcome.metrics;
+  outcome
+
+(* ------------------------------------------------------------------ *)
+
+let e1_zlib_gadget ?(seed = default_seed) ppf =
+  let title = "Zlib INSERT_STRING gadget (Fig. 2)" in
+  header ppf "E1" title;
+  let prng = Prng.create ~seed () in
+  let input = Prng.bytes prng 6000 in
+  let engine = Tc.Zlib_gadget.run input in
+  Tc.Engine.report ppf engine;
+  let gadget =
+    List.find
+      (fun g -> g.Tc.Gadget.location = Tc.Zlib_gadget.location)
+      (Tc.Engine.gadgets engine)
+  in
+  let coverage =
+    Tc.Gadget.coverage gadget ~input_length:(Bytes.length input)
+  in
+  footer ppf
+    {
+      id = "E1";
+      title;
+      metrics =
+        [
+          ("input coverage (paper: all bytes)", coverage);
+          ("gadget occurrences", float_of_int gadget.Tc.Gadget.count);
+        ];
+    }
+
+let e2_lzw_gadget ?(seed = default_seed) ppf =
+  let title = "Ncompress hash-probe gadget (Fig. 3)" in
+  header ppf "E2" title;
+  let prng = Prng.create ~seed () in
+  (* Text-like input, as in the paper's 0x20-heavy example. *)
+  let input = Bytes.of_string (Lipsum.paragraph prng) in
+  let engine = Tc.Lzw_gadget.run input in
+  Tc.Engine.report ppf engine;
+  let gadget =
+    List.find
+      (fun g -> g.Tc.Gadget.location = Tc.Lzw_gadget.location)
+      (Tc.Engine.gadgets engine)
+  in
+  (* The paper's Fig. 3 shows bits 9-16 of the probed index tainted by the
+     pending input byte. *)
+  let example = gadget.Tc.Gadget.example_addr in
+  let tainted_in_9_16 =
+    List.for_all
+      (fun bit -> not (Taint.Tagset.is_empty (Taint.Tval.taint example bit)))
+      [ 9; 10; 11; 12; 13; 14; 15; 16 ]
+  in
+  footer ppf
+    {
+      id = "E2";
+      title;
+      metrics =
+        [
+          ( "coverage (paper: all bytes)",
+            Tc.Gadget.coverage gadget ~input_length:(Bytes.length input) );
+          ("bits 9-16 tainted (1 = yes)", if tainted_in_9_16 then 1.0 else 0.0);
+        ];
+    }
+
+let e3_bzip2_gadget ?(seed = default_seed) ppf =
+  let title = "Bzip2 ftab gadget (Fig. 4)" in
+  header ppf "E3" title;
+  let prng = Prng.create ~seed () in
+  let input = Prng.bytes prng 10_000 in
+  let engine = Tc.Bzip2_gadget.run input in
+  Tc.Engine.report ppf engine;
+  (* Two consecutive entries for one input byte, as in Fig. 4: at
+     iteration k the byte sits in bits 0-7 of rcx, at k+1 in bits 8-15. *)
+  let k = 1688 in
+  Format.fprintf ppf "consecutive index entries for input byte %d:@." (Bytes.length input - k);
+  Format.fprintf ppf "%s@."
+    (Taint.Render.operand_line ~name:"rcx" (Tc.Bzip2_gadget.index_tval input k));
+  Format.fprintf ppf "%s@."
+    (Taint.Render.operand_line ~name:"rcx" (Tc.Bzip2_gadget.index_tval input (k + 1)));
+  let gadget =
+    List.find
+      (fun g -> g.Tc.Gadget.location = Tc.Bzip2_gadget.location)
+      (Tc.Engine.gadgets engine)
+  in
+  footer ppf
+    {
+      id = "E3";
+      title;
+      metrics =
+        [
+          ( "coverage (paper: all bytes)",
+            Tc.Gadget.coverage gadget ~input_length:(Bytes.length input) );
+        ];
+    }
+
+let e4_survey ?(seed = default_seed) ppf =
+  let title = "survey of compression gadgets (Section IV)" in
+  header ppf "E4" title;
+  let prng = Prng.create ~seed () in
+  let input = Prng.bytes prng 3000 in
+  let run name engine =
+    let gadgets = Tc.Engine.gadgets engine in
+    let best =
+      List.fold_left
+        (fun acc g ->
+          let c = Tc.Gadget.coverage g ~input_length:(Bytes.length input) in
+          Float.max acc c)
+        0.0 gadgets
+    in
+    Format.fprintf ppf "  %-12s gadgets: %2d   best input coverage: %5.1f%%@."
+      name (List.length gadgets) (100.0 *. best);
+    (name, best)
+  in
+  (* Explicit sequencing: list literals evaluate right to left. *)
+  let zlib = run "LZ77/Zlib" (Tc.Zlib_gadget.run input) in
+  let lzw = run "LZ78/LZW" (Tc.Lzw_gadget.run input) in
+  let bwt = run "BWT/Bzip2" (Tc.Bzip2_gadget.run input) in
+  let rows = [ zlib; lzw; bwt ] in
+  footer ppf
+    {
+      id = "E4";
+      title;
+      metrics = List.map (fun (n, c) -> ("coverage " ^ n, c)) rows;
+    }
+
+let e5_zlib_recovery ?(seed = default_seed) ppf =
+  let title = "Zlib recovery (Section IV-B)" in
+  header ppf "E5" title;
+  let prng = Prng.create ~seed () in
+  let head_base = Tc.Zlib_gadget.head_base in
+  (* Direct 2-bit leak on random data. *)
+  let random = Prng.bytes prng 4000 in
+  let observe input =
+    Array.map
+      (fun h -> Attack.Recovery.zlib_observe ~head_base ~ins_h:h)
+      (Compress.Lz77.hash_head_trace input)
+  in
+  let bits = Attack.Recovery.zlib_direct_bits ~head_base (observe random) in
+  let correct = ref 0 in
+  Array.iteri
+    (fun k v ->
+      let truth = (Char.code (Bytes.get random (k + 1)) lsr 3) land 0x3 in
+      if truth = v then incr correct)
+    bits;
+  let direct_acc = float_of_int !correct /. float_of_int (Array.length bits) in
+  Format.fprintf ppf
+    "  direct leak: bits 3-4 of each byte (2/8 = 25%% of the data), %d/%d windows correct@."
+    !correct (Array.length bits);
+  (* Full recovery of lowercase text. *)
+  let text = Bytes.of_string (Prng.lowercase_string prng 4000) in
+  let recovered =
+    Attack.Recovery.zlib_recover_lowercase ~head_base ~n:(Bytes.length text)
+      (observe text)
+  in
+  let byte_acc = Stats.fraction_equal recovered text in
+  Format.fprintf ppf
+    "  lowercase text: %.2f%% of bytes recovered exactly (all but the final byte)@."
+    (100.0 *. byte_acc);
+  footer ppf
+    {
+      id = "E5";
+      title;
+      metrics =
+        [
+          ("direct 2-bit accuracy", direct_acc);
+          ("lowercase byte accuracy", byte_acc);
+        ];
+    }
+
+let e6_lzw_recovery ?(seed = default_seed) ppf =
+  let title = "LZW recovery (Section IV-C)" in
+  header ppf "E6" title;
+  let prng = Prng.create ~seed () in
+  let htab_base = Tc.Lzw_gadget.htab_base in
+  let input = Bytes.of_string (Lipsum.repetitive_file prng ~level:4 ~size:4000) in
+  let _, probes = Compress.Lzw.compress_with_probes input in
+  let observed =
+    Array.of_list
+      (List.filter_map
+         (fun p ->
+           if p.Compress.Lzw.first then
+             Some (Attack.Recovery.lzw_observe ~htab_base ~hp:p.Compress.Lzw.hp)
+           else None)
+         probes)
+  in
+  let candidates = Attack.Recovery.lzw_candidate_firsts ~htab_base observed in
+  Format.fprintf ppf "  first-byte candidates (2^3 = 8): %s@."
+    (String.concat " " (List.map (Printf.sprintf "0x%02x") candidates));
+  let recovered = Attack.Recovery.lzw_recover_auto ~htab_base observed in
+  let byte_acc = Stats.fraction_equal recovered input in
+  Format.fprintf ppf "  recovered %.2f%% of bytes (paper: full recovery)@."
+    (100.0 *. byte_acc);
+  footer ppf
+    { id = "E6"; title; metrics = [ ("byte accuracy", byte_acc) ] }
+
+let e7_sgx_attack ?(seed = default_seed) ?(size = 10_000) ppf =
+  let title = "SGX end-to-end attack (Section V-E)" in
+  header ppf "E7" title;
+  let prng = Prng.create ~seed () in
+  let input = Prng.bytes prng size in
+  let t0 = Sys.time () in
+  let r = Attack.Sgx_attack.run input in
+  let elapsed = Sys.time () -. t0 in
+  Format.fprintf ppf
+    "  leaked %d bytes of random data: %.2f%% of bits (paper: >99%%), %.2f%% of bytes@."
+    size
+    (100.0 *. r.Attack.Sgx_attack.bit_accuracy)
+    (100.0 *. r.byte_accuracy);
+  Format.fprintf ppf
+    "  %d page faults, %d frame remaps, %d lost readings, %.1f s (paper: <30 s)@."
+    r.faults r.frame_remaps r.lost_readings elapsed;
+  footer ppf
+    {
+      id = "E7";
+      title;
+      metrics =
+        [
+          ("bit accuracy (paper >0.99)", r.Attack.Sgx_attack.bit_accuracy);
+          ("byte accuracy", r.byte_accuracy);
+          ("seconds (paper <30)", elapsed);
+        ];
+    }
+
+let e8_sgx_ablations ?(seed = default_seed) ?(size = 2000) ppf =
+  let title = "SGX attack ablations: CAT and frame selection (Section V)" in
+  header ppf "E8" title;
+  let prng = Prng.create ~seed () in
+  let input = Prng.bytes prng size in
+  let d = Attack.Sgx_attack.default_config in
+  let random_cache =
+    {
+      d.Attack.Sgx_attack.cache_config with
+      Zipchannel_cache.Cache.policy = Zipchannel_cache.Cache.Random_replacement;
+    }
+  in
+  let variants =
+    [
+      ("CAT + frame selection", d);
+      ( "no frame selection",
+        { d with Attack.Sgx_attack.use_frame_selection = false } );
+      ("no CAT", { d with Attack.Sgx_attack.use_cat = false });
+      ( "neither",
+        { d with Attack.Sgx_attack.use_cat = false; use_frame_selection = false }
+      );
+      (* The Section V-C1 point: random replacement hurts a multi-way
+         Prime+Probe but is irrelevant once CAT pins a single way. *)
+      ( "no CAT, random repl.",
+        { d with Attack.Sgx_attack.use_cat = false; cache_config = random_cache }
+      );
+      ( "CAT, random repl.",
+        { d with Attack.Sgx_attack.cache_config = random_cache } );
+    ]
+  in
+  let metrics =
+    List.map
+      (fun (name, config) ->
+        let r = Attack.Sgx_attack.run ~config input in
+        Format.fprintf ppf "  %-24s bit accuracy %6.2f%%  lost readings %4d@."
+          name
+          (100.0 *. r.Attack.Sgx_attack.bit_accuracy)
+          r.lost_readings;
+        ("bit accuracy, " ^ name, r.Attack.Sgx_attack.bit_accuracy))
+      variants
+  in
+  footer ppf { id = "E8"; title; metrics }
+
+let e9_sort_control_flow ?(seed = default_seed) ppf =
+  let title = "sorting control flow per block (Fig. 6)" in
+  header ppf "E9" title;
+  let prng = Prng.create ~seed () in
+  let files =
+    [
+      ("random 25k", Prng.bytes prng 25_000);
+      ("lipsum level 5", Bytes.of_string (Lipsum.repetitive_file prng ~level:5 ~size:25_000));
+      ("lipsum level 1", Bytes.of_string (Lipsum.repetitive_file prng ~level:1 ~size:25_000));
+      ("zeros 25k", Bytes.make 25_000 '\000');
+    ]
+  in
+  let describe path =
+    let open Compress.Block_sort in
+    match path.segments with
+    | [ { func = Main_sort; _ } ] -> "mainSort"
+    | [ { func = Fallback_sort; _ } ] -> "fallbackSort (short block)"
+    | [ { func = Main_sort; _ }; { func = Fallback_sort; _ } ] ->
+        "mainSort abandoned -> fallbackSort"
+    | _ -> "other"
+  in
+  let abandoned = ref 0 and blocks = ref 0 in
+  List.iter
+    (fun (name, data) ->
+      let _, infos = Compress.Bzip2.compress_with_info data in
+      Format.fprintf ppf "  %s:@." name;
+      List.iter
+        (fun info ->
+          incr blocks;
+          if info.Compress.Bzip2.path.Compress.Block_sort.abandoned then
+            incr abandoned;
+          Format.fprintf ppf "    block %d (%5d bytes): %s@."
+            info.Compress.Bzip2.index info.length (describe info.path))
+        infos)
+    files;
+  footer ppf
+    {
+      id = "E9";
+      title;
+      metrics =
+        [
+          ("blocks", float_of_int !blocks);
+          ("abandoned mainSort", float_of_int !abandoned);
+        ];
+    }
+
+let fingerprint_experiment ~id ~title ~seed ~traces_per_file ~epochs ~corpus ppf =
+  header ppf id title;
+  let prng = Prng.create ~seed () in
+  let files = corpus prng in
+  let labels = Array.of_list (List.map fst files) in
+  let samples =
+    List.concat
+      (List.mapi
+         (fun cls (_, data) ->
+           let segs = Attack.Fingerprint.timeline data in
+           List.init traces_per_file (fun _ ->
+               ( Attack.Fingerprint.features
+                   (Attack.Fingerprint.collect_segments ~prng segs),
+                 cls )))
+         files)
+  in
+  let ds = Classifier.Dataset.shuffle prng (Classifier.Dataset.make samples) in
+  let train, test = Classifier.Dataset.split ds ~train_fraction:0.9 in
+  let dim = Array.length train.Classifier.Dataset.x.(0) in
+  let mlp = Classifier.Mlp.create ~layers:[ dim; 48; Array.length labels ] () in
+  Classifier.Mlp.train ~epochs mlp ~x:train.Classifier.Dataset.x
+    ~y:train.Classifier.Dataset.y;
+  let conf = Stats.Confusion.create ~labels in
+  Array.iteri
+    (fun i x ->
+      Stats.Confusion.add conf ~truth:test.Classifier.Dataset.y.(i)
+        ~predicted:(Classifier.Mlp.predict mlp x))
+    test.Classifier.Dataset.x;
+  Format.fprintf ppf "%a@." Stats.Confusion.pp conf;
+  let acc = Stats.Confusion.accuracy conf in
+  Format.fprintf ppf "  test accuracy %.2f (chance %.3f)@." acc
+    (1.0 /. float_of_int (Array.length labels));
+  footer ppf
+    {
+      id;
+      title;
+      metrics =
+        [
+          ("test accuracy", acc);
+          ("chance", 1.0 /. float_of_int (Array.length labels));
+        ];
+    }
+
+let e10_fingerprint_corpus ?(seed = default_seed) ?(traces_per_file = 25) ppf =
+  fingerprint_experiment ~id:"E10"
+    ~title:"fingerprinting the 21-file corpus (Fig. 7)" ~seed ~traces_per_file
+    ~epochs:80 ~corpus:Attack.Corpus.brotli_like ppf
+
+let e11_fingerprint_repetitiveness ?(seed = default_seed)
+    ?(traces_per_file = 40) ppf =
+  fingerprint_experiment ~id:"E11"
+    ~title:"fingerprinting graded repetitiveness (Fig. 8)" ~seed
+    ~traces_per_file ~epochs:80 ~corpus:Attack.Corpus.repetitiveness ppf
+
+let e12_aes_validation ?(seed = default_seed) ppf =
+  let title = "tool validation on AES T-tables (Section III-B)" in
+  header ppf "E12" title;
+  (* FIPS-197 vector: proves the substrate is real AES. *)
+  let of_hex s =
+    Bytes.init
+      (String.length s / 2)
+      (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+  in
+  let key = of_hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = of_hex "00112233445566778899aabbccddeeff" in
+  let expect = of_hex "69c4e0d86a7b0430d8cdb78070b4c55a" in
+  let ct = Tc.Aes.encrypt_block ~key pt in
+  let fips_ok = Bytes.equal ct expect in
+  Format.fprintf ppf "  FIPS-197 test vector: %s@."
+    (if fips_ok then "PASS" else "FAIL");
+  let prng = Prng.create ~seed () in
+  let plaintext = Prng.bytes prng 64 in
+  let engine = Tc.Aes.run_taint ~key plaintext in
+  Tc.Engine.report ppf engine;
+  let found =
+    List.exists
+      (fun g -> g.Tc.Gadget.location = Tc.Aes.location)
+      (Tc.Engine.gadgets engine)
+  in
+  Format.fprintf ppf
+    "  first-round T-table gadget (Osvik et al.): %s@."
+    (if found then "FOUND" else "missing");
+  footer ppf
+    {
+      id = "E12";
+      title;
+      metrics =
+        [
+          ("fips vector ok", if fips_ok then 1.0 else 0.0);
+          ("gadget found", if found then 1.0 else 0.0);
+        ];
+    }
+
+let e13_memcpy_divergence ppf =
+  let title = "memcpy control-flow divergence (Section III-B)" in
+  header ppf "E13" title;
+  let t1024 = Tc.Memcpy_model.trace ~size:1024 in
+  let t1025 = Tc.Memcpy_model.trace ~size:1025 in
+  let t1024' = Tc.Memcpy_model.trace ~size:1024 in
+  let same = not (Tc.Trace_diff.diverges t1024 t1024') in
+  let report =
+    match Tc.Trace_diff.compare_traces t1024 t1025 with
+    | Some r ->
+        Format.fprintf ppf "  1024 vs 1025 bytes: %a@." Tc.Trace_diff.pp_report r;
+        true
+    | None ->
+        Format.fprintf ppf "  1024 vs 1025 bytes: no divergence (unexpected)@.";
+        false
+  in
+  Format.fprintf ppf "  1024 vs 1024 bytes: %s@."
+    (if same then "identical traces" else "diverged (unexpected)");
+  footer ppf
+    {
+      id = "E13";
+      title;
+      metrics =
+        [
+          ("size divergence detected", if report then 1.0 else 0.0);
+          ("same size identical", if same then 1.0 else 0.0);
+        ];
+    }
+
+let e14_mitigation ?(seed = default_seed) ppf =
+  let title = "constant-trace mitigation (Section VIII)" in
+  header ppf "E14" title;
+  let module Mit = Zipchannel_mitigation in
+  let prng = Prng.create ~seed () in
+  let a = Prng.bytes prng 400 and b = Prng.bytes prng 400 in
+  let correct = Mit.Oblivious.histogram a = Compress.Block_sort.histogram a in
+  Format.fprintf ppf "  oblivious histogram matches the plain one: %b@." correct;
+  let plain_leaks =
+    not
+      (Mit.Leak_check.constant_trace Mit.Leak_check.plain_histogram_line_trace
+         ~inputs:[ a; b ])
+  in
+  let oblivious_constant =
+    Mit.Leak_check.constant_trace Mit.Oblivious.histogram_line_trace
+      ~inputs:[ a; b ]
+  in
+  Format.fprintf ppf
+    "  plain loop trace input-dependent: %b; oblivious trace constant: %b@."
+    plain_leaks oblivious_constant;
+  (* Against a constant trace the attacker sees every line every iteration:
+     no observation carries information and recovery collapses to chance. *)
+  let blinded = Array.make 400 [] in
+  let recovered =
+    Attack.Recovery.bzip2_recover_candidates
+      ~ftab_base:Attack.Victim.ftab_base ~n:400 blinded
+  in
+  let chance_accuracy = Stats.fraction_equal recovered a in
+  Format.fprintf ppf "  recovery against the mitigated victim: %.2f%% of bytes (chance %.2f%%)@."
+    (100.0 *. chance_accuracy) (100.0 /. 256.0);
+  (* Overhead: oblivious sweeps every table line per input byte. *)
+  let time f =
+    let t0 = Sys.time () in
+    ignore (f ());
+    Sys.time () -. t0
+  in
+  let plain_t = time (fun () -> Compress.Block_sort.histogram a) in
+  let oblivious_t = time (fun () -> Mit.Oblivious.histogram a) in
+  let overhead = if plain_t > 0.0 then oblivious_t /. plain_t else infinity in
+  Format.fprintf ppf "  overhead: %.0fx (%.4fs vs %.4fs on 400 bytes)@."
+    overhead oblivious_t plain_t;
+  footer ppf
+    {
+      id = "E14";
+      title;
+      metrics =
+        [
+          ("oblivious correct", if correct then 1.0 else 0.0);
+          ("plain trace leaks", if plain_leaks then 1.0 else 0.0);
+          ("oblivious trace constant", if oblivious_constant then 1.0 else 0.0);
+          ("recovery vs mitigated (chance)", chance_accuracy);
+        ];
+    }
+
+let e15_timer_stepping ?(seed = default_seed) ?(size = 400) ppf =
+  let title = "timer-interrupt stepping baseline (Section V-A)" in
+  header ppf "E15" title;
+  let prng = Prng.create ~seed () in
+  let input = Prng.bytes prng size in
+  let ctrl = Attack.Sgx_attack.run input in
+  Format.fprintf ppf "  mprotect controlled channel: %6.2f%% of bits@."
+    (100.0 *. ctrl.Attack.Sgx_attack.bit_accuracy);
+  let jitters = [ 0.0; 0.5; 1.0; 2.0 ] in
+  let rows =
+    List.map
+      (fun jitter ->
+        let config =
+          { Attack.Timer_attack.default_config with
+            Attack.Timer_attack.interval_jitter = jitter }
+        in
+        let r = Attack.Timer_attack.run ~config input in
+        Format.fprintf ppf "  timer stepping, jitter %.1f:   %6.2f%% of bits@."
+          jitter
+          (100.0 *. r.Attack.Timer_attack.bit_accuracy);
+        (Printf.sprintf "timer bits, jitter %.1f" jitter,
+         r.Attack.Timer_attack.bit_accuracy))
+      jitters
+  in
+  footer ppf
+    {
+      id = "E15";
+      title;
+      metrics =
+        ("controlled channel bits", ctrl.Attack.Sgx_attack.bit_accuracy) :: rows;
+    }
+
+let e16_tool_comparison ?(seed = default_seed) ppf =
+  let title = "TaintChannel vs trace-correlation tools (Sections III, VII)" in
+  header ppf "E16" title;
+  let prng = Prng.create ~seed () in
+  let inputs = [ Prng.bytes prng 300; Prng.bytes prng 300; Prng.bytes prng 300 ] in
+  let findings =
+    Tc.Trace_correlate.analyze ~run:Tc.Bzip2_gadget.run ~inputs
+  in
+  Format.fprintf ppf "  trace-correlation baseline flags:@.";
+  List.iter
+    (fun f -> Format.fprintf ppf "    %a@." Tc.Trace_correlate.pp_finding f)
+    findings;
+  let baseline_found =
+    List.exists
+      (fun f -> f.Tc.Trace_correlate.location = Tc.Bzip2_gadget.location)
+      findings
+  in
+  let engine = Tc.Bzip2_gadget.run (List.hd inputs) in
+  let taint_found =
+    List.exists
+      (fun g -> g.Tc.Gadget.location = Tc.Bzip2_gadget.location)
+      (Tc.Engine.gadgets engine)
+  in
+  Format.fprintf ppf
+    "  both tools flag the gadget location; only TaintChannel yields the@.";
+  Format.fprintf ppf
+    "  per-bit input-to-address mapping (the Fig. 4 grid of E3), which the@.";
+  Format.fprintf ppf "  recovery algorithms of E5-E7 require.@.";
+  footer ppf
+    {
+      id = "E16";
+      title;
+      metrics =
+        [
+          ("baseline finds gadget", if baseline_found then 1.0 else 0.0);
+          ("taintchannel finds gadget", if taint_found then 1.0 else 0.0);
+          ("locations flagged by baseline", float_of_int (List.length findings));
+        ];
+    }
+
+let e17_lzw_sgx_attack ?(seed = default_seed) ?(size = 4000) ppf =
+  let title = "LZW extraction through the SGX channel (Section IV-C, end-to-end)" in
+  header ppf "E17" title;
+  let prng = Prng.create ~seed () in
+  let text = Bytes.of_string (Lipsum.repetitive_file prng ~level:4 ~size) in
+  let random = Prng.bytes prng size in
+  let run name input =
+    let r = Attack.Lzw_sgx_attack.run input in
+    Format.fprintf ppf
+      "  %-12s %6.2f%% of bytes, %6.2f%% of bits (%d lookups, %d lost readings)@."
+      name
+      (100.0 *. r.Attack.Lzw_sgx_attack.byte_accuracy)
+      (100.0 *. r.bit_accuracy) r.lookups r.lost_readings;
+    r
+  in
+  let rt = run "text" text in
+  let rr = run "random" random in
+  footer ppf
+    {
+      id = "E17";
+      title;
+      metrics =
+        [
+          ("text byte accuracy", rt.Attack.Lzw_sgx_attack.byte_accuracy);
+          ("random byte accuracy", rr.Attack.Lzw_sgx_attack.byte_accuracy);
+          ("random bit accuracy", rr.bit_accuracy);
+        ];
+    }
+
+let e18_zlib_sgx_attack ?(seed = default_seed) ?(size = 4000) ppf =
+  let title = "Zlib extraction through the SGX channel (Section IV-B, end-to-end)" in
+  header ppf "E18" title;
+  let prng = Prng.create ~seed () in
+  let lowercase = Bytes.of_string (Prng.lowercase_string prng size) in
+  let random = Prng.bytes prng size in
+  let rl = Attack.Zlib_sgx_attack.run lowercase in
+  Format.fprintf ppf
+    "  lowercase text: %6.2f%% of bytes recovered (%d lost windows)@."
+    (100.0 *. rl.Attack.Zlib_sgx_attack.byte_accuracy)
+    rl.lost_readings;
+  let rr = Attack.Zlib_sgx_attack.run random in
+  Format.fprintf ppf
+    "  random data:    %6.2f%% of the unconditional 2-bit-per-byte leak read correctly@."
+    (100.0 *. rr.Attack.Zlib_sgx_attack.direct_bits_accuracy);
+  footer ppf
+    {
+      id = "E18";
+      title;
+      metrics =
+        [
+          ("lowercase byte accuracy", rl.Attack.Zlib_sgx_attack.byte_accuracy);
+          ("random direct-bit accuracy", rr.Attack.Zlib_sgx_attack.direct_bits_accuracy);
+        ];
+    }
+
+let all ?(seed = default_seed) ppf =
+  (* Explicit sequencing: list literals evaluate right to left. *)
+  let o1 = e1_zlib_gadget ~seed ppf in
+  let o2 = e2_lzw_gadget ~seed ppf in
+  let o3 = e3_bzip2_gadget ~seed ppf in
+  let o4 = e4_survey ~seed ppf in
+  let o5 = e5_zlib_recovery ~seed ppf in
+  let o6 = e6_lzw_recovery ~seed ppf in
+  let o7 = e7_sgx_attack ~seed ppf in
+  let o8 = e8_sgx_ablations ~seed ppf in
+  let o9 = e9_sort_control_flow ~seed ppf in
+  let o10 = e10_fingerprint_corpus ~seed ppf in
+  let o11 = e11_fingerprint_repetitiveness ~seed ppf in
+  let o12 = e12_aes_validation ~seed ppf in
+  let o13 = e13_memcpy_divergence ppf in
+  let o14 = e14_mitigation ~seed ppf in
+  let o15 = e15_timer_stepping ~seed ppf in
+  let o16 = e16_tool_comparison ~seed ppf in
+  let o17 = e17_lzw_sgx_attack ~seed ppf in
+  let o18 = e18_zlib_sgx_attack ~seed ppf in
+  [
+    o1; o2; o3; o4; o5; o6; o7; o8; o9; o10; o11; o12; o13; o14; o15; o16;
+    o17; o18;
+  ]

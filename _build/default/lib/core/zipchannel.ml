@@ -1,0 +1,43 @@
+(** ZipChannel: cache side-channel analysis of compression algorithms.
+
+    Entry-point module: aliases every subsystem library and exposes the
+    {!Experiments} harness that regenerates the paper's figures and
+    numbers.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+    for paper-vs-measured results. *)
+
+module Util = Zipchannel_util
+(** PRNG, lipsum text, statistics. *)
+
+module Taint = Zipchannel_taint
+(** Per-bit taint tags, tainted words, report rendering. *)
+
+module Trace = Zipchannel_trace
+(** Memory events and victim layouts. *)
+
+module Compress = Zipchannel_compress
+(** The compressors: Bzip2 pipeline, DEFLATE-style LZ77, LZW, and their
+    stages. *)
+
+module Taintchannel = Zipchannel_taintchannel
+(** The TaintChannel tool: instrumentation engine, gadget models, AES
+    validation target, control-flow trace diffing. *)
+
+module Cache = Zipchannel_cache
+(** LLC model, CAT masks, timing, Prime+Probe and Flush+Reload. *)
+
+module Sgx = Zipchannel_sgx
+(** Enclave simulator and mprotect controlled channel. *)
+
+module Classifier = Zipchannel_classifier
+(** MLP and dataset helpers for the fingerprinting attack. *)
+
+module Attack = Zipchannel_attack
+(** End-to-end attacks: SGX Prime+Probe, fingerprinting, recovery math,
+    corpora, and the timer-stepping baseline. *)
+
+module Mitigation = Zipchannel_mitigation
+(** Section VIII: constant-access-pattern compression primitives and the
+    constant-trace checker. *)
+
+module Experiments = Experiments
+(** Reproductions of every figure and evaluation number in the paper. *)

@@ -1,0 +1,1 @@
+lib/mitigation/leak_check.ml: Array List Zipchannel_compress

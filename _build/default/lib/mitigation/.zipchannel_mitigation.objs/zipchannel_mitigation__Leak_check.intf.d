@@ -1,0 +1,1 @@
+lib/mitigation/leak_check.mli:

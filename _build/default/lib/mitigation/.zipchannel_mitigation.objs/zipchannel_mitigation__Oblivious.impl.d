@@ -1,0 +1,1 @@
+lib/mitigation/oblivious.ml: Array Buffer Bytes Char Zipchannel_compress

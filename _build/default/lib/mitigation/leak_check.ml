@@ -1,0 +1,21 @@
+module Block_sort = Zipchannel_compress.Block_sort
+
+let plain_histogram_line_trace block =
+  Array.map (fun j -> j * 4 / 64) (Block_sort.ftab_indices block)
+
+let first_difference a b =
+  let na = Array.length a and nb = Array.length b in
+  let n = min na nb in
+  let rec go i =
+    if i >= n then if na = nb then None else Some n
+    else if a.(i) <> b.(i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let constant_trace f ~inputs =
+  match inputs with
+  | [] | [ _ ] -> invalid_arg "Leak_check.constant_trace: need >= 2 inputs"
+  | first :: rest ->
+      let reference = f first in
+      List.for_all (fun input -> first_difference reference (f input) = None) rest

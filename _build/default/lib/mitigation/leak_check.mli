@@ -1,0 +1,21 @@
+(** Constant-trace verification of mitigations.
+
+    A mitigation is effective against the cache channel iff the sequence
+    of touched lines is the same for every input (of a given length).
+    This module checks exactly that property over a set of inputs — the
+    mitigated analogue of the control-flow trace diffing the tool uses to
+    find leaks. *)
+
+val plain_histogram_line_trace : bytes -> int array
+(** The line trace of the {e unmitigated} Listing 3 loop (table-relative
+    line index per iteration): input-dependent, as the attack requires. *)
+
+val constant_trace : (bytes -> int array) -> inputs:bytes list -> bool
+(** [constant_trace f ~inputs] is true iff [f] produces the identical
+    trace for every input.  All inputs must have equal length — traces of
+    different lengths trivially differ.  @raise Invalid_argument on fewer
+    than two inputs. *)
+
+val first_difference : int array -> int array -> int option
+(** Index of the first differing position (length mismatch counts),
+    [None] when identical. *)

@@ -1,0 +1,92 @@
+module Block_sort = Zipchannel_compress.Block_sort
+
+let line_bytes = 64
+
+let lines_of_table ~entries ~entry_size =
+  ((entries * entry_size) + line_bytes - 1) / line_bytes
+
+(* ftab entries are 4 bytes: 16 per line. *)
+let ftab_entries_per_line = line_bytes / 4
+
+let ftab_lines =
+  lines_of_table ~entries:Block_sort.ftab_size ~entry_size:4
+
+(* One constant-trace pass: touch every line once, performing the real
+   increment inside the line that holds [j].  Reading and rewriting a slot
+   of every other line keeps the (line-granular) write set identical for
+   every j; [record] receives the touched line indices in order. *)
+let sweep_increment ~record ftab j =
+  for line = 0 to ftab_lines - 1 do
+    let base = line * ftab_entries_per_line in
+    record line;
+    if j / ftab_entries_per_line = line then ftab.(j) <- ftab.(j) + 1
+    else begin
+      let keep = ftab.(base) in
+      ftab.(base) <- keep
+    end
+  done
+
+let histogram_traced block =
+  let ftab = Array.make Block_sort.ftab_size 0 in
+  let trace = Buffer.create 1024 in
+  (* Line indices fit in two bytes; the trace is recorded compactly. *)
+  let record line =
+    Buffer.add_char trace (Char.chr (line land 0xff));
+    Buffer.add_char trace (Char.chr ((line lsr 8) land 0xff))
+  in
+  Array.iter
+    (fun j -> sweep_increment ~record ftab j)
+    (Block_sort.ftab_indices block);
+  let packed = Buffer.to_bytes trace in
+  let n = Bytes.length packed / 2 in
+  ( ftab,
+    Array.init n (fun k ->
+        Char.code (Bytes.get packed (2 * k))
+        lor (Char.code (Bytes.get packed ((2 * k) + 1)) lsl 8)) )
+
+let histogram block = fst (histogram_traced block)
+
+let histogram_line_trace block = snd (histogram_traced block)
+
+let lookup ~table i =
+  let n = Array.length table in
+  if i < 0 || i >= n then invalid_arg "Oblivious.lookup: index";
+  (* 8-byte entries: 8 per line. *)
+  let per_line = line_bytes / 8 in
+  let lines = (n + per_line - 1) / per_line in
+  let result = ref 0 in
+  for line = 0 to lines - 1 do
+    let base = line * per_line in
+    let probe = table.(min (n - 1) base) in
+    (* Constant-time select: accumulate the wanted entry without a
+       data-dependent branch on which line to read. *)
+    let here = i / per_line = line in
+    let v = if here then table.(i) else probe in
+    let mask = if here then -1 else 0 in
+    result := !result lor (v land mask)
+  done;
+  !result
+
+let store_magic = "ZST1"
+
+let store_pack data =
+  let buf = Buffer.create (Bytes.length data + 8) in
+  Buffer.add_string buf store_magic;
+  let n = Bytes.length data in
+  for k = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * k)) land 0xff))
+  done;
+  Buffer.add_bytes buf data;
+  Buffer.to_bytes buf
+
+let store_unpack data =
+  if Bytes.length data < 8 then failwith "Oblivious.store_unpack: too short";
+  if Bytes.sub_string data 0 4 <> store_magic then
+    failwith "Oblivious.store_unpack: bad magic";
+  let n = ref 0 in
+  for k = 3 downto 0 do
+    n := (!n lsl 8) lor Char.code (Bytes.get data (4 + k))
+  done;
+  if Bytes.length data <> 8 + !n then
+    failwith "Oblivious.store_unpack: length mismatch";
+  Bytes.sub data 8 !n

@@ -1,0 +1,37 @@
+(** Constant-access-pattern ("oblivious") variants of the leaking
+    compression primitives — the paper's Section VIII mitigation
+    direction, made concrete.
+
+    The cache channel observes which 64-byte lines are touched.  These
+    variants therefore sweep {e every} line of the secret-indexed table on
+    each logical access and perform the real update at the matching entry
+    (whose sub-line offset is invisible); the line-granular trace is a
+    fixed sequence independent of the data.  The price is the full-table
+    sweep per access, quantified by the E14 experiment and the bench
+    suite. *)
+
+val lines_of_table : entries:int -> entry_size:int -> int
+(** Number of 64-byte lines covering a table. *)
+
+val histogram : bytes -> int array
+(** Constant-trace replacement for Bzip2's Listing 3 loop: the same
+    [Block_sort.ftab_size] frequency table, but every iteration touches
+    every line of the table exactly once. *)
+
+val histogram_line_trace : bytes -> int array
+(** The sequence of table line indices a cache attacker observes during
+    {!histogram} — by construction a function of the input {e length}
+    only.  (Test hook; production code does not expose its own trace.) *)
+
+val lookup : table:int array -> int -> int
+(** Oblivious array read: returns [table.(i)] while touching every line
+    of [table] (entries are one [int], 8 bytes, each line holds 8).
+    @raise Invalid_argument when the index is out of bounds. *)
+
+val store_pack : bytes -> bytes
+(** The paper's "only known complete defense": don't compress.  A stored
+    (identity) container with a length header, for drop-in use where a
+    compressed stream was expected. *)
+
+val store_unpack : bytes -> bytes
+(** @raise Failure on malformed framing. *)

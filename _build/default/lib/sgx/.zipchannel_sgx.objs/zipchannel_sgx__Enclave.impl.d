@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Array Page_table Zipchannel_cache Zipchannel_trace

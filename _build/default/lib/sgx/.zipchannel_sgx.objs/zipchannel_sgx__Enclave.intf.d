@@ -1,0 +1,1 @@
+lib/sgx/enclave.mli: Page_table Zipchannel_cache Zipchannel_trace

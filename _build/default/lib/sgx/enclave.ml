@@ -1,0 +1,56 @@
+type fault = { page_addr : int; kind : Zipchannel_trace.Event.kind }
+
+type outcome = Done | Fault of fault | Executed
+
+type t = {
+  program : Zipchannel_trace.Event.t array;
+  page_table : Page_table.t;
+  cache : Zipchannel_cache.Cache.t;
+  cos : int;
+  mutable pc : int;
+  mutable executed : int;
+}
+
+let create ?(cos = 0) ~program ~page_table ~cache () =
+  { program; page_table; cache; cos; pc = 0; executed = 0 }
+
+let page_mask = lnot (Page_table.page_size - 1)
+
+let step t =
+  if t.pc >= Array.length t.program then Done
+  else begin
+    let ev = t.program.(t.pc) in
+    let first = Page_table.vpage_of ev.Zipchannel_trace.Event.addr in
+    let last = Page_table.vpage_of (ev.addr + max 1 ev.size - 1) in
+    let rec blocked p =
+      if p > last then None
+      else if not (Page_table.is_accessible t.page_table ~vpage:p) then Some p
+      else blocked (p + 1)
+    in
+    match blocked first with
+    | Some vpage ->
+        (* SGX reports the fault with the page offset masked. *)
+        let addr_on_page =
+          if vpage = first then ev.addr else vpage lsl Page_table.page_bits
+        in
+        Fault { page_addr = addr_on_page land page_mask; kind = ev.kind }
+    | None ->
+        let phys = Page_table.phys_of t.page_table ev.addr in
+        ignore
+          (Zipchannel_cache.Cache.access t.cache ~cos:t.cos ~owner:Zipchannel_cache.Cache.Victim phys);
+        t.pc <- t.pc + 1;
+        t.executed <- t.executed + 1;
+        Executed
+  end
+
+let rec run_to_fault t =
+  match step t with
+  | Done -> Done
+  | Fault f -> Fault f
+  | Executed -> run_to_fault t
+
+let pc t = t.pc
+
+let finished t = t.pc >= Array.length t.program
+
+let executed_count t = t.executed

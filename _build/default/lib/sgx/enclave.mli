@@ -1,0 +1,41 @@
+(** An SGX enclave executing a fixed memory-access program.
+
+    The enclave's data accesses go to the shared cache (physically
+    addressed through the attacker-controlled page table).  When an access
+    touches a protected page, execution stops with a fault that reveals
+    only the page-aligned virtual address — SGX masks the low 12 bits from
+    the OS, exactly the leak granularity of the controlled channel.  After
+    the handler restores access, the faulted access retries. *)
+
+type fault = {
+  page_addr : int;  (** faulting virtual address with the offset masked *)
+  kind : Zipchannel_trace.Event.kind;
+}
+
+type outcome =
+  | Done  (** program finished *)
+  | Fault of fault  (** pc not advanced; access will retry *)
+  | Executed  (** one access performed (contents hidden from the OS) *)
+
+type t
+
+val create :
+  ?cos:int ->
+  program:Zipchannel_trace.Event.t array ->
+  page_table:Page_table.t ->
+  cache:Zipchannel_cache.Cache.t ->
+  unit ->
+  t
+
+val step : t -> outcome
+
+val run_to_fault : t -> outcome
+(** Step until [Fault] or [Done]. *)
+
+val pc : t -> int
+
+val finished : t -> bool
+
+val executed_count : t -> int
+(** Number of accesses performed — the "instruction counter" used by
+    tests; a real attacker does not see it. *)

@@ -1,0 +1,37 @@
+let page_bits = 12
+
+let page_size = 1 lsl page_bits
+
+type t = {
+  frames : (int, int) Hashtbl.t; (* vpage -> frame; identity if absent *)
+  revoked : (int, unit) Hashtbl.t;
+}
+
+let create () = { frames = Hashtbl.create 64; revoked = Hashtbl.create 64 }
+
+let vpage_of addr = addr lsr page_bits
+
+let map t ~vpage ~frame = Hashtbl.replace t.frames vpage frame
+
+let frame_of t ~vpage =
+  match Hashtbl.find_opt t.frames vpage with Some f -> f | None -> vpage
+
+let phys_of t addr =
+  let vpage = vpage_of addr in
+  (frame_of t ~vpage lsl page_bits) lor (addr land (page_size - 1))
+
+let protect t ~vpage = Hashtbl.replace t.revoked vpage ()
+
+let unprotect t ~vpage = Hashtbl.remove t.revoked vpage
+
+let pages_in ~addr ~size =
+  let first = vpage_of addr and last = vpage_of (addr + max 1 size - 1) in
+  List.init (last - first + 1) (fun k -> first + k)
+
+let protect_range t ~addr ~size =
+  List.iter (fun vpage -> protect t ~vpage) (pages_in ~addr ~size)
+
+let unprotect_range t ~addr ~size =
+  List.iter (fun vpage -> unprotect t ~vpage) (pages_in ~addr ~size)
+
+let is_accessible t ~vpage = not (Hashtbl.mem t.revoked vpage)

@@ -1,0 +1,41 @@
+(** Page table with revocable permissions: the OS-level mechanism behind
+    the controlled-channel attack (Xu et al., and the paper's Section V-A
+    [mprotect]-based variant).
+
+    The attacker plays the OS: it maps virtual pages to physical frames of
+    its choosing (the frame-selection technique needs exactly this) and
+    revokes/restores access per page.  The enclave's accesses fault on
+    revoked pages, and the fault reveals the page-aligned address. *)
+
+val page_bits : int
+(** 12: 4 KiB pages. *)
+
+val page_size : int
+
+type t
+
+val create : unit -> t
+
+val vpage_of : int -> int
+(** Virtual address to virtual page number. *)
+
+val map : t -> vpage:int -> frame:int -> unit
+(** Install or change a mapping.  Pages without an explicit mapping are
+    identity-mapped (frame = vpage). *)
+
+val frame_of : t -> vpage:int -> int
+
+val phys_of : t -> int -> int
+(** Translate a virtual byte address. *)
+
+val protect : t -> vpage:int -> unit
+(** Revoke all access ([mprotect(PROT_NONE)]). *)
+
+val protect_range : t -> addr:int -> size:int -> unit
+(** Revoke every page overlapping [addr, addr+size). *)
+
+val unprotect : t -> vpage:int -> unit
+
+val unprotect_range : t -> addr:int -> size:int -> unit
+
+val is_accessible : t -> vpage:int -> bool

@@ -1,0 +1,1 @@
+lib/taint/render.ml: Buffer List Printf String Tagset Tval

@@ -1,0 +1,1 @@
+lib/taint/render.mli: Tval

@@ -1,0 +1,1 @@
+lib/taint/tagset.ml: Format Int List Set

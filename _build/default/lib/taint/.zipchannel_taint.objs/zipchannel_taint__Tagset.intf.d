@@ -1,0 +1,1 @@
+lib/taint/tagset.mli: Format

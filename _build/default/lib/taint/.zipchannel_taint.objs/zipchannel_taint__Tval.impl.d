@@ -1,0 +1,1 @@
+lib/taint/tval.ml: Array Format List Tagset

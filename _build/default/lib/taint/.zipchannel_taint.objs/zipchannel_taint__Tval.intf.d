@@ -1,0 +1,1 @@
+lib/taint/tval.mli: Format Tagset

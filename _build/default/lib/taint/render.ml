@@ -1,0 +1,57 @@
+let hex_bytes_le v =
+  let nbytes = max 1 ((Tval.width v + 7) / 8) in
+  let nbytes = if Tval.width v > 32 then 8 else nbytes in
+  let value = Tval.value v in
+  String.concat " "
+    (List.init nbytes (fun i -> Printf.sprintf "%02x" ((value lsr (8 * i)) land 0xff)))
+
+let default_bits v =
+  let highest =
+    List.fold_left (fun acc (i, _) -> max acc i) (-1) (Tval.tainted_bits v)
+  in
+  max 16 (((highest + 8) / 8) * 8)
+
+let bit_grid ?bits v =
+  if not (Tval.is_tainted v) then ""
+  else begin
+    let bits =
+      match bits with
+      | Some b -> min b (Tval.width v)
+      | None -> min (default_bits v) (Tval.width v)
+    in
+    (* Collect the tags present in the rendered window, ascending. *)
+    let tags = ref Tagset.empty in
+    for i = 0 to bits - 1 do
+      tags := Tagset.union !tags (Tval.taint v i)
+    done;
+    let tag_list = Tagset.elements !tags in
+    let label_width =
+      List.fold_left
+        (fun acc tag -> max acc (String.length (string_of_int tag)))
+        2 tag_list
+    in
+    let buf = Buffer.create 256 in
+    let cell s = Buffer.add_string buf (Printf.sprintf "%2s|" s) in
+    let row_for tag =
+      Buffer.add_string buf (Printf.sprintf "%*d: |" label_width tag);
+      for i = bits - 1 downto 0 do
+        cell (if Tagset.mem tag (Tval.taint v i) then " x" else "  ")
+      done;
+      Buffer.add_char buf '\n'
+    in
+    List.iter row_for tag_list;
+    (* Footer of bit indices, most significant first. *)
+    Buffer.add_string buf (String.make (label_width + 2) ' ');
+    Buffer.add_char buf '|';
+    for i = bits - 1 downto 0 do
+      cell (Printf.sprintf "%2d" i)
+    done;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end
+
+let operand_line ~name v =
+  let status = if Tval.is_tainted v then "  (tainted)" else "" in
+  let head = Printf.sprintf "%s = %s%s" name (hex_bytes_le v) status in
+  let grid = bit_grid v in
+  if grid = "" then head else head ^ "\n" ^ grid

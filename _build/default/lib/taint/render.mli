@@ -1,0 +1,18 @@
+(** Rendering of per-bit taint in TaintChannel's report format.
+
+    Reproduces the ASCII-art layout of the paper's Figs. 2–4: one row per
+    taint tag with an [x] in every bit column that carries the tag, and a
+    footer row of bit indices, most significant on the left. *)
+
+val hex_bytes_le : Tval.t -> string
+(** The value as space-separated little-endian bytes, the way TaintChannel
+    prints register contents ("10 b7 43 d6 43 7f 00 00"). *)
+
+val bit_grid : ?bits:int -> Tval.t -> string
+(** [bit_grid ~bits v] is the taint grid over the low [bits] bit positions
+    (default: the smallest multiple of 8 covering every tainted bit, at
+    least 16).  Returns the empty string when [v] is untainted. *)
+
+val operand_line : name:string -> Tval.t -> string
+(** One register line: ["rdx = 10 b7 ... (tainted)"] followed by the bit
+    grid on subsequent lines when taint is present. *)

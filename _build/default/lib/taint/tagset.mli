@@ -1,0 +1,26 @@
+(** Sets of taint tags.
+
+    A tag identifies one input byte by its sequential index, exactly as
+    TaintChannel assigns them: the first byte read from the input is tag 1,
+    the second tag 2, and so on (paper Section III-B). *)
+
+type tag = int
+(** Input byte index, 1-based in reports. *)
+
+type t
+(** An immutable set of tags. *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : tag -> t
+val add : tag -> t -> t
+val union : t -> t -> t
+val mem : tag -> t -> bool
+val cardinal : t -> int
+val elements : t -> tag list
+(** Ascending order. *)
+
+val equal : t -> t -> bool
+val of_list : tag list -> t
+val fold : (tag -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+type t = { width : int; value : int; taint : Tagset.t array }
+
+let check_width width =
+  if width < 1 || width > 63 then invalid_arg "Tval: width must be in 1..63"
+
+let mask_of width = if width = 63 then max_int else (1 lsl width) - 1
+
+let width t = t.width
+let value t = t.value
+
+let taint t i =
+  if i < 0 || i >= t.width then invalid_arg "Tval.taint: bit out of range";
+  t.taint.(i)
+
+let const ~width v =
+  check_width width;
+  { width; value = v land mask_of width; taint = Array.make width Tagset.empty }
+
+let input_byte ~tag v =
+  { width = 8;
+    value = v land 0xff;
+    taint = Array.make 8 (Tagset.singleton tag) }
+
+let with_taint ~width v assoc =
+  check_width width;
+  let taint = Array.make width Tagset.empty in
+  List.iter
+    (fun (i, tags) ->
+      if i < 0 || i >= width then invalid_arg "Tval.with_taint: bit";
+      taint.(i) <- tags)
+    assoc;
+  { width; value = v land mask_of width; taint }
+
+let is_tainted t = Array.exists (fun s -> not (Tagset.is_empty s)) t.taint
+
+let tainted_bits t =
+  let acc = ref [] in
+  for i = t.width - 1 downto 0 do
+    if not (Tagset.is_empty t.taint.(i)) then acc := (i, t.taint.(i)) :: !acc
+  done;
+  !acc
+
+let tags t = Array.fold_left Tagset.union Tagset.empty t.taint
+
+let zero_extend ~width t =
+  check_width width;
+  if width < t.width then invalid_arg "Tval.zero_extend: narrower than input";
+  let taint = Array.make width Tagset.empty in
+  Array.blit t.taint 0 taint 0 t.width;
+  { width; value = t.value; taint }
+
+let truncate ~width t =
+  check_width width;
+  if width >= t.width then zero_extend ~width t
+  else
+    { width;
+      value = t.value land mask_of width;
+      taint = Array.sub t.taint 0 width }
+
+(* Bring two operands to a common width before a binary operation, as the
+   instruction-level tool sees same-width register operands. *)
+let align a b =
+  let w = max a.width b.width in
+  (zero_extend ~width:w a, zero_extend ~width:w b)
+
+let merge_bitwise op a b =
+  let a, b = align a b in
+  { width = a.width;
+    value = op a.value b.value land mask_of a.width;
+    taint = Array.init a.width (fun i -> Tagset.union a.taint.(i) b.taint.(i)) }
+
+let logxor a b = merge_bitwise ( lxor ) a b
+
+let logor a b = merge_bitwise ( lor ) a b
+
+(* The paper's special rule for [and]: a tainted value masked by an
+   untainted one keeps its taint only where the mask bit is 1.  The rule is
+   applied symmetrically; where both sides are tainted the taints merge. *)
+let logand a b =
+  let a, b = align a b in
+  let bit v i = (v lsr i) land 1 in
+  let taint =
+    Array.init a.width (fun i ->
+        let from_a =
+          if bit b.value i = 1 || not (Tagset.is_empty b.taint.(i)) then
+            a.taint.(i)
+          else Tagset.empty
+        in
+        let from_b =
+          if bit a.value i = 1 || not (Tagset.is_empty a.taint.(i)) then
+            b.taint.(i)
+          else Tagset.empty
+        in
+        Tagset.union from_a from_b)
+  in
+  { width = a.width; value = a.value land b.value; taint }
+
+(* add/sub follow the paper's multi-source rule: per-bit merge of source
+   taint.  TaintChannel does not model carry chains (its Fig. 2/4 renderings
+   show bit-exact provenance), and neither do we. *)
+let add a b =
+  let a, b = align a b in
+  { width = a.width;
+    value = (a.value + b.value) land mask_of a.width;
+    taint = Array.init a.width (fun i -> Tagset.union a.taint.(i) b.taint.(i)) }
+
+let sub a b =
+  let a, b = align a b in
+  { width = a.width;
+    value = (a.value - b.value) land mask_of a.width;
+    taint = Array.init a.width (fun i -> Tagset.union a.taint.(i) b.taint.(i)) }
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Tval.shift_left: negative amount";
+  let taint =
+    Array.init t.width (fun i ->
+        if i - k >= 0 then t.taint.(i - k) else Tagset.empty)
+  in
+  { t with value = (t.value lsl k) land mask_of t.width; taint }
+
+let shift_right_logical t k =
+  if k < 0 then invalid_arg "Tval.shift_right_logical: negative amount";
+  let taint =
+    Array.init t.width (fun i ->
+        if i + k < t.width then t.taint.(i + k) else Tagset.empty)
+  in
+  { t with value = t.value lsr k; taint }
+
+let shift_right_arith t k =
+  if k < 0 then invalid_arg "Tval.shift_right_arith: negative amount";
+  let sign_bit = t.width - 1 in
+  let sign_set = (t.value lsr sign_bit) land 1 = 1 in
+  let taint =
+    Array.init t.width (fun i ->
+        if i + k < t.width then t.taint.(i + k) else t.taint.(sign_bit))
+  in
+  let value =
+    if sign_set then
+      (t.value lsr k) lor (mask_of t.width lxor mask_of (max 1 (t.width - k)))
+    else t.value lsr k
+  in
+  { t with value = value land mask_of t.width; taint }
+
+let mul_pow2 t k = shift_left t k
+
+let equal a b =
+  a.width = b.width && a.value = b.value
+  && Array.for_all2 Tagset.equal a.taint b.taint
+
+let pp ppf t =
+  Format.fprintf ppf "0x%x/%d" t.value t.width;
+  List.iter
+    (fun (i, tags) -> Format.fprintf ppf " b%d:%a" i Tagset.pp tags)
+    (tainted_bits t)

@@ -1,0 +1,72 @@
+(** Tainted machine words.
+
+    A [Tval.t] is a machine word carrying, for each bit position, the set of
+    input-byte tags that flowed into that bit.  The propagation rules are the
+    ones TaintChannel implements (paper Section III-B, Fig. 1):
+
+    - instructions with several sources (xor, or, add, sub) merge the taint
+      of the sources per bit position;
+    - [and] with an untainted mask keeps taint only where the mask bit is 1;
+    - shifts relocate taint by the shift amount (an arithmetic right shift
+      replicates the sign bit's taint into the vacated positions);
+    - taint never propagates through control flow (the paper's rule against
+      over-tainting) — that is a property of how callers use this module,
+      not of the module itself. *)
+
+type t
+
+val width : t -> int
+(** Bit width, between 1 and 63. *)
+
+val value : t -> int
+(** The concrete value; always within [0, 2^width). *)
+
+val taint : t -> int -> Tagset.t
+(** [taint v i] is the tag set of bit [i] (0 = least significant).
+    @raise Invalid_argument if [i] is outside the width. *)
+
+val const : width:int -> int -> t
+(** Untainted constant.  The value is truncated to [width] bits.
+    @raise Invalid_argument unless [1 <= width <= 63]. *)
+
+val input_byte : tag:Tagset.tag -> int -> t
+(** An 8-bit value freshly read from the input: every bit tainted with
+    [tag], as TaintChannel marks bytes at the [read] system call. *)
+
+val with_taint : width:int -> int -> (int * Tagset.t) list -> t
+(** [with_taint ~width v assoc] builds a value with explicit per-bit taint;
+    bits absent from [assoc] are untainted.  For tests and table seeding. *)
+
+val is_tainted : t -> bool
+
+val tainted_bits : t -> (int * Tagset.t) list
+(** Tainted bit positions in ascending order with their tags. *)
+
+val tags : t -> Tagset.t
+(** Union of all per-bit tag sets. *)
+
+val zero_extend : width:int -> t -> t
+(** Widen with untainted zero bits.  @raise Invalid_argument if narrower
+    than the argument. *)
+
+val truncate : width:int -> t -> t
+(** Keep the low [width] bits. *)
+
+val logxor : t -> t -> t
+val logor : t -> t -> t
+val logand : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+val mul_pow2 : t -> int -> t
+(** [mul_pow2 v k] multiplies by [2^k]; scaled-index addressing modes
+    ([rbp + rax*8]) reduce to this. *)
+
+val equal : t -> t -> bool
+(** Value, width and per-bit taint all equal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/taintchannel/aes.ml: Array Buffer Bytes Char Engine Tval Zipchannel_taint

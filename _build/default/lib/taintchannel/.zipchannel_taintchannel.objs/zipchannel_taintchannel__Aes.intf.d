@@ -1,0 +1,1 @@
+lib/taintchannel/aes.mli: Engine

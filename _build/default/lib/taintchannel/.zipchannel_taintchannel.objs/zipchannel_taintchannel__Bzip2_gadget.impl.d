@@ -1,0 +1,1 @@
+lib/taintchannel/bzip2_gadget.ml: Bytes Char Engine Tval Zipchannel_taint

@@ -1,0 +1,1 @@
+lib/taintchannel/bzip2_gadget.mli: Engine Zipchannel_taint

@@ -1,0 +1,1 @@
+lib/taintchannel/engine.ml: Bytes Char Format Gadget Hashtbl List Tagset Tval Zipchannel_taint

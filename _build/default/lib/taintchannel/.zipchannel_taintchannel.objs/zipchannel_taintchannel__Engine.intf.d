@@ -1,0 +1,1 @@
+lib/taintchannel/engine.mli: Format Gadget Tval Zipchannel_taint

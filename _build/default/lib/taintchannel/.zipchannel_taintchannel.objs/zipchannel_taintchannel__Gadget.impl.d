@@ -1,0 +1,1 @@
+lib/taintchannel/gadget.ml: Format Render Tagset Tval Zipchannel_taint

@@ -1,0 +1,1 @@
+lib/taintchannel/gadget.mli: Format Tagset Tval Zipchannel_taint

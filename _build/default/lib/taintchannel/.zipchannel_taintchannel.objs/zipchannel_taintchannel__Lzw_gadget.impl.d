@@ -1,0 +1,1 @@
+lib/taintchannel/lzw_gadget.ml: Engine List Tagset Tval Zipchannel_compress Zipchannel_taint

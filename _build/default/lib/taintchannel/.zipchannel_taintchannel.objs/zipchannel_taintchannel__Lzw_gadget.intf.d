@@ -1,0 +1,1 @@
+lib/taintchannel/lzw_gadget.mli: Engine

@@ -1,0 +1,1 @@
+lib/taintchannel/memcpy_model.ml: Bytes Engine

@@ -1,0 +1,1 @@
+lib/taintchannel/trace_correlate.ml: Array Engine Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/taintchannel/trace_correlate.mli: Engine Format

@@ -1,0 +1,1 @@
+lib/taintchannel/trace_diff.ml: Format List String

@@ -1,0 +1,1 @@
+lib/taintchannel/zlib_gadget.ml: Bytes Engine Tval Zipchannel_compress Zipchannel_taint

@@ -1,0 +1,1 @@
+lib/taintchannel/zlib_gadget.mli: Engine

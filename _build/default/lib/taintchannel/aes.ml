@@ -1,0 +1,169 @@
+open Zipchannel_taint
+
+let te_base = 0x7f2bc0000000
+
+let location = "/path/to/libcrypto.so!aes_encrypt+92"
+
+let sbox =
+  [| 0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b;
+     0xfe; 0xd7; 0xab; 0x76; 0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0;
+     0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0; 0xb7; 0xfd; 0x93; 0x26;
+     0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+     0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2;
+     0xeb; 0x27; 0xb2; 0x75; 0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0;
+     0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84; 0x53; 0xd1; 0x00; 0xed;
+     0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+     0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f;
+     0x50; 0x3c; 0x9f; 0xa8; 0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5;
+     0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2; 0xcd; 0x0c; 0x13; 0xec;
+     0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+     0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14;
+     0xde; 0x5e; 0x0b; 0xdb; 0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c;
+     0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79; 0xe7; 0xc8; 0x37; 0x6d;
+     0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+     0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f;
+     0x4b; 0xbd; 0x8b; 0x8a; 0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e;
+     0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e; 0xe1; 0xf8; 0x98; 0x11;
+     0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+     0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f;
+     0xb0; 0x54; 0xbb; 0x16 |]
+
+let xtime b =
+  let d = b lsl 1 in
+  if b land 0x80 <> 0 then (d lxor 0x1b) land 0xff else d land 0xff
+
+(* Te0[x] = [2s, s, s, 3s] packed big-endian; the other three tables are
+   byte rotations of it. *)
+let te0 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      let s2 = xtime s in
+      let s3 = s2 lxor s in
+      (s2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor s3)
+
+let mask32 = 0xffffffff
+
+let ror32 x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let sub_word w =
+  (sbox.((w lsr 24) land 0xff) lsl 24)
+  lor (sbox.((w lsr 16) land 0xff) lsl 16)
+  lor (sbox.((w lsr 8) land 0xff) lsl 8)
+  lor sbox.(w land 0xff)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land mask32
+
+let expand_key key =
+  if Bytes.length key <> 16 then invalid_arg "Aes: key must be 16 bytes";
+  let word i =
+    (Char.code (Bytes.get key (4 * i)) lsl 24)
+    lor (Char.code (Bytes.get key ((4 * i) + 1)) lsl 16)
+    lor (Char.code (Bytes.get key ((4 * i) + 2)) lsl 8)
+    lor Char.code (Bytes.get key ((4 * i) + 3))
+  in
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <- word i
+  done;
+  for i = 4 to 43 do
+    let temp =
+      if i mod 4 = 0 then
+        sub_word (rot_word w.(i - 1)) lxor (rcon.((i / 4) - 1) lsl 24)
+      else w.(i - 1)
+    in
+    w.(i) <- w.(i - 4) lxor temp land mask32
+  done;
+  w
+
+let load_state block off =
+  Array.init 4 (fun c ->
+      (Char.code (Bytes.get block (off + (4 * c))) lsl 24)
+      lor (Char.code (Bytes.get block (off + (4 * c) + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (off + (4 * c) + 2)) lsl 8)
+      lor Char.code (Bytes.get block (off + (4 * c) + 3)))
+
+let round_column rk s0 s1 s2 s3 =
+  te0.((s0 lsr 24) land 0xff)
+  lxor ror32 te0.((s1 lsr 16) land 0xff) 8
+  lxor ror32 te0.((s2 lsr 8) land 0xff) 16
+  lxor ror32 te0.(s3 land 0xff) 24
+  lxor rk
+
+let last_round_column rk t0 t1 t2 t3 =
+  (sbox.((t0 lsr 24) land 0xff) lsl 24)
+  lor (sbox.((t1 lsr 16) land 0xff) lsl 16)
+  lor (sbox.((t2 lsr 8) land 0xff) lsl 8)
+  lor sbox.(t3 land 0xff)
+  lxor rk
+
+let encrypt_state w s =
+  let s = Array.mapi (fun i v -> v lxor w.(i)) s in
+  let cur = ref s in
+  for r = 1 to 9 do
+    let s = !cur in
+    cur :=
+      [|
+        round_column w.((4 * r) + 0) s.(0) s.(1) s.(2) s.(3);
+        round_column w.((4 * r) + 1) s.(1) s.(2) s.(3) s.(0);
+        round_column w.((4 * r) + 2) s.(2) s.(3) s.(0) s.(1);
+        round_column w.((4 * r) + 3) s.(3) s.(0) s.(1) s.(2);
+      |]
+  done;
+  let s = !cur in
+  [|
+    last_round_column w.(40) s.(0) s.(1) s.(2) s.(3);
+    last_round_column w.(41) s.(1) s.(2) s.(3) s.(0);
+    last_round_column w.(42) s.(2) s.(3) s.(0) s.(1);
+    last_round_column w.(43) s.(3) s.(0) s.(1) s.(2);
+  |]
+
+let store_state s =
+  Bytes.init 16 (fun i ->
+      let word = s.(i / 4) in
+      Char.chr ((word lsr (8 * (3 - (i mod 4)))) land 0xff))
+
+let encrypt_block ~key block =
+  if Bytes.length block <> 16 then invalid_arg "Aes: block must be 16 bytes";
+  store_state (encrypt_state (expand_key key) (load_state block 0))
+
+let encrypt ~key data =
+  let w = expand_key key in
+  let blocks = (Bytes.length data + 15) / 16 in
+  let out = Buffer.create (16 * blocks) in
+  for b = 0 to blocks - 1 do
+    let padded = Bytes.make 16 '\000' in
+    let len = min 16 (Bytes.length data - (16 * b)) in
+    Bytes.blit data (16 * b) padded 0 len;
+    Buffer.add_bytes out (store_state (encrypt_state w (load_state padded 0)))
+  done;
+  Buffer.to_bytes out
+
+let run_taint ?(te_base = te_base) ~key input =
+  let e = Engine.create ~name:"openssl-aes" input in
+  let w = expand_key key in
+  let base = Tval.const ~width:48 te_base in
+  let n = Bytes.length input in
+  let blocks = (n + 15) / 16 in
+  for b = 0 to blocks - 1 do
+    (* First round: state byte = plaintext byte xor round-key byte; the
+       T-table index is that byte, so its address is fully tainted by one
+       plaintext byte — the Osvik et al. gadget. *)
+    for i = 0 to 15 do
+      let off = (16 * b) + i in
+      if off < n then begin
+        let p = Engine.input_byte e off in
+        let kbyte = (w.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff in
+        let x = Tval.logxor p (Tval.const ~width:8 kbyte) in
+        Engine.log_op e ~location:"aes!add_round_key" ~mnemonic:"xor rk, p"
+          ~operands:[ ("al", x) ];
+        let idx = Tval.zero_extend ~width:48 x in
+        let addr = Tval.add base (Tval.shift_left idx 2) in
+        ignore
+          (Engine.load e ~location ~mnemonic:"mov (Te0,%rax,4) -> %edx"
+             ~index:("rax", x) ~addr ~size:4 ())
+      end
+    done
+  done;
+  e

@@ -1,0 +1,28 @@
+(** AES-128 with T-table lookups: the validation target for TaintChannel.
+
+    The paper verifies that the tool rediscovers the gadget of the seminal
+    Osvik et al. attack — the first-round T-table access at index
+    [plaintext\[i\] xor key\[i\]], whose address leaks through the cache.
+    This module implements real AES-128 encryption (checked against the
+    FIPS-197 vector) and an instrumented run that routes the first-round
+    table lookups through the TaintChannel engine with the plaintext
+    marked as input. *)
+
+val te_base : int
+(** Default virtual base of the T-table. *)
+
+val location : string
+
+val encrypt_block : key:bytes -> bytes -> bytes
+(** AES-128 ECB single-block encryption.  @raise Invalid_argument unless
+    both the key and the block are 16 bytes. *)
+
+val encrypt : key:bytes -> bytes -> bytes
+(** ECB over a whole buffer, zero-padding the final partial block —
+    enough to feed multi-block plaintexts to the analysis.
+    @raise Invalid_argument unless the key is 16 bytes. *)
+
+val run_taint : ?te_base:int -> key:bytes -> bytes -> Engine.t
+(** Run the instrumented encryption over each 16-byte block of the input
+    (the input is tainted, the key is an untainted secret), recording the
+    first-round T-table dereferences. *)

@@ -1,0 +1,66 @@
+open Zipchannel_taint
+
+let ftab_base = 0x7ff944c40030
+
+let block_base = 0x7ff944a00000
+
+let quadrant_base = 0x7ff944b00000
+
+let location = "/path/to/bzip2-1.0.6/libbz2.so.1.0.6!mainSort+186"
+
+(* The tainted value of j (the rcx of Fig. 4) at loop iteration [k]
+   (i = n-1-k): the current byte in bits 8-15, the following byte in bits
+   0-7. *)
+let index_tval input k =
+  let n = Bytes.length input in
+  if k < 0 || k >= n then invalid_arg "Bzip2_gadget.index_tval";
+  let i = n - 1 - k in
+  let byte_tval idx = Tval.input_byte ~tag:(idx + 1) (Char.code (Bytes.get input idx)) in
+  let hi = Tval.shift_left (Tval.zero_extend ~width:16 (byte_tval i)) 8 in
+  let lo = Tval.zero_extend ~width:16 (byte_tval ((i + 1) mod n)) in
+  Tval.logor hi lo
+
+let run ?(ftab_base = ftab_base) input =
+  let e = Engine.create ~name:"bzip2" input in
+  Engine.stage_input e ~base:block_base;
+  let n = Bytes.length input in
+  if n > 0 then begin
+    let base = Tval.const ~width:48 ftab_base in
+    let load_block i =
+      Engine.load e ~location:"libbz2!mainSort+170" ~mnemonic:"movzwl (block,i)"
+        ~addr:(Tval.const ~width:48 (block_base + i))
+        ~size:1 ()
+    in
+    (* j = block[0] << 8 *)
+    let j = ref (Tval.shift_left (Tval.zero_extend ~width:16 (load_block 0)) 8) in
+    Engine.log_op e ~location:"libbz2!mainSort+160" ~mnemonic:"shl $8, %rcx"
+      ~operands:[ ("rcx", !j) ];
+    for i = n - 1 downto 0 do
+      (* quadrant[i] = 0: the write that, on a protected page, yields the
+         S0 fault of the single-stepping state machine. *)
+      Engine.store e ~location:"libbz2!mainSort+178" ~mnemonic:"mov $0 -> (quadrant,i,2)"
+        ~addr:(Tval.const ~width:48 (quadrant_base + (2 * i)))
+        ~size:2
+        ~value:(Tval.const ~width:16 0)
+        ();
+      (* j = (j >> 8) | (block[i] << 8) *)
+      let b = load_block i in
+      let high = Tval.shift_left (Tval.zero_extend ~width:16 b) 8 in
+      j := Tval.logor (Tval.shift_right_logical !j 8) high;
+      Engine.log_op e ~location:"libbz2!mainSort+182" ~mnemonic:"shr $8, %rcx; or %rdx, %rcx"
+        ~operands:[ ("rcx", !j) ];
+      (* ftab[j]++: read-modify-write of a 4-byte counter at a
+         taint-dependent address. *)
+      let rcx = Tval.zero_extend ~width:48 !j in
+      let addr = Tval.add base (Tval.shift_left rcx 2) in
+      let old =
+        Engine.load e ~location ~mnemonic:"add $0x00000001 (%rsi,%rcx,4)"
+          ~index:("rcx", !j) ~addr ~size:4 ()
+      in
+      Engine.store e ~location ~mnemonic:"add $0x00000001 (%rsi,%rcx,4)"
+        ~index:("rcx", !j) ~addr ~size:4
+        ~value:(Tval.add old (Tval.const ~width:32 1))
+        ()
+    done
+  end;
+  e

@@ -1,0 +1,29 @@
+(** TaintChannel model of Bzip2's frequency-table gadget (paper Listing 3,
+    Fig. 4).
+
+    [mainSort] builds a 65537-entry histogram of two-byte pairs:
+    [j = (j >> 8) | (block\[i\] << 8); ftab\[j\]++], iterating backwards
+    over the block.  The address [ftab + j*4] carries the taint of two
+    consecutive input bytes — the current byte in bits 8–15 of the index,
+    the following byte in bits 0–7 — and the loop touches [quadrant\[i\]]
+    and [block\[i\]] on the way, which is what makes the access sequence
+    single-steppable with a page-fault channel (Section V-A). *)
+
+val ftab_base : int
+(** Default base of [ftab]; deliberately NOT cache-line aligned (offset
+    0x30 into a line), reproducing the off-by-one ambiguity of
+    Section IV-D. *)
+
+val block_base : int
+val quadrant_base : int
+
+val location : string
+
+val run : ?ftab_base:int -> bytes -> Engine.t
+(** Execute the Listing 3 loop over the input block under the
+    instrumentation engine. *)
+
+val index_tval : bytes -> int -> Zipchannel_taint.Tval.t
+(** The tainted histogram index (the rcx of Fig. 4) at loop iteration
+    [k]: renders the paper's consecutive-entry figure without re-running
+    the engine.  @raise Invalid_argument out of range. *)

@@ -1,0 +1,162 @@
+open Zipchannel_taint
+
+type gadget_acc = {
+  g_location : string;
+  g_code_addr : int;
+  g_mnemonic : string;
+  g_kind : Gadget.kind;
+  g_size : int;
+  mutable g_count : int;
+  mutable g_tags : Tagset.t;
+  g_example_addr : Tval.t;
+  g_first_seq : int;
+}
+
+type logged = {
+  l_seq : int;
+  l_location : string;
+  l_mnemonic : string;
+  l_operands : (string * Tval.t) list;
+}
+
+type t = {
+  name : string;
+  input : bytes;
+  log_limit : int;
+  mutable seq : int;
+  mutable log : logged list; (* newest first *)
+  gadget_tbl : (string, gadget_acc) Hashtbl.t;
+  mutable gadget_order : string list; (* newest first *)
+  mutable control : string list; (* newest first *)
+  memory : (int, Tval.t) Hashtbl.t;
+}
+
+let create ?(log_limit = 100_000) ~name input =
+  {
+    name;
+    input;
+    log_limit;
+    seq = 0;
+    log = [];
+    gadget_tbl = Hashtbl.create 16;
+    gadget_order = [];
+    control = [];
+    memory = Hashtbl.create 1024;
+  }
+
+let name t = t.name
+
+let input_length t = Bytes.length t.input
+
+let input_byte t i =
+  if i < 0 || i >= Bytes.length t.input then
+    invalid_arg "Engine.input_byte: index";
+  Tval.input_byte ~tag:(i + 1) (Char.code (Bytes.get t.input i))
+
+let stage_input t ~base =
+  for i = 0 to Bytes.length t.input - 1 do
+    Hashtbl.replace t.memory (base + i) (input_byte t i)
+  done
+
+(* A stable fake code address per location string, so reports resemble the
+   tool's output. *)
+let code_addr_of location = 0x7f0000000000 lor (Hashtbl.hash location land 0xffffff)
+
+let bump t = t.seq <- t.seq + 1
+
+let append_log t location mnemonic operands =
+  bump t;
+  if t.seq <= t.log_limit then
+    t.log <-
+      { l_seq = t.seq; l_location = location; l_mnemonic = mnemonic;
+        l_operands = operands }
+      :: t.log
+
+let log_op t ~location ~mnemonic ~operands =
+  append_log t location mnemonic operands
+
+let note_gadget t ~location ~mnemonic ~kind ~size ~addr ~index =
+  let example =
+    match index with Some (_, v) -> v | None -> addr
+  in
+  match Hashtbl.find_opt t.gadget_tbl location with
+  | Some g ->
+      g.g_count <- g.g_count + 1;
+      g.g_tags <- Tagset.union g.g_tags (Tval.tags addr)
+  | None ->
+      let g =
+        {
+          g_location = location;
+          g_code_addr = code_addr_of location;
+          g_mnemonic = mnemonic;
+          g_kind = kind;
+          g_size = size;
+          g_count = 1;
+          g_tags = Tval.tags addr;
+          g_example_addr = example;
+          g_first_seq = t.seq;
+        }
+      in
+      Hashtbl.add t.gadget_tbl location g;
+      t.gadget_order <- location :: t.gadget_order
+
+let load t ~location ~mnemonic ?index ~addr ~size () =
+  append_log t location mnemonic [ ("addr", addr) ];
+  if Tval.is_tainted addr then
+    note_gadget t ~location ~mnemonic ~kind:Gadget.Load ~size ~addr ~index;
+  match Hashtbl.find_opt t.memory (Tval.value addr) with
+  | Some v -> v
+  | None -> Tval.const ~width:(min 63 (8 * size)) 0
+
+let store t ~location ~mnemonic ?index ~addr ~size ~value () =
+  append_log t location mnemonic [ ("addr", addr); ("value", value) ];
+  if Tval.is_tainted addr then
+    note_gadget t ~location ~mnemonic ~kind:Gadget.Store ~size ~addr ~index;
+  Hashtbl.replace t.memory (Tval.value addr) value
+
+let branch t ~location event =
+  bump t;
+  t.control <- (location ^ ":" ^ event) :: t.control
+
+let instruction_count t = t.seq
+
+let gadgets t =
+  List.rev_map
+    (fun location ->
+      let g = Hashtbl.find t.gadget_tbl location in
+      {
+        Gadget.location = g.g_location;
+        code_addr = g.g_code_addr;
+        mnemonic = g.g_mnemonic;
+        kind = g.g_kind;
+        size = g.g_size;
+        count = g.g_count;
+        tags = g.g_tags;
+        example_addr = g.g_example_addr;
+        first_seq = g.g_first_seq;
+      })
+    t.gadget_order
+
+let control_trace t = List.rev t.control
+
+let address_trace t =
+  List.rev
+    (List.filter_map
+       (fun l ->
+         match List.assoc_opt "addr" l.l_operands with
+         | Some addr -> Some (l.l_location, Zipchannel_taint.Tval.value addr)
+         | None -> None)
+       t.log)
+
+let report ppf t =
+  Format.fprintf ppf "TaintChannel report for %s (%d input bytes, %d instructions)@.@."
+    t.name (input_length t) t.seq;
+  let gs = gadgets t in
+  if gs = [] then Format.fprintf ppf "no taint-dependent memory accesses found@."
+  else
+    List.iter
+      (fun g ->
+        Gadget.pp ppf g;
+        Format.fprintf ppf "input coverage: %.1f%%@.@."
+          (100.0 *. Gadget.coverage g ~input_length:(input_length t)))
+      gs

@@ -1,0 +1,75 @@
+(** The TaintChannel instrumentation engine.
+
+    The DynamoRIO tool of the paper attaches to a binary and, per executed
+    instruction, propagates per-bit taint from the input and checks
+    dereferenced addresses for taint (the decision tree of Fig. 1).  Here
+    the "binary" is an OCaml reimplementation of the target's gadget loop,
+    expressed against this engine: every arithmetic step is a {!Tval}
+    operation, and every load/store passes through {!load}/{!store}, where
+    tainted addresses are detected and aggregated into {!Gadget.t}s.
+
+    Control flow never propagates taint (the paper's rule against
+    over-tainting); instead {!branch} records control-flow events so that
+    traces of different inputs can be diffed ({!Trace_diff}), which is how
+    the paper finds control-flow gadgets such as
+    mainSort/fallbackSort and memcpy's AVX tail. *)
+
+open Zipchannel_taint
+
+type t
+
+val create : ?log_limit:int -> name:string -> bytes -> t
+(** [create ~name input] starts an analysis of [input] (the file under
+    compression).  [log_limit] caps the retained instruction log (default
+    100_000); counting continues beyond it. *)
+
+val name : t -> string
+
+val input_length : t -> int
+
+val input_byte : t -> int -> Tval.t
+(** [input_byte t i] reads input byte [i] (0-based) as a fully tainted
+    value with tag [i + 1] — TaintChannel numbers input bytes from 1.
+    @raise Invalid_argument out of range. *)
+
+val stage_input : t -> base:int -> unit
+(** Model the [read] system call: store every input byte, tainted with its
+    tag, into memory at [base + i].  Subsequent loads from that region
+    return the tainted bytes, as in the tool's whole-program view. *)
+
+val log_op : t -> location:string -> mnemonic:string ->
+  operands:(string * Tval.t) list -> unit
+(** Record a register-to-register instruction in the log. *)
+
+val load : t -> location:string -> mnemonic:string ->
+  ?index:string * Tval.t -> addr:Tval.t -> size:int -> unit -> Tval.t
+(** Perform a load: returns the value last stored at that concrete
+    address (untainted zero for untouched memory).  A tainted [addr]
+    records a {!Gadget.t} occurrence.  [index] names the register holding
+    the array index, used for the report's taint grid (the paper renders
+    rcx/rdx rather than the full effective address). *)
+
+val store : t -> location:string -> mnemonic:string ->
+  ?index:string * Tval.t -> addr:Tval.t -> size:int -> value:Tval.t ->
+  unit -> unit
+(** Perform a store; tainted [addr] records a gadget occurrence. *)
+
+val branch : t -> location:string -> string -> unit
+(** Record a control-flow event (function entry, branch direction). *)
+
+val instruction_count : t -> int
+
+val gadgets : t -> Gadget.t list
+(** Detected gadgets, ordered by first occurrence. *)
+
+val control_trace : t -> string list
+(** Control-flow events in execution order. *)
+
+val address_trace : t -> (string * int) list
+(** Every logged memory access as (location, concrete address), in
+    execution order — the raw material of trace-based detection tools
+    ({!Trace_correlate}).  Subject to the engine's [log_limit]. *)
+
+val report : Format.formatter -> t -> unit
+(** The full TaintChannel report: every gadget in Fig. 2 format plus a
+    per-gadget input-coverage summary. *)

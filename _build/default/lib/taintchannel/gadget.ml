@@ -1,0 +1,33 @@
+open Zipchannel_taint
+
+type kind = Load | Store
+
+type t = {
+  location : string;
+  code_addr : int;
+  mnemonic : string;
+  kind : kind;
+  size : int;
+  count : int;
+  tags : Tagset.t;
+  example_addr : Tval.t;
+  first_seq : int;
+}
+
+let coverage t ~input_length =
+  if input_length = 0 then 0.0
+  else begin
+    let covered = ref 0 in
+    Tagset.fold
+      (fun tag () -> if tag >= 1 && tag <= input_length then incr covered)
+      t.tags ();
+    float_of_int !covered /. float_of_int input_length
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "Taint-dependent memory access@.";
+  Format.fprintf ppf "0x%016x %s@." t.code_addr t.location;
+  Format.fprintf ppf "0x%016x   %s [%dbyte]@." t.code_addr t.mnemonic t.size;
+  Format.fprintf ppf "%s" (Render.operand_line ~name:"operand" t.example_addr);
+  Format.fprintf ppf "@.occurrences: %d, distinct input bytes in address: %d@."
+    t.count (Tagset.cardinal t.tags)

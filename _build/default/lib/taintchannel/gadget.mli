@@ -1,0 +1,27 @@
+(** A cache side-channel leakage gadget found by TaintChannel: a memory
+    access whose address carries input taint. *)
+
+open Zipchannel_taint
+
+type kind = Load | Store
+
+type t = {
+  location : string;  (** module!function+offset, as the tool reports *)
+  code_addr : int;  (** simulated instruction address *)
+  mnemonic : string;
+  kind : kind;
+  size : int;  (** access width in bytes *)
+  count : int;  (** number of tainted occurrences *)
+  tags : Tagset.t;  (** union of input bytes ever appearing in the address *)
+  example_addr : Tval.t;  (** the first tainted address value, with taint *)
+  first_seq : int;  (** instruction sequence number of first occurrence *)
+}
+
+val coverage : t -> input_length:int -> float
+(** Fraction of the input bytes whose taint reached this gadget's address —
+    the paper's "leaks the entire input" check is [coverage = 1.0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the gadget in the report format of the paper's Fig. 2: header
+    line, instruction line, and the per-bit taint grid of the address
+    operand. *)

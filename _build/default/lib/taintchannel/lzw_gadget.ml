@@ -1,0 +1,65 @@
+open Zipchannel_taint
+module Lzw = Zipchannel_compress.Lzw
+
+let htab_base = 0x7f88a0000000
+
+let location = "/path/to/ncompress-5.1!compress+1176"
+
+let input_buf_base = 0x7f889f000000
+
+let run ?(htab_base = htab_base) input =
+  let e = Engine.create ~name:"ncompress" input in
+  Engine.stage_input e ~base:input_buf_base;
+  (* Drive the concrete LZW state with the production encoder and replay
+     its probe sequence through the taint engine: the concrete values of
+     [ent] come from the code table (untainted counters), the bytes [c]
+     from the staged input. *)
+  let _, probes = Lzw.compress_with_probes input in
+  let pos = ref 0 (* input position of the pending byte c *) in
+  let base = Tval.const ~width:48 htab_base in
+  List.iter
+    (fun p ->
+      if p.Lzw.first then begin
+        incr pos;
+        (* Step 1 of Fig. 3: the byte is read from the input buffer and
+           copied across registers. *)
+        let c =
+          Engine.load e ~location:"compress!input" ~mnemonic:"movzbl (in,i)"
+            ~addr:(Tval.const ~width:48 (input_buf_base + !pos))
+            ~size:1 ()
+        in
+        let rsi = Tval.zero_extend ~width:48 c in
+        Engine.log_op e ~location:"compress!copy" ~mnemonic:"mov %rax -> %rsi"
+          ~operands:[ ("rsi", rsi) ];
+        (* Step 2: shl $9. *)
+        let shifted = Tval.shift_left rsi 9 in
+        Engine.log_op e ~location:"compress!shift" ~mnemonic:"shl $9, %rsi"
+          ~operands:[ ("rsi", shifted) ];
+        (* Step 3: xor with the dictionary entry in rdx (untainted). *)
+        let ent = Tval.const ~width:48 p.Lzw.ent in
+        let hp = Tval.logxor shifted ent in
+        Engine.log_op e ~location:"compress!mix" ~mnemonic:"xor %rdx, %rsi"
+          ~operands:[ ("rsi", hp); ("rdx", ent) ];
+        (* Step 4: the probe htab[hp], scaled by 8. *)
+        let addr = Tval.add base (Tval.shift_left hp 3) in
+        ignore
+          (Engine.load e ~location ~mnemonic:"cmp %rdi, (%rbp,%rax,8)"
+             ~index:("rax", hp) ~addr ~size:8 ())
+      end
+      else begin
+        (* Secondary probe: hp' = hp - disp with disp = HSIZE - hp, so the
+           taint of the original index (the pending byte at bits 9-16)
+           flows into the displaced slot through the subtraction's per-bit
+           merge.  The concrete slot value comes from the encoder. *)
+        let idx =
+          Tval.with_taint ~width:48 p.Lzw.hp
+            (List.init 8 (fun b -> (b + 9, Tagset.singleton (!pos + 1))))
+        in
+        let addr = Tval.add base (Tval.shift_left idx 3) in
+        ignore
+          (Engine.load e ~location:(location ^ " (secondary probe)")
+             ~mnemonic:"cmp %rdi, (%rbp,%rax,8)" ~index:("rax", idx) ~addr
+             ~size:8 ())
+      end)
+    probes;
+  e

@@ -1,0 +1,18 @@
+(** TaintChannel model of the Ncompress hash-probe gadget (paper Listing 2,
+    Fig. 3).
+
+    Each LZW step computes [hp = (c << 9) ^ ent] — the fresh input byte
+    shifted into bits 9–16, xor'ed with the current dictionary entry — and
+    probes [htab\[hp\]], an array of 8-byte entries, so the dereference is
+    [rbp + rax*8].  [ent] is loaded from the code table (a counter value),
+    so under direct-flow taint tracking only the [c] bits of the index are
+    tainted — exactly the Fig. 3 rendering. *)
+
+val htab_base : int
+
+val location : string
+
+val run : ?htab_base:int -> bytes -> Engine.t
+(** Execute the LZW dictionary-probe loop over the input under the
+    instrumentation engine; every hash-table probe (first and secondary)
+    goes through a monitored load. *)

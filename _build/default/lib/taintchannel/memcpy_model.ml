@@ -1,0 +1,30 @@
+let avx_width = 32
+
+let location = "libc!memcpy_avx_unaligned"
+
+let run e ~size =
+  if size < 0 then invalid_arg "Memcpy_model.run: size";
+  Engine.branch e ~location "entry";
+  let chunks = size / avx_width in
+  let tail = size mod avx_width in
+  if tail = 0 then begin
+    Engine.branch e ~location "aligned_path";
+    for _ = 1 to chunks do
+      Engine.branch e ~location "vmovdqu_chunk"
+    done
+  end
+  else begin
+    Engine.branch e ~location "unaligned_path";
+    for _ = 1 to chunks do
+      Engine.branch e ~location "vmovdqu_chunk"
+    done;
+    for _ = 1 to tail do
+      Engine.branch e ~location "byte_tail"
+    done
+  end;
+  Engine.branch e ~location "ret"
+
+let trace ~size =
+  let e = Engine.create ~name:"memcpy" Bytes.empty in
+  run e ~size;
+  Engine.control_trace e

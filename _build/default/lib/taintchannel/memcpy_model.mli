@@ -1,0 +1,20 @@
+(** Model of glibc memcpy's size-dependent control flow (paper
+    Section III-B).
+
+    memcpy picks its copy strategy from the byte count: full AVX-register
+    chunks, then a byte tail for the remainder.  The executed path — and
+    therefore the code cache lines touched and the run time — reveals the
+    copy size modulo the vector width.  TaintChannel exposes this by
+    comparing control traces across inputs. *)
+
+val avx_width : int
+(** 32 bytes per vector chunk. *)
+
+val location : string
+
+val trace : size:int -> string list
+(** Control-flow events of one memcpy of [size] bytes.
+    @raise Invalid_argument on negative size. *)
+
+val run : Engine.t -> size:int -> unit
+(** Record the same events into an existing engine. *)

@@ -1,0 +1,66 @@
+type finding = {
+  location : string;
+  varying_positions : int;
+  line_varying_positions : int;
+}
+
+(* Group one run's address trace by location, keeping per-location order. *)
+let by_location trace =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (loc, addr) ->
+      (match Hashtbl.find_opt tbl loc with
+      | Some addrs -> addrs := addr :: !addrs
+      | None ->
+          Hashtbl.add tbl loc (ref [ addr ]);
+          order := loc :: !order))
+    trace;
+  List.rev_map
+    (fun loc -> (loc, Array.of_list (List.rev !(Hashtbl.find tbl loc))))
+    !order
+
+let analyze ~run ~inputs =
+  (match inputs with
+  | [] | [ _ ] -> invalid_arg "Trace_correlate.analyze: need >= 2 inputs"
+  | _ -> ());
+  let traces =
+    List.map (fun input -> by_location (Engine.address_trace (run input))) inputs
+  in
+  let reference = List.hd traces and others = List.tl traces in
+  let findings =
+    List.filter_map
+      (fun (loc, ref_addrs) ->
+        let varying = ref 0 and line_varying = ref 0 in
+        List.iter
+          (fun trace ->
+            match List.assoc_opt loc trace with
+            | None -> ()
+            | Some addrs ->
+                let n = min (Array.length ref_addrs) (Array.length addrs) in
+                for i = 0 to n - 1 do
+                  if ref_addrs.(i) <> addrs.(i) then begin
+                    incr varying;
+                    if ref_addrs.(i) lsr 6 <> addrs.(i) lsr 6 then
+                      incr line_varying
+                  end
+                done)
+          others;
+        if !varying = 0 then None
+        else
+          Some
+            {
+              location = loc;
+              varying_positions = !varying;
+              line_varying_positions = !line_varying;
+            })
+      reference
+  in
+  List.sort
+    (fun a b -> compare b.varying_positions a.varying_positions)
+    findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf
+    "%s: address varies with input at %d positions (%d at line granularity)"
+    f.location f.varying_positions f.line_varying_positions

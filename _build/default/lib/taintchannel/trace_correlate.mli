@@ -1,0 +1,25 @@
+(** A trace-based leak detector — the class of tools the paper compares
+    TaintChannel against (Section III, Related Work VII-A2).
+
+    These tools run the target with several inputs, collect per-location
+    address traces, and flag locations whose addresses vary with the
+    input.  They find {e that} a location leaks, but — unlike taint
+    tracking — they cannot produce the computation relating input bits to
+    address bits, which an attacker needs to invert the channel.  This
+    implementation exists as a baseline so that claim is demonstrable. *)
+
+type finding = {
+  location : string;
+  varying_positions : int;
+      (** number of trace positions at which addresses differed *)
+  line_varying_positions : int;
+      (** positions still differing at 64-byte line granularity — the
+          attacker-relevant subset *)
+}
+
+val analyze : run:(bytes -> Engine.t) -> inputs:bytes list -> finding list
+(** Run the target on every input, align the per-location address traces,
+    and report locations with input-dependent addresses (most-varying
+    first).  @raise Invalid_argument on fewer than two inputs. *)
+
+val pp_finding : Format.formatter -> finding -> unit

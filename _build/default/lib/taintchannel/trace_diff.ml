@@ -1,0 +1,31 @@
+let first_divergence a b =
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> None
+    | [], _ :: _ | _ :: _, [] -> Some i
+    | x :: a', y :: b' -> if String.equal x y then go (i + 1) a' b' else Some i
+  in
+  go 0 a b
+
+let diverges a b = first_divergence a b <> None
+
+type report = { position : int; left : string option; right : string option }
+
+let compare_traces a b =
+  match first_divergence a b with
+  | None -> None
+  | Some position ->
+      Some
+        {
+          position;
+          left = List.nth_opt a position;
+          right = List.nth_opt b position;
+        }
+
+let pp_event ppf = function
+  | Some e -> Format.fprintf ppf "%s" e
+  | None -> Format.fprintf ppf "<end of trace>"
+
+let pp_report ppf r =
+  Format.fprintf ppf "control-flow divergence at event %d: %a vs %a" r.position
+    pp_event r.left pp_event r.right

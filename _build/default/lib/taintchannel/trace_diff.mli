@@ -1,0 +1,23 @@
+(** Control-flow trace comparison.
+
+    TaintChannel reduces an execution to a short trace of input-dependent
+    events; diffing the traces of two inputs pinpoints control-flow
+    divergence — how the paper discovered the mainSort/fallbackSort split
+    in Bzip2 (Section VI) and the memcpy tail behaviour
+    (Section III-B). *)
+
+val first_divergence : string list -> string list -> int option
+(** Index of the first position where the traces differ (a missing suffix
+    counts as a difference); [None] when identical. *)
+
+val diverges : string list -> string list -> bool
+
+type report = {
+  position : int;
+  left : string option;  (** event of the first trace at the divergence *)
+  right : string option;
+}
+
+val compare_traces : string list -> string list -> report option
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,49 @@
+open Zipchannel_taint
+
+let head_base = 0x7f43da500000
+
+let location = "/path/to/libz.so.1.2.11!deflate_slow+468"
+
+let window_base = 0x7f43da400000
+
+let hash_mask = Zipchannel_compress.Lz77.hash_mask
+
+let run ?(head_base = head_base) input =
+  let e = Engine.create ~name:"zlib" input in
+  Engine.stage_input e ~base:window_base;
+  let n = Bytes.length input in
+  if n >= 3 then begin
+    let wide v = Tval.zero_extend ~width:48 v in
+    let mask = Tval.const ~width:48 hash_mask in
+    let base = Tval.const ~width:48 head_base in
+    let window i =
+      Engine.load e ~location:"libz!fill_window" ~mnemonic:"movzbl (window,i)"
+        ~addr:(Tval.const ~width:48 (window_base + i))
+        ~size:1 ()
+    in
+    (* ins_h is seeded from the first two bytes before the loop. *)
+    let update h c =
+      let shifted = Tval.shift_left h 5 in
+      Engine.log_op e ~location:"libz!UPDATE_HASH" ~mnemonic:"shl $5, ins_h"
+        ~operands:[ ("ins_h", shifted) ];
+      let mixed = Tval.logxor shifted (wide c) in
+      Engine.log_op e ~location:"libz!UPDATE_HASH" ~mnemonic:"xor c, ins_h"
+        ~operands:[ ("ins_h", mixed); ("c", wide c) ];
+      let masked = Tval.logand mixed mask in
+      Engine.log_op e ~location:"libz!UPDATE_HASH" ~mnemonic:"and $0x7fff, ins_h"
+        ~operands:[ ("ins_h", masked) ];
+      masked
+    in
+    let h = ref (update (update (Tval.const ~width:48 0) (window 0)) (window 1)) in
+    for i = 0 to n - 3 do
+      (* INSERT_STRING(s, i): UPDATE_HASH with window[i+2], then the
+         tainted-address store head[ins_h] = i. *)
+      h := update !h (window (i + 2));
+      let rdx = Tval.add base (Tval.shift_left !h 1) in
+      Engine.store e ~location ~mnemonic:"data16 mov %ax -> (%rdx)"
+        ~index:("rdx", rdx) ~addr:rdx ~size:2
+        ~value:(Tval.const ~width:16 (i land 0xffff))
+        ()
+    done
+  end;
+  e

@@ -1,0 +1,19 @@
+(** TaintChannel model of the Zlib INSERT_STRING gadget (paper Listing 1,
+    Fig. 2).
+
+    The deflate matcher maintains [ins_h = ((ins_h << 5) ^ c) & 0x7fff]
+    over the last three input bytes and writes the current position into
+    [head\[ins_h\]], an array of 2-byte entries.  The dereferenced address
+    [head + ins_h*2] therefore carries the taint of three consecutive
+    input bytes at bit offsets 1–8, 6–13 and 11–15. *)
+
+val head_base : int
+(** Default virtual base of the [head] array (cache-line aligned, as the
+    paper assumes for this gadget). *)
+
+val location : string
+(** The report location string, matching Fig. 2. *)
+
+val run : ?head_base:int -> bytes -> Engine.t
+(** Execute the hash-insertion loop of deflate over the whole input under
+    the instrumentation engine. *)

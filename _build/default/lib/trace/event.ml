@@ -1,0 +1,13 @@
+type kind = Read | Write
+
+type t = { kind : kind; addr : int; size : int; label : string }
+
+let read ?(label = "") ~addr ~size () = { kind = Read; addr; size; label }
+
+let write ?(label = "") ~addr ~size () = { kind = Write; addr; size; label }
+
+let pp ppf t =
+  Format.fprintf ppf "%s 0x%x[%d]%s"
+    (match t.kind with Read -> "R" | Write -> "W")
+    t.addr t.size
+    (if t.label = "" then "" else " (" ^ t.label ^ ")")

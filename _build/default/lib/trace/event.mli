@@ -1,0 +1,15 @@
+(** Memory-access events: the interface between victim programs and the
+    microarchitectural simulators. *)
+
+type kind = Read | Write
+
+type t = {
+  kind : kind;
+  addr : int;  (** virtual byte address *)
+  size : int;  (** access width in bytes *)
+  label : string;  (** source construct, e.g. "ftab[j]++" *)
+}
+
+val read : ?label:string -> addr:int -> size:int -> unit -> t
+val write : ?label:string -> addr:int -> size:int -> unit -> t
+val pp : Format.formatter -> t -> unit

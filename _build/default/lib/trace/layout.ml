@@ -1,0 +1,44 @@
+type region = { name : string; base : int; size : int; elem_size : int }
+
+type t = region list (* sorted by base *)
+
+let overlaps a b = a.base < b.base + b.size && b.base < a.base + a.size
+
+let create regions =
+  let sorted = List.sort (fun a b -> compare a.base b.base) regions in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a.name = b.name then invalid_arg "Layout.create: duplicate name";
+        if overlaps a b then invalid_arg "Layout.create: overlapping regions";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  let names = List.sort compare (List.map (fun r -> r.name) sorted) in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then true else dup rest
+    | [ _ ] | [] -> false
+  in
+  if dup names then invalid_arg "Layout.create: duplicate name";
+  check sorted;
+  sorted
+
+let region t name =
+  match List.find_opt (fun r -> r.name = name) t with
+  | Some r -> r
+  | None -> raise Not_found
+
+let regions t = t
+
+let addr_of t ~name ~index =
+  let r = region t name in
+  let addr = r.base + (index * r.elem_size) in
+  if index < 0 || addr + r.elem_size > r.base + r.size then
+    invalid_arg "Layout.addr_of: index outside region";
+  addr
+
+let find_addr t addr =
+  List.find_map
+    (fun r ->
+      if addr >= r.base && addr < r.base + r.size then Some (r, addr - r.base)
+      else None)
+    t

@@ -1,0 +1,32 @@
+(** Virtual-memory layout of a victim: named regions at fixed base
+    addresses.
+
+    The threat model of the paper's Section IV-A gives the attacker the
+    base addresses of all arrays the victim accesses; a [Layout.t] is that
+    knowledge.  Regions may be deliberately misaligned with respect to
+    cache lines — Bzip2's [ftab] is not line-aligned, which produces the
+    off-by-one ambiguity of Section IV-D. *)
+
+type region = {
+  name : string;
+  base : int;  (** virtual base address *)
+  size : int;  (** bytes *)
+  elem_size : int;  (** bytes per element for indexed access *)
+}
+
+type t
+
+val create : region list -> t
+(** @raise Invalid_argument on duplicate names or overlapping regions. *)
+
+val region : t -> string -> region
+(** @raise Not_found if no such region. *)
+
+val regions : t -> region list
+
+val addr_of : t -> name:string -> index:int -> int
+(** Byte address of element [index] of region [name].
+    @raise Invalid_argument if the element lies outside the region. *)
+
+val find_addr : t -> int -> (region * int) option
+(** Region containing a byte address, with the byte offset inside it. *)

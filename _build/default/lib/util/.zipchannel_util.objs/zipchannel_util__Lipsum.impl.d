@@ -1,0 +1,1 @@
+lib/util/lipsum.ml: Array Buffer Char List Prng String

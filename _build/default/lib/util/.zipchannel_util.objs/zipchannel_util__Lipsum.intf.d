@@ -1,0 +1,1 @@
+lib/util/lipsum.mli: Prng

@@ -1,0 +1,68 @@
+let vocabulary =
+  [| "lorem"; "ipsum"; "dolor"; "sit"; "amet"; "consectetur"; "adipiscing";
+     "elit"; "sed"; "do"; "eiusmod"; "tempor"; "incididunt"; "ut"; "labore";
+     "et"; "dolore"; "magna"; "aliqua"; "enim"; "ad"; "minim"; "veniam";
+     "quis"; "nostrud"; "exercitation"; "ullamco"; "laboris"; "nisi";
+     "aliquip"; "ex"; "ea"; "commodo"; "consequat"; "duis"; "aute"; "irure";
+     "in"; "reprehenderit"; "voluptate"; "velit"; "esse"; "cillum"; "fugiat";
+     "nulla"; "pariatur"; "excepteur"; "sint"; "occaecat"; "cupidatat";
+     "non"; "proident"; "sunt"; "culpa"; "qui"; "officia"; "deserunt";
+     "mollit"; "anim"; "id"; "est"; "laborum"; "at"; "vero"; "eos";
+     "accusamus"; "iusto"; "odio"; "dignissimos"; "ducimus"; "blanditiis";
+     "praesentium"; "voluptatum"; "deleniti"; "atque"; "corrupti"; "quos";
+     "quas"; "molestias"; "excepturi"; "obcaecati"; "provident"; "similique";
+     "mollitia"; "animi"; "perferendis"; "doloribus"; "asperiores";
+     "repellat"; "itaque"; "earum"; "rerum"; "hic"; "tenetur"; "sapiente";
+     "delectus"; "reiciendis"; "voluptatibus"; "maiores"; "alias";
+     "perspiciatis"; "unde"; "omnis"; "iste"; "natus"; "error"; "voluptatem";
+     "accusantium"; "doloremque"; "laudantium"; "totam"; "rem"; "aperiam";
+     "eaque"; "ipsa"; "quae"; "ab"; "illo"; "inventore"; "veritatis";
+     "quasi"; "architecto"; "beatae"; "vitae"; "dicta"; "explicabo"; "nemo";
+     "ipsam"; "quia"; "voluptas"; "aspernatur"; "aut"; "odit"; "fugit";
+     "consequuntur"; "magni"; "dolores"; "ratione"; "sequi"; "nesciunt";
+     "neque"; "porro"; "quisquam"; "dolorem"; "adipisci"; "numquam"; "eius";
+     "modi"; "tempora"; "incidunt"; "magnam"; "quaerat"; "minima"; "nobis";
+     "eligendi"; "optio"; "cumque"; "nihil"; "impedit"; "quo"; "minus";
+     "quod"; "maxime"; "placeat"; "facere"; "possimus"; "assumenda";
+     "repellendus"; "temporibus"; "autem"; "quibusdam"; "officiis";
+     "debitis"; "necessitatibus"; "saepe"; "eveniet"; "voluptates";
+     "repudiandae"; "recusandae"; "harum"; "quidem"; "facilis" |]
+
+let word t = Prng.pick t vocabulary
+
+let capitalize s =
+  if s = "" then s
+  else String.mapi (fun i c -> if i = 0 then Char.uppercase_ascii c else c) s
+
+let sentence t =
+  let n = 4 + Prng.int t 9 in
+  let buf = Buffer.create 64 in
+  for i = 0 to n - 1 do
+    let w = word t in
+    let w = if i = 0 then capitalize w else w in
+    Buffer.add_string buf w;
+    if i < n - 1 then
+      (* An occasional comma, as lipsum generators produce. *)
+      if Prng.int t 8 = 0 then Buffer.add_string buf ", "
+      else Buffer.add_char buf ' '
+  done;
+  Buffer.add_char buf '.';
+  Buffer.contents buf
+
+let paragraph t =
+  let n = 3 + Prng.int t 5 in
+  String.concat " " (List.init n (fun _ -> sentence t))
+
+let paragraphs t n = List.init n (fun _ -> paragraph t)
+
+let repetitive_file t ~level ~size =
+  if level < 1 || level > 5 then invalid_arg "Lipsum.repetitive_file: level";
+  let truncate_to n s = if String.length s <= n then s else String.sub s 0 n in
+  let fragments =
+    Array.of_list (List.map (truncate_to 20) (paragraphs t 5))
+  in
+  let buf = Buffer.create size in
+  while Buffer.length buf < size do
+    Buffer.add_string buf fragments.(Prng.int t level)
+  done;
+  String.sub (Buffer.contents buf) 0 size

@@ -1,0 +1,26 @@
+(** Pseudo-English filler-text generation.
+
+    Stand-in for the Python [lipsum] utility the paper uses to build the
+    repetitiveness corpus of Section VI (Fig. 8): text that looks like
+    natural language — word-length distribution, capitalisation,
+    punctuation — with repetition controlled by the caller. *)
+
+val word : Prng.t -> string
+(** One lowercase latin word. *)
+
+val sentence : Prng.t -> string
+(** A capitalised sentence of 4–12 words ending with a period. *)
+
+val paragraph : Prng.t -> string
+(** A paragraph of 3–7 sentences separated by single spaces. *)
+
+val paragraphs : Prng.t -> int -> string list
+(** [paragraphs t n] is [n] independent paragraphs. *)
+
+val repetitive_file : Prng.t -> level:int -> size:int -> string
+(** [repetitive_file t ~level ~size] reproduces the paper's Fig. 8 corpus
+    construction: generate 5 paragraphs, truncate each to its first 20
+    characters, then emit a [size]-byte string made of fragments drawn
+    uniformly from the first [level] truncated paragraphs.  [level] = 1
+    yields maximal repetition (one fragment repeated), [level] = 5 the
+    least.  @raise Invalid_argument unless [1 <= level <= 5]. *)

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library flows through this module so that every
+    experiment is reproducible from a seed.  The generator is SplitMix64
+    (Steele, Lea & Flood 2014): tiny state, excellent statistical quality,
+    and cheap [split] for deriving independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a fresh generator.  The default seed is a fixed
+    constant: two generators created with equal seeds produce equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that continues [t]'s stream without
+    advancing [t]. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is statistically
+    independent of the remainder of [t]'s stream.  Advances [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val byte : t -> int
+(** Uniform on [0, 255]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform on [0, 1). *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] uniform random bytes. *)
+
+val lowercase_string : t -> int -> string
+(** [lowercase_string t n] is [n] uniform characters drawn from ['a'..'z']. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on
+    empty input. *)

@@ -1,0 +1,109 @@
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  if Array.length xs = 0 then invalid_arg "Stats.stddev: empty";
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let fraction_equal a b =
+  let n = min (Bytes.length a) (Bytes.length b) in
+  if n = 0 then 1.0
+  else begin
+    let same = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.get a i = Bytes.get b i then incr same
+    done;
+    float_of_int !same /. float_of_int n
+  end
+
+let bit_accuracy a b =
+  let n = min (Bytes.length a) (Bytes.length b) in
+  if n = 0 then 1.0
+  else begin
+    let same = ref 0 in
+    for i = 0 to n - 1 do
+      let x = Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i) in
+      for bit = 0 to 7 do
+        if x land (1 lsl bit) = 0 then incr same
+      done
+    done;
+    float_of_int !same /. float_of_int (8 * n)
+  end
+
+module Confusion = struct
+  type t = { labels : string array; counts : int array array }
+
+  let create ~labels =
+    let n = Array.length labels in
+    { labels; counts = Array.make_matrix n n 0 }
+
+  let add t ~truth ~predicted =
+    t.counts.(predicted).(truth) <- t.counts.(predicted).(truth) + 1
+
+  let count t ~truth ~predicted = t.counts.(predicted).(truth)
+
+  let column_total t truth =
+    let n = Array.length t.labels in
+    let total = ref 0 in
+    for p = 0 to n - 1 do
+      total := !total + t.counts.(p).(truth)
+    done;
+    !total
+
+  let column_normalized t =
+    let n = Array.length t.labels in
+    Array.init n (fun p ->
+        Array.init n (fun truth ->
+            let total = column_total t truth in
+            if total = 0 then 0.0
+            else float_of_int t.counts.(p).(truth) /. float_of_int total))
+
+  let accuracy t =
+    let n = Array.length t.labels in
+    let correct = ref 0 and total = ref 0 in
+    for p = 0 to n - 1 do
+      for truth = 0 to n - 1 do
+        total := !total + t.counts.(p).(truth);
+        if p = truth then correct := !correct + t.counts.(p).(truth)
+      done
+    done;
+    if !total = 0 then 0.0 else float_of_int !correct /. float_of_int !total
+
+  let per_class_accuracy t =
+    let n = Array.length t.labels in
+    Array.init n (fun truth ->
+        let total = column_total t truth in
+        if total = 0 then 0.0
+        else float_of_int t.counts.(truth).(truth) /. float_of_int total)
+
+  let pp ppf t =
+    let n = Array.length t.labels in
+    let m = column_normalized t in
+    let width =
+      Array.fold_left (fun acc l -> max acc (String.length l)) 4 t.labels
+    in
+    Format.fprintf ppf "%*s" (width + 1) "";
+    for truth = 0 to n - 1 do
+      Format.fprintf ppf " %*s" width t.labels.(truth)
+    done;
+    Format.pp_print_newline ppf ();
+    for p = 0 to n - 1 do
+      Format.fprintf ppf "%*s " width t.labels.(p);
+      for truth = 0 to n - 1 do
+        Format.fprintf ppf " %*.2f" width m.(p).(truth)
+      done;
+      Format.pp_print_newline ppf ()
+    done
+end

@@ -1,0 +1,48 @@
+(** Small statistics helpers used by the attack evaluation harnesses. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on empty input. *)
+
+val stddev : float array -> float
+(** Population standard deviation.  @raise Invalid_argument on empty
+    input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100]; nearest-rank on a sorted copy.
+    @raise Invalid_argument on empty input or [p] out of range. *)
+
+val fraction_equal : bytes -> bytes -> float
+(** Fraction of byte positions at which the two buffers agree; compared over
+    the shorter length, and 1.0 when both are empty. *)
+
+val bit_accuracy : bytes -> bytes -> float
+(** Fraction of bit positions at which the two buffers agree (the paper
+    reports "over 99% of the data bits").  Compared over the shorter
+    length; 1.0 when both are empty. *)
+
+(** Confusion-matrix accumulation for the fingerprinting experiments
+    (paper Figs. 7 and 8). *)
+module Confusion : sig
+  type t
+
+  val create : labels:string array -> t
+  (** One row/column per label; rows are predictions, columns the true
+      class, matching the paper's figures. *)
+
+  val add : t -> truth:int -> predicted:int -> unit
+
+  val count : t -> truth:int -> predicted:int -> int
+
+  val column_normalized : t -> float array array
+  (** [m.(pred).(truth)]: per-true-class distribution of predictions —
+      each column sums to 1 (or 0 if the class never appeared). *)
+
+  val accuracy : t -> float
+  (** Overall fraction classified correctly. *)
+
+  val per_class_accuracy : t -> float array
+
+  val pp : Format.formatter -> t -> unit
+  (** Renders the column-normalised matrix with labels, in the layout of
+      the paper's Figs. 7/8. *)
+end

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Flush_reload List Prime_probe Prng QCheck QCheck_alcotest Timing Zipchannel_cache Zipchannel_util

@@ -1,0 +1,1 @@
+test/test_classifier.ml: Alcotest Array Dataset List Mlp Prng QCheck QCheck_alcotest Zipchannel_classifier Zipchannel_util

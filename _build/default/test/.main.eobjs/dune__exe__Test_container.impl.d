@@ -1,0 +1,1 @@
+test/test_container.ml: Alcotest Bytes Char Checksum Container Lipsum List Printf Prng QCheck QCheck_alcotest Zipchannel_compress Zipchannel_util

@@ -1,0 +1,1 @@
+test/test_mitigation.ml: Alcotest Array Bytes Leak_check List Oblivious Prng QCheck QCheck_alcotest Zipchannel_compress Zipchannel_mitigation Zipchannel_util

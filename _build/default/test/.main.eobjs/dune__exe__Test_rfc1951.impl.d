@@ -1,0 +1,1 @@
+test/test_rfc1951.ml: Alcotest Bytes Char Format Fun Lipsum List Printf Prng QCheck QCheck_alcotest Rfc1951 Zipchannel_compress Zipchannel_util

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Bitio Bytes Bzip2 Char Container Deflate Huffman List Lzw Printexc Prng QCheck QCheck_alcotest Rfc1951 Rle1 Zipchannel_compress Zipchannel_util

@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Enclave List Page_table Zipchannel_cache Zipchannel_sgx Zipchannel_trace

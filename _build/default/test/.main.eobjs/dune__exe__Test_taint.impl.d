@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest List QCheck QCheck_alcotest Render Str_search Tagset Tval Zipchannel_taint

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Event Format Layout Zipchannel_trace

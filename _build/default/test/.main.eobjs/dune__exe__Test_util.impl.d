@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Hashtbl Lipsum Prng QCheck QCheck_alcotest Stats String Zipchannel_util

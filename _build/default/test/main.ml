@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "zipchannel"
+    [
+      Test_util.suite;
+      Test_taint.suite;
+      Test_compress.suite;
+      Test_rfc1951.suite;
+      Test_robustness.suite;
+      Test_trace.suite;
+      Test_cache.suite;
+      Test_sgx.suite;
+      Test_taintchannel.suite;
+      Test_classifier.suite;
+      Test_attack.suite;
+      Test_page_channel.suite;
+      Test_mitigation.suite;
+      Test_container.suite;
+      Test_experiments.suite;
+    ]

@@ -1,0 +1,227 @@
+open Zipchannel_util
+open Zipchannel_cache
+
+let small () = Cache.create Cache.small_config
+
+let test_line_and_set_mapping () =
+  let c = small () in
+  Alcotest.(check int) "line drops offset" 1 (Cache.line_of c 64);
+  Alcotest.(check int) "same line same set" (Cache.set_index c 64)
+    (Cache.set_index c 127);
+  Alcotest.(check int) "64 sets" 64 (Cache.n_sets c);
+  (* With one slice, sets wrap every sets_per_slice lines. *)
+  Alcotest.(check int) "set wraps" (Cache.set_index c 0)
+    (Cache.set_index c (64 * 64))
+
+let test_hit_after_fill () =
+  let c = small () in
+  Alcotest.(check bool) "cold miss" false (Cache.access c ~owner:Victim 0x1000);
+  Alcotest.(check bool) "warm hit" true (Cache.access c ~owner:Victim 0x1000);
+  Alcotest.(check bool) "observer view" true (Cache.is_cached c 0x1000)
+
+let test_lru_eviction () =
+  let c = small () in
+  (* 4 ways: fill 4 lines of one set, then a 5th evicts the oldest. *)
+  let addr k = k * 64 * 64 in
+  for k = 0 to 3 do
+    ignore (Cache.access c ~owner:Attacker (addr k))
+  done;
+  (* Touch line 0 so line 1 becomes LRU. *)
+  ignore (Cache.access c ~owner:Attacker (addr 0));
+  ignore (Cache.access c ~owner:Victim (addr 4));
+  Alcotest.(check bool) "line 0 kept" true (Cache.is_cached c (addr 0));
+  Alcotest.(check bool) "line 1 evicted" false (Cache.is_cached c (addr 1));
+  Alcotest.(check bool) "line 4 present" true (Cache.is_cached c (addr 4))
+
+let test_flush () =
+  let c = small () in
+  ignore (Cache.access c ~owner:Victim 0x2000);
+  Cache.flush c 0x2000;
+  Alcotest.(check bool) "flushed" false (Cache.is_cached c 0x2000);
+  (* Flushing an absent line is a no-op. *)
+  Cache.flush c 0x4000
+
+let test_cat_restricts_allocation () =
+  let c = small () in
+  Cache.set_cat_mask c ~cos:0 ~mask:0b0001;
+  Cache.set_cat_mask c ~cos:1 ~mask:0b1110;
+  let addr k = k * 64 * 64 in
+  (* cos 0 may only use way 0: two fills thrash each other. *)
+  ignore (Cache.access c ~cos:0 ~owner:Attacker (addr 0));
+  ignore (Cache.access c ~cos:0 ~owner:Attacker (addr 1));
+  Alcotest.(check bool) "first evicted by second" false (Cache.is_cached c (addr 0));
+  (* cos 1 fills cannot touch way 0's occupant. *)
+  ignore (Cache.access c ~cos:0 ~owner:Attacker (addr 2));
+  for k = 3 to 8 do
+    ignore (Cache.access c ~cos:1 ~owner:Background (addr k))
+  done;
+  Alcotest.(check bool) "cos0 line survives cos1 storm" true
+    (Cache.is_cached c (addr 2))
+
+let test_cat_mask_validation () =
+  let c = small () in
+  Alcotest.check_raises "empty mask" (Invalid_argument "Cache.set_cat_mask: mask")
+    (fun () -> Cache.set_cat_mask c ~cos:0 ~mask:0);
+  Alcotest.check_raises "too wide" (Invalid_argument "Cache.set_cat_mask: mask")
+    (fun () -> Cache.set_cat_mask c ~cos:0 ~mask:0x10);
+  Alcotest.check_raises "bad cos" (Invalid_argument "Cache.set_cat_mask: cos")
+    (fun () -> Cache.set_cat_mask c ~cos:9 ~mask:1)
+
+let test_slice_hash_balance () =
+  (* The XOR slice hash should spread lines across slices reasonably. *)
+  let c = Cache.create Cache.default_config in
+  let counts = Array.make 4 0 in
+  for line = 0 to 9999 do
+    let s = Cache.slice_of c (line * 64) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iter
+    (fun n -> Alcotest.(check bool) "roughly balanced" true (n > 1800 && n < 3200))
+    counts
+
+let test_addrs_for_set () =
+  let c = Cache.create Cache.default_config in
+  let set = 1234 in
+  let addrs = Cache.addrs_for_set c ~set ~count:8 in
+  Array.iter
+    (fun a -> Alcotest.(check int) "maps to set" set (Cache.set_index c a))
+    addrs;
+  let distinct = List.sort_uniq compare (Array.to_list addrs) in
+  Alcotest.(check int) "distinct" 8 (List.length distinct);
+  Alcotest.(check int) "addr_for_set agrees" addrs.(3)
+    (Cache.addr_for_set c ~set ~seq:3)
+
+let test_owner_in_set () =
+  let c = small () in
+  ignore (Cache.access c ~owner:Victim 0x0);
+  ignore (Cache.access c ~owner:Attacker (64 * 64));
+  let set = Cache.set_index c 0x0 in
+  Alcotest.(check int) "one victim line" 1 (Cache.owner_in_set c ~set Victim);
+  Alcotest.(check int) "one attacker line" 1 (Cache.owner_in_set c ~set Attacker);
+  Alcotest.(check int) "no system line" 0 (Cache.owner_in_set c ~set System)
+
+let test_timing_separation () =
+  let prng = Prng.create ~seed:1 () in
+  let t = Timing.default in
+  let wrong = ref 0 in
+  for _ = 1 to 10_000 do
+    if not (Timing.measure t prng ~hit:true) then incr wrong;
+    if Timing.measure t prng ~hit:false then incr wrong
+  done;
+  (* Outliers make a small, bounded error rate. *)
+  Alcotest.(check bool) "error rate under 2%" true (!wrong < 400)
+
+let test_timing_noiseless_is_exact () =
+  let prng = Prng.create ~seed:2 () in
+  let t = Timing.noiseless in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "hit" true (Timing.measure t prng ~hit:true);
+    Alcotest.(check bool) "miss" false (Timing.measure t prng ~hit:false)
+  done
+
+let test_flush_reload_detects_victim () =
+  let cache = small () in
+  let prng = Prng.create ~seed:3 () in
+  let fr = Flush_reload.create ~timing:Timing.noiseless ~cache ~prng () in
+  let addr = 0x7000 in
+  Flush_reload.flush fr addr;
+  Alcotest.(check bool) "no access -> miss" false (Flush_reload.round fr addr);
+  ignore (Cache.access cache ~owner:Victim addr);
+  Alcotest.(check bool) "victim access -> hit" true (Flush_reload.round fr addr)
+
+let test_prime_probe_detects_victim () =
+  let cache = small () in
+  let prng = Prng.create ~seed:4 () in
+  let pp = Prime_probe.create ~timing:Timing.noiseless ~cache ~prng () in
+  let victim_addr = 0x9040 in
+  let set = Cache.set_index cache victim_addr in
+  Prime_probe.prime pp ~set;
+  Alcotest.(check int) "quiet probe" 0 (Prime_probe.probe pp ~set);
+  Prime_probe.prime pp ~set;
+  ignore (Cache.access cache ~owner:Victim victim_addr);
+  Alcotest.(check bool) "victim detected" true (Prime_probe.probe pp ~set > 0)
+
+let test_prime_probe_respects_cat () =
+  let cache = small () in
+  Cache.set_cat_mask cache ~cos:0 ~mask:0b0001;
+  let prng = Prng.create ~seed:5 () in
+  let pp = Prime_probe.create ~timing:Timing.noiseless ~cos:0 ~cache ~prng () in
+  let set = 7 in
+  Prime_probe.prime pp ~set;
+  (* Single way: exactly one attacker line lives in the set. *)
+  Alcotest.(check int) "one line primed" 1 (Cache.owner_in_set cache ~set Attacker)
+
+let test_random_replacement_policy () =
+  let cfg = { Cache.small_config with Cache.policy = Cache.Random_replacement } in
+  let c = Cache.create cfg in
+  let addr k = k * 64 * 64 in
+  (* Invalid ways are always consumed first: four fills keep all four. *)
+  for k = 0 to 3 do
+    ignore (Cache.access c ~owner:Attacker (addr k))
+  done;
+  for k = 0 to 3 do
+    Alcotest.(check bool) "resident after warmup" true (Cache.is_cached c (addr k))
+  done;
+  (* Further fills evict exactly one resident line each. *)
+  ignore (Cache.access c ~owner:Victim (addr 4));
+  let resident = ref 0 in
+  for k = 0 to 4 do
+    if Cache.is_cached c (addr k) then incr resident
+  done;
+  Alcotest.(check int) "still exactly 4 lines" 4 !resident
+
+let test_random_replacement_respects_cat () =
+  let cfg = { Cache.small_config with Cache.policy = Cache.Random_replacement } in
+  let c = Cache.create cfg in
+  Cache.set_cat_mask c ~cos:0 ~mask:0b0001;
+  Cache.set_cat_mask c ~cos:1 ~mask:0b1110;
+  let addr k = k * 64 * 64 in
+  (* The attacker's line is pinned into way 0 by its class of service;
+     random-replacement fills of cos 1 may pick any way of their mask but
+     never way 0. *)
+  ignore (Cache.access c ~cos:0 ~owner:Attacker (addr 0));
+  for k = 1 to 50 do
+    ignore (Cache.access c ~cos:1 ~owner:Background (addr k))
+  done;
+  Alcotest.(check bool) "cos1 random fills never touch way 0" true
+    (Cache.is_cached c (addr 0))
+
+let qcheck_set_index_in_range =
+  QCheck.Test.make ~name:"set_index within bounds" ~count:500
+    QCheck.(int_bound 0x3fffffff)
+    (fun addr ->
+      let c = Cache.create Cache.default_config in
+      let s = Cache.set_index c addr in
+      s >= 0 && s < Cache.n_sets c)
+
+let qcheck_access_then_cached =
+  QCheck.Test.make ~name:"access implies cached" ~count:300
+    QCheck.(int_bound 0xffffff)
+    (fun addr ->
+      let c = small () in
+      ignore (Cache.access c ~owner:Victim addr);
+      Cache.is_cached c addr)
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "line/set mapping" `Quick test_line_and_set_mapping;
+      Alcotest.test_case "hit after fill" `Quick test_hit_after_fill;
+      Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+      Alcotest.test_case "flush" `Quick test_flush;
+      Alcotest.test_case "cat restricts allocation" `Quick test_cat_restricts_allocation;
+      Alcotest.test_case "cat mask validation" `Quick test_cat_mask_validation;
+      Alcotest.test_case "slice hash balance" `Quick test_slice_hash_balance;
+      Alcotest.test_case "addrs for set" `Quick test_addrs_for_set;
+      Alcotest.test_case "owner in set" `Quick test_owner_in_set;
+      Alcotest.test_case "timing separation" `Quick test_timing_separation;
+      Alcotest.test_case "timing noiseless" `Quick test_timing_noiseless_is_exact;
+      Alcotest.test_case "flush+reload" `Quick test_flush_reload_detects_victim;
+      Alcotest.test_case "prime+probe" `Quick test_prime_probe_detects_victim;
+      Alcotest.test_case "prime+probe under CAT" `Quick test_prime_probe_respects_cat;
+      Alcotest.test_case "random replacement" `Quick test_random_replacement_policy;
+      Alcotest.test_case "random replacement + CAT" `Quick
+        test_random_replacement_respects_cat;
+      QCheck_alcotest.to_alcotest qcheck_set_index_in_range;
+      QCheck_alcotest.to_alcotest qcheck_access_then_cached;
+    ] )

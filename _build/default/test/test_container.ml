@@ -1,0 +1,199 @@
+open Zipchannel_util
+open Zipchannel_compress
+
+let prng () = Prng.create ~seed:0xC0A7 ()
+
+(* ------------------------------------------------------------------ *)
+(* Checksums *)
+
+let test_crc32_vector () =
+  (* The canonical CRC-32 check value. *)
+  Alcotest.(check int) "123456789" 0xCBF43926
+    (Checksum.Crc32.digest (Bytes.of_string "123456789"))
+
+let test_crc32_empty () =
+  Alcotest.(check int) "empty" 0 (Checksum.Crc32.digest Bytes.empty)
+
+let test_crc32_incremental () =
+  let data = Bytes.of_string "hello, world" in
+  let split = 5 in
+  let s =
+    Checksum.Crc32.feed_bytes
+      (Checksum.Crc32.feed_bytes Checksum.Crc32.init (Bytes.sub data 0 split))
+      (Bytes.sub data split (Bytes.length data - split))
+  in
+  Alcotest.(check int) "incremental = one-shot" (Checksum.Crc32.digest data)
+    (Checksum.Crc32.value s)
+
+let test_adler32_vector () =
+  (* Adler-32 of "Wikipedia" (well-known example). *)
+  Alcotest.(check int) "Wikipedia" 0x11E60398
+    (Checksum.Adler32.digest (Bytes.of_string "Wikipedia"))
+
+let test_adler32_empty () =
+  Alcotest.(check int) "empty is 1" 1 (Checksum.Adler32.digest Bytes.empty)
+
+let test_crc32_detects_bit_flip () =
+  let t = prng () in
+  let data = Prng.bytes t 200 in
+  let crc = Checksum.Crc32.digest data in
+  let corrupted = Bytes.copy data in
+  Bytes.set corrupted 100
+    (Char.chr (Char.code (Bytes.get corrupted 100) lxor 0x10));
+  Alcotest.(check bool) "differs" false (Checksum.Crc32.digest corrupted = crc)
+
+let qcheck_crc_incremental =
+  QCheck.Test.make ~name:"crc32 incremental equals one-shot" ~count:100
+    QCheck.(pair (string_of_size QCheck.Gen.(0 -- 100)) (string_of_size QCheck.Gen.(0 -- 100)))
+    (fun (a, b) ->
+      let whole = Bytes.of_string (a ^ b) in
+      let inc =
+        Checksum.Crc32.value
+          (Checksum.Crc32.feed_bytes
+             (Checksum.Crc32.feed_bytes Checksum.Crc32.init (Bytes.of_string a))
+             (Bytes.of_string b))
+      in
+      inc = Checksum.Crc32.digest whole)
+
+(* ------------------------------------------------------------------ *)
+(* Stream container *)
+
+let test_stream_roundtrip () =
+  let t = prng () in
+  let data = Bytes.of_string (Lipsum.repetitive_file t ~level:3 ~size:5000) in
+  Alcotest.(check bool) "roundtrip" true
+    (Bytes.equal data (Container.Stream.unpack (Container.Stream.pack data)));
+  Alcotest.(check bool) "empty" true
+    (Bytes.equal Bytes.empty (Container.Stream.unpack (Container.Stream.pack Bytes.empty)))
+
+let test_stream_detects_corruption () =
+  let t = prng () in
+  let packed = Container.Stream.pack (Prng.bytes t 1000) in
+  (* Flip a byte in the middle of the body. *)
+  let damaged = Bytes.copy packed in
+  let mid = Bytes.length damaged / 2 in
+  Bytes.set damaged mid (Char.chr (Char.code (Bytes.get damaged mid) lxor 1));
+  Alcotest.(check bool) "raises Corrupt" true
+    (match Container.Stream.unpack damaged with
+    | _ -> false
+    | exception Container.Corrupt _ -> true)
+
+let test_stream_bad_magic () =
+  Alcotest.(check bool) "bad magic rejected" true
+    (match Container.Stream.unpack (Bytes.make 20 'q') with
+    | _ -> false
+    | exception Container.Corrupt _ -> true)
+
+let test_stream_truncated () =
+  let packed = Container.Stream.pack (Bytes.of_string "some data here") in
+  let truncated = Bytes.sub packed 0 (Bytes.length packed - 3) in
+  Alcotest.(check bool) "truncation rejected" true
+    (match Container.Stream.unpack truncated with
+    | _ -> false
+    | exception Container.Corrupt _ -> true)
+
+let qcheck_stream =
+  QCheck.Test.make ~name:"stream container roundtrip" ~count:100
+    QCheck.(string_of_size QCheck.Gen.(0 -- 1500))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Container.Stream.unpack (Container.Stream.pack b)))
+
+(* ------------------------------------------------------------------ *)
+(* Archive *)
+
+let entries t =
+  [
+    { Container.Archive.name = "readme.txt";
+      data = Bytes.of_string (Lipsum.paragraph t) };
+    { Container.Archive.name = "data.bin"; data = Prng.bytes t 3000 };
+    { Container.Archive.name = "empty"; data = Bytes.empty };
+  ]
+
+let test_archive_roundtrip () =
+  let es = entries (prng ()) in
+  let packed = Container.Archive.pack es in
+  let out = Container.Archive.unpack packed in
+  Alcotest.(check int) "entry count" 3 (List.length out);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Container.Archive.name b.Container.Archive.name;
+      Alcotest.(check bool) "data" true (Bytes.equal a.Container.Archive.data b.Container.Archive.data))
+    es out
+
+let test_archive_names_and_extract () =
+  let es = entries (prng ()) in
+  let packed = Container.Archive.pack es in
+  Alcotest.(check (list string)) "names" [ "readme.txt"; "data.bin"; "empty" ]
+    (Container.Archive.names packed);
+  let d = Container.Archive.extract packed "data.bin" in
+  Alcotest.(check bool) "extracted" true
+    (Bytes.equal d (List.nth es 1).Container.Archive.data);
+  Alcotest.check_raises "missing entry" Not_found (fun () ->
+      ignore (Container.Archive.extract packed "nope"))
+
+let test_archive_empty () =
+  let packed = Container.Archive.pack [] in
+  Alcotest.(check (list string)) "no entries" [] (Container.Archive.names packed)
+
+let test_archive_duplicate_names () =
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Archive.pack: duplicate entry name") (fun () ->
+      ignore
+        (Container.Archive.pack
+           [
+             { Container.Archive.name = "a"; data = Bytes.empty };
+             { Container.Archive.name = "a"; data = Bytes.empty };
+           ]))
+
+let test_archive_detects_corruption () =
+  let es = entries (prng ()) in
+  let packed = Container.Archive.pack es in
+  let damaged = Bytes.copy packed in
+  Bytes.set damaged 10 (Char.chr (Char.code (Bytes.get damaged 10) lxor 0x40));
+  Alcotest.(check bool) "raises Corrupt" true
+    (match Container.Archive.unpack damaged with
+    | _ -> false
+    | exception Container.Corrupt _ -> true)
+
+let qcheck_archive =
+  QCheck.Test.make ~name:"archive roundtrip" ~count:50
+    QCheck.(small_list (string_of_size QCheck.Gen.(0 -- 300)))
+    (fun contents ->
+      let es =
+        List.mapi
+          (fun i s ->
+            { Container.Archive.name = Printf.sprintf "f%d" i;
+              data = Bytes.of_string s })
+          contents
+      in
+      let out = Container.Archive.unpack (Container.Archive.pack es) in
+      List.length out = List.length es
+      && List.for_all2
+           (fun a b ->
+             a.Container.Archive.name = b.Container.Archive.name
+             && Bytes.equal a.Container.Archive.data b.Container.Archive.data)
+           es out)
+
+let suite =
+  ( "container",
+    [
+      Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+      Alcotest.test_case "crc32 empty" `Quick test_crc32_empty;
+      Alcotest.test_case "crc32 incremental" `Quick test_crc32_incremental;
+      Alcotest.test_case "adler32 vector" `Quick test_adler32_vector;
+      Alcotest.test_case "adler32 empty" `Quick test_adler32_empty;
+      Alcotest.test_case "crc32 bit flip" `Quick test_crc32_detects_bit_flip;
+      QCheck_alcotest.to_alcotest qcheck_crc_incremental;
+      Alcotest.test_case "stream roundtrip" `Quick test_stream_roundtrip;
+      Alcotest.test_case "stream corruption" `Quick test_stream_detects_corruption;
+      Alcotest.test_case "stream bad magic" `Quick test_stream_bad_magic;
+      Alcotest.test_case "stream truncated" `Quick test_stream_truncated;
+      QCheck_alcotest.to_alcotest qcheck_stream;
+      Alcotest.test_case "archive roundtrip" `Quick test_archive_roundtrip;
+      Alcotest.test_case "archive names/extract" `Quick test_archive_names_and_extract;
+      Alcotest.test_case "archive empty" `Quick test_archive_empty;
+      Alcotest.test_case "archive duplicates" `Quick test_archive_duplicate_names;
+      Alcotest.test_case "archive corruption" `Quick test_archive_detects_corruption;
+      QCheck_alcotest.to_alcotest qcheck_archive;
+    ] )

@@ -1,0 +1,130 @@
+(* Smoke tests over the experiment harness: each experiment must run,
+   print something, and hit its paper-shaped headline metric.  Sizes are
+   kept small where the harness allows. *)
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let metric outcome name =
+  match List.assoc_opt name outcome.Zipchannel.Experiments.metrics with
+  | Some v -> v
+  | None ->
+      Alcotest.failf "metric %S missing from %s" name
+        outcome.Zipchannel.Experiments.id
+
+let test_e1 () =
+  let o = Zipchannel.Experiments.e1_zlib_gadget null_ppf in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (metric o "input coverage (paper: all bytes)")
+
+let test_e3 () =
+  let o = Zipchannel.Experiments.e3_bzip2_gadget null_ppf in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (metric o "coverage (paper: all bytes)")
+
+let test_e4 () =
+  let o = Zipchannel.Experiments.e4_survey null_ppf in
+  Alcotest.(check bool) "zlib leaks everything" true
+    (metric o "coverage LZ77/Zlib" = 1.0);
+  Alcotest.(check bool) "bzip2 leaks everything" true
+    (metric o "coverage BWT/Bzip2" = 1.0);
+  Alcotest.(check bool) "lzw leaks all but the first byte" true
+    (metric o "coverage LZ78/LZW" > 0.999)
+
+let test_e5 () =
+  let o = Zipchannel.Experiments.e5_zlib_recovery null_ppf in
+  Alcotest.(check (float 1e-9)) "direct bits exact" 1.0
+    (metric o "direct 2-bit accuracy");
+  Alcotest.(check bool) "lowercase nearly full" true
+    (metric o "lowercase byte accuracy" > 0.999)
+
+let test_e6 () =
+  let o = Zipchannel.Experiments.e6_lzw_recovery null_ppf in
+  Alcotest.(check (float 1e-9)) "full recovery" 1.0 (metric o "byte accuracy")
+
+let test_e7_small () =
+  let o = Zipchannel.Experiments.e7_sgx_attack ~size:1200 null_ppf in
+  Alcotest.(check bool) "paper headline: >99% of bits" true
+    (metric o "bit accuracy (paper >0.99)" > 0.99)
+
+let test_e9 () =
+  let o = Zipchannel.Experiments.e9_sort_control_flow null_ppf in
+  Alcotest.(check bool) "some blocks abandon mainSort" true
+    (metric o "abandoned mainSort" >= 1.0)
+
+let test_e11_small () =
+  let o =
+    Zipchannel.Experiments.e11_fingerprint_repetitiveness ~traces_per_file:15
+      null_ppf
+  in
+  Alcotest.(check bool) "well above chance" true
+    (metric o "test accuracy" > 2.0 *. metric o "chance")
+
+let test_e12 () =
+  let o = Zipchannel.Experiments.e12_aes_validation null_ppf in
+  Alcotest.(check (float 1e-9)) "fips ok" 1.0 (metric o "fips vector ok");
+  Alcotest.(check (float 1e-9)) "gadget found" 1.0 (metric o "gadget found")
+
+let test_e13 () =
+  let o = Zipchannel.Experiments.e13_memcpy_divergence null_ppf in
+  Alcotest.(check (float 1e-9)) "divergence" 1.0
+    (metric o "size divergence detected");
+  Alcotest.(check (float 1e-9)) "stability" 1.0
+    (metric o "same size identical")
+
+let test_e14 () =
+  let o = Zipchannel.Experiments.e14_mitigation null_ppf in
+  Alcotest.(check (float 1e-9)) "oblivious correct" 1.0
+    (metric o "oblivious correct");
+  Alcotest.(check (float 1e-9)) "plain leaks" 1.0 (metric o "plain trace leaks");
+  Alcotest.(check (float 1e-9)) "oblivious constant" 1.0
+    (metric o "oblivious trace constant");
+  Alcotest.(check bool) "recovery collapses to chance" true
+    (metric o "recovery vs mitigated (chance)" < 0.05)
+
+let test_e15_small () =
+  let o = Zipchannel.Experiments.e15_timer_stepping ~size:250 null_ppf in
+  Alcotest.(check bool) "controlled channel near-perfect" true
+    (metric o "controlled channel bits" > 0.99);
+  Alcotest.(check bool) "jittery timer far below" true
+    (metric o "timer bits, jitter 2.0" < metric o "controlled channel bits")
+
+let test_e16 () =
+  let o = Zipchannel.Experiments.e16_tool_comparison null_ppf in
+  Alcotest.(check (float 1e-9)) "baseline finds it" 1.0
+    (metric o "baseline finds gadget");
+  Alcotest.(check (float 1e-9)) "taintchannel finds it" 1.0
+    (metric o "taintchannel finds gadget")
+
+let test_e17_small () =
+  let o = Zipchannel.Experiments.e17_lzw_sgx_attack ~size:800 null_ppf in
+  Alcotest.(check bool) "text fully extracted" true
+    (metric o "text byte accuracy" > 0.99);
+  Alcotest.(check bool) "random bits >99%" true
+    (metric o "random bit accuracy" > 0.99)
+
+let test_e18_small () =
+  let o = Zipchannel.Experiments.e18_zlib_sgx_attack ~size:800 null_ppf in
+  Alcotest.(check bool) "lowercase nearly full" true
+    (metric o "lowercase byte accuracy" > 0.99);
+  Alcotest.(check bool) "direct bits read" true
+    (metric o "random direct-bit accuracy" > 0.98)
+
+let suite =
+  ( "experiments",
+    [
+      Alcotest.test_case "E1 zlib gadget" `Quick test_e1;
+      Alcotest.test_case "E3 bzip2 gadget" `Quick test_e3;
+      Alcotest.test_case "E4 survey" `Quick test_e4;
+      Alcotest.test_case "E5 zlib recovery" `Quick test_e5;
+      Alcotest.test_case "E6 lzw recovery" `Quick test_e6;
+      Alcotest.test_case "E7 sgx attack (small)" `Slow test_e7_small;
+      Alcotest.test_case "E9 control flow" `Slow test_e9;
+      Alcotest.test_case "E11 fingerprint (small)" `Slow test_e11_small;
+      Alcotest.test_case "E12 aes" `Quick test_e12;
+      Alcotest.test_case "E13 memcpy" `Quick test_e13;
+      Alcotest.test_case "E14 mitigation" `Slow test_e14;
+      Alcotest.test_case "E15 timer stepping (small)" `Slow test_e15_small;
+      Alcotest.test_case "E16 tool comparison" `Slow test_e16;
+      Alcotest.test_case "E17 lzw sgx (small)" `Slow test_e17_small;
+      Alcotest.test_case "E18 zlib sgx (small)" `Slow test_e18_small;
+    ] )

@@ -1,0 +1,108 @@
+open Zipchannel_util
+open Zipchannel_mitigation
+module Block_sort = Zipchannel_compress.Block_sort
+
+let prng () = Prng.create ~seed:0x317 ()
+
+let test_histogram_correct () =
+  let t = prng () in
+  for _ = 1 to 5 do
+    let input = Prng.bytes t 200 in
+    Alcotest.(check bool) "matches plain histogram" true
+      (Oblivious.histogram input = Block_sort.histogram input)
+  done
+
+let test_histogram_empty () =
+  let h = Oblivious.histogram Bytes.empty in
+  Alcotest.(check int) "all zero" 0 (Array.fold_left ( + ) 0 h)
+
+let test_trace_is_constant () =
+  let t = prng () in
+  let inputs = List.init 4 (fun _ -> Prng.bytes t 150) in
+  Alcotest.(check bool) "input independent" true
+    (Leak_check.constant_trace Oblivious.histogram_line_trace ~inputs)
+
+let test_trace_shape () =
+  let t = prng () in
+  let input = Prng.bytes t 10 in
+  let trace = Oblivious.histogram_line_trace input in
+  let lines = Oblivious.lines_of_table ~entries:Block_sort.ftab_size ~entry_size:4 in
+  Alcotest.(check int) "every line per iteration" (10 * lines)
+    (Array.length trace);
+  (* Each iteration sweeps lines 0..lines-1 in order. *)
+  Array.iteri
+    (fun k line -> Alcotest.(check int) "sweep order" (k mod lines) line)
+    trace
+
+let test_plain_trace_leaks () =
+  let a = Bytes.of_string "aaaaaaaaaa" and b = Bytes.of_string "zzzzzzzzzz" in
+  Alcotest.(check bool) "plain loop is input dependent" false
+    (Leak_check.constant_trace Leak_check.plain_histogram_line_trace
+       ~inputs:[ a; b ])
+
+let test_leak_check_validation () =
+  Alcotest.check_raises "needs two inputs"
+    (Invalid_argument "Leak_check.constant_trace: need >= 2 inputs") (fun () ->
+      ignore
+        (Leak_check.constant_trace Leak_check.plain_histogram_line_trace
+           ~inputs:[ Bytes.empty ]))
+
+let test_first_difference () =
+  Alcotest.(check (option int)) "same" None
+    (Leak_check.first_difference [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check (option int)) "differs" (Some 1)
+    (Leak_check.first_difference [| 1; 2 |] [| 1; 3 |]);
+  Alcotest.(check (option int)) "length" (Some 2)
+    (Leak_check.first_difference [| 1; 2 |] [| 1; 2; 3 |])
+
+let test_oblivious_lookup () =
+  let table = Array.init 100 (fun i -> i * 7) in
+  for i = 0 to 99 do
+    Alcotest.(check int) "lookup value" (i * 7) (Oblivious.lookup ~table i)
+  done;
+  Alcotest.check_raises "bounds" (Invalid_argument "Oblivious.lookup: index")
+    (fun () -> ignore (Oblivious.lookup ~table 100))
+
+let test_store_roundtrip () =
+  let t = prng () in
+  let data = Prng.bytes t 500 in
+  Alcotest.(check bool) "roundtrip" true
+    (Bytes.equal data (Oblivious.store_unpack (Oblivious.store_pack data)));
+  Alcotest.(check bool) "empty" true
+    (Bytes.equal Bytes.empty (Oblivious.store_unpack (Oblivious.store_pack Bytes.empty)))
+
+let test_store_rejects_garbage () =
+  Alcotest.check_raises "bad magic"
+    (Failure "Oblivious.store_unpack: bad magic") (fun () ->
+      ignore (Oblivious.store_unpack (Bytes.of_string "XXXXXXXXXX")))
+
+let qcheck_oblivious_histogram =
+  QCheck.Test.make ~name:"oblivious histogram equals plain" ~count:30
+    QCheck.(string_of_size QCheck.Gen.(0 -- 120))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Oblivious.histogram b = Block_sort.histogram b)
+
+let qcheck_store =
+  QCheck.Test.make ~name:"store container roundtrip" ~count:100
+    QCheck.(string_of_size QCheck.Gen.(0 -- 500))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Oblivious.store_unpack (Oblivious.store_pack b)))
+
+let suite =
+  ( "mitigation",
+    [
+      Alcotest.test_case "histogram correct" `Quick test_histogram_correct;
+      Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+      Alcotest.test_case "trace constant" `Quick test_trace_is_constant;
+      Alcotest.test_case "trace shape" `Quick test_trace_shape;
+      Alcotest.test_case "plain trace leaks" `Quick test_plain_trace_leaks;
+      Alcotest.test_case "leak check validation" `Quick test_leak_check_validation;
+      Alcotest.test_case "first difference" `Quick test_first_difference;
+      Alcotest.test_case "oblivious lookup" `Quick test_oblivious_lookup;
+      Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
+      Alcotest.test_case "store rejects garbage" `Quick test_store_rejects_garbage;
+      QCheck_alcotest.to_alcotest qcheck_oblivious_histogram;
+      QCheck_alcotest.to_alcotest qcheck_store;
+    ] )

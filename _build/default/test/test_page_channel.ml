@@ -1,0 +1,106 @@
+open Zipchannel_util
+open Zipchannel_attack
+module Cache = Zipchannel_cache.Cache
+module Timing = Zipchannel_cache.Timing
+module Page_table = Zipchannel_sgx.Page_table
+
+let quiet_config =
+  {
+    Attack_config.default with
+    Attack_config.timing = Timing.noiseless;
+    background_noise = false;
+    noise_config =
+      { Noise.default_config with Noise.transition_touch_prob = 0.0 };
+  }
+
+let make ?(config = quiet_config) () =
+  let cache = Cache.create config.Attack_config.cache_config in
+  Page_channel.setup_cat ~config cache;
+  let page_table = Page_table.create () in
+  let prng = Prng.create ~seed:42 () in
+  (Page_channel.create ~config ~cache ~page_table ~prng, cache, page_table)
+
+let test_setup_cat_masks () =
+  let config = Attack_config.default in
+  let cache = Cache.create config.Attack_config.cache_config in
+  Page_channel.setup_cat ~config cache;
+  Alcotest.(check int) "attacker class pinned to way 0" 1
+    (Cache.cat_mask cache ~cos:0);
+  Alcotest.(check bool) "background class excludes way 0" true
+    (Cache.cat_mask cache ~cos:1 land 1 = 0)
+
+let test_setup_cat_disabled () =
+  let config = { Attack_config.default with Attack_config.use_cat = false } in
+  let cache = Cache.create config.Attack_config.cache_config in
+  Page_channel.setup_cat ~config cache;
+  Alcotest.(check int) "all ways"
+    ((1 lsl config.Attack_config.cache_config.Cache.ways) - 1)
+    (Cache.cat_mask cache ~cos:0)
+
+let test_select_frame_sticky () =
+  let ch, _, _ = make () in
+  let f1 = Page_channel.select_frame ch ~vpage:0x1234 in
+  let f2 = Page_channel.select_frame ch ~vpage:0x1234 in
+  Alcotest.(check int) "frame choice is stable" f1 f2;
+  let f3 = Page_channel.select_frame ch ~vpage:0x9999 in
+  Alcotest.(check bool) "distinct pages get distinct frames" true (f1 <> f3)
+
+let test_select_frame_updates_mapping () =
+  let ch, _, pt = make () in
+  let vpage = 0x4242 in
+  let frame = Page_channel.select_frame ch ~vpage in
+  Alcotest.(check int) "page table updated" frame
+    (Page_table.frame_of pt ~vpage);
+  Alcotest.(check bool) "remaps counted" true (Page_channel.frame_remaps ch >= 1)
+
+let test_probe_detects_victim_line () =
+  let ch, cache, pt = make () in
+  let vpage = 0x7abc in
+  Page_channel.prime_page ch ~vpage;
+  (* Quiet channel: no victim access yields no candidates. *)
+  Alcotest.(check (list int)) "quiet page" []
+    (Page_channel.probe_page ch ~vpage);
+  (* A victim access to line 13 of the page is pinpointed. *)
+  Page_channel.prime_page ch ~vpage;
+  let virt = (vpage lsl 12) lor (13 lsl 6) in
+  ignore (Cache.access cache ~cos:0 ~owner:Cache.Victim (Page_table.phys_of pt virt));
+  Alcotest.(check (list int)) "line 13 detected" [ 13 ]
+    (Page_channel.probe_page ch ~vpage)
+
+let test_probe_multiple_lines () =
+  let ch, cache, pt = make () in
+  let vpage = 0x5555 in
+  Page_channel.prime_page ch ~vpage;
+  List.iter
+    (fun line ->
+      let virt = (vpage lsl 12) lor (line lsl 6) in
+      ignore
+        (Cache.access cache ~cos:0 ~owner:Cache.Victim (Page_table.phys_of pt virt)))
+    [ 3; 40 ];
+  Alcotest.(check (list int)) "both candidates, sorted" [ 3; 40 ]
+    (List.sort compare (Page_channel.probe_page ch ~vpage))
+
+let test_probe_gives_up_when_flooded () =
+  let ch, cache, pt = make () in
+  let vpage = 0x6666 in
+  Page_channel.prime_page ch ~vpage;
+  List.iter
+    (fun line ->
+      let virt = (vpage lsl 12) lor (line lsl 6) in
+      ignore
+        (Cache.access cache ~cos:0 ~owner:Cache.Victim (Page_table.phys_of pt virt)))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "flooded window discarded" []
+    (Page_channel.probe_page ch ~vpage)
+
+let suite =
+  ( "page_channel",
+    [
+      Alcotest.test_case "cat masks" `Quick test_setup_cat_masks;
+      Alcotest.test_case "cat disabled" `Quick test_setup_cat_disabled;
+      Alcotest.test_case "frame selection sticky" `Quick test_select_frame_sticky;
+      Alcotest.test_case "frame selection maps" `Quick test_select_frame_updates_mapping;
+      Alcotest.test_case "probe detects line" `Quick test_probe_detects_victim_line;
+      Alcotest.test_case "probe multiple lines" `Quick test_probe_multiple_lines;
+      Alcotest.test_case "probe flooded" `Quick test_probe_gives_up_when_flooded;
+    ] )

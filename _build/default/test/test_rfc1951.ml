@@ -1,0 +1,188 @@
+open Zipchannel_util
+open Zipchannel_compress
+
+let prng () = Prng.create ~seed:0x1951 ()
+
+let bytes_testable =
+  Alcotest.testable
+    (fun ppf b -> Format.fprintf ppf "%d bytes" (Bytes.length b))
+    Bytes.equal
+
+let roundtrip ?kind name input =
+  Alcotest.check bytes_testable name input
+    (Rfc1951.inflate (Rfc1951.deflate ?kind input))
+
+let test_roundtrip_dynamic () =
+  let t = prng () in
+  roundtrip "empty" Bytes.empty;
+  roundtrip "single" (Bytes.of_string "q");
+  roundtrip "text"
+    (Bytes.of_string (Lipsum.repetitive_file t ~level:4 ~size:8000));
+  roundtrip "random" (Prng.bytes t 6000);
+  roundtrip "runs" (Bytes.make 5000 '\000')
+
+let test_roundtrip_fixed () =
+  let t = prng () in
+  roundtrip ~kind:Rfc1951.Fixed "fixed text"
+    (Bytes.of_string (Lipsum.paragraph t));
+  roundtrip ~kind:Rfc1951.Fixed "fixed empty" Bytes.empty;
+  roundtrip ~kind:Rfc1951.Fixed "fixed random" (Prng.bytes t 3000)
+
+let test_roundtrip_stored () =
+  let t = prng () in
+  roundtrip ~kind:Rfc1951.Stored "stored" (Prng.bytes t 1000);
+  roundtrip ~kind:Rfc1951.Stored "stored empty" Bytes.empty;
+  (* Multiple stored blocks: above the 65535 per-block limit. *)
+  roundtrip ~kind:Rfc1951.Stored "stored 100k" (Prng.bytes t 100_000)
+
+let test_compresses_text () =
+  let t = prng () in
+  let text = Bytes.of_string (Lipsum.repetitive_file t ~level:3 ~size:20_000) in
+  let enc = Rfc1951.deflate text in
+  Alcotest.(check bool) "dynamic block compresses" true
+    (Bytes.length enc < Bytes.length text / 3)
+
+let test_malformed_rejected () =
+  let expect_failure name data =
+    match Rfc1951.inflate data with
+    | _ -> Alcotest.failf "%s: should have failed" name
+    | exception Failure _ -> ()
+  in
+  expect_failure "empty stream" Bytes.empty;
+  expect_failure "reserved block type" (Bytes.of_string "\x07");
+  expect_failure "truncated stored" (Bytes.of_string "\x01\x0a\x00")
+
+let test_stored_length_check () =
+  (* Corrupt NLEN of a stored block. *)
+  let enc = Rfc1951.deflate ~kind:Rfc1951.Stored (Bytes.of_string "data") in
+  let bad = Bytes.copy enc in
+  Bytes.set bad 3 (Char.chr (Char.code (Bytes.get bad 3) lxor 0xff));
+  match Rfc1951.inflate bad with
+  | _ -> Alcotest.fail "should reject bad NLEN"
+  | exception Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Interop fixtures produced by Python's zlib/gzip (see test/fixtures). *)
+
+let fixture name ext =
+  let path = Printf.sprintf "fixtures/%s.%s" name ext in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Bytes.of_string (really_input_string ic (in_channel_length ic)))
+
+let fixture_names = [ "empty"; "single"; "text"; "random2k"; "runs" ]
+
+let test_inflate_zlib_streams () =
+  List.iter
+    (fun name ->
+      Alcotest.check bytes_testable ("inflate " ^ name) (fixture name "plain")
+        (Rfc1951.inflate (fixture name "deflate")))
+    fixture_names
+
+let test_unzlib_streams () =
+  List.iter
+    (fun name ->
+      Alcotest.check bytes_testable ("unzlib " ^ name) (fixture name "plain")
+        (Rfc1951.Zlib.decompress (fixture name "zlib")))
+    fixture_names
+
+let test_gunzip_streams () =
+  List.iter
+    (fun name ->
+      Alcotest.check bytes_testable ("gunzip " ^ name) (fixture name "plain")
+        (Rfc1951.Gzip.decompress (fixture name "gz")))
+    fixture_names
+
+(* ------------------------------------------------------------------ *)
+(* Wrappers *)
+
+let test_zlib_wrapper () =
+  let t = prng () in
+  let data = Prng.bytes t 4000 in
+  Alcotest.check bytes_testable "roundtrip" data
+    (Rfc1951.Zlib.decompress (Rfc1951.Zlib.compress data));
+  let enc = Rfc1951.Zlib.compress data in
+  Alcotest.(check int) "CMF is 0x78" 0x78 (Char.code (Bytes.get enc 0));
+  Alcotest.(check int) "header check" 0
+    (((Char.code (Bytes.get enc 0) * 256) + Char.code (Bytes.get enc 1)) mod 31)
+
+let test_zlib_wrapper_corruption () =
+  let enc = Rfc1951.Zlib.compress (Bytes.of_string "payload payload") in
+  let bad = Bytes.copy enc in
+  let last = Bytes.length bad - 1 in
+  Bytes.set bad last (Char.chr (Char.code (Bytes.get bad last) lxor 1));
+  match Rfc1951.Zlib.decompress bad with
+  | _ -> Alcotest.fail "adler mismatch should fail"
+  | exception Failure _ -> ()
+
+let test_gzip_wrapper () =
+  let t = prng () in
+  let data = Prng.bytes t 4000 in
+  let enc = Rfc1951.Gzip.compress ~name:"secret.bin" data in
+  Alcotest.check bytes_testable "roundtrip" data (Rfc1951.Gzip.decompress enc);
+  Alcotest.(check (option string)) "fname field" (Some "secret.bin")
+    (Rfc1951.Gzip.original_name enc);
+  let anon = Rfc1951.Gzip.compress data in
+  Alcotest.(check (option string)) "no fname" None
+    (Rfc1951.Gzip.original_name anon)
+
+let test_gzip_wrapper_corruption () =
+  let enc = Rfc1951.Gzip.compress (Bytes.of_string "payload payload") in
+  let bad = Bytes.copy enc in
+  let pos = Bytes.length bad - 6 in
+  Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 1));
+  match Rfc1951.Gzip.decompress bad with
+  | _ -> Alcotest.fail "crc/size mismatch should fail"
+  | exception Failure _ -> ()
+
+let qcheck_rfc1951 =
+  QCheck.Test.make ~name:"rfc1951 dynamic roundtrip" ~count:120
+    QCheck.(string_of_size QCheck.Gen.(0 -- 3000))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Rfc1951.inflate (Rfc1951.deflate b)))
+
+let qcheck_rfc1951_fixed =
+  QCheck.Test.make ~name:"rfc1951 fixed roundtrip" ~count:80
+    QCheck.(string_of_size QCheck.Gen.(0 -- 2000))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Rfc1951.inflate (Rfc1951.deflate ~kind:Rfc1951.Fixed b)))
+
+let qcheck_gzip =
+  QCheck.Test.make ~name:"gzip wrapper roundtrip" ~count:60
+    QCheck.(string_of_size QCheck.Gen.(0 -- 2000))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Rfc1951.Gzip.decompress (Rfc1951.Gzip.compress b)))
+
+let qcheck_inflate_robust =
+  QCheck.Test.make ~name:"inflate never crashes on garbage" ~count:300
+    QCheck.(string_of_size QCheck.Gen.(0 -- 300))
+    (fun s ->
+      match Rfc1951.inflate (Bytes.of_string s) with
+      | _ -> true
+      | exception Failure _ -> true)
+
+let suite =
+  ( "rfc1951",
+    [
+      Alcotest.test_case "dynamic roundtrips" `Quick test_roundtrip_dynamic;
+      Alcotest.test_case "fixed roundtrips" `Quick test_roundtrip_fixed;
+      Alcotest.test_case "stored roundtrips" `Quick test_roundtrip_stored;
+      Alcotest.test_case "compresses text" `Quick test_compresses_text;
+      Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+      Alcotest.test_case "stored length check" `Quick test_stored_length_check;
+      Alcotest.test_case "inflate python streams" `Quick test_inflate_zlib_streams;
+      Alcotest.test_case "unzlib python streams" `Quick test_unzlib_streams;
+      Alcotest.test_case "gunzip python streams" `Quick test_gunzip_streams;
+      Alcotest.test_case "zlib wrapper" `Quick test_zlib_wrapper;
+      Alcotest.test_case "zlib corruption" `Quick test_zlib_wrapper_corruption;
+      Alcotest.test_case "gzip wrapper" `Quick test_gzip_wrapper;
+      Alcotest.test_case "gzip corruption" `Quick test_gzip_wrapper_corruption;
+      QCheck_alcotest.to_alcotest qcheck_rfc1951;
+      QCheck_alcotest.to_alcotest qcheck_rfc1951_fixed;
+      QCheck_alcotest.to_alcotest qcheck_gzip;
+      QCheck_alcotest.to_alcotest qcheck_inflate_robust;
+    ] )

@@ -1,0 +1,117 @@
+open Zipchannel_sgx
+module Event = Zipchannel_trace.Event
+module Cache = Zipchannel_cache.Cache
+
+let test_page_table_identity () =
+  let pt = Page_table.create () in
+  Alcotest.(check int) "identity translation" 0x123456 (Page_table.phys_of pt 0x123456)
+
+let test_page_table_remap () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0x10 ~frame:0x99;
+  Alcotest.(check int) "frame" 0x99 (Page_table.frame_of pt ~vpage:0x10);
+  Alcotest.(check int) "translated"
+    ((0x99 lsl 12) lor 0xabc)
+    (Page_table.phys_of pt ((0x10 lsl 12) lor 0xabc))
+
+let test_protect_unprotect () =
+  let pt = Page_table.create () in
+  Alcotest.(check bool) "accessible by default" true
+    (Page_table.is_accessible pt ~vpage:5);
+  Page_table.protect pt ~vpage:5;
+  Alcotest.(check bool) "revoked" false (Page_table.is_accessible pt ~vpage:5);
+  Page_table.unprotect pt ~vpage:5;
+  Alcotest.(check bool) "restored" true (Page_table.is_accessible pt ~vpage:5)
+
+let test_protect_range_spans_pages () =
+  let pt = Page_table.create () in
+  (* 0x1f00..0x20ff covers pages 1 and 2. *)
+  Page_table.protect_range pt ~addr:0x1f00 ~size:0x200;
+  Alcotest.(check bool) "page 1" false (Page_table.is_accessible pt ~vpage:1);
+  Alcotest.(check bool) "page 2" false (Page_table.is_accessible pt ~vpage:2);
+  Alcotest.(check bool) "page 3 untouched" true (Page_table.is_accessible pt ~vpage:3);
+  Page_table.unprotect_range pt ~addr:0x1f00 ~size:0x200;
+  Alcotest.(check bool) "restored" true (Page_table.is_accessible pt ~vpage:1)
+
+let simple_program () =
+  [|
+    Event.write ~label:"a" ~addr:0x1000 ~size:2 ();
+    Event.read ~label:"b" ~addr:0x2000 ~size:1 ();
+    Event.write ~label:"c" ~addr:0x3000 ~size:4 ();
+  |]
+
+let make_enclave ?(program = simple_program ()) () =
+  let pt = Page_table.create () in
+  let cache = Cache.create Cache.small_config in
+  (Enclave.create ~program ~page_table:pt ~cache (), pt, cache)
+
+let test_enclave_runs_to_done () =
+  let e, _, cache = make_enclave () in
+  Alcotest.(check bool) "done" true (Enclave.run_to_fault e = Enclave.Done);
+  Alcotest.(check int) "3 accesses" 3 (Enclave.executed_count e);
+  Alcotest.(check bool) "victim data cached" true (Cache.is_cached cache 0x1000)
+
+let test_enclave_fault_masks_offset () =
+  let program = [| Event.write ~label:"a" ~addr:0x1abc ~size:2 () |] in
+  let e, pt, _ = make_enclave ~program () in
+  Page_table.protect pt ~vpage:1;
+  (match Enclave.run_to_fault e with
+  | Enclave.Fault f ->
+      Alcotest.(check int) "page-aligned address" 0x1000 f.Enclave.page_addr;
+      Alcotest.(check bool) "write fault" true (f.Enclave.kind = Event.Write)
+  | Enclave.Done | Enclave.Executed -> Alcotest.fail "expected fault");
+  Alcotest.(check int) "pc not advanced" 0 (Enclave.pc e)
+
+let test_enclave_retry_after_unprotect () =
+  let e, pt, _ = make_enclave () in
+  Page_table.protect pt ~vpage:2;
+  (match Enclave.run_to_fault e with
+  | Enclave.Fault f -> Alcotest.(check int) "faults at b" 0x2000 f.Enclave.page_addr
+  | _ -> Alcotest.fail "expected fault");
+  Alcotest.(check int) "executed only a" 1 (Enclave.executed_count e);
+  Page_table.unprotect pt ~vpage:2;
+  Alcotest.(check bool) "completes" true (Enclave.run_to_fault e = Enclave.Done);
+  Alcotest.(check int) "all executed" 3 (Enclave.executed_count e)
+
+let test_enclave_single_step_sequence () =
+  (* Revoking each page in turn single-steps the program: the controlled
+     channel's core property. *)
+  let e, pt, _ = make_enclave () in
+  let pages = [ 1; 2; 3 ] in
+  List.iter (fun vpage -> Page_table.protect pt ~vpage) pages;
+  let observed = ref [] in
+  let rec loop () =
+    match Enclave.run_to_fault e with
+    | Enclave.Done -> ()
+    | Enclave.Fault f ->
+        observed := f.Enclave.page_addr :: !observed;
+        Page_table.unprotect pt ~vpage:(Page_table.vpage_of f.Enclave.page_addr);
+        loop ()
+    | Enclave.Executed -> assert false
+  in
+  loop ();
+  Alcotest.(check (list int)) "fault order = access order"
+    [ 0x1000; 0x2000; 0x3000 ] (List.rev !observed)
+
+let test_enclave_cross_page_access_faults () =
+  (* An access straddling a protected second page must fault on it. *)
+  let program = [| Event.read ~label:"straddle" ~addr:0x1ffe ~size:4 () |] in
+  let e, pt, _ = make_enclave ~program () in
+  Page_table.protect pt ~vpage:2;
+  match Enclave.run_to_fault e with
+  | Enclave.Fault f -> Alcotest.(check int) "second page" 0x2000 f.Enclave.page_addr
+  | _ -> Alcotest.fail "expected fault"
+
+let suite =
+  ( "sgx",
+    [
+      Alcotest.test_case "page table identity" `Quick test_page_table_identity;
+      Alcotest.test_case "page table remap" `Quick test_page_table_remap;
+      Alcotest.test_case "protect/unprotect" `Quick test_protect_unprotect;
+      Alcotest.test_case "protect range" `Quick test_protect_range_spans_pages;
+      Alcotest.test_case "enclave runs" `Quick test_enclave_runs_to_done;
+      Alcotest.test_case "fault masks offset" `Quick test_enclave_fault_masks_offset;
+      Alcotest.test_case "retry after unprotect" `Quick test_enclave_retry_after_unprotect;
+      Alcotest.test_case "single-step sequence" `Quick test_enclave_single_step_sequence;
+      Alcotest.test_case "cross-page fault" `Quick test_enclave_cross_page_access_faults;
+    ] )

@@ -1,0 +1,222 @@
+open Zipchannel_taint
+
+let tagset = Alcotest.testable Tagset.pp Tagset.equal
+
+let tags l = Tagset.of_list l
+
+let test_tagset_basics () =
+  Alcotest.(check bool) "empty" true (Tagset.is_empty Tagset.empty);
+  Alcotest.check tagset "union" (tags [ 1; 2; 3 ])
+    (Tagset.union (tags [ 1; 2 ]) (tags [ 2; 3 ]));
+  Alcotest.(check (list int)) "elements sorted" [ 1; 5; 9 ]
+    (Tagset.elements (tags [ 9; 1; 5 ]));
+  Alcotest.(check int) "cardinal" 3 (Tagset.cardinal (tags [ 4; 4; 5; 6 ]))
+
+let test_const_untainted () =
+  let v = Tval.const ~width:16 0xabcd in
+  Alcotest.(check int) "value" 0xabcd (Tval.value v);
+  Alcotest.(check bool) "untainted" false (Tval.is_tainted v)
+
+let test_const_truncates () =
+  let v = Tval.const ~width:8 0x1ff in
+  Alcotest.(check int) "truncated" 0xff (Tval.value v)
+
+let test_input_byte_fully_tainted () =
+  let v = Tval.input_byte ~tag:7 0x5a in
+  Alcotest.(check int) "value" 0x5a (Tval.value v);
+  for i = 0 to 7 do
+    Alcotest.check tagset "bit tainted" (tags [ 7 ]) (Tval.taint v i)
+  done
+
+let test_xor_merges_per_bit () =
+  (* The paper's example: rax holds taint of byte 5 in bits 0,1; rbx taint
+     of byte 6 in bits 1,2; xor merges per bit. *)
+  let rax = Tval.with_taint ~width:8 0x3 [ (0, tags [ 5 ]); (1, tags [ 5 ]) ] in
+  let rbx = Tval.with_taint ~width:8 0x6 [ (1, tags [ 6 ]); (2, tags [ 6 ]) ] in
+  let r = Tval.logxor rax rbx in
+  Alcotest.(check int) "value" 0x5 (Tval.value r);
+  Alcotest.check tagset "bit0" (tags [ 5 ]) (Tval.taint r 0);
+  Alcotest.check tagset "bit1" (tags [ 5; 6 ]) (Tval.taint r 1);
+  Alcotest.check tagset "bit2" (tags [ 6 ]) (Tval.taint r 2);
+  Alcotest.check tagset "bit3" Tagset.empty (Tval.taint r 3)
+
+let test_and_mask_filters () =
+  (* and with untainted mask keeps taint only where the mask bit is 1. *)
+  let v = Tval.input_byte ~tag:3 0xff in
+  let m = Tval.const ~width:8 0x0f in
+  let r = Tval.logand v m in
+  Alcotest.(check int) "value" 0x0f (Tval.value r);
+  for i = 0 to 3 do
+    Alcotest.check tagset "kept" (tags [ 3 ]) (Tval.taint r i)
+  done;
+  for i = 4 to 7 do
+    Alcotest.check tagset "cleared" Tagset.empty (Tval.taint r i)
+  done
+
+let test_and_both_tainted_merges () =
+  let a = Tval.with_taint ~width:4 0xf [ (0, tags [ 1 ]) ] in
+  let b = Tval.with_taint ~width:4 0xf [ (0, tags [ 2 ]) ] in
+  let r = Tval.logand a b in
+  Alcotest.check tagset "merged" (tags [ 1; 2 ]) (Tval.taint r 0)
+
+let test_shift_left_moves_taint () =
+  let v = Tval.input_byte ~tag:9 0x01 in
+  let v = Tval.zero_extend ~width:16 v in
+  let r = Tval.shift_left v 9 in
+  Alcotest.(check int) "value" 0x200 (Tval.value r);
+  Alcotest.check tagset "bit 9" (tags [ 9 ]) (Tval.taint r 9);
+  Alcotest.check tagset "bit 0 cleared" Tagset.empty (Tval.taint r 0)
+
+let test_shift_right_logical () =
+  let v = Tval.with_taint ~width:16 0x8000 [ (15, tags [ 2 ]) ] in
+  let r = Tval.shift_right_logical v 8 in
+  Alcotest.(check int) "value" 0x80 (Tval.value r);
+  Alcotest.check tagset "moved to bit 7" (tags [ 2 ]) (Tval.taint r 7);
+  Alcotest.check tagset "bit 15 cleared" Tagset.empty (Tval.taint r 15)
+
+let test_shift_right_arith_replicates_sign () =
+  let v = Tval.with_taint ~width:8 0x80 [ (7, tags [ 4 ]) ] in
+  let r = Tval.shift_right_arith v 2 in
+  Alcotest.(check int) "sign extended" 0xe0 (Tval.value r);
+  Alcotest.check tagset "bit7 keeps sign taint" (tags [ 4 ]) (Tval.taint r 7);
+  Alcotest.check tagset "bit6 gets sign taint" (tags [ 4 ]) (Tval.taint r 6);
+  Alcotest.check tagset "bit5 from old bit7" (tags [ 4 ]) (Tval.taint r 5)
+
+let test_add_merges () =
+  let low_nibble = List.init 4 (fun i -> (i, tags [ 1 ])) in
+  let a = Tval.with_taint ~width:8 0x0f low_nibble in
+  let b = Tval.const ~width:8 0x10 in
+  let r = Tval.add a b in
+  Alcotest.(check int) "value" 0x1f (Tval.value r);
+  Alcotest.check tagset "low bits keep taint" (tags [ 1 ]) (Tval.taint r 0);
+  (* Per-bit merge (the paper's rule): no carry smear into bit 4. *)
+  Alcotest.check tagset "bit 4 untainted" Tagset.empty (Tval.taint r 4)
+
+let test_add_wraps () =
+  let a = Tval.const ~width:8 0xff and b = Tval.const ~width:8 0x02 in
+  Alcotest.(check int) "wraps" 0x01 (Tval.value (Tval.add a b))
+
+let test_sub_wraps () =
+  let a = Tval.const ~width:8 0x01 and b = Tval.const ~width:8 0x02 in
+  Alcotest.(check int) "wraps" 0xff (Tval.value (Tval.sub a b))
+
+let test_zero_extend_truncate () =
+  let v = Tval.input_byte ~tag:5 0xab in
+  let w = Tval.zero_extend ~width:32 v in
+  Alcotest.(check int) "value preserved" 0xab (Tval.value w);
+  Alcotest.check tagset "taint preserved" (tags [ 5 ]) (Tval.taint w 7);
+  Alcotest.check tagset "new bits untainted" Tagset.empty (Tval.taint w 20);
+  let n = Tval.truncate ~width:4 w in
+  Alcotest.(check int) "truncated value" 0xb (Tval.value n);
+  Alcotest.(check int) "width" 4 (Tval.width n)
+
+let test_width_alignment () =
+  let a = Tval.input_byte ~tag:1 0x01 in
+  let b = Tval.const ~width:32 0x100 in
+  let r = Tval.logor a b in
+  Alcotest.(check int) "width widened" 32 (Tval.width r);
+  Alcotest.(check int) "value" 0x101 (Tval.value r)
+
+let test_tags_union () =
+  let a = Tval.input_byte ~tag:1 0xff in
+  let b = Tval.shift_left (Tval.zero_extend ~width:16 (Tval.input_byte ~tag:2 0xff)) 8 in
+  let r = Tval.logor a b in
+  Alcotest.check tagset "all tags" (tags [ 1; 2 ]) (Tval.tags r)
+
+let test_zlib_hash_taint_layout () =
+  (* Reproduce the Fig. 2 taint layout: ins_h = (((c0<<5)^c1)<<5)^c2 masked
+     to 15 bits; c2 taints bits 0-7, c1 bits 5-12, c0 bits 10-14. *)
+  let c0 = Tval.input_byte ~tag:5750 0x61 in
+  let c1 = Tval.input_byte ~tag:5751 0x62 in
+  let c2 = Tval.input_byte ~tag:5752 0x63 in
+  let wide v = Tval.zero_extend ~width:16 v in
+  let mask = Tval.const ~width:16 0x7fff in
+  let h = Tval.logand (Tval.logxor (Tval.shift_left (wide c0) 5) (wide c1)) mask in
+  let h = Tval.logand (Tval.logxor (Tval.shift_left h 5) (wide c2)) mask in
+  let has_tag bit tag = Tagset.mem tag (Tval.taint h bit) in
+  for bit = 0 to 7 do
+    Alcotest.(check bool) "c2 bits 0-7" true (has_tag bit 5752)
+  done;
+  for bit = 5 to 12 do
+    Alcotest.(check bool) "c1 bits 5-12" true (has_tag bit 5751)
+  done;
+  for bit = 10 to 14 do
+    Alcotest.(check bool) "c0 bits 10-14" true (has_tag bit 5750)
+  done;
+  Alcotest.(check bool) "bit 8 pure c1" true
+    (Tagset.equal (Tval.taint h 8) (tags [ 5751 ]));
+  Alcotest.(check bool) "bit 9 pure c1" true
+    (Tagset.equal (Tval.taint h 9) (tags [ 5751 ]))
+
+let test_render_untainted_empty () =
+  let v = Tval.const ~width:16 0x1234 in
+  Alcotest.(check string) "no grid" "" (Render.bit_grid v)
+
+let test_render_hex_bytes () =
+  let v = Tval.const ~width:16 0xabcd in
+  Alcotest.(check string) "little endian" "cd ab" (Render.hex_bytes_le v)
+
+let test_render_grid_contents () =
+  let v = Tval.with_taint ~width:16 0xff [ (3, tags [ 42 ]) ] in
+  let grid = Render.bit_grid v in
+  Alcotest.(check bool) "mentions tag" true
+    (let re = Str_search.contains grid "42:" in
+     re)
+
+let test_render_operand_line () =
+  let v = Tval.input_byte ~tag:1 0x20 in
+  let line = Render.operand_line ~name:"rax" v in
+  Alcotest.(check bool) "has name" true (Str_search.contains line "rax = 20");
+  Alcotest.(check bool) "flagged tainted" true
+    (Str_search.contains line "(tainted)")
+
+let qcheck_xor_taint_commutes =
+  QCheck.Test.make ~name:"xor taint is commutative" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let a = Tval.input_byte ~tag:1 x and b = Tval.input_byte ~tag:2 y in
+      Tval.equal (Tval.logxor a b) (Tval.logxor b a))
+
+let qcheck_shift_roundtrip =
+  QCheck.Test.make ~name:"shl then lshr restores low-bit taint" ~count:200
+    (QCheck.int_bound 255)
+    (fun x ->
+      let v = Tval.zero_extend ~width:32 (Tval.input_byte ~tag:3 x) in
+      let r = Tval.shift_right_logical (Tval.shift_left v 10) 10 in
+      Tval.equal r v)
+
+let qcheck_and_idempotent_value =
+  QCheck.Test.make ~name:"and value agrees with lands" ~count:200
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+    (fun (x, y) ->
+      let a = Tval.const ~width:16 x and b = Tval.const ~width:16 y in
+      Tval.value (Tval.logand a b) = x land y)
+
+let suite =
+  ( "taint",
+    [
+      Alcotest.test_case "tagset basics" `Quick test_tagset_basics;
+      Alcotest.test_case "const untainted" `Quick test_const_untainted;
+      Alcotest.test_case "const truncates" `Quick test_const_truncates;
+      Alcotest.test_case "input byte tainted" `Quick test_input_byte_fully_tainted;
+      Alcotest.test_case "xor merges per bit" `Quick test_xor_merges_per_bit;
+      Alcotest.test_case "and mask filters" `Quick test_and_mask_filters;
+      Alcotest.test_case "and both tainted" `Quick test_and_both_tainted_merges;
+      Alcotest.test_case "shl moves taint" `Quick test_shift_left_moves_taint;
+      Alcotest.test_case "lshr moves taint" `Quick test_shift_right_logical;
+      Alcotest.test_case "asr replicates sign" `Quick test_shift_right_arith_replicates_sign;
+      Alcotest.test_case "add merges per bit" `Quick test_add_merges;
+      Alcotest.test_case "add wraps" `Quick test_add_wraps;
+      Alcotest.test_case "sub wraps" `Quick test_sub_wraps;
+      Alcotest.test_case "extend/truncate" `Quick test_zero_extend_truncate;
+      Alcotest.test_case "width alignment" `Quick test_width_alignment;
+      Alcotest.test_case "tags union" `Quick test_tags_union;
+      Alcotest.test_case "zlib hash taint layout (Fig 2)" `Quick test_zlib_hash_taint_layout;
+      Alcotest.test_case "render untainted" `Quick test_render_untainted_empty;
+      Alcotest.test_case "render hex" `Quick test_render_hex_bytes;
+      Alcotest.test_case "render grid" `Quick test_render_grid_contents;
+      Alcotest.test_case "render operand line" `Quick test_render_operand_line;
+      QCheck_alcotest.to_alcotest qcheck_xor_taint_commutes;
+      QCheck_alcotest.to_alcotest qcheck_shift_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_and_idempotent_value;
+    ] )

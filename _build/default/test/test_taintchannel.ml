@@ -1,0 +1,347 @@
+open Zipchannel_util
+open Zipchannel_taint
+open Zipchannel_taintchannel
+
+let prng () = Prng.create ~seed:0x7C41 ()
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_input_tags () =
+  let e = Engine.create ~name:"t" (Bytes.of_string "ab") in
+  let b0 = Engine.input_byte e 0 in
+  Alcotest.(check int) "value" (Char.code 'a') (Tval.value b0);
+  Alcotest.(check bool) "tag 1 on byte 0" true (Tagset.mem 1 (Tval.taint b0 0));
+  Alcotest.check_raises "bounds" (Invalid_argument "Engine.input_byte: index")
+    (fun () -> ignore (Engine.input_byte e 2))
+
+let test_engine_memory_roundtrip () =
+  let e = Engine.create ~name:"t" Bytes.empty in
+  let addr = Tval.const ~width:32 0x100 in
+  let v = Tval.const ~width:16 0xbeef in
+  Engine.store e ~location:"l" ~mnemonic:"mov" ~addr ~size:2 ~value:v ();
+  let back = Engine.load e ~location:"l" ~mnemonic:"mov" ~addr ~size:2 () in
+  Alcotest.(check int) "stored value" 0xbeef (Tval.value back);
+  let cold = Engine.load e ~location:"l" ~mnemonic:"mov"
+      ~addr:(Tval.const ~width:32 0x999) ~size:2 () in
+  Alcotest.(check int) "cold memory is zero" 0 (Tval.value cold)
+
+let test_engine_untainted_addr_no_gadget () =
+  let e = Engine.create ~name:"t" (Bytes.of_string "x") in
+  Engine.store e ~location:"l" ~mnemonic:"mov"
+    ~addr:(Tval.const ~width:32 64) ~size:1
+    ~value:(Engine.input_byte e 0) ();
+  Alcotest.(check int) "no gadget for tainted data at clean addr" 0
+    (List.length (Engine.gadgets e))
+
+let test_engine_tainted_addr_gadget () =
+  let e = Engine.create ~name:"t" (Bytes.of_string "x") in
+  let addr = Tval.zero_extend ~width:32 (Engine.input_byte e 0) in
+  ignore (Engine.load e ~location:"gadget!here" ~mnemonic:"mov" ~addr ~size:4 ());
+  ignore (Engine.load e ~location:"gadget!here" ~mnemonic:"mov" ~addr ~size:4 ());
+  match Engine.gadgets e with
+  | [ g ] ->
+      Alcotest.(check string) "location" "gadget!here" g.Gadget.location;
+      Alcotest.(check int) "aggregated" 2 g.Gadget.count;
+      Alcotest.(check bool) "tag recorded" true (Tagset.mem 1 g.Gadget.tags);
+      Alcotest.(check (float 1e-9)) "full coverage" 1.0
+        (Gadget.coverage g ~input_length:1)
+  | _ -> Alcotest.fail "expected exactly one gadget"
+
+let test_engine_stage_input () =
+  let e = Engine.create ~name:"t" (Bytes.of_string "hi") in
+  Engine.stage_input e ~base:0x4000;
+  let v = Engine.load e ~location:"l" ~mnemonic:"mov"
+      ~addr:(Tval.const ~width:32 0x4001) ~size:1 () in
+  Alcotest.(check int) "staged byte value" (Char.code 'i') (Tval.value v);
+  Alcotest.(check bool) "staged byte tainted" true (Tagset.mem 2 (Tval.taint v 0))
+
+let test_engine_control_trace () =
+  let e = Engine.create ~name:"t" Bytes.empty in
+  Engine.branch e ~location:"f" "then";
+  Engine.branch e ~location:"g" "loop";
+  Alcotest.(check (list string)) "ordered" [ "f:then"; "g:loop" ]
+    (Engine.control_trace e)
+
+let test_engine_report_renders () =
+  let e = Engine.create ~name:"t" (Bytes.of_string "q") in
+  let addr = Tval.zero_extend ~width:32 (Engine.input_byte e 0) in
+  ignore (Engine.load e ~location:"somewhere!f+1" ~mnemonic:"mov (%rax)" ~addr ~size:4 ());
+  let out = Format.asprintf "%a" Engine.report e in
+  Alcotest.(check bool) "mentions location" true
+    (Str_search.contains out "somewhere!f+1");
+  Alcotest.(check bool) "mentions coverage" true
+    (Str_search.contains out "input coverage")
+
+(* ------------------------------------------------------------------ *)
+(* Gadget models *)
+
+let test_zlib_gadget_fig2_layout () =
+  let input = Prng.bytes (prng ()) 64 in
+  let e = Zlib_gadget.run input in
+  let g =
+    List.find (fun g -> g.Gadget.location = Zlib_gadget.location)
+      (Engine.gadgets e)
+  in
+  (* First store happens after inserting bytes 1,2,3 (tags 1..3); the
+     index head + ins_h<<1 carries taint at bits 1-8 (newest byte), 6-13
+     and 11-15 — Fig. 2's layout. *)
+  let ex = g.Gadget.example_addr in
+  let has bit tag = Tagset.mem tag (Tval.taint ex bit) in
+  for bit = 1 to 8 do
+    Alcotest.(check bool) "newest byte bits 1-8" true (has bit 3)
+  done;
+  for bit = 6 to 13 do
+    Alcotest.(check bool) "middle byte bits 6-13" true (has bit 2)
+  done;
+  for bit = 11 to 15 do
+    Alcotest.(check bool) "oldest byte bits 11-15" true (has bit 1)
+  done;
+  Alcotest.(check bool) "bit 0 clean (head entries are 2 bytes)" true
+    (Tagset.is_empty (Tval.taint ex 0))
+
+let test_zlib_gadget_counts () =
+  let input = Prng.bytes (prng ()) 100 in
+  let e = Zlib_gadget.run input in
+  let g =
+    List.find (fun g -> g.Gadget.location = Zlib_gadget.location)
+      (Engine.gadgets e)
+  in
+  Alcotest.(check int) "one insert per window" 98 g.Gadget.count;
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (Gadget.coverage g ~input_length:100)
+
+let test_lzw_gadget_bits_9_16 () =
+  let input = Bytes.of_string "the quick brown fox jumps over the lazy dog" in
+  let e = Lzw_gadget.run input in
+  let g =
+    List.find (fun g -> g.Gadget.location = Lzw_gadget.location)
+      (Engine.gadgets e)
+  in
+  let ex = g.Gadget.example_addr in
+  for bit = 9 to 16 do
+    Alcotest.(check bool) "bits 9-16 tainted" true
+      (not (Tagset.is_empty (Tval.taint ex bit)))
+  done;
+  (* ent is untainted under direct-flow tracking, so bits 0-8 of the very
+     first probe's index are clean. *)
+  for bit = 0 to 8 do
+    Alcotest.(check bool) "low bits clean" true
+      (Tagset.is_empty (Tval.taint ex bit))
+  done
+
+let test_lzw_gadget_coverage_all_but_first () =
+  let input = Prng.bytes (prng ()) 200 in
+  let e = Lzw_gadget.run input in
+  let g =
+    List.find (fun g -> g.Gadget.location = Lzw_gadget.location)
+      (Engine.gadgets e)
+  in
+  (* Byte 1 only ever flows through ent (indirect), so coverage is
+     (n-1)/n. *)
+  Alcotest.(check bool) "tag 1 absent" false (Tagset.mem 1 g.Gadget.tags);
+  Alcotest.(check bool) "tag 2 present" true (Tagset.mem 2 g.Gadget.tags);
+  Alcotest.(check (float 1e-6)) "coverage" (199.0 /. 200.0)
+    (Gadget.coverage g ~input_length:200)
+
+let test_bzip2_gadget_fig4_pairs () =
+  let input = Prng.bytes (prng ()) 50 in
+  let n = Bytes.length input in
+  (* Iteration k has byte i=n-1-k in bits 8-15, byte i+1 in bits 0-7. *)
+  let k = 10 in
+  let idx = Bzip2_gadget.index_tval input k in
+  let i = n - 1 - k in
+  Alcotest.(check int) "value is the pair"
+    ((Char.code (Bytes.get input i) lsl 8) lor Char.code (Bytes.get input (i + 1)))
+    (Tval.value idx);
+  for bit = 8 to 15 do
+    Alcotest.(check bool) "hi byte taint" true
+      (Tagset.mem (i + 1) (Tval.taint idx bit))
+  done;
+  for bit = 0 to 7 do
+    Alcotest.(check bool) "lo byte taint" true
+      (Tagset.mem (i + 2) (Tval.taint idx bit))
+  done
+
+let test_bzip2_gadget_full_coverage () =
+  let input = Prng.bytes (prng ()) 300 in
+  let e = Bzip2_gadget.run input in
+  let g =
+    List.find (fun g -> g.Gadget.location = Bzip2_gadget.location)
+      (Engine.gadgets e)
+  in
+  Alcotest.(check (float 1e-9)) "all bytes reach the address" 1.0
+    (Gadget.coverage g ~input_length:300)
+
+(* ------------------------------------------------------------------ *)
+(* AES *)
+
+let of_hex s =
+  Bytes.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let test_aes_fips_vector () =
+  let key = of_hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = of_hex "00112233445566778899aabbccddeeff" in
+  let ct = Aes.encrypt_block ~key pt in
+  Alcotest.(check string) "FIPS-197 C.1"
+    "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (String.concat ""
+       (List.map (Printf.sprintf "%02x")
+          (List.init 16 (fun i -> Char.code (Bytes.get ct i)))))
+
+let test_aes_second_vector () =
+  (* NIST SP 800-38A F.1.1 ECB-AES128 block 1. *)
+  let key = of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let pt = of_hex "6bc1bee22e409f96e93d7e117393172a" in
+  let ct = Aes.encrypt_block ~key pt in
+  Alcotest.(check string) "SP800-38A"
+    "3ad77bb40d7a3660a89ecaf32466ef97"
+    (String.concat ""
+       (List.map (Printf.sprintf "%02x")
+          (List.init 16 (fun i -> Char.code (Bytes.get ct i)))))
+
+let test_aes_block_validation () =
+  Alcotest.check_raises "bad key" (Invalid_argument "Aes: key must be 16 bytes")
+    (fun () -> ignore (Aes.encrypt_block ~key:(Bytes.create 8) (Bytes.create 16)));
+  Alcotest.check_raises "bad block" (Invalid_argument "Aes: block must be 16 bytes")
+    (fun () ->
+      ignore (Aes.encrypt_block ~key:(Bytes.create 16) (Bytes.create 8)))
+
+let test_aes_ecb_deterministic () =
+  let key = Bytes.of_string "0123456789abcdef" in
+  let data = Prng.bytes (prng ()) 100 in
+  let c1 = Aes.encrypt ~key data and c2 = Aes.encrypt ~key data in
+  Alcotest.(check bool) "deterministic" true (Bytes.equal c1 c2);
+  Alcotest.(check int) "whole blocks" 112 (Bytes.length c1)
+
+let test_aes_taint_finds_osvik_gadget () =
+  let key = Bytes.of_string "0123456789abcdef" in
+  let input = Prng.bytes (prng ()) 32 in
+  let e = Aes.run_taint ~key input in
+  let g =
+    List.find (fun g -> g.Gadget.location = Aes.location) (Engine.gadgets e)
+  in
+  Alcotest.(check int) "one lookup per byte" 32 g.Gadget.count;
+  Alcotest.(check (float 1e-9)) "all plaintext bytes leak" 1.0
+    (Gadget.coverage g ~input_length:32)
+
+(* ------------------------------------------------------------------ *)
+(* memcpy + trace diff *)
+
+let test_memcpy_aligned_vs_tail () =
+  let t64 = Memcpy_model.trace ~size:64 in
+  Alcotest.(check bool) "aligned path" true
+    (List.mem (Memcpy_model.location ^ ":aligned_path") t64);
+  let t65 = Memcpy_model.trace ~size:65 in
+  Alcotest.(check bool) "tail path" true
+    (List.mem (Memcpy_model.location ^ ":byte_tail") t65)
+
+let test_memcpy_divergence_detected () =
+  Alcotest.(check bool) "different sizes diverge" true
+    (Trace_diff.diverges (Memcpy_model.trace ~size:64) (Memcpy_model.trace ~size:96));
+  Alcotest.(check bool) "same size identical" false
+    (Trace_diff.diverges (Memcpy_model.trace ~size:77) (Memcpy_model.trace ~size:77))
+
+let test_trace_diff_positions () =
+  Alcotest.(check (option int)) "identical" None
+    (Trace_diff.first_divergence [ "a"; "b" ] [ "a"; "b" ]);
+  Alcotest.(check (option int)) "first" (Some 0)
+    (Trace_diff.first_divergence [ "x" ] [ "y" ]);
+  Alcotest.(check (option int)) "middle" (Some 1)
+    (Trace_diff.first_divergence [ "a"; "b" ] [ "a"; "c" ]);
+  Alcotest.(check (option int)) "prefix" (Some 2)
+    (Trace_diff.first_divergence [ "a"; "b" ] [ "a"; "b"; "c" ])
+
+let test_trace_diff_report () =
+  match Trace_diff.compare_traces [ "a"; "b" ] [ "a" ] with
+  | Some r ->
+      Alcotest.(check int) "position" 1 r.Trace_diff.position;
+      Alcotest.(check (option string)) "left" (Some "b") r.Trace_diff.left;
+      Alcotest.(check (option string)) "right" None r.Trace_diff.right;
+      let s = Format.asprintf "%a" Trace_diff.pp_report r in
+      Alcotest.(check bool) "rendered" true (Str_search.contains s "divergence")
+  | None -> Alcotest.fail "expected divergence"
+
+(* ------------------------------------------------------------------ *)
+(* Trace-correlation baseline *)
+
+let test_correlate_finds_bzip2_gadget () =
+  let t = prng () in
+  let inputs = [ Prng.bytes t 120; Prng.bytes t 120 ] in
+  let findings = Trace_correlate.analyze ~run:Bzip2_gadget.run ~inputs in
+  Alcotest.(check bool) "flags the ftab access" true
+    (List.exists
+       (fun f -> f.Trace_correlate.location = Bzip2_gadget.location)
+       findings);
+  (* The loop-indexed quadrant/block accesses are input-independent and
+     must not be flagged. *)
+  Alcotest.(check bool) "quadrant store is clean" true
+    (not
+       (List.exists
+          (fun f -> f.Trace_correlate.location = "libbz2!mainSort+178")
+          findings))
+
+let test_correlate_engine_address_trace () =
+  let e = Engine.create ~name:"t" Bytes.empty in
+  ignore
+    (Engine.load e ~location:"a" ~mnemonic:"mov"
+       ~addr:(Tval.const ~width:32 0x40) ~size:4 ());
+  Engine.store e ~location:"b" ~mnemonic:"mov"
+    ~addr:(Tval.const ~width:32 0x80) ~size:4
+    ~value:(Tval.const ~width:32 1) ();
+  Engine.log_op e ~location:"c" ~mnemonic:"xor" ~operands:[];
+  Alcotest.(check (list (pair string int))) "mem ops only, in order"
+    [ ("a", 0x40); ("b", 0x80) ]
+    (Engine.address_trace e)
+
+let test_correlate_validation () =
+  Alcotest.check_raises "needs two inputs"
+    (Invalid_argument "Trace_correlate.analyze: need >= 2 inputs") (fun () ->
+      ignore (Trace_correlate.analyze ~run:Bzip2_gadget.run ~inputs:[]))
+
+let test_correlate_constant_program_clean () =
+  (* Same input twice: nothing varies, nothing is flagged. *)
+  let input = Bytes.of_string "identical" in
+  let findings =
+    Trace_correlate.analyze ~run:Bzip2_gadget.run ~inputs:[ input; input ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length findings)
+
+let qcheck_memcpy_trace_deterministic =
+  QCheck.Test.make ~name:"memcpy trace deterministic per size" ~count:100
+    (QCheck.int_bound 500)
+    (fun size ->
+      not (Trace_diff.diverges (Memcpy_model.trace ~size) (Memcpy_model.trace ~size)))
+
+let suite =
+  ( "taintchannel",
+    [
+      Alcotest.test_case "engine input tags" `Quick test_engine_input_tags;
+      Alcotest.test_case "engine memory" `Quick test_engine_memory_roundtrip;
+      Alcotest.test_case "engine clean addr" `Quick test_engine_untainted_addr_no_gadget;
+      Alcotest.test_case "engine tainted addr" `Quick test_engine_tainted_addr_gadget;
+      Alcotest.test_case "engine stage input" `Quick test_engine_stage_input;
+      Alcotest.test_case "engine control trace" `Quick test_engine_control_trace;
+      Alcotest.test_case "engine report" `Quick test_engine_report_renders;
+      Alcotest.test_case "zlib gadget Fig2" `Quick test_zlib_gadget_fig2_layout;
+      Alcotest.test_case "zlib gadget counts" `Quick test_zlib_gadget_counts;
+      Alcotest.test_case "lzw gadget bits 9-16" `Quick test_lzw_gadget_bits_9_16;
+      Alcotest.test_case "lzw gadget coverage" `Quick test_lzw_gadget_coverage_all_but_first;
+      Alcotest.test_case "bzip2 gadget Fig4" `Quick test_bzip2_gadget_fig4_pairs;
+      Alcotest.test_case "bzip2 gadget coverage" `Quick test_bzip2_gadget_full_coverage;
+      Alcotest.test_case "aes fips vector" `Quick test_aes_fips_vector;
+      Alcotest.test_case "aes sp800-38a vector" `Quick test_aes_second_vector;
+      Alcotest.test_case "aes validation" `Quick test_aes_block_validation;
+      Alcotest.test_case "aes ecb" `Quick test_aes_ecb_deterministic;
+      Alcotest.test_case "aes osvik gadget" `Quick test_aes_taint_finds_osvik_gadget;
+      Alcotest.test_case "memcpy paths" `Quick test_memcpy_aligned_vs_tail;
+      Alcotest.test_case "memcpy divergence" `Quick test_memcpy_divergence_detected;
+      Alcotest.test_case "trace diff positions" `Quick test_trace_diff_positions;
+      Alcotest.test_case "trace diff report" `Quick test_trace_diff_report;
+      Alcotest.test_case "correlate finds gadget" `Quick test_correlate_finds_bzip2_gadget;
+      Alcotest.test_case "correlate address trace" `Quick test_correlate_engine_address_trace;
+      Alcotest.test_case "correlate validation" `Quick test_correlate_validation;
+      Alcotest.test_case "correlate identical inputs" `Quick test_correlate_constant_program_clean;
+      QCheck_alcotest.to_alcotest qcheck_memcpy_trace_deterministic;
+    ] )

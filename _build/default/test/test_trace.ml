@@ -1,0 +1,62 @@
+open Zipchannel_trace
+
+let region name base size elem_size = { Layout.name; base; size; elem_size }
+
+let test_layout_addressing () =
+  let l =
+    Layout.create
+      [ region "block" 0x1000 100 1; region "ftab" 0x2000 400 4 ]
+  in
+  Alcotest.(check int) "byte element" 0x1005 (Layout.addr_of l ~name:"block" ~index:5);
+  Alcotest.(check int) "scaled element" 0x2028 (Layout.addr_of l ~name:"ftab" ~index:10)
+
+let test_layout_bounds () =
+  let l = Layout.create [ region "a" 0 16 4 ] in
+  Alcotest.(check int) "last element" 12 (Layout.addr_of l ~name:"a" ~index:3);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Layout.addr_of: index outside region") (fun () ->
+      ignore (Layout.addr_of l ~name:"a" ~index:4))
+
+let test_layout_overlap_rejected () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Layout.create: overlapping regions") (fun () ->
+      ignore (Layout.create [ region "a" 0 32 1; region "b" 16 32 1 ]))
+
+let test_layout_duplicate_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Layout.create: duplicate name") (fun () ->
+      ignore (Layout.create [ region "a" 0 16 1; region "a" 100 16 1 ]))
+
+let test_layout_find_addr () =
+  let l = Layout.create [ region "a" 0x100 64 1; region "b" 0x200 64 1 ] in
+  (match Layout.find_addr l 0x210 with
+  | Some (r, off) ->
+      Alcotest.(check string) "region" "b" r.Layout.name;
+      Alcotest.(check int) "offset" 0x10 off
+  | None -> Alcotest.fail "should find");
+  Alcotest.(check bool) "miss" true (Layout.find_addr l 0x500 = None)
+
+let test_layout_region_not_found () =
+  let l = Layout.create [ region "a" 0 16 1 ] in
+  Alcotest.check_raises "missing region" Not_found (fun () ->
+      ignore (Layout.region l "zzz"))
+
+let test_event_constructors () =
+  let r = Event.read ~label:"x" ~addr:0x40 ~size:4 () in
+  let w = Event.write ~addr:0x80 ~size:2 () in
+  Alcotest.(check bool) "read kind" true (r.Event.kind = Event.Read);
+  Alcotest.(check bool) "write kind" true (w.Event.kind = Event.Write);
+  Alcotest.(check string) "label default" "" w.Event.label;
+  Alcotest.(check string) "pp" "R 0x40[4] (x)" (Format.asprintf "%a" Event.pp r)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "layout addressing" `Quick test_layout_addressing;
+      Alcotest.test_case "layout bounds" `Quick test_layout_bounds;
+      Alcotest.test_case "layout overlap" `Quick test_layout_overlap_rejected;
+      Alcotest.test_case "layout duplicate" `Quick test_layout_duplicate_rejected;
+      Alcotest.test_case "layout find_addr" `Quick test_layout_find_addr;
+      Alcotest.test_case "layout not found" `Quick test_layout_region_not_found;
+      Alcotest.test_case "event constructors" `Quick test_event_constructors;
+    ] )

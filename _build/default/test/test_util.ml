@@ -1,0 +1,185 @@
+open Zipchannel_util
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 () and b = Prng.create ~seed:42 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 () and b = Prng.create ~seed:2 () in
+  Alcotest.(check bool) "different streams" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:7 () in
+  let b = Prng.copy a in
+  let va = Prng.bits64 a in
+  let vb = Prng.bits64 b in
+  Alcotest.(check int64) "copy continues the stream" va vb
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:3 () in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_invalid () =
+  let t = Prng.create () in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_float_range () =
+  let t = Prng.create ~seed:4 () in
+  for _ = 1 to 10_000 do
+    let v = Prng.float t in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_prng_byte_coverage () =
+  let t = Prng.create ~seed:5 () in
+  let seen = Array.make 256 false in
+  for _ = 1 to 100_000 do
+    seen.(Prng.byte t) <- true
+  done;
+  Alcotest.(check bool) "all byte values reachable" true
+    (Array.for_all (fun b -> b) seen)
+
+let test_prng_gaussian_moments () =
+  let t = Prng.create ~seed:6 () in
+  let xs = Array.init 50_000 (fun _ -> Prng.gaussian t ~mean:3.0 ~stddev:2.0) in
+  Alcotest.(check bool) "mean close" true (abs_float (Stats.mean xs -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev close" true (abs_float (Stats.stddev xs -. 2.0) < 0.1)
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create ~seed:8 () in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_prng_lowercase () =
+  let t = Prng.create ~seed:9 () in
+  let s = Prng.lowercase_string t 1000 in
+  Alcotest.(check bool) "all lowercase" true
+    (String.for_all (fun c -> c >= 'a' && c <= 'z') s)
+
+let test_stats_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (2.0 /. 3.0))
+    (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let test_stats_empty () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_fraction_equal () =
+  let a = Bytes.of_string "abcd" and b = Bytes.of_string "abxd" in
+  Alcotest.(check (float 1e-9)) "3/4" 0.75 (Stats.fraction_equal a b);
+  Alcotest.(check (float 1e-9)) "empty" 1.0
+    (Stats.fraction_equal Bytes.empty Bytes.empty)
+
+let test_bit_accuracy () =
+  let a = Bytes.of_string "\x00" and b = Bytes.of_string "\x01" in
+  Alcotest.(check (float 1e-9)) "7/8" (7.0 /. 8.0) (Stats.bit_accuracy a b);
+  Alcotest.(check (float 1e-9)) "identical" 1.0
+    (Stats.bit_accuracy (Bytes.of_string "xyz") (Bytes.of_string "xyz"))
+
+let test_confusion () =
+  let c = Stats.Confusion.create ~labels:[| "a"; "b" |] in
+  Stats.Confusion.add c ~truth:0 ~predicted:0;
+  Stats.Confusion.add c ~truth:0 ~predicted:0;
+  Stats.Confusion.add c ~truth:0 ~predicted:1;
+  Stats.Confusion.add c ~truth:1 ~predicted:1;
+  Alcotest.(check int) "count" 2 (Stats.Confusion.count c ~truth:0 ~predicted:0);
+  Alcotest.(check (float 1e-9)) "accuracy" 0.75 (Stats.Confusion.accuracy c);
+  let m = Stats.Confusion.column_normalized c in
+  Alcotest.(check (float 1e-9)) "col norm" (2.0 /. 3.0) m.(0).(0);
+  let pca = Stats.Confusion.per_class_accuracy c in
+  Alcotest.(check (float 1e-9)) "class b" 1.0 pca.(1)
+
+let test_lipsum_words () =
+  let t = Prng.create ~seed:10 () in
+  let s = Lipsum.sentence t in
+  Alcotest.(check bool) "capitalised" true
+    (String.length s > 0 && s.[0] >= 'A' && s.[0] <= 'Z');
+  Alcotest.(check bool) "ends with period" true (s.[String.length s - 1] = '.')
+
+let test_lipsum_repetitive_size () =
+  let t = Prng.create ~seed:11 () in
+  let f = Lipsum.repetitive_file t ~level:3 ~size:5000 in
+  Alcotest.(check int) "exact size" 5000 (String.length f)
+
+let test_lipsum_level1_is_periodic () =
+  let t = Prng.create ~seed:12 () in
+  let f = Lipsum.repetitive_file t ~level:1 ~size:400 in
+  (* A single 20-byte fragment repeated: position i equals i+20. *)
+  let ok = ref true in
+  for i = 0 to String.length f - 21 do
+    if f.[i] <> f.[i + 20] then ok := false
+  done;
+  Alcotest.(check bool) "period 20" true !ok
+
+let test_lipsum_level_bounds () =
+  let t = Prng.create () in
+  Alcotest.check_raises "bad level"
+    (Invalid_argument "Lipsum.repetitive_file: level") (fun () ->
+      ignore (Lipsum.repetitive_file t ~level:0 ~size:10))
+
+let test_lipsum_levels_distinct_repetitiveness () =
+  (* Higher level => more distinct fragments => larger compressed size
+     under LZW-style dictionaries; check via count of distinct 20-grams. *)
+  let t = Prng.create ~seed:13 () in
+  let distinct_ngrams s =
+    let tbl = Hashtbl.create 64 in
+    for i = 0 to String.length s - 20 do
+      Hashtbl.replace tbl (String.sub s i 20) ()
+    done;
+    Hashtbl.length tbl
+  in
+  let f1 = Lipsum.repetitive_file (Prng.copy t) ~level:1 ~size:4000 in
+  let f5 = Lipsum.repetitive_file (Prng.copy t) ~level:5 ~size:4000 in
+  Alcotest.(check bool) "level 5 less repetitive" true
+    (distinct_ngrams f5 > distinct_ngrams f1)
+
+let qcheck_prng_int =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Prng.create ~seed () in
+      let v = Prng.int t bound in
+      v >= 0 && v < bound)
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+      Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+      Alcotest.test_case "prng copy" `Quick test_prng_copy_independent;
+      Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+      Alcotest.test_case "prng int invalid" `Quick test_prng_int_invalid;
+      Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+      Alcotest.test_case "prng byte coverage" `Quick test_prng_byte_coverage;
+      Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
+      Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutes;
+      Alcotest.test_case "prng lowercase" `Quick test_prng_lowercase;
+      Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
+      Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+      Alcotest.test_case "stats empty" `Quick test_stats_empty;
+      Alcotest.test_case "stats fraction_equal" `Quick test_fraction_equal;
+      Alcotest.test_case "stats bit_accuracy" `Quick test_bit_accuracy;
+      Alcotest.test_case "confusion matrix" `Quick test_confusion;
+      Alcotest.test_case "lipsum sentences" `Quick test_lipsum_words;
+      Alcotest.test_case "lipsum size" `Quick test_lipsum_repetitive_size;
+      Alcotest.test_case "lipsum level 1 periodic" `Quick test_lipsum_level1_is_periodic;
+      Alcotest.test_case "lipsum level bounds" `Quick test_lipsum_level_bounds;
+      Alcotest.test_case "lipsum level repetitiveness" `Quick
+        test_lipsum_levels_distinct_repetitiveness;
+      QCheck_alcotest.to_alcotest qcheck_prng_int;
+    ] )
