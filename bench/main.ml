@@ -89,23 +89,66 @@ let run_bench () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
   in
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let raw =
-            Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt
-          in
-          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
-          let ns =
-            match Analyze.OLS.estimates result with
-            | Some (e :: _) -> e
-            | Some [] | None -> nan
-          in
-          Format.fprintf ppf "  %-32s %12.0f ns/run@." (Test.Elt.name elt) ns)
-        (Test.elements test))
-    bench_tests;
-  Format.fprintf ppf "@."
+  let results =
+    List.concat_map
+      (fun test ->
+        List.map
+          (fun elt ->
+            let raw =
+              Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt
+            in
+            let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+            let ns =
+              match Analyze.OLS.estimates result with
+              | Some (e :: _) -> e
+              | Some [] | None -> nan
+            in
+            Format.fprintf ppf "  %-32s %12.0f ns/run@." (Test.Elt.name elt) ns;
+            (Test.Elt.name elt, ns))
+          (Test.elements test))
+      bench_tests
+  in
+  Format.fprintf ppf "@.";
+  results
+
+(* Machine-readable trajectory: "bench --json" appends a numbered
+   BENCH_<n>.json snapshot next to any earlier ones, so successive PRs can
+   be compared without parsing the human-readable table. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let next_bench_index () =
+  let files = try Sys.readdir "." with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun acc f ->
+      match Scanf.sscanf_opt f "BENCH_%d.json" (fun n -> n) with
+      | Some n -> max acc (n + 1)
+      | None -> acc)
+    1 files
+
+let write_bench_json results =
+  let path = Printf.sprintf "BENCH_%d.json" (next_bench_index ()) in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+        (json_escape name)
+        (if Float.is_nan ns then -1.0 else ns)
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  output_string oc "]\n";
+  close_out oc;
+  Format.fprintf ppf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 
@@ -145,8 +188,9 @@ let () =
   | [| _ |] ->
       let outcomes = Experiments.all ppf in
       summarize outcomes;
-      run_bench ()
-  | [| _; "bench" |] -> run_bench ()
+      ignore (run_bench ())
+  | [| _; "bench" |] -> ignore (run_bench ())
+  | [| _; "bench"; "--json" |] -> write_bench_json (run_bench ())
   | [| _; id |] -> (
       match experiment_of_id (String.lowercase_ascii id) with
       | Some f -> ignore (f ppf)
@@ -154,5 +198,5 @@ let () =
           prerr_endline ("unknown experiment: " ^ id ^ " (use e1..e18 or bench)");
           exit 1)
   | _ ->
-      prerr_endline "usage: main.exe [e1..e18|bench]";
+      prerr_endline "usage: main.exe [e1..e18|bench [--json]]";
       exit 1

@@ -24,9 +24,9 @@ let write_file path data =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_bytes oc data)
 
-let codecs =
+let codecs jobs =
   [
-    ("bzip2", (Compress.Bzip2.compress ?block_size:None ?budget_factor:None,
+    ("bzip2", ((fun b -> Compress.Bzip2.compress ~jobs b),
                Compress.Bzip2.decompress));
     ("gzip", ((fun b -> Compress.Rfc1951.Gzip.compress b),
               Compress.Rfc1951.Gzip.decompress));
@@ -38,10 +38,10 @@ let codecs =
     ("store", (Mitigation.Oblivious.store_pack, Mitigation.Oblivious.store_unpack));
   ]
 
-let codec_names = List.map fst codecs
+let codec_names = List.map fst (codecs 1)
 
-let run_codec ~decompress algo input output =
-  match List.assoc_opt algo codecs with
+let run_codec ~decompress algo jobs input output =
+  match List.assoc_opt algo (codecs jobs) with
   | None ->
       `Error (false, "unknown algorithm (use " ^ String.concat "/" codec_names ^ ")")
   | Some (enc, dec) -> (
@@ -54,11 +54,24 @@ let run_codec ~decompress algo input output =
           `Ok ()
       | exception (Failure msg | Invalid_argument msg) ->
           `Error (false, msg)
-      | exception Compress.Container.Corrupt msg -> `Error (false, msg))
+      | exception Compress.Container.Corrupt msg -> `Error (false, msg)
+      | exception
+          ( Compress.Bitio.Reader.Out_of_bits
+          | Compress.Bitio.Lsb_reader.Out_of_bits ) ->
+          `Error (false, "truncated or corrupt input"))
 
 let algo =
   let doc = "Compression algorithm: " ^ String.concat ", " codec_names ^ "." in
   Arg.(value & opt string "bzip2" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let jobs =
+  let doc =
+    "Worker domains for block/member compression (0 = all available cores)."
+  in
+  let parse j = if j = 0 then Parallel.Pool.available_jobs () else max 1 j in
+  Term.(
+    const parse
+    $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc))
 
 let in_file n = Arg.(required & pos n (some file) None & info [] ~docv:"INPUT")
 
@@ -67,18 +80,24 @@ let out_file n =
 
 let compress_cmd =
   Cmd.v (Cmd.info "compress" ~doc:"Compress a file")
-    Term.(ret (const (run_codec ~decompress:false) $ algo $ in_file 0 $ out_file 1))
+    Term.(
+      ret
+        (const (run_codec ~decompress:false)
+        $ algo $ jobs $ in_file 0 $ out_file 1))
 
 let decompress_cmd =
   Cmd.v (Cmd.info "decompress" ~doc:"Decompress a file")
-    Term.(ret (const (run_codec ~decompress:true) $ algo $ in_file 0 $ out_file 1))
+    Term.(
+      ret
+        (const (run_codec ~decompress:true)
+        $ algo $ jobs $ in_file 0 $ out_file 1))
 
 (* ------------------------------------------------------------------ *)
 (* Archive *)
 
-let archive_create out inputs =
+let archive_create jobs out inputs =
   match
-    Compress.Container.Archive.pack
+    Compress.Container.Archive.pack ~jobs
       (List.map
          (fun path ->
            { Compress.Container.Archive.name = Filename.basename path;
@@ -114,7 +133,7 @@ let archive_cmd =
       Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILES")
     in
     Cmd.v (Cmd.info "create" ~doc:"Create an archive from files")
-      Term.(ret (const archive_create $ out_file 0 $ inputs))
+      Term.(ret (const archive_create $ jobs $ out_file 0 $ inputs))
   in
   let list =
     Cmd.v (Cmd.info "list" ~doc:"List archive entries")

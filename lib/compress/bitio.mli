@@ -26,6 +26,12 @@ module Writer : sig
 
   val bit_length : t -> int
 
+  val append : t -> t -> unit
+  (** [append t src] appends every bit written to [src] onto [t], at [t]'s
+      current (possibly unaligned) bit position.  [src] is unchanged.
+      This is how independently produced block bitstreams are spliced
+      back together after parallel compression. *)
+
   val to_bytes : t -> bytes
   (** Byte-aligned contents; the final partial byte is zero-padded. *)
 end

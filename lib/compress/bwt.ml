@@ -3,8 +3,19 @@
    distinct or the window covers the block.  The comparison count is
    returned because it is data-dependent — repetitive input needs more
    refinement rounds — and the fingerprinting attack observes exactly that
-   run-time difference. *)
-let sort_rotations_work block =
+   run-time difference.
+
+   Two implementations live here.  [reference_sort_rotations_work] is the
+   original tuple-keyed [Array.sort] version, kept as the executable
+   specification of both the permutation and the work count.
+   [sort_rotations_work] produces bit-identical results without allocating:
+   the (rank, rank+k) key pair is packed into a single int, so the
+   comparator runs the exact same comparison sequence over immediate ints
+   instead of boxing two tuples per call.  [sort_rotations] — which does
+   not need the work count — ranks by counting-sort passes and performs no
+   comparisons at all. *)
+
+let reference_sort_rotations_work block =
   let n = Bytes.length block in
   if n = 0 then ([||], 0)
   else begin
@@ -46,7 +57,167 @@ let sort_rotations_work block =
     (perm, !work)
   end
 
-let sort_rotations block = fst (sort_rotations_work block)
+(* Ranks stay below n and the initial byte ranks below 256, so a
+   (rank, rank') pair packs losslessly into [rank lsl 31 lor rank'] as long
+   as both fit in 31 bits; the packed ints order and compare equal exactly
+   as the tuples do.  [Array.sort] then performs the identical comparison
+   sequence — the work counter advances by 2 per comparison (the reference
+   evaluates [key] twice per comparison) and by 2 per re-rank step. *)
+let sort_rotations_work block =
+  let n = Bytes.length block in
+  if n = 0 then ([||], 0)
+  else if n >= 1 lsl 31 then reference_sort_rotations_work block
+  else begin
+    let work = ref 0 in
+    let rank = Array.make n 0 in
+    for i = 0 to n - 1 do
+      rank.(i) <- Char.code (Bytes.unsafe_get block i)
+    done;
+    let perm = Array.init n (fun i -> i) in
+    let tmp = Array.make n 0 in
+    let keys = Array.make n 0 in
+    let k = ref 1 in
+    let distinct = ref false in
+    while (not !distinct) && !k < n do
+      for i = 0 to n - 1 do
+        let j = i + !k in
+        let j = if j >= n then j - n else j in
+        Array.unsafe_set keys i
+          ((Array.unsafe_get rank i lsl 31) lor Array.unsafe_get rank j)
+      done;
+      Array.sort
+        (fun a b ->
+          work := !work + 2;
+          compare (Array.unsafe_get keys a : int) (Array.unsafe_get keys b))
+        perm;
+      tmp.(perm.(0)) <- 0;
+      let all_distinct = ref true in
+      for j = 1 to n - 1 do
+        let prev = perm.(j - 1) and cur = perm.(j) in
+        work := !work + 2;
+        if keys.(prev) = keys.(cur) then begin
+          tmp.(cur) <- tmp.(prev);
+          all_distinct := false
+        end
+        else tmp.(cur) <- j
+      done;
+      Array.blit tmp 0 rank 0 n;
+      distinct := !all_distinct;
+      k := !k * 2
+    done;
+    if not !distinct then
+      Array.sort
+        (fun a b ->
+          incr work;
+          match compare (rank.(a) : int) rank.(b) with
+          | 0 -> compare (a : int) b
+          | c -> c)
+        perm;
+    (perm, !work)
+  end
+
+(* Comparison-free rotation sort: Manber–Myers prefix doubling where each
+   round re-orders by the k-shifted previous order and a stable counting
+   sort on the rank — O(n log n), no comparator, no per-element boxing.
+   Produces the same permutation as the reference (ties between identical
+   rotations broken by start index). *)
+let sort_rotations block =
+  let n = Bytes.length block in
+  if n = 0 then [||]
+  else begin
+    let perm = Array.make n 0 in
+    let rank = Array.make n 0 in
+    let next_perm = Array.make n 0 in
+    let next_rank = Array.make n 0 in
+    let count = Array.make (max 256 n) 0 in
+    (* Round 0: counting sort by first byte; dense byte classes. *)
+    for i = 0 to n - 1 do
+      let c = Char.code (Bytes.unsafe_get block i) in
+      count.(c) <- count.(c) + 1
+    done;
+    let acc = ref 0 in
+    for c = 0 to 255 do
+      let v = count.(c) in
+      count.(c) <- !acc;
+      acc := !acc + v
+    done;
+    for i = 0 to n - 1 do
+      let c = Char.code (Bytes.unsafe_get block i) in
+      perm.(count.(c)) <- i;
+      count.(c) <- count.(c) + 1
+    done;
+    let classes = ref 1 in
+    rank.(perm.(0)) <- 0;
+    for i = 1 to n - 1 do
+      if
+        Bytes.unsafe_get block perm.(i) <> Bytes.unsafe_get block perm.(i - 1)
+      then incr classes;
+      rank.(perm.(i)) <- !classes - 1
+    done;
+    let k = ref 1 in
+    while !classes < n && !k < n do
+      (* Order by the second key of the pair: shifting the current order
+         left by k lists rotations sorted by chars [k, 2k). *)
+      for i = 0 to n - 1 do
+        let v = Array.unsafe_get perm i - !k in
+        Array.unsafe_set next_perm i (if v < 0 then v + n else v)
+      done;
+      (* Stable counting sort by the first key (current rank). *)
+      Array.fill count 0 !classes 0;
+      for i = 0 to n - 1 do
+        let r = Array.unsafe_get rank i in
+        Array.unsafe_set count r (Array.unsafe_get count r + 1)
+      done;
+      let acc = ref 0 in
+      for c = 0 to !classes - 1 do
+        let v = Array.unsafe_get count c in
+        Array.unsafe_set count c !acc;
+        acc := !acc + v
+      done;
+      for i = 0 to n - 1 do
+        let v = Array.unsafe_get next_perm i in
+        let r = Array.unsafe_get rank v in
+        Array.unsafe_set perm (Array.unsafe_get count r) v;
+        Array.unsafe_set count r (Array.unsafe_get count r + 1)
+      done;
+      (* Re-rank by (rank, rank+k) pair equality along the new order. *)
+      next_rank.(perm.(0)) <- 0;
+      classes := 1;
+      for i = 1 to n - 1 do
+        let a = Array.unsafe_get perm i and b = Array.unsafe_get perm (i - 1) in
+        let a2 = a + !k in
+        let a2 = if a2 >= n then a2 - n else a2 in
+        let b2 = b + !k in
+        let b2 = if b2 >= n then b2 - n else b2 in
+        if
+          Array.unsafe_get rank a <> Array.unsafe_get rank b
+          || Array.unsafe_get rank a2 <> Array.unsafe_get rank b2
+        then incr classes;
+        Array.unsafe_set next_rank a (!classes - 1)
+      done;
+      Array.blit next_rank 0 rank 0 n;
+      k := !k * 2
+    done;
+    (* Identical rotations (period divides n): a final stable counting sort
+       over ascending start indices orders each class by index. *)
+    if !classes < n then begin
+      Array.fill count 0 !classes 0;
+      for i = 0 to n - 1 do
+        count.(rank.(i)) <- count.(rank.(i)) + 1
+      done;
+      let acc = ref 0 in
+      for c = 0 to !classes - 1 do
+        let v = count.(c) in
+        count.(c) <- !acc;
+        acc := !acc + v
+      done;
+      for i = 0 to n - 1 do
+        perm.(count.(rank.(i))) <- i;
+        count.(rank.(i)) <- count.(rank.(i)) + 1
+      done
+    end;
+    perm
+  end
 
 let check_perm n perm =
   if Array.length perm <> n then invalid_arg "Bwt: permutation length";

@@ -15,7 +15,15 @@ val sort_rotations_work : bytes -> int array * int
 (** Also returns the number of rank comparisons performed — a
     data-dependent run-time measure (repetitive input refines for more
     rounds), which is precisely the side channel Section VI's
-    fingerprinting attack observes. *)
+    fingerprinting attack observes.  The count is bit-identical to
+    {!reference_sort_rotations_work}: the fast path packs each rank pair
+    into one int, so [Array.sort] runs the same comparison sequence
+    without boxing. *)
+
+val reference_sort_rotations_work : bytes -> int array * int
+(** The original tuple-keyed implementation, kept as the executable
+    specification of both the permutation and the work count; the test
+    suite cross-checks the fast paths against it. *)
 
 val transform_with : perm:int array -> bytes -> bytes * int
 (** Last column and primary index from a precomputed rotation order.

@@ -144,7 +144,7 @@ let compress_block w ~budget_factor ~block_size ~index block =
   { index; length = Bytes.length block; path }
 
 let compress_with_info ?(block_size = default_block_size)
-    ?(budget_factor = Block_sort.default_budget_factor) input =
+    ?(budget_factor = Block_sort.default_budget_factor) ?(jobs = 1) input =
   if block_size < 16 then invalid_arg "Bzip2.compress: block_size too small";
   let data = Rle1.encode input in
   let n = Bytes.length data in
@@ -152,21 +152,36 @@ let compress_with_info ?(block_size = default_block_size)
   String.iter
     (fun c -> Bitio.Writer.add_bits_msb w ~value:(Char.code c) ~count:8)
     magic;
-  let infos = ref [] in
-  let pos = ref 0 and index = ref 0 in
-  while !pos < n do
-    let len = min block_size (n - !pos) in
-    let block = Bytes.sub data !pos len in
-    let info = compress_block w ~budget_factor ~block_size ~index:!index block in
-    infos := info :: !infos;
-    pos := !pos + len;
-    incr index
-  done;
+  (* Blocks are independent: each one is compressed into its own bit
+     writer (possibly on another domain) and the bitstreams are spliced
+     back in order.  Splicing is pure bit concatenation, so the output is
+     byte-identical for every [jobs] value. *)
+  let n_blocks = (n + block_size - 1) / block_size in
+  let blocks =
+    Array.init n_blocks (fun index ->
+        let pos = index * block_size in
+        (index, Bytes.sub data pos (min block_size (n - pos))))
+  in
+  let parts =
+    Zipchannel_parallel.Pool.map_array ~jobs
+      (fun (index, block) ->
+        let bw = Bitio.Writer.create () in
+        let info = compress_block bw ~budget_factor ~block_size ~index block in
+        (bw, info))
+      blocks
+  in
+  let infos =
+    Array.fold_left
+      (fun acc (bw, info) ->
+        Bitio.Writer.append w bw;
+        info :: acc)
+      [] parts
+  in
   Bitio.Writer.add_bits_msb w ~value:end_marker ~count:8;
-  (Bitio.Writer.to_bytes w, List.rev !infos)
+  (Bitio.Writer.to_bytes w, List.rev infos)
 
-let compress ?block_size ?budget_factor input =
-  fst (compress_with_info ?block_size ?budget_factor input)
+let compress ?block_size ?budget_factor ?jobs input =
+  fst (compress_with_info ?block_size ?budget_factor ?jobs input)
 
 let decompress data =
   let r = Bitio.Reader.create data in

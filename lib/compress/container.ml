@@ -74,7 +74,7 @@ module Archive = struct
      magic "ZCAR". *)
   let magic = "ZCAR"
 
-  let pack entries =
+  let pack ?(jobs = 1) entries =
     let names = List.map (fun e -> e.name) entries in
     if List.length (List.sort_uniq compare names) <> List.length names then
       invalid_arg "Archive.pack: duplicate entry name";
@@ -83,14 +83,21 @@ module Archive = struct
         if String.length n > 0xffff then invalid_arg "Archive.pack: name too long")
       names;
     let buf = Buffer.create 1024 in
+    (* Member bodies are independent deflate streams; compress them on
+       [jobs] domains, then lay them out in order.  The bytes are the same
+       for every [jobs] value. *)
+    let bodies =
+      Zipchannel_parallel.Pool.map_list ~jobs
+        (fun e -> (e, Deflate.compress e.data))
+        entries
+    in
     let records =
       List.map
-        (fun e ->
+        (fun (e, body) ->
           let offset = Buffer.length buf in
-          let body = Deflate.compress e.data in
           Buffer.add_bytes buf body;
           (e, offset, Bytes.length body))
-        entries
+        bodies
     in
     let dir_offset = Buffer.length buf in
     List.iter

@@ -24,8 +24,10 @@ end
 module Archive : sig
   type entry = { name : string; data : bytes }
 
-  val pack : entry list -> bytes
-  (** @raise Invalid_argument on duplicate or oversized (>65535 byte)
+  val pack : ?jobs:int -> entry list -> bytes
+  (** [jobs] (default 1) compresses member bodies on that many domains;
+      the archive bytes are identical for every value.
+      @raise Invalid_argument on duplicate or oversized (>65535 byte)
       names. *)
 
   val unpack : bytes -> entry list

@@ -32,20 +32,26 @@ let hash_head_trace input =
 
 let tokenize ?(strategy = Greedy) ?(max_chain = 128) input =
   let n = Bytes.length input in
-  let byte i = Char.code (Bytes.get input i) in
+  let byte i = Char.code (Bytes.unsafe_get input i) in
   let head = Array.make (hash_mask + 1) (-1) in
   let prev = Array.make (max 1 n) (-1) in
   let insert pos =
     if pos + min_match <= n then begin
       let h = hash_of_triple (byte pos) (byte (pos + 1)) (byte (pos + 2)) in
-      prev.(pos) <- head.(h);
-      head.(h) <- pos
+      Array.unsafe_set prev pos (Array.unsafe_get head h);
+      Array.unsafe_set head h pos
     end
   in
   let match_length pos cand =
     let limit = min max_match (n - pos) in
     let len = ref 0 in
-    while !len < limit && byte (cand + !len) = byte (pos + !len) do incr len done;
+    while
+      !len < limit
+      && Char.code (Bytes.unsafe_get input (cand + !len))
+         = Char.code (Bytes.unsafe_get input (pos + !len))
+    do
+      incr len
+    done;
     !len
   in
   let best_match pos =
@@ -53,7 +59,7 @@ let tokenize ?(strategy = Greedy) ?(max_chain = 128) input =
     else begin
       let h = hash_of_triple (byte pos) (byte (pos + 1)) (byte (pos + 2)) in
       let best_len = ref 0 and best_pos = ref (-1) in
-      let cand = ref head.(h) and chain = ref max_chain in
+      let cand = ref (Array.unsafe_get head h) and chain = ref max_chain in
       while !cand >= 0 && !chain > 0 do
         if pos - !cand <= window_size then begin
           let len = match_length pos !cand in
@@ -61,7 +67,7 @@ let tokenize ?(strategy = Greedy) ?(max_chain = 128) input =
             best_len := len;
             best_pos := !cand
           end;
-          cand := prev.(!cand);
+          cand := Array.unsafe_get prev !cand;
           decr chain
         end
         else cand := -1
@@ -71,8 +77,23 @@ let tokenize ?(strategy = Greedy) ?(max_chain = 128) input =
       else None
     end
   in
-  let tokens = ref [] in
-  let emit tok = tokens := tok :: !tokens in
+  (* Tokens accumulate in a growable array rather than a consed list:
+     the output token sequence is unchanged, but the hot loop no longer
+     allocates a list cell per token. *)
+  let tokens = ref (Array.make 512 (Literal '\000')) in
+  let ntokens = ref 0 in
+  let emit tok =
+    let buf = !tokens in
+    let cap = Array.length buf in
+    if !ntokens = cap then begin
+      let bigger = Array.make (2 * cap) (Literal '\000') in
+      Array.blit buf 0 bigger 0 cap;
+      tokens := bigger;
+      bigger.(!ntokens) <- tok
+    end
+    else Array.unsafe_set buf !ntokens tok;
+    incr ntokens
+  in
   (match strategy with
   | Greedy ->
       let pos = ref 0 in
@@ -124,7 +145,9 @@ let tokenize ?(strategy = Greedy) ?(max_chain = 128) input =
       (match !pending with
       | Some (plen, pdist) -> emit (Match { length = plen; distance = pdist })
       | None -> ()));
-  List.rev !tokens
+  let buf = !tokens in
+  let rec build i acc = if i < 0 then acc else build (i - 1) (buf.(i) :: acc) in
+  build (!ntokens - 1) []
 
 let detokenize tokens =
   let out = Buffer.create 256 in

@@ -331,21 +331,31 @@ let e9_sort_control_flow ?(seed = default_seed) ppf =
         ];
     }
 
-let fingerprint_experiment ~id ~title ~seed ~traces_per_file ~epochs ~corpus ppf =
+let fingerprint_experiment ~id ~title ~seed ~traces_per_file ~epochs ~corpus
+    ?(jobs = 1) ppf =
   header ppf id title;
   let prng = Prng.create ~seed () in
   let files = corpus prng in
   let labels = Array.of_list (List.map fst files) in
+  (* The victim timelines (one full bzip2 compression per corpus file) are
+     deterministic and independent, so they can run on [jobs] domains.
+     The noisy trace sampling below draws from the shared experiment PRNG
+     and stays sequential, keeping every metric identical to [jobs = 1]. *)
+  let timelines =
+    Zipchannel_parallel.Pool.map_list ~jobs
+      (fun (_, data) -> Attack.Fingerprint.timeline data)
+      files
+  in
   let samples =
     List.concat
-      (List.mapi
-         (fun cls (_, data) ->
-           let segs = Attack.Fingerprint.timeline data in
+      (List.map2
+         (fun cls segs ->
            List.init traces_per_file (fun _ ->
                ( Attack.Fingerprint.features
                    (Attack.Fingerprint.collect_segments ~prng segs),
                  cls )))
-         files)
+         (List.mapi (fun cls _ -> cls) files)
+         timelines)
   in
   let ds = Classifier.Dataset.shuffle prng (Classifier.Dataset.make samples) in
   let train, test = Classifier.Dataset.split ds ~train_fraction:0.9 in
@@ -374,16 +384,17 @@ let fingerprint_experiment ~id ~title ~seed ~traces_per_file ~epochs ~corpus ppf
         ];
     }
 
-let e10_fingerprint_corpus ?(seed = default_seed) ?(traces_per_file = 25) ppf =
+let e10_fingerprint_corpus ?(seed = default_seed) ?(traces_per_file = 25)
+    ?jobs ppf =
   fingerprint_experiment ~id:"E10"
     ~title:"fingerprinting the 21-file corpus (Fig. 7)" ~seed ~traces_per_file
-    ~epochs:80 ~corpus:Attack.Corpus.brotli_like ppf
+    ~epochs:80 ~corpus:Attack.Corpus.brotli_like ?jobs ppf
 
 let e11_fingerprint_repetitiveness ?(seed = default_seed)
-    ?(traces_per_file = 40) ppf =
+    ?(traces_per_file = 40) ?jobs ppf =
   fingerprint_experiment ~id:"E11"
     ~title:"fingerprinting graded repetitiveness (Fig. 8)" ~seed
-    ~traces_per_file ~epochs:80 ~corpus:Attack.Corpus.repetitiveness ppf
+    ~traces_per_file ~epochs:80 ~corpus:Attack.Corpus.repetitiveness ?jobs ppf
 
 let e12_aes_validation ?(seed = default_seed) ppf =
   let title = "tool validation on AES T-tables (Section III-B)" in

@@ -40,12 +40,15 @@ val e9_sort_control_flow : ?seed:int -> Format.formatter -> outcome
 (** Fig. 6: the per-block sorting path for representative files. *)
 
 val e10_fingerprint_corpus :
-  ?seed:int -> ?traces_per_file:int -> Format.formatter -> outcome
-(** Fig. 7: confusion matrix over the 21-file corpus. *)
+  ?seed:int -> ?traces_per_file:int -> ?jobs:int -> Format.formatter -> outcome
+(** Fig. 7: confusion matrix over the 21-file corpus.  [jobs] (default 1)
+    computes the per-file victim timelines on that many domains; metrics
+    are identical for every value. *)
 
 val e11_fingerprint_repetitiveness :
-  ?seed:int -> ?traces_per_file:int -> Format.formatter -> outcome
-(** Fig. 8: confusion matrix over the 5 graded-repetitiveness files. *)
+  ?seed:int -> ?traces_per_file:int -> ?jobs:int -> Format.formatter -> outcome
+(** Fig. 8: confusion matrix over the 5 graded-repetitiveness files.
+    [jobs] as in {!e10_fingerprint_corpus}. *)
 
 val e12_aes_validation : ?seed:int -> Format.formatter -> outcome
 (** Section III-B: the tool rediscovers the Osvik et al. AES gadget. *)

@@ -39,5 +39,9 @@ module Mitigation = Zipchannel_mitigation
 (** Section VIII: constant-access-pattern compression primitives and the
     constant-trace checker. *)
 
+module Parallel = Zipchannel_parallel
+(** Multicore work pool backing the [?jobs] parameters of the block
+    compressors and the corpus experiments. *)
+
 module Experiments = Experiments
 (** Reproductions of every figure and evaluation number in the paper. *)

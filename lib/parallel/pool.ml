@@ -1,0 +1,37 @@
+let available_jobs () = Domain.recommended_domain_count ()
+
+let map_array ~jobs f xs =
+  let n = Array.length xs in
+  if jobs <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error = Atomic.make None in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then running := false
+        else
+          match f xs.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+              (* Keep the first failure; drain the remaining work so every
+                 domain exits promptly. *)
+              ignore (Atomic.compare_and_set error None (Some e));
+              Atomic.set next n;
+              running := false
+      done
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+
+let map_list ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else Array.to_list (map_array ~jobs f (Array.of_list xs))

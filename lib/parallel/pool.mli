@@ -1,0 +1,25 @@
+(** A small work pool over OCaml 5 [Domain]s.
+
+    Callers pass an explicit [jobs] count; [jobs <= 1] runs entirely in
+    the calling domain with no spawning, so sequential results (and any
+    observable evaluation order) are exactly those of a plain [map].
+    With [jobs > 1] the items are claimed from a shared atomic counter by
+    [min jobs (length items)] domains (the caller included), so results
+    arrive in input order regardless of scheduling.
+
+    The worker function must be safe to run concurrently with itself:
+    no unsynchronized writes to shared mutable state.  The compression
+    kernels used through this pool only read their input block and write
+    their own output buffers. *)
+
+val available_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible upper bound for
+    [jobs]. *)
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map.  If any application raises, one of the
+    raised exceptions is re-raised in the caller after all domains have
+    joined. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_array] over a list, preserving order. *)

@@ -4,6 +4,7 @@ let () =
       Test_util.suite;
       Test_taint.suite;
       Test_compress.suite;
+      Test_fastpath.suite;
       Test_rfc1951.suite;
       Test_robustness.suite;
       Test_trace.suite;
