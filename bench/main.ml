@@ -82,7 +82,18 @@ let bench_tests =
              [ { Compress.Container.Archive.name = "f"; data = text_10k } ])));
   ]
 
-let run_bench () =
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* [only] restricts the suite: a test runs when its name equals, or
+   contains, one of the given patterns (used by the CI bench smoke to
+   time a 3-benchmark subset). *)
+let selected ~only name =
+  only = [] || List.exists (fun pat -> contains ~sub:pat name) only
+
+let run_bench ?(only = []) () =
   let open Bechamel in
   Format.fprintf ppf "@.=== Bechamel timing suite ===@.";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -92,8 +103,10 @@ let run_bench () =
   let results =
     List.concat_map
       (fun test ->
-        List.map
+        List.filter_map
           (fun elt ->
+            if not (selected ~only (Test.Elt.name elt)) then None
+            else begin
             let raw =
               Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt
             in
@@ -104,7 +117,8 @@ let run_bench () =
               | Some [] | None -> nan
             in
             Format.fprintf ppf "  %-32s %12.0f ns/run@." (Test.Elt.name elt) ns;
-            (Test.Elt.name elt, ns))
+            Some (Test.Elt.name elt, ns)
+            end)
           (Test.elements test))
       bench_tests
   in
@@ -150,6 +164,60 @@ let write_bench_json results =
   close_out oc;
   Format.fprintf ppf "wrote %s@." path
 
+(* A BENCH_<n>.json snapshot, parsed line-by-line (the files are written
+   by {!write_bench_json}, one entry per line). *)
+let read_bench_json path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      prerr_endline ("bench --compare: " ^ msg);
+      exit 2
+  in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match
+         Scanf.sscanf_opt line "{\"name\": %S, \"ns_per_run\": %f"
+           (fun name ns -> (name, ns))
+       with
+       | Some e -> entries := e :: !entries
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let regression_threshold = 1.25
+
+(* Per-benchmark speedup against a snapshot; exits non-zero when any
+   benchmark regressed by more than 25%. *)
+let compare_bench ~baseline results =
+  let base = read_bench_json baseline in
+  Format.fprintf ppf "@.=== comparison vs %s ===@." baseline;
+  Format.fprintf ppf "  %-32s %12s %12s %9s@." "benchmark" "baseline ns"
+    "current ns" "speedup";
+  let regressed = ref [] in
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name base with
+      | None -> Format.fprintf ppf "  %-32s %12s %12.0f %9s@." name "-" ns "new"
+      | Some b when Float.is_nan ns || ns <= 0.0 || b <= 0.0 ->
+          Format.fprintf ppf "  %-32s %12.0f %12.0f %9s@." name b ns "?"
+      | Some b ->
+          let speedup = b /. ns in
+          Format.fprintf ppf "  %-32s %12.0f %12.0f %8.2fx@." name b ns speedup;
+          if ns > b *. regression_threshold then regressed := name :: !regressed)
+    results;
+  (match !regressed with
+  | [] -> Format.fprintf ppf "@.no benchmark regressed more than %.0f%%@."
+            ((regression_threshold -. 1.0) *. 100.0)
+  | l ->
+      Format.fprintf ppf "@.REGRESSED >%.0f%%: %s@."
+        ((regression_threshold -. 1.0) *. 100.0)
+        (String.concat ", " (List.rev l));
+      exit 1)
+
 (* ------------------------------------------------------------------ *)
 
 let experiment_of_id = function
@@ -183,20 +251,45 @@ let summarize outcomes =
         o.Experiments.metrics)
     outcomes
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [e1..e18|bench [--json] [--only a,b,...] [--compare \
+     BENCH_n.json]]";
+  exit 1
+
+let run_bench_cli rest =
+  let json = ref false and only = ref [] and compare = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--only" :: names :: rest ->
+        only := !only @ String.split_on_char ',' names;
+        parse rest
+    | "--compare" :: path :: rest ->
+        compare := Some path;
+        parse rest
+    | _ -> usage ()
+  in
+  parse rest;
+  let results = run_bench ~only:(List.filter (( <> ) "") !only) () in
+  if !json then write_bench_json results;
+  match !compare with
+  | Some baseline -> compare_bench ~baseline results
+  | None -> ()
+
 let () =
-  match Sys.argv with
-  | [| _ |] ->
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
       let outcomes = Experiments.all ppf in
       summarize outcomes;
       ignore (run_bench ())
-  | [| _; "bench" |] -> ignore (run_bench ())
-  | [| _; "bench"; "--json" |] -> write_bench_json (run_bench ())
-  | [| _; id |] -> (
+  | _ :: "bench" :: rest -> run_bench_cli rest
+  | [ _; id ] -> (
       match experiment_of_id (String.lowercase_ascii id) with
       | Some f -> ignore (f ppf)
       | None ->
           prerr_endline ("unknown experiment: " ^ id ^ " (use e1..e18 or bench)");
           exit 1)
-  | _ ->
-      prerr_endline "usage: main.exe [e1..e18|bench [--json]]";
-      exit 1
+  | _ -> usage ()

@@ -4,6 +4,7 @@
      taintchannel -t zlib -n 4096
      taintchannel -t bzip2 -f secret.bin
      taintchannel -t aes
+     taintchannel -t all -j 4
      taintchannel -t memcpy *)
 
 open Cmdliner
@@ -22,7 +23,9 @@ let input_bytes file size seed =
       let prng = Util.Prng.create ~seed () in
       Util.Prng.bytes prng size
 
-let run target file size seed =
+let aes_key = Bytes.of_string "0123456789abcdef"
+
+let run target file size seed jobs =
   let ppf = Format.std_formatter in
   let input () = input_bytes file size seed in
   match target with
@@ -36,9 +39,22 @@ let run target file size seed =
       Taintchannel.Engine.report ppf (Taintchannel.Bzip2_gadget.run (input ()));
       `Ok ()
   | "aes" ->
-      let key = Bytes.of_string "0123456789abcdef" in
       Taintchannel.Engine.report ppf
-        (Taintchannel.Aes.run_taint ~key (input ()));
+        (Taintchannel.Aes.run_taint ~key:aes_key (input ()));
+      `Ok ()
+  | "all" ->
+      (* One case per gadget target over the same input, analysed on
+         [jobs] domains; the merged report is byte-identical for any
+         [jobs] because cases are independent and order-stable. *)
+      let data = input () in
+      let open Taintchannel.Survey in
+      report ~jobs ppf
+        [
+          case Zlib data;
+          case Lzw data;
+          case Bzip2 data;
+          case (Aes { key = aes_key }) data;
+        ];
       `Ok ()
   | "memcpy" ->
       let t1 = Taintchannel.Memcpy_model.trace ~size in
@@ -51,7 +67,7 @@ let run target file size seed =
   | other -> `Error (false, "unknown target: " ^ other)
 
 let target =
-  let doc = "Analysis target: zlib, ncompress, bzip2, aes or memcpy." in
+  let doc = "Analysis target: zlib, ncompress, bzip2, aes, all or memcpy." in
   Arg.(value & opt string "bzip2" & info [ "t"; "target" ] ~docv:"TARGET" ~doc)
 
 let file =
@@ -66,9 +82,16 @@ let seed =
   let doc = "PRNG seed for generated input." in
   Arg.(value & opt int 0xDECAF & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
+let jobs =
+  let doc =
+    "Number of domains for the multi-target survey (-t all).  Reports \
+     are byte-identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let cmd =
   let doc = "detect cache side-channel gadgets in compression code" in
   let info = Cmd.info "taintchannel" ~doc in
-  Cmd.v info Term.(ret (const run $ target $ file $ size $ seed))
+  Cmd.v info Term.(ret (const run $ target $ file $ size $ seed $ jobs))
 
 let () = exit (Cmd.eval cmd)

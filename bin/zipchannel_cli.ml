@@ -47,8 +47,8 @@ let fingerprint seed traces =
   ignore (Experiments.e10_fingerprint_corpus ~seed ~traces_per_file:traces ppf);
   `Ok ()
 
-let experiments seed =
-  ignore (Experiments.all ~seed ppf);
+let experiments seed jobs =
+  ignore (Experiments.all ~seed ~jobs ppf);
   `Ok ()
 
 let seed =
@@ -86,9 +86,16 @@ let fingerprint_cmd =
     Term.(ret (const fingerprint $ seed $ traces))
 
 let experiments_cmd =
+  let jobs =
+    let doc =
+      "Domains for the parallelisable experiments (output is identical \
+       for any value)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run every paper experiment (E1-E18)")
-    Term.(ret (const experiments $ seed))
+    Term.(ret (const experiments $ seed $ jobs))
 
 let cmd =
   let doc = "cache side-channel attacks on compression algorithms" in

@@ -12,6 +12,11 @@ type t = {
   pp : Prime_probe.t;
   noise : Noise.t;
   chosen_frames : (int, int) Hashtbl.t; (* vpage -> frame *)
+  (* A frame's monitoring plan: the global set of each of its 64 lines
+     and the matching eviction-buffer lines, resolved once.  prime/probe
+     of a page replay the plan instead of redoing 64 slice hashes and
+     memo lookups per call. *)
+  frame_plans : (int, int array * int array array) Hashtbl.t;
   noisy_sets : (int, Int_set.t) Hashtbl.t; (* vpage -> suspect lines *)
   mutable next_frame : int;
   mutable remaps : int;
@@ -37,6 +42,7 @@ let create ~config ~cache ~page_table ~prng =
       Noise.create ~config:config.Attack_config.noise_config ~cache
         ~prng:(Prng.split prng) ();
     chosen_frames = Hashtbl.create 128;
+    frame_plans = Hashtbl.create 128;
     noisy_sets = Hashtbl.create 16;
     next_frame = 0x800000;
     remaps = 0;
@@ -50,9 +56,23 @@ let sets_of_frame t frame =
   Array.init 64 (fun k ->
       Cache.set_index t.cache ((frame lsl Page_table.page_bits) lor (k lsl 6)))
 
-let prime_frame t sets = Array.iter (fun set -> Prime_probe.prime t.pp ~set) sets
+let plan_of_frame t frame =
+  match Hashtbl.find_opt t.frame_plans frame with
+  | Some plan -> plan
+  | None ->
+      let sets = sets_of_frame t frame in
+      let lines =
+        Array.map (fun set -> Prime_probe.eviction_lines t.pp ~set) sets
+      in
+      let plan = (sets, lines) in
+      Hashtbl.add t.frame_plans frame plan;
+      plan
 
-let probe_frame t sets = Array.map (fun set -> Prime_probe.probe t.pp ~set) sets
+let prime_frame t lines =
+  Array.iter (fun l -> Prime_probe.prime_lines t.pp l) lines
+
+let probe_frame t lines =
+  Array.map (fun l -> Prime_probe.probe_lines t.pp l) lines
 
 (* Frame selection (Section V-C2): remap the page until dry runs of the
    state-transition machinery leave all 64 monitored sets quiet; on
@@ -77,16 +97,16 @@ let select_frame t ~vpage =
           let frame = fresh () in
           t.remaps <- t.remaps + 1;
           Page_table.map t.page_table ~vpage ~frame;
-          let sets = sets_of_frame t frame in
+          let _, lines = plan_of_frame t frame in
           (* The OS working set is touched probabilistically, so several
              quiet dry runs are needed before trusting a frame. *)
           let noisy = ref Int_set.empty in
-          prime_frame t sets;
+          prime_frame t lines;
           for _ = 1 to 4 do
             Noise.on_transition t.noise;
             if t.cfg.Attack_config.background_noise then
               Noise.background t.noise ~cos:1;
-            let evictions = probe_frame t sets in
+            let evictions = probe_frame t lines in
             Array.iteri
               (fun line e -> if e > 0 then noisy := Int_set.add line !noisy)
               evictions
@@ -107,11 +127,13 @@ let select_frame t ~vpage =
       end
 
 let prime_page t ~vpage =
-  prime_frame t (sets_of_frame t (select_frame t ~vpage))
+  let _, lines = plan_of_frame t (select_frame t ~vpage) in
+  prime_frame t lines
 
 let probe_page t ~vpage =
   let frame = select_frame t ~vpage in
-  let evictions = probe_frame t (sets_of_frame t frame) in
+  let _, lines = plan_of_frame t frame in
+  let evictions = probe_frame t lines in
   let suspects =
     match Hashtbl.find_opt t.noisy_sets vpage with
     | Some s -> s

@@ -140,11 +140,15 @@ let lzw_consistency ~htab_base ~first observed =
    most feasible input".  Feasibility here: trace consistency first (kills
    candidates corrupted by noise), then printable-ASCII plausibility of
    the first byte. *)
-let lzw_recover_auto ~htab_base observed =
+let lzw_recover_auto ?(jobs = 1) ~htab_base observed =
   let candidates = lzw_candidate_firsts ~htab_base observed in
   let printable b = if b >= 0x20 && b <= 0x7e then 1 else 0 in
+  (* Each candidate replays the trace against its own dictionary mirror,
+     so the 2^3 scoring passes are independent and fan out over [jobs]
+     domains; [map_list] keeps candidate order, so the fold below picks
+     the same winner for any [jobs]. *)
   let scored =
-    List.map
+    Zipchannel_parallel.Pool.map_list ~jobs
       (fun first ->
         ((lzw_consistency ~htab_base ~first observed, printable first), first))
       candidates

@@ -60,11 +60,13 @@ val lzw_consistency : htab_base:int -> first:int -> int array -> float
     isomorphic dictionaries and all score 1.0 — they are information-
     theoretically indistinguishable from the trace alone. *)
 
-val lzw_recover_auto : htab_base:int -> int array -> bytes
+val lzw_recover_auto : ?jobs:int -> htab_base:int -> int array -> bytes
 (** Try all 8 first-byte candidates and return "the most feasible input"
     (Section IV-C): highest trace consistency, ties broken towards a
     printable first byte.  Every byte after the first is exact on a clean
-    trace; the first byte's low 3 bits are inherently ambiguous. *)
+    trace; the first byte's low 3 bits are inherently ambiguous.  [jobs]
+    scores the candidates on that many domains; the result is identical
+    for any value (default 1, sequential). *)
 
 val lzw_recover_from_candidates :
   htab_base:int -> first:int -> int list array -> bytes * float

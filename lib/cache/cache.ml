@@ -16,15 +16,27 @@ let default_config =
 let small_config =
   { sets_per_slice = 64; ways = 4; slices = 1; line_bits = 6; policy = Lru }
 
-type line = { mutable tag : int; mutable who : owner; mutable last_use : int }
-
+(* Line state lives in three flat int arrays indexed by
+   [set * ways + way] rather than an array of per-line records: creation
+   is three [Array.make]s instead of tens of thousands of record
+   allocations, and the access path walks machine integers with no
+   pointer chasing.  [who] stores the owner's constructor index. *)
 type t = {
   cfg : config;
-  sets : line array array; (* global set -> way -> line *)
+  ways : int;
+  tags : int array; (* -1 = invalid *)
+  who : int array;
+  last_use : int array;
   cat : int array; (* class of service -> way mask *)
   mutable clock : int;
   slice_masks : int array; (* one parity mask per slice-index bit *)
 }
+
+let owner_code = function
+  | Attacker -> 0
+  | Victim -> 1
+  | System -> 2
+  | Background -> 3
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -46,11 +58,13 @@ let create cfg =
   in
   if slice_bits > Array.length base_slice_masks then
     invalid_arg "Cache.create: too many slices";
+  let n_lines = n_sets * cfg.ways in
   {
     cfg;
-    sets =
-      Array.init n_sets (fun _ ->
-          Array.init cfg.ways (fun _ -> { tag = -1; who = System; last_use = 0 }));
+    ways = cfg.ways;
+    tags = Array.make n_lines (-1);
+    who = Array.make n_lines (owner_code System);
+    last_use = Array.make n_lines 0;
     cat = Array.make 4 ((1 lsl cfg.ways) - 1);
     clock = 0;
     slice_masks = Array.sub base_slice_masks 0 slice_bits;
@@ -69,17 +83,23 @@ let parity v =
   let v = v lxor (v lsr 1) in
   v land 1
 
-let slice_of t addr =
-  let line = line_of t addr in
+let slice_of_line t line =
   let s = ref 0 in
-  Array.iteri
-    (fun bit mask -> s := !s lor (parity (line land mask) lsl bit))
-    t.slice_masks;
+  for bit = 0 to Array.length t.slice_masks - 1 do
+    s :=
+      !s
+      lor (parity (line land Array.unsafe_get t.slice_masks bit) lsl bit)
+  done;
   !s
+
+let slice_of t addr = slice_of_line t (line_of t addr)
 
 let set_of t addr = line_of t addr land (t.cfg.sets_per_slice - 1)
 
-let set_index t addr = (slice_of t addr * t.cfg.sets_per_slice) + set_of t addr
+let set_index t addr =
+  let line = line_of t addr in
+  (slice_of_line t line * t.cfg.sets_per_slice)
+  + (line land (t.cfg.sets_per_slice - 1))
 
 let n_sets t = t.cfg.sets_per_slice * t.cfg.slices
 
@@ -94,76 +114,105 @@ let cat_mask t ~cos =
   if cos < 0 || cos >= Array.length t.cat then invalid_arg "Cache.cat_mask: cos";
   t.cat.(cos)
 
-let find_way set tag =
-  let n = Array.length set in
+(* Way holding [tag] in the set whose lines start at [base], or -1. *)
+let find_way t base tag =
   let rec go w =
-    if w >= n then None else if set.(w).tag = tag then Some w else go (w + 1)
+    if w >= t.ways then -1
+    else if Array.unsafe_get t.tags (base + w) = tag then w
+    else go (w + 1)
   in
   go 0
 
 let access t ?(cos = 0) ~owner addr =
   t.clock <- t.clock + 1;
   let tag = line_of t addr in
-  let set = t.sets.(set_index t addr) in
-  match find_way set tag with
-  | Some w ->
-      set.(w).last_use <- t.clock;
-      true
-  | None ->
-      (* Fill into a way the CAT mask allows: the least recently used one
-         (an invalid way counts as oldest), or a pseudo-random one under
-         the random-replacement policy; invalid ways are always taken
-         first. *)
-      let mask = t.cat.(cos) in
-      let victim = ref (-1) in
-      (match t.cfg.policy with
-      | Lru ->
-          for w = 0 to Array.length set - 1 do
-            if mask land (1 lsl w) <> 0 then
-              if !victim < 0 then victim := w
-              else begin
-                let cand = set.(w) and cur = set.(!victim) in
-                let age l = if l.tag = -1 then min_int else l.last_use in
-                if age cand < age cur then victim := w
-              end
-          done
-      | Random_replacement ->
-          let allowed = ref [] and empty = ref [] in
-          for w = Array.length set - 1 downto 0 do
-            if mask land (1 lsl w) <> 0 then begin
-              allowed := w :: !allowed;
-              if set.(w).tag = -1 then empty := w :: !empty
+  let base = set_index t addr * t.ways in
+  let w = find_way t base tag in
+  if w >= 0 then begin
+    Array.unsafe_set t.last_use (base + w) t.clock;
+    true
+  end
+  else begin
+    (* Fill into a way the CAT mask allows: the least recently used one
+       (an invalid way counts as oldest), or a pseudo-random one under
+       the random-replacement policy; invalid ways are always taken
+       first. *)
+    let mask = t.cat.(cos) in
+    let victim = ref (-1) in
+    (match t.cfg.policy with
+    | Lru when mask land (mask - 1) = 0 ->
+        (* Single-way CAT class (the paper's offensive CAT setup): the
+           fill way is forced, no LRU scan needed. *)
+        let rec tz m k = if m land 1 = 1 then k else tz (m lsr 1) (k + 1) in
+        victim := tz mask 0
+    | Lru ->
+        let best_age = ref max_int in
+        for w = 0 to t.ways - 1 do
+          if mask land (1 lsl w) <> 0 then begin
+            let age =
+              if Array.unsafe_get t.tags (base + w) = -1 then min_int
+              else Array.unsafe_get t.last_use (base + w)
+            in
+            if !victim < 0 || age < !best_age then begin
+              victim := w;
+              best_age := age
             end
-          done;
-          let pool = if !empty <> [] then !empty else !allowed in
-          (* Deterministic pseudo-randomness from the access clock. *)
-          let r = (t.clock * 0x9E3779B1) lsr 7 in
-          victim := List.nth pool (r mod List.length pool));
-      assert (!victim >= 0);
-      let l = set.(!victim) in
-      l.tag <- tag;
-      l.who <- owner;
-      l.last_use <- t.clock;
-      false
+          end
+        done
+    | Random_replacement ->
+        let allowed = ref 0 and empty = ref 0 in
+        for w = 0 to t.ways - 1 do
+          if mask land (1 lsl w) <> 0 then begin
+            incr allowed;
+            if Array.unsafe_get t.tags (base + w) = -1 then incr empty
+          end
+        done;
+        let use_empty = !empty > 0 in
+        let pool_size = if use_empty then !empty else !allowed in
+        (* Deterministic pseudo-randomness from the access clock. *)
+        let r = (t.clock * 0x9E3779B1) lsr 7 in
+        let k = ref (r mod pool_size) in
+        (try
+           for w = 0 to t.ways - 1 do
+             if
+               mask land (1 lsl w) <> 0
+               && ((not use_empty) || Array.unsafe_get t.tags (base + w) = -1)
+             then
+               if !k = 0 then begin
+                 victim := w;
+                 raise Exit
+               end
+               else decr k
+           done
+         with Exit -> ()));
+    assert (!victim >= 0);
+    let i = base + !victim in
+    Array.unsafe_set t.tags i tag;
+    Array.unsafe_set t.who i (owner_code owner);
+    Array.unsafe_set t.last_use i t.clock;
+    false
+  end
 
 let is_cached t addr =
-  let tag = line_of t addr in
-  find_way t.sets.(set_index t addr) tag <> None
+  find_way t (set_index t addr * t.ways) (line_of t addr) >= 0
 
 let flush t addr =
-  let tag = line_of t addr in
-  let set = t.sets.(set_index t addr) in
-  match find_way set tag with
-  | Some w ->
-      set.(w).tag <- -1;
-      set.(w).last_use <- 0
-  | None -> ()
+  let base = set_index t addr * t.ways in
+  let w = find_way t base (line_of t addr) in
+  if w >= 0 then begin
+    t.tags.(base + w) <- -1;
+    t.last_use.(base + w) <- 0
+  end
 
 let owner_in_set t ~set who =
   if set < 0 || set >= n_sets t then invalid_arg "Cache.owner_in_set: set";
-  Array.fold_left
-    (fun acc l -> if l.tag <> -1 && l.who = who then acc + 1 else acc)
-    0 t.sets.(set)
+  let base = set * t.ways in
+  let code = owner_code who in
+  let acc = ref 0 in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) <> -1 && t.who.(base + w) = code then incr acc
+  done;
+  !acc
 
 let addrs_for_set t ~set ~count =
   if set < 0 || set >= n_sets t then invalid_arg "Cache.addrs_for_set: set";

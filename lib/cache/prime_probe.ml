@@ -31,25 +31,36 @@ let buffer t ~set ~count =
       Hashtbl.replace t.addr_memo set lines;
       lines
 
-let prime t ~set =
+let eviction_lines t ~set =
   let n = allowed_ways t in
   let lines = buffer t ~set ~count:n in
-  for seq = 0 to n - 1 do
-    ignore (Cache.access t.cache ~cos:t.cos ~owner:Attacker lines.(seq))
+  if Array.length lines = n then lines else Array.sub lines 0 n
+
+let prime_lines t lines =
+  for seq = 0 to Array.length lines - 1 do
+    ignore
+      (Cache.access t.cache ~cos:t.cos ~owner:Attacker
+         (Array.unsafe_get lines seq))
   done
 
-let probe t ~set =
-  let n = allowed_ways t in
-  let lines = buffer t ~set ~count:n in
+let probe_lines t lines =
   let evicted = ref 0 in
-  for seq = 0 to n - 1 do
-    let addr = lines.(seq) in
-    let hit = Cache.is_cached t.cache addr in
-    if not (Timing.measure t.timing t.prng ~hit) then incr evicted;
-    (* The probing access refills the line: probe doubles as re-prime. *)
-    ignore (Cache.access t.cache ~cos:t.cos ~owner:Attacker addr)
+  for seq = 0 to Array.length lines - 1 do
+    (* One access both observes the hit/miss and refills the line, so the
+       probe doubles as a re-prime; the timing draw happens after the
+       access but consumes the same PRNG stream as measuring first
+       would. *)
+    let hit =
+      Cache.access t.cache ~cos:t.cos ~owner:Attacker
+        (Array.unsafe_get lines seq)
+    in
+    if not (Timing.measure t.timing t.prng ~hit) then incr evicted
   done;
   !evicted
+
+let prime t ~set = prime_lines t (eviction_lines t ~set)
+
+let probe t ~set = probe_lines t (eviction_lines t ~set)
 
 let probe_hit t ~set = probe t ~set > 0
 

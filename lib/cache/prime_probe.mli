@@ -31,6 +31,19 @@ val probe : t -> set:int -> int
 val probe_hit : t -> set:int -> bool
 (** [probe t ~set > 0]: did anything touch the set? *)
 
+val eviction_lines : t -> set:int -> int array
+(** The attacker's eviction-buffer lines for [set], one per CAT-allowed
+    way — the address material {!prime}/{!probe} walk.  Computed once per
+    set and memoized; callers monitoring a fixed set list (a page's 64
+    lines, say) can fetch these once and replay them through
+    {!prime_lines}/{!probe_lines}. *)
+
+val prime_lines : t -> int array -> unit
+(** [prime] over a precomputed {!eviction_lines} array. *)
+
+val probe_lines : t -> int array -> int
+(** [probe] over a precomputed {!eviction_lines} array. *)
+
 val prime_sets : t -> sets:int list -> unit
 
 val probe_sets : t -> sets:int list -> (int * int) list

@@ -7,7 +7,19 @@ type layer = {
   b_vel : float array;
 }
 
-type t = { layers : layer array; prng : Prng.t }
+(* Scratch buffers for the forward/backward passes, allocated once at
+   [create]: [acts.(l)] holds layer [l]'s post-activation ([acts.(0)] is
+   repointed at the current input), [deltas.(l)] the gradient flowing
+   into layer [l].  Training a sample therefore allocates nothing; the
+   arithmetic (and so the trained weights) is bit-identical to the
+   allocate-per-sample version.  One [t] must not run forward passes on
+   two domains at once. *)
+type t = {
+  layers : layer array;
+  prng : Prng.t;
+  acts : float array array;
+  deltas : float array array;
+}
 
 let create ?(seed = 0x5EED) ~layers () =
   (match layers with
@@ -33,42 +45,61 @@ let create ?(seed = 0x5EED) ~layers () =
         layer :: build rest
     | [ _ ] | [] -> []
   in
-  { layers = Array.of_list (build layers); prng }
+  let sizes = Array.of_list layers in
+  let n = Array.length sizes - 1 in
+  {
+    layers = Array.of_list (build layers);
+    prng;
+    acts =
+      Array.init (n + 1) (fun l -> if l = 0 then [||] else Array.make sizes.(l) 0.0);
+    deltas =
+      Array.init (n + 1) (fun l -> if l = 0 then [||] else Array.make sizes.(l) 0.0);
+  }
 
 let n_inputs t = Array.length t.layers.(0).weights.(0)
 
 let n_classes t =
   Array.length t.layers.(Array.length t.layers - 1).biases
 
-let affine layer x =
-  Array.mapi
+let affine_into layer x out =
+  Array.iteri
     (fun o row ->
       let acc = ref layer.biases.(o) in
       Array.iteri (fun i w -> acc := !acc +. (w *. x.(i))) row;
-      !acc)
+      out.(o) <- !acc)
     layer.weights
 
-let relu v = Array.map (fun x -> if x > 0.0 then x else 0.0) v
+let relu_in_place v =
+  for i = 0 to Array.length v - 1 do
+    if not (v.(i) > 0.0) then v.(i) <- 0.0
+  done
 
-let softmax v =
+let softmax_in_place v =
   let m = Array.fold_left Float.max neg_infinity v in
-  let e = Array.map (fun x -> exp (x -. m)) v in
-  let s = Array.fold_left ( +. ) 0.0 e in
-  Array.map (fun x -> x /. s) e
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- exp (v.(i) -. m)
+  done;
+  let s = Array.fold_left ( +. ) 0.0 v in
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- v.(i) /. s
+  done
 
-(* Forward pass keeping every layer's post-activation, for backprop. *)
+(* Forward pass keeping every layer's post-activation (in the scratch
+   buffers), for backprop. *)
 let forward_acts t x =
   let n = Array.length t.layers in
-  let acts = Array.make (n + 1) x in
+  t.acts.(0) <- x;
   for l = 0 to n - 1 do
-    let z = affine t.layers.(l) acts.(l) in
-    acts.(l + 1) <- (if l = n - 1 then softmax z else relu z)
+    let out = t.acts.(l + 1) in
+    affine_into t.layers.(l) t.acts.(l) out;
+    if l = n - 1 then softmax_in_place out else relu_in_place out
   done;
-  acts
+  t.acts
 
 let forward t x =
   if Array.length x <> n_inputs t then invalid_arg "Mlp.forward: input size";
-  (forward_acts t x).(Array.length t.layers)
+  (* Copied out of the scratch so callers may keep the probabilities. *)
+  Array.copy (forward_acts t x).(Array.length t.layers)
 
 let predict t x =
   let p = forward t x in
@@ -102,29 +133,30 @@ let train_sample t ~learning_rate ~momentum x label =
   let n = Array.length t.layers in
   let acts = forward_acts t x in
   (* Output delta for softmax + cross-entropy: p - onehot. *)
-  let delta = ref (Array.copy acts.(n)) in
-  !delta.(label) <- !delta.(label) -. 1.0;
+  let out_delta = t.deltas.(n) in
+  Array.blit acts.(n) 0 out_delta 0 (Array.length out_delta);
+  out_delta.(label) <- out_delta.(label) -. 1.0;
   for l = n - 1 downto 0 do
     let layer = t.layers.(l) in
     let input = acts.(l) in
-    let d = !delta in
+    let d = t.deltas.(l + 1) in
     (* Propagate before updating the weights. *)
-    let next_delta =
-      if l = 0 then [||]
-      else begin
-        let d_in = Array.length input in
-        let nd = Array.make d_in 0.0 in
-        for o = 0 to Array.length d - 1 do
-          let row = layer.weights.(o) in
-          let dv = d.(o) in
-          for i = 0 to d_in - 1 do
-            nd.(i) <- nd.(i) +. (row.(i) *. dv)
-          done
-        done;
-        (* ReLU derivative at the previous activation. *)
-        Array.mapi (fun i v -> if input.(i) > 0.0 then v else 0.0) nd
-      end
-    in
+    if l > 0 then begin
+      let nd = t.deltas.(l) in
+      let d_in = Array.length nd in
+      Array.fill nd 0 d_in 0.0;
+      for o = 0 to Array.length d - 1 do
+        let row = layer.weights.(o) in
+        let dv = d.(o) in
+        for i = 0 to d_in - 1 do
+          nd.(i) <- nd.(i) +. (row.(i) *. dv)
+        done
+      done;
+      (* ReLU derivative at the previous activation. *)
+      for i = 0 to d_in - 1 do
+        if not (input.(i) > 0.0) then nd.(i) <- 0.0
+      done
+    end;
     for o = 0 to Array.length d - 1 do
       let row = layer.weights.(o) and vel = layer.w_vel.(o) in
       let dv = d.(o) in
@@ -134,8 +166,7 @@ let train_sample t ~learning_rate ~momentum x label =
       done;
       layer.b_vel.(o) <- (momentum *. layer.b_vel.(o)) -. (learning_rate *. dv);
       layer.biases.(o) <- layer.biases.(o) +. layer.b_vel.(o)
-    done;
-    delta := next_delta
+    done
   done
 
 let train ?(epochs = 30) ?(learning_rate = 0.01) ?(momentum = 0.9) t ~x ~y =

@@ -24,12 +24,19 @@ let footer ppf outcome =
 
 (* ------------------------------------------------------------------ *)
 
-let e1_zlib_gadget ?(seed = default_seed) ppf =
+(* Gadget runs go through the parallel survey so every experiment
+   accepts [?jobs] uniformly; a single case is just a sequential run. *)
+let survey_engine ~jobs case =
+  match Tc.Survey.run ~jobs [ case ] with
+  | [ (_, engine) ] -> engine
+  | _ -> assert false
+
+let e1_zlib_gadget ?(seed = default_seed) ?(jobs = 1) ppf =
   let title = "Zlib INSERT_STRING gadget (Fig. 2)" in
   header ppf "E1" title;
   let prng = Prng.create ~seed () in
   let input = Prng.bytes prng 6000 in
-  let engine = Tc.Zlib_gadget.run input in
+  let engine = survey_engine ~jobs (Tc.Survey.case Tc.Survey.Zlib input) in
   Tc.Engine.report ppf engine;
   let gadget =
     List.find
@@ -50,13 +57,13 @@ let e1_zlib_gadget ?(seed = default_seed) ppf =
         ];
     }
 
-let e2_lzw_gadget ?(seed = default_seed) ppf =
+let e2_lzw_gadget ?(seed = default_seed) ?(jobs = 1) ppf =
   let title = "Ncompress hash-probe gadget (Fig. 3)" in
   header ppf "E2" title;
   let prng = Prng.create ~seed () in
   (* Text-like input, as in the paper's 0x20-heavy example. *)
   let input = Bytes.of_string (Lipsum.paragraph prng) in
-  let engine = Tc.Lzw_gadget.run input in
+  let engine = survey_engine ~jobs (Tc.Survey.case Tc.Survey.Lzw input) in
   Tc.Engine.report ppf engine;
   let gadget =
     List.find
@@ -83,12 +90,12 @@ let e2_lzw_gadget ?(seed = default_seed) ppf =
         ];
     }
 
-let e3_bzip2_gadget ?(seed = default_seed) ppf =
+let e3_bzip2_gadget ?(seed = default_seed) ?(jobs = 1) ppf =
   let title = "Bzip2 ftab gadget (Fig. 4)" in
   header ppf "E3" title;
   let prng = Prng.create ~seed () in
   let input = Prng.bytes prng 10_000 in
-  let engine = Tc.Bzip2_gadget.run input in
+  let engine = survey_engine ~jobs (Tc.Survey.case Tc.Survey.Bzip2 input) in
   Tc.Engine.report ppf engine;
   (* Two consecutive entries for one input byte, as in Fig. 4: at
      iteration k the byte sits in bits 0-7 of rcx, at k+1 in bits 8-15. *)
@@ -114,12 +121,12 @@ let e3_bzip2_gadget ?(seed = default_seed) ppf =
         ];
     }
 
-let e4_survey ?(seed = default_seed) ppf =
+let e4_survey ?(seed = default_seed) ?(jobs = 1) ppf =
   let title = "survey of compression gadgets (Section IV)" in
   header ppf "E4" title;
   let prng = Prng.create ~seed () in
   let input = Prng.bytes prng 3000 in
-  let run name engine =
+  let summarize name engine =
     let gadgets = Tc.Engine.gadgets engine in
     let best =
       List.fold_left
@@ -132,11 +139,20 @@ let e4_survey ?(seed = default_seed) ppf =
       name (List.length gadgets) (100.0 *. best);
     (name, best)
   in
-  (* Explicit sequencing: list literals evaluate right to left. *)
-  let zlib = run "LZ77/Zlib" (Tc.Zlib_gadget.run input) in
-  let lzw = run "LZ78/LZW" (Tc.Lzw_gadget.run input) in
-  let bwt = run "BWT/Bzip2" (Tc.Bzip2_gadget.run input) in
-  let rows = [ zlib; lzw; bwt ] in
+  (* The three analyses run on independent engines over [jobs] domains;
+     results come back in case order, so the printed rows (and all
+     metrics) are byte-identical for any [jobs]. *)
+  let results =
+    Tc.Survey.run ~jobs
+      [
+        Tc.Survey.case ~label:"LZ77/Zlib" Tc.Survey.Zlib input;
+        Tc.Survey.case ~label:"LZ78/LZW" Tc.Survey.Lzw input;
+        Tc.Survey.case ~label:"BWT/Bzip2" Tc.Survey.Bzip2 input;
+      ]
+  in
+  let rows =
+    List.map (fun (c, e) -> summarize c.Tc.Survey.label e) results
+  in
   footer ppf
     {
       id = "E4";
@@ -144,19 +160,26 @@ let e4_survey ?(seed = default_seed) ppf =
       metrics = List.map (fun (n, c) -> ("coverage " ^ n, c)) rows;
     }
 
-let e5_zlib_recovery ?(seed = default_seed) ppf =
+let e5_zlib_recovery ?(seed = default_seed) ?(jobs = 1) ppf =
   let title = "Zlib recovery (Section IV-B)" in
   header ppf "E5" title;
   let prng = Prng.create ~seed () in
   let head_base = Tc.Zlib_gadget.head_base in
-  (* Direct 2-bit leak on random data. *)
+  (* Both inputs are drawn up front, so the PRNG sequence is fixed before
+     any analysis; the observation passes below never touch [prng] and
+     can therefore run on separate domains without changing a byte. *)
   let random = Prng.bytes prng 4000 in
+  let text = Bytes.of_string (Prng.lowercase_string prng 4000) in
   let observe input =
     Array.map
       (fun h -> Attack.Recovery.zlib_observe ~head_base ~ins_h:h)
       (Compress.Lz77.hash_head_trace input)
   in
-  let bits = Attack.Recovery.zlib_direct_bits ~head_base (observe random) in
+  let observations =
+    Zipchannel_parallel.Pool.map_array ~jobs observe [| random; text |]
+  in
+  (* Direct 2-bit leak on random data. *)
+  let bits = Attack.Recovery.zlib_direct_bits ~head_base observations.(0) in
   let correct = ref 0 in
   Array.iteri
     (fun k v ->
@@ -168,10 +191,9 @@ let e5_zlib_recovery ?(seed = default_seed) ppf =
     "  direct leak: bits 3-4 of each byte (2/8 = 25%% of the data), %d/%d windows correct@."
     !correct (Array.length bits);
   (* Full recovery of lowercase text. *)
-  let text = Bytes.of_string (Prng.lowercase_string prng 4000) in
   let recovered =
     Attack.Recovery.zlib_recover_lowercase ~head_base ~n:(Bytes.length text)
-      (observe text)
+      observations.(1)
   in
   let byte_acc = Stats.fraction_equal recovered text in
   Format.fprintf ppf
@@ -188,7 +210,7 @@ let e5_zlib_recovery ?(seed = default_seed) ppf =
         ];
     }
 
-let e6_lzw_recovery ?(seed = default_seed) ppf =
+let e6_lzw_recovery ?(seed = default_seed) ?(jobs = 1) ppf =
   let title = "LZW recovery (Section IV-C)" in
   header ppf "E6" title;
   let prng = Prng.create ~seed () in
@@ -207,7 +229,7 @@ let e6_lzw_recovery ?(seed = default_seed) ppf =
   let candidates = Attack.Recovery.lzw_candidate_firsts ~htab_base observed in
   Format.fprintf ppf "  first-byte candidates (2^3 = 8): %s@."
     (String.concat " " (List.map (Printf.sprintf "0x%02x") candidates));
-  let recovered = Attack.Recovery.lzw_recover_auto ~htab_base observed in
+  let recovered = Attack.Recovery.lzw_recover_auto ~jobs ~htab_base observed in
   let byte_acc = Stats.fraction_equal recovered input in
   Format.fprintf ppf "  recovered %.2f%% of bytes (paper: full recovery)@."
     (100.0 *. byte_acc);
@@ -645,19 +667,19 @@ let e18_zlib_sgx_attack ?(seed = default_seed) ?(size = 4000) ppf =
         ];
     }
 
-let all ?(seed = default_seed) ppf =
+let all ?(seed = default_seed) ?jobs ppf =
   (* Explicit sequencing: list literals evaluate right to left. *)
-  let o1 = e1_zlib_gadget ~seed ppf in
-  let o2 = e2_lzw_gadget ~seed ppf in
-  let o3 = e3_bzip2_gadget ~seed ppf in
-  let o4 = e4_survey ~seed ppf in
-  let o5 = e5_zlib_recovery ~seed ppf in
-  let o6 = e6_lzw_recovery ~seed ppf in
+  let o1 = e1_zlib_gadget ~seed ?jobs ppf in
+  let o2 = e2_lzw_gadget ~seed ?jobs ppf in
+  let o3 = e3_bzip2_gadget ~seed ?jobs ppf in
+  let o4 = e4_survey ~seed ?jobs ppf in
+  let o5 = e5_zlib_recovery ~seed ?jobs ppf in
+  let o6 = e6_lzw_recovery ~seed ?jobs ppf in
   let o7 = e7_sgx_attack ~seed ppf in
   let o8 = e8_sgx_ablations ~seed ppf in
   let o9 = e9_sort_control_flow ~seed ppf in
-  let o10 = e10_fingerprint_corpus ~seed ppf in
-  let o11 = e11_fingerprint_repetitiveness ~seed ppf in
+  let o10 = e10_fingerprint_corpus ~seed ?jobs ppf in
+  let o11 = e11_fingerprint_repetitiveness ~seed ?jobs ppf in
   let o12 = e12_aes_validation ~seed ppf in
   let o13 = e13_memcpy_divergence ppf in
   let o14 = e14_mitigation ~seed ppf in

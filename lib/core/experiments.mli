@@ -10,23 +10,30 @@ type outcome = {
   metrics : (string * float) list;  (** headline measured values *)
 }
 
-val e1_zlib_gadget : ?seed:int -> Format.formatter -> outcome
+(** E1–E6 accept [?jobs] (default 1): independent gadget analyses,
+    observation passes, and candidate scorings fan out over that many
+    domains through {!Zipchannel_taintchannel.Survey} and the
+    {!Zipchannel_parallel.Pool}.  Printed output and metrics are
+    byte-identical for every [jobs] value. *)
+
+val e1_zlib_gadget : ?seed:int -> ?jobs:int -> Format.formatter -> outcome
 (** Fig. 2: TaintChannel report of the Zlib INSERT_STRING store. *)
 
-val e2_lzw_gadget : ?seed:int -> Format.formatter -> outcome
+val e2_lzw_gadget : ?seed:int -> ?jobs:int -> Format.formatter -> outcome
 (** Fig. 3: the Ncompress probe gadget and its taint propagation. *)
 
-val e3_bzip2_gadget : ?seed:int -> Format.formatter -> outcome
+val e3_bzip2_gadget : ?seed:int -> ?jobs:int -> Format.formatter -> outcome
 (** Fig. 4: two consecutive ftab index entries sharing an input byte. *)
 
-val e4_survey : ?seed:int -> Format.formatter -> outcome
-(** Section IV survey: per-algorithm gadgets and input coverage. *)
+val e4_survey : ?seed:int -> ?jobs:int -> Format.formatter -> outcome
+(** Section IV survey: per-algorithm gadgets and input coverage, one
+    engine per algorithm run across [jobs] domains. *)
 
-val e5_zlib_recovery : ?seed:int -> Format.formatter -> outcome
+val e5_zlib_recovery : ?seed:int -> ?jobs:int -> Format.formatter -> outcome
 (** Section IV-B: 25% direct leak on random data; full recovery of
     lowercase text from the simulated cache trace. *)
 
-val e6_lzw_recovery : ?seed:int -> Format.formatter -> outcome
+val e6_lzw_recovery : ?seed:int -> ?jobs:int -> Format.formatter -> outcome
 (** Section IV-C: full recovery with 8 first-byte candidates. *)
 
 val e7_sgx_attack : ?seed:int -> ?size:int -> Format.formatter -> outcome
@@ -81,5 +88,6 @@ val e18_zlib_sgx_attack : ?seed:int -> ?size:int -> Format.formatter -> outcome
     random data (the unconditional 2-bit leak). *)
 
 val all :
-  ?seed:int -> Format.formatter -> outcome list
-(** Run E1–E18 in order. *)
+  ?seed:int -> ?jobs:int -> Format.formatter -> outcome list
+(** Run E1–E18 in order.  [jobs] is passed to the experiments that
+    support it; every metric is identical for any value. *)

@@ -14,12 +14,18 @@ let ftab_lines =
 (* One constant-trace pass: touch every line once, performing the real
    increment inside the line that holds [j].  Reading and rewriting a slot
    of every other line keeps the (line-granular) write set identical for
-   every j; [record] receives the touched line indices in order. *)
-let sweep_increment ~record ftab j =
+   every j.  The touched line indices are recorded, in order, as 2-byte
+   little-endian entries into [trace] starting at byte [pos] — a buffer
+   the caller sizes up front, so recording is two stores per line instead
+   of Buffer growth machinery. *)
+let sweep_increment ~trace ~pos ftab j =
+  let jline = j / ftab_entries_per_line in
   for line = 0 to ftab_lines - 1 do
     let base = line * ftab_entries_per_line in
-    record line;
-    if j / ftab_entries_per_line = line then ftab.(j) <- ftab.(j) + 1
+    let p = pos + (2 * line) in
+    Bytes.unsafe_set trace p (Char.unsafe_chr (line land 0xff));
+    Bytes.unsafe_set trace (p + 1) (Char.unsafe_chr ((line lsr 8) land 0xff));
+    if jline = line then ftab.(j) <- ftab.(j) + 1
     else begin
       let keep = ftab.(base) in
       ftab.(base) <- keep
@@ -28,21 +34,18 @@ let sweep_increment ~record ftab j =
 
 let histogram_traced block =
   let ftab = Array.make Block_sort.ftab_size 0 in
-  let trace = Buffer.create 1024 in
-  (* Line indices fit in two bytes; the trace is recorded compactly. *)
-  let record line =
-    Buffer.add_char trace (Char.chr (line land 0xff));
-    Buffer.add_char trace (Char.chr ((line lsr 8) land 0xff))
-  in
-  Array.iter
-    (fun j -> sweep_increment ~record ftab j)
-    (Block_sort.ftab_indices block);
-  let packed = Buffer.to_bytes trace in
-  let n = Bytes.length packed / 2 in
+  let indices = Block_sort.ftab_indices block in
+  (* Every pass touches exactly [ftab_lines] lines, so the whole trace is
+     [ftab_lines * passes] entries and can be preallocated. *)
+  let n = ftab_lines * Array.length indices in
+  let trace = Bytes.create (2 * n) in
+  Array.iteri
+    (fun pass j -> sweep_increment ~trace ~pos:(2 * ftab_lines * pass) ftab j)
+    indices;
   ( ftab,
     Array.init n (fun k ->
-        Char.code (Bytes.get packed (2 * k))
-        lor (Char.code (Bytes.get packed ((2 * k) + 1)) lsl 8)) )
+        Char.code (Bytes.get trace (2 * k))
+        lor (Char.code (Bytes.get trace ((2 * k) + 1)) lsl 8)) )
 
 let histogram block = fst (histogram_traced block)
 

@@ -2,12 +2,20 @@ let page_bits = 12
 
 let page_size = 1 lsl page_bits
 
+(* Revoked pages are kept as a short list of disjoint [lo, hi] vpage
+   intervals rather than per-page marks: the controlled-channel state
+   machine revokes and restores the same few multi-page regions (ftab is
+   64 pages) around every single-stepped instruction, so interval
+   insert/remove is a handful of cons cells where per-page hashtable
+   marks were 128 hash operations per recovered byte — and the
+   accessibility check on the enclave's execution path is a scan of at
+   most a few intervals. *)
 type t = {
   frames : (int, int) Hashtbl.t; (* vpage -> frame; identity if absent *)
-  revoked : (int, unit) Hashtbl.t;
+  mutable revoked : (int * int) list; (* disjoint, unordered *)
 }
 
-let create () = { frames = Hashtbl.create 64; revoked = Hashtbl.create 64 }
+let create () = { frames = Hashtbl.create 64; revoked = [] }
 
 let vpage_of addr = addr lsr page_bits
 
@@ -20,18 +28,45 @@ let phys_of t addr =
   let vpage = vpage_of addr in
   (frame_of t ~vpage lsl page_bits) lor (addr land (page_size - 1))
 
-let protect t ~vpage = Hashtbl.replace t.revoked vpage ()
+let revoke_interval t lo hi =
+  (* Absorb every interval that overlaps or touches [lo, hi]. *)
+  let lo = ref lo and hi = ref hi in
+  let keep =
+    List.filter
+      (fun (l, h) ->
+        if h + 1 < !lo || l > !hi + 1 then true
+        else begin
+          if l < !lo then lo := l;
+          if h > !hi then hi := h;
+          false
+        end)
+      t.revoked
+  in
+  t.revoked <- (!lo, !hi) :: keep
 
-let unprotect t ~vpage = Hashtbl.remove t.revoked vpage
+let restore_interval t lo hi =
+  t.revoked <-
+    List.concat_map
+      (fun (l, h) ->
+        if h < lo || l > hi then [ (l, h) ]
+        else
+          (if l < lo then [ (l, lo - 1) ] else [])
+          @ if h > hi then [ (hi + 1, h) ] else [])
+      t.revoked
 
-let pages_in ~addr ~size =
-  let first = vpage_of addr and last = vpage_of (addr + max 1 size - 1) in
-  List.init (last - first + 1) (fun k -> first + k)
+let protect t ~vpage = revoke_interval t vpage vpage
+
+let unprotect t ~vpage = restore_interval t vpage vpage
 
 let protect_range t ~addr ~size =
-  List.iter (fun vpage -> protect t ~vpage) (pages_in ~addr ~size)
+  revoke_interval t (vpage_of addr) (vpage_of (addr + max 1 size - 1))
 
 let unprotect_range t ~addr ~size =
-  List.iter (fun vpage -> unprotect t ~vpage) (pages_in ~addr ~size)
+  restore_interval t (vpage_of addr) (vpage_of (addr + max 1 size - 1))
 
-let is_accessible t ~vpage = not (Hashtbl.mem t.revoked vpage)
+let is_accessible t ~vpage =
+  let rec ok = function
+    | [] -> true
+    | (l, h) :: rest -> (vpage < l || vpage > h) && ok rest
+  in
+  ok t.revoked

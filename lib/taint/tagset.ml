@@ -1,20 +1,221 @@
 type tag = int
 
-module S = Set.Make (Int)
+(* Word-packed tag sets, the taint plane's innermost data structure.
+   Two representations share one [Obj.t], discriminated the same way the
+   runtime discriminates immediates from blocks:
 
-type t = S.t
+   - an immediate [int]: the set fits tags 0..62, bit [t] set iff tag [t]
+     is present.  union is [lor], membership is [land] — zero allocation.
+   - a boxed [int array] [| base; w0; ...; wk |]: an offset bitvector.
+     Data word [j] holds tags [63*(base+j) .. 63*(base+j)+62], so a set
+     of clustered large tags (the common case: a gadget address carries a
+     sliding window of neighbouring input bytes) stays one or two words
+     no matter how large the tag values are.
 
-let empty = S.empty
-let is_empty = S.is_empty
-let singleton = S.singleton
-let add = S.add
-let union = S.union
-let mem = S.mem
-let cardinal = S.cardinal
-let elements = S.elements
-let equal = S.equal
-let of_list l = List.fold_left (fun acc x -> S.add x acc) S.empty l
-let fold = S.fold
+   Canonical form, so [equal] is structural: a wide set has at least one
+   data word, nonzero first and last data words, and is not representable
+   as an immediate (base > 0 or >= 2 data words).  [union] preserves
+   canonicity by construction — or-ing can only keep the extreme words
+   nonzero — so no normalisation pass exists on the hot path. *)
+
+type t = Obj.t
+
+let bits_per_word = 63
+
+let of_bits (bits : int) : t = Obj.repr bits
+let to_bits (t : t) : int = (Obj.obj t : int)
+let of_words (w : int array) : t = Obj.repr w
+let to_words (t : t) : int array = (Obj.obj t : int array)
+let is_small (t : t) = Obj.is_int t
+
+let empty = of_bits 0
+
+let is_empty t = is_small t && to_bits t = 0
+
+let check_tag name tag =
+  if tag < 0 then invalid_arg ("Tagset." ^ name ^ ": negative tag")
+
+let singleton tag =
+  check_tag "singleton" tag;
+  if tag < bits_per_word then of_bits (1 lsl tag)
+  else of_words [| tag / bits_per_word; 1 lsl (tag mod bits_per_word) |]
+
+(* Absolute data word [k] (covering tags [63k, 63k+62]) of any set. *)
+let word_at t k =
+  if is_small t then if k = 0 then to_bits t else 0
+  else begin
+    let w = to_words t in
+    let j = k - Array.unsafe_get w 0 in
+    if j >= 0 && j + 1 < Array.length w then Array.unsafe_get w (j + 1) else 0
+  end
+
+let base_of t = if is_small t then 0 else (to_words t).(0)
+
+let limit_of t =
+  if is_small t then 1
+  else
+    let w = to_words t in
+    w.(0) + Array.length w - 1
+
+let merge_general a b =
+  let lo = min (base_of a) (base_of b) in
+  let hi = max (limit_of a) (limit_of b) in
+  let out = Array.make (hi - lo + 1) lo in
+  for k = lo to hi - 1 do
+    Array.unsafe_set out (k - lo + 1) (word_at a k lor word_at b k)
+  done;
+  of_words out
+
+(* Union with at least one wide operand.  The propagation hot path unions
+   sets covering the same window of neighbouring input bytes, so the
+   same-base same-length wide/wide case gets a straight or-loop and the
+   small/wide case a copy-and-patch; everything else falls back to the
+   window-merging general path. *)
+let merge a b =
+  if is_small a || is_small b then merge_general a b
+  else begin
+    let wa = to_words a and wb = to_words b in
+    let la = Array.length wa in
+    if la = Array.length wb && Array.unsafe_get wa 0 = Array.unsafe_get wb 0
+    then begin
+      (* Folding a value's per-bit planes unions near-identical sets over
+         and over, so absorption (one side contains the other) is the
+         common case — detect it first and return without allocating. *)
+      let sub_ba = ref true and sub_ab = ref true in
+      for j = 1 to la - 1 do
+        let x = Array.unsafe_get wa j and y = Array.unsafe_get wb j in
+        if y land lnot x <> 0 then sub_ba := false;
+        if x land lnot y <> 0 then sub_ab := false
+      done;
+      if !sub_ba then a
+      else if !sub_ab then b
+      else begin
+        let out = Array.make la (Array.unsafe_get wa 0) in
+        for j = 1 to la - 1 do
+          Array.unsafe_set out j
+            (Array.unsafe_get wa j lor Array.unsafe_get wb j)
+        done;
+        of_words out
+      end
+    end
+    else begin
+      (* Accumulators (a gadget's running tag union) absorb small sets
+         whose word range nests inside theirs: copy and or-in place. *)
+      let ba = Array.unsafe_get wa 0 and bb = Array.unsafe_get wb 0 in
+      let la' = la - 1 and lb' = Array.length wb - 1 in
+      if bb >= ba && bb + lb' <= ba + la' then begin
+        let off = bb - ba in
+        let sub = ref true in
+        for j = 1 to lb' do
+          if Array.unsafe_get wb j land lnot (Array.unsafe_get wa (off + j))
+             <> 0
+          then sub := false
+        done;
+        if !sub then a
+        else begin
+          let out = Array.copy wa in
+          for j = 1 to lb' do
+            Array.unsafe_set out (off + j)
+              (Array.unsafe_get out (off + j) lor Array.unsafe_get wb j)
+          done;
+          of_words out
+        end
+      end
+      else if ba >= bb && ba + la' <= bb + lb' then begin
+        let off = ba - bb in
+        let sub = ref true in
+        for j = 1 to la' do
+          if Array.unsafe_get wa j land lnot (Array.unsafe_get wb (off + j))
+             <> 0
+          then sub := false
+        done;
+        if !sub then b
+        else begin
+          let out = Array.copy wb in
+          for j = 1 to la' do
+            Array.unsafe_set out (off + j)
+              (Array.unsafe_get out (off + j) lor Array.unsafe_get wa j)
+          done;
+          of_words out
+        end
+      end
+      else merge_general a b
+    end
+  end
+
+let union a b =
+  if a == b then a
+  else if is_small a then
+    if is_small b then of_bits (to_bits a lor to_bits b)
+    else if to_bits a = 0 then b
+    else merge a b
+  else if is_small b && to_bits b = 0 then a
+  else merge a b
+
+let add tag t =
+  check_tag "add" tag;
+  if is_small t && tag < bits_per_word then
+    of_bits (to_bits t lor (1 lsl tag))
+  else union t (singleton tag)
+
+let mem tag t =
+  if tag < 0 then false
+  else if is_small t then
+    tag < bits_per_word && to_bits t land (1 lsl tag) <> 0
+  else word_at t (tag / bits_per_word) land (1 lsl (tag mod bits_per_word)) <> 0
+
+let popcount x =
+  let n = ref 0 and v = ref x in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr n
+  done;
+  !n
+
+let cardinal t =
+  if is_small t then popcount (to_bits t)
+  else begin
+    let w = to_words t in
+    let n = ref 0 in
+    for j = 1 to Array.length w - 1 do
+      n := !n + popcount w.(j)
+    done;
+    !n
+  end
+
+(* Ascending tag order, matching [Set.fold] on the reference. *)
+let fold f t acc =
+  let fold_word k w acc =
+    if w = 0 then acc
+    else begin
+      let acc = ref acc in
+      let first = k * bits_per_word in
+      for b = 0 to bits_per_word - 1 do
+        if w land (1 lsl b) <> 0 then acc := f (first + b) !acc
+      done;
+      !acc
+    end
+  in
+  if is_small t then fold_word 0 (to_bits t) acc
+  else begin
+    let w = to_words t in
+    let base = w.(0) in
+    let acc = ref acc in
+    for j = 1 to Array.length w - 1 do
+      acc := fold_word (base + j - 1) w.(j) !acc
+    done;
+    !acc
+  end
+
+let elements t = List.rev (fold (fun tag acc -> tag :: acc) t [])
+
+let equal a b =
+  a == b
+  ||
+  if is_small a then is_small b && to_bits a = to_bits b
+  else (not (is_small b)) && to_words a = to_words b
+
+let of_list l = List.fold_left (fun acc x -> add x acc) empty l
 
 let pp ppf t =
   Format.fprintf ppf "{%a}"

@@ -2,10 +2,17 @@
 
     A tag identifies one input byte by its sequential index, exactly as
     TaintChannel assigns them: the first byte read from the input is tag 1,
-    the second tag 2, and so on (paper Section III-B). *)
+    the second tag 2, and so on (paper Section III-B).
+
+    The representation is word-packed for the propagation hot path: sets
+    whose tags all fit below 63 live in a single immediate integer (union
+    is one [lor], no allocation), larger sets in an offset bitvector of
+    63-bit words.  Tags must be non-negative; {!Tagset_ref} is the
+    retained reference implementation the equivalence tests check this
+    module against. *)
 
 type tag = int
-(** Input byte index, 1-based in reports. *)
+(** Input byte index, 1-based in reports.  Must be [>= 0]. *)
 
 type t
 (** An immutable set of tags. *)

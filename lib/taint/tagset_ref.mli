@@ -1,0 +1,25 @@
+(** Reference tagset implementation ([Set.Make (Int)]).
+
+    This is the original representation, retained as the executable
+    specification for the word-packed {!Tagset}.  The two modules share
+    a signature so the equivalence test suite can drive both through
+    identical operation sequences.  Not used on any hot path. *)
+
+type tag = int
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : tag -> t
+val add : tag -> t -> t
+val union : t -> t -> t
+val mem : tag -> t -> bool
+val cardinal : t -> int
+val elements : t -> tag list
+(** Ascending order. *)
+
+val equal : t -> t -> bool
+val of_list : tag list -> t
+val fold : (tag -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

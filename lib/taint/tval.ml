@@ -1,3 +1,13 @@
+(* The taint plane of a value is stored trimmed: [taint] has at most
+   [width] entries and every bit at index [>= Array.length taint] is
+   implicitly untainted.  Compression-hash values keep taint only in
+   their low (masked) bits, so trimming cuts both the allocation that
+   the engine's log retains (the former fixed [width]-sized arrays were
+   mostly empty slots) and the per-bit work of every operation.  The
+   canonical untainted plane is the shared [| |]; taint arrays are never
+   mutated after construction, so operations share operand arrays
+   whenever the result plane is identical (zero-extension, one-sided
+   unions, zero shifts). *)
 type t = { width : int; value : int; taint : Tagset.t array }
 
 let check_width width =
@@ -5,16 +15,22 @@ let check_width width =
 
 let mask_of width = if width = 63 then max_int else (1 lsl width) - 1
 
+let no_taint : Tagset.t array = [||]
+
 let width t = t.width
 let value t = t.value
 
+(* Taint of bit [i], honouring the implicit-empty tail. *)
+let taint_at taint i =
+  if i < Array.length taint then Array.unsafe_get taint i else Tagset.empty
+
 let taint t i =
   if i < 0 || i >= t.width then invalid_arg "Tval.taint: bit out of range";
-  t.taint.(i)
+  taint_at t.taint i
 
 let const ~width v =
   check_width width;
-  { width; value = v land mask_of width; taint = Array.make width Tagset.empty }
+  { width; value = v land mask_of width; taint = no_taint }
 
 let input_byte ~tag v =
   { width = 8;
@@ -35,19 +51,25 @@ let is_tainted t = Array.exists (fun s -> not (Tagset.is_empty s)) t.taint
 
 let tainted_bits t =
   let acc = ref [] in
-  for i = t.width - 1 downto 0 do
+  for i = Array.length t.taint - 1 downto 0 do
     if not (Tagset.is_empty t.taint.(i)) then acc := (i, t.taint.(i)) :: !acc
   done;
   !acc
 
-let tags t = Array.fold_left Tagset.union Tagset.empty t.taint
+let tags t =
+  let acc = ref Tagset.empty in
+  for i = 0 to Array.length t.taint - 1 do
+    let s = Array.unsafe_get t.taint i in
+    if not (Tagset.is_empty s) then acc := Tagset.union !acc s
+  done;
+  !acc
 
+(* Widening never copies: the trimmed plane already describes the new
+   high bits as untainted. *)
 let zero_extend ~width t =
   check_width width;
   if width < t.width then invalid_arg "Tval.zero_extend: narrower than input";
-  let taint = Array.make width Tagset.empty in
-  Array.blit t.taint 0 taint 0 t.width;
-  { width; value = t.value; taint }
+  if width = t.width then t else { width; value = t.value; taint = t.taint }
 
 let truncate ~width t =
   check_width width;
@@ -55,7 +77,9 @@ let truncate ~width t =
   else
     { width;
       value = t.value land mask_of width;
-      taint = Array.sub t.taint 0 width }
+      taint =
+        (if Array.length t.taint <= width then t.taint
+         else Array.sub t.taint 0 width) }
 
 (* Bring two operands to a common width before a binary operation, as the
    instruction-level tool sees same-width register operands. *)
@@ -63,11 +87,29 @@ let align a b =
   let w = max a.width b.width in
   (zero_extend ~width:w a, zero_extend ~width:w b)
 
+(* Per-bit union of two trimmed planes, sharing an operand array when the
+   other side carries no taint. *)
+let union_taint ta tb =
+  let la = Array.length ta and lb = Array.length tb in
+  if la = 0 || ta == tb then tb
+  else if lb = 0 then ta
+  else begin
+    let l = min la lb and m = max la lb in
+    let out = Array.make m Tagset.empty in
+    for i = 0 to l - 1 do
+      Array.unsafe_set out i
+        (Tagset.union (Array.unsafe_get ta i) (Array.unsafe_get tb i))
+    done;
+    let src = if la > lb then ta else tb in
+    Array.blit src l out l (m - l);
+    out
+  end
+
 let merge_bitwise op a b =
   let a, b = align a b in
   { width = a.width;
     value = op a.value b.value land mask_of a.width;
-    taint = Array.init a.width (fun i -> Tagset.union a.taint.(i) b.taint.(i)) }
+    taint = union_taint a.taint b.taint }
 
 let logxor a b = merge_bitwise ( lxor ) a b
 
@@ -78,20 +120,26 @@ let logor a b = merge_bitwise ( lor ) a b
    applied symmetrically; where both sides are tainted the taints merge. *)
 let logand a b =
   let a, b = align a b in
-  let bit v i = (v lsr i) land 1 in
+  let la = Array.length a.taint and lb = Array.length b.taint in
+  let m = max la lb in
   let taint =
-    Array.init a.width (fun i ->
+    if m = 0 then no_taint
+    else begin
+      let out = Array.make m Tagset.empty in
+      for i = 0 to m - 1 do
+        let ta = taint_at a.taint i and tb = taint_at b.taint i in
         let from_a =
-          if bit b.value i = 1 || not (Tagset.is_empty b.taint.(i)) then
-            a.taint.(i)
+          if (b.value lsr i) land 1 = 1 || not (Tagset.is_empty tb) then ta
           else Tagset.empty
         in
         let from_b =
-          if bit a.value i = 1 || not (Tagset.is_empty a.taint.(i)) then
-            b.taint.(i)
+          if (a.value lsr i) land 1 = 1 || not (Tagset.is_empty ta) then tb
           else Tagset.empty
         in
-        Tagset.union from_a from_b)
+        Array.unsafe_set out i (Tagset.union from_a from_b)
+      done;
+      out
+    end
   in
   { width = a.width; value = a.value land b.value; taint }
 
@@ -102,50 +150,79 @@ let add a b =
   let a, b = align a b in
   { width = a.width;
     value = (a.value + b.value) land mask_of a.width;
-    taint = Array.init a.width (fun i -> Tagset.union a.taint.(i) b.taint.(i)) }
+    taint = union_taint a.taint b.taint }
 
 let sub a b =
   let a, b = align a b in
   { width = a.width;
     value = (a.value - b.value) land mask_of a.width;
-    taint = Array.init a.width (fun i -> Tagset.union a.taint.(i) b.taint.(i)) }
+    taint = union_taint a.taint b.taint }
 
 let shift_left t k =
   if k < 0 then invalid_arg "Tval.shift_left: negative amount";
+  let w = t.width in
+  let la = Array.length t.taint in
   let taint =
-    Array.init t.width (fun i ->
-        if i - k >= 0 then t.taint.(i - k) else Tagset.empty)
+    if k = 0 || la = 0 then t.taint
+    else if k >= w then no_taint
+    else begin
+      let n = min la (w - k) in
+      let out = Array.make (n + k) Tagset.empty in
+      Array.blit t.taint 0 out k n;
+      out
+    end
   in
-  { t with value = (t.value lsl k) land mask_of t.width; taint }
+  { t with value = (t.value lsl k) land mask_of w; taint }
 
 let shift_right_logical t k =
   if k < 0 then invalid_arg "Tval.shift_right_logical: negative amount";
+  let la = Array.length t.taint in
   let taint =
-    Array.init t.width (fun i ->
-        if i + k < t.width then t.taint.(i + k) else Tagset.empty)
+    if k = 0 then t.taint
+    else if k >= la then no_taint
+    else Array.sub t.taint k (la - k)
   in
   { t with value = t.value lsr k; taint }
 
 let shift_right_arith t k =
   if k < 0 then invalid_arg "Tval.shift_right_arith: negative amount";
-  let sign_bit = t.width - 1 in
+  let w = t.width in
+  let la = Array.length t.taint in
+  let sign_bit = w - 1 in
   let sign_set = (t.value lsr sign_bit) land 1 = 1 in
+  let sign_taint = taint_at t.taint sign_bit in
   let taint =
-    Array.init t.width (fun i ->
-        if i + k < t.width then t.taint.(i + k) else t.taint.(sign_bit))
+    if k = 0 then t.taint
+    else if Tagset.is_empty sign_taint then
+      if k >= la then no_taint else Array.sub t.taint k (la - k)
+    else begin
+      (* A tainted sign implies the plane reaches the top bit (la = w). *)
+      let out = Array.make w Tagset.empty in
+      let kept = w - min k w in
+      Array.blit t.taint (min k w) out 0 kept;
+      Array.fill out kept (w - kept) sign_taint;
+      out
+    end
   in
   let value =
     if sign_set then
-      (t.value lsr k) lor (mask_of t.width lxor mask_of (max 1 (t.width - k)))
+      (t.value lsr k) lor (mask_of w lxor mask_of (max 1 (w - k)))
     else t.value lsr k
   in
-  { t with value = value land mask_of t.width; taint }
+  { t with value = value land mask_of w; taint }
 
 let mul_pow2 t k = shift_left t k
 
 let equal a b =
   a.width = b.width && a.value = b.value
-  && Array.for_all2 Tagset.equal a.taint b.taint
+  &&
+  let la = Array.length a.taint and lb = Array.length b.taint in
+  let rec same i m =
+    i >= m
+    || (Tagset.equal (taint_at a.taint i) (taint_at b.taint i)
+       && same (i + 1) m)
+  in
+  same 0 (max la lb)
 
 let pp ppf t =
   Format.fprintf ppf "0x%x/%d" t.value t.width;

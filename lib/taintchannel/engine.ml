@@ -12,23 +12,48 @@ type gadget_acc = {
   g_first_seq : int;
 }
 
-type logged = {
-  l_seq : int;
-  l_location : string;
-  l_mnemonic : string;
-  l_operands : (string * Tval.t) list;
-}
+(* Shadow memory is a paged store: the 48-bit address space is mapped on
+   demand in 4 KiB pages of [Tval.t array], so the per-instruction
+   load/store path is a shift, a mask and an array index instead of a
+   hash-table probe.  The tool's targets touch a handful of dense regions
+   (the staged input, one or two lookup tables), so the page directory
+   stays tiny while a single-entry "TLB" (the last page touched) catches
+   the sequential-access common case without even the directory lookup. *)
+
+let page_bits = 12
+let page_slots = 1 lsl page_bits
+
+(* Distinguished "never written" slot value; compared physically, and
+   never leaked to callers. *)
+let absent : Tval.t = Tval.const ~width:1 0
 
 type t = {
   name : string;
   input : bytes;
   log_limit : int;
   mutable seq : int;
-  mutable log : logged list; (* newest first *)
+  (* The instruction log keeps only what {!address_trace} can observe:
+     the location and the concrete address of each memory operand, in
+     execution order.  Storing live [Tval.t]s here would keep every
+     intermediate taint plane of the run alive until the engine dies —
+     measured as the single largest cost of a gadget run (minor-heap
+     promotion plus major-heap marking of megabytes of log). *)
+  mutable trace_loc : string array; (* execution order, first trace_len live *)
+  mutable trace_addr : int array;
+  mutable trace_len : int;
   gadget_tbl : (string, gadget_acc) Hashtbl.t;
-  mutable gadget_order : string list; (* newest first *)
-  mutable control : string list; (* newest first *)
-  memory : (int, Tval.t) Hashtbl.t;
+  (* Last gadget hit, keyed by physical equality of the location string:
+     gadget code passes the same literal every iteration, so this skips
+     hashing a long location string per tainted access. *)
+  mutable gadget_cache_loc : string;
+  mutable gadget_cache : gadget_acc option;
+  mutable gadget_order : string array; (* first-occurrence order *)
+  mutable gadget_count : int;
+  mutable control : string array; (* execution order *)
+  mutable control_len : int;
+  pages : (int, Tval.t array) Hashtbl.t; (* page index -> 4 KiB of slots *)
+  mutable tlb_index : int; (* page index of [tlb_page], -1 when cold *)
+  mutable tlb_page : Tval.t array;
 }
 
 let create ?(log_limit = 100_000) ~name input =
@@ -37,11 +62,19 @@ let create ?(log_limit = 100_000) ~name input =
     input;
     log_limit;
     seq = 0;
-    log = [];
+    trace_loc = [||];
+    trace_addr = [||];
+    trace_len = 0;
     gadget_tbl = Hashtbl.create 16;
-    gadget_order = [];
-    control = [];
-    memory = Hashtbl.create 1024;
+    gadget_cache_loc = "";
+    gadget_cache = None;
+    gadget_order = [||];
+    gadget_count = 0;
+    control = [||];
+    control_len = 0;
+    pages = Hashtbl.create 64;
+    tlb_index = -1;
+    tlb_page = [||];
   }
 
 let name t = t.name
@@ -53,9 +86,40 @@ let input_byte t i =
     invalid_arg "Engine.input_byte: index";
   Tval.input_byte ~tag:(i + 1) (Char.code (Bytes.get t.input i))
 
+(* The page holding [addr], faulted in on first touch. *)
+let page_for t addr =
+  let idx = addr lsr page_bits in
+  if idx = t.tlb_index then t.tlb_page
+  else begin
+    let page =
+      match Hashtbl.find_opt t.pages idx with
+      | Some page -> page
+      | None ->
+          let page = Array.make page_slots absent in
+          Hashtbl.add t.pages idx page;
+          page
+    in
+    t.tlb_index <- idx;
+    t.tlb_page <- page;
+    page
+  end
+
+(* Read-only view: never allocates a page for untouched memory. *)
+let peek t addr =
+  let idx = addr lsr page_bits in
+  if idx = t.tlb_index then t.tlb_page.(addr land (page_slots - 1))
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some page ->
+        t.tlb_index <- idx;
+        t.tlb_page <- page;
+        page.(addr land (page_slots - 1))
+    | None -> absent
+
 let stage_input t ~base =
   for i = 0 to Bytes.length t.input - 1 do
-    Hashtbl.replace t.memory (base + i) (input_byte t i)
+    let addr = base + i in
+    (page_for t addr).(addr land (page_slots - 1)) <- input_byte t i
   done
 
 (* A stable fake code address per location string, so reports resemble the
@@ -64,22 +128,46 @@ let code_addr_of location = 0x7f0000000000 lor (Hashtbl.hash location land 0xfff
 
 let bump t = t.seq <- t.seq + 1
 
-let append_log t location mnemonic operands =
+(* Record one memory-operand log entry; [bump] must already have run and
+   the caller checked [t.seq <= t.log_limit]. *)
+let append_trace t location addr =
+  let len = t.trace_len in
+  if len = Array.length t.trace_loc then begin
+    let cap = max 1024 (2 * len) in
+    let loc = Array.make cap "" and ad = Array.make cap 0 in
+    Array.blit t.trace_loc 0 loc 0 len;
+    Array.blit t.trace_addr 0 ad 0 len;
+    t.trace_loc <- loc;
+    t.trace_addr <- ad
+  end;
+  t.trace_loc.(len) <- location;
+  t.trace_addr.(len) <- addr;
+  t.trace_len <- len + 1
+
+let log_op t ~location ~mnemonic:_ ~operands =
   bump t;
   if t.seq <= t.log_limit then
-    t.log <-
-      { l_seq = t.seq; l_location = location; l_mnemonic = mnemonic;
-        l_operands = operands }
-      :: t.log
-
-let log_op t ~location ~mnemonic ~operands =
-  append_log t location mnemonic operands
+    match List.assoc_opt "addr" operands with
+    | Some addr -> append_trace t location (Tval.value addr)
+    | None -> ()
 
 let note_gadget t ~location ~mnemonic ~kind ~size ~addr ~index =
   let example =
     match index with Some (_, v) -> v | None -> addr
   in
-  match Hashtbl.find_opt t.gadget_tbl location with
+  let hit =
+    if location == t.gadget_cache_loc then t.gadget_cache
+    else begin
+      let found = Hashtbl.find_opt t.gadget_tbl location in
+      (match found with
+      | Some _ ->
+          t.gadget_cache_loc <- location;
+          t.gadget_cache <- found
+      | None -> ());
+      found
+    end
+  in
+  match hit with
   | Some g ->
       g.g_count <- g.g_count + 1;
       g.g_tags <- Tagset.union g.g_tags (Tval.tags addr)
@@ -98,32 +186,47 @@ let note_gadget t ~location ~mnemonic ~kind ~size ~addr ~index =
         }
       in
       Hashtbl.add t.gadget_tbl location g;
-      t.gadget_order <- location :: t.gadget_order
+      let n = t.gadget_count in
+      if n = Array.length t.gadget_order then begin
+        let grown = Array.make (max 16 (2 * n)) "" in
+        Array.blit t.gadget_order 0 grown 0 n;
+        t.gadget_order <- grown
+      end;
+      t.gadget_order.(n) <- location;
+      t.gadget_count <- n + 1
 
 let load t ~location ~mnemonic ?index ~addr ~size () =
-  append_log t location mnemonic [ ("addr", addr) ];
+  bump t;
+  if t.seq <= t.log_limit then append_trace t location (Tval.value addr);
   if Tval.is_tainted addr then
     note_gadget t ~location ~mnemonic ~kind:Gadget.Load ~size ~addr ~index;
-  match Hashtbl.find_opt t.memory (Tval.value addr) with
-  | Some v -> v
-  | None -> Tval.const ~width:(min 63 (8 * size)) 0
+  let v = peek t (Tval.value addr) in
+  if v == absent then Tval.const ~width:(min 63 (8 * size)) 0 else v
 
 let store t ~location ~mnemonic ?index ~addr ~size ~value () =
-  append_log t location mnemonic [ ("addr", addr); ("value", value) ];
+  bump t;
+  if t.seq <= t.log_limit then append_trace t location (Tval.value addr);
   if Tval.is_tainted addr then
     note_gadget t ~location ~mnemonic ~kind:Gadget.Store ~size ~addr ~index;
-  Hashtbl.replace t.memory (Tval.value addr) value
+  let concrete = Tval.value addr in
+  (page_for t concrete).(concrete land (page_slots - 1)) <- value
 
 let branch t ~location event =
   bump t;
-  t.control <- (location ^ ":" ^ event) :: t.control
+  let len = t.control_len in
+  if len = Array.length t.control then begin
+    let grown = Array.make (max 64 (2 * len)) "" in
+    Array.blit t.control 0 grown 0 len;
+    t.control <- grown
+  end;
+  t.control.(len) <- location ^ ":" ^ event;
+  t.control_len <- len + 1
 
 let instruction_count t = t.seq
 
 let gadgets t =
-  List.rev_map
-    (fun location ->
-      let g = Hashtbl.find t.gadget_tbl location in
+  List.init t.gadget_count (fun i ->
+      let g = Hashtbl.find t.gadget_tbl t.gadget_order.(i) in
       {
         Gadget.location = g.g_location;
         code_addr = g.g_code_addr;
@@ -135,18 +238,11 @@ let gadgets t =
         example_addr = g.g_example_addr;
         first_seq = g.g_first_seq;
       })
-    t.gadget_order
 
-let control_trace t = List.rev t.control
+let control_trace t = List.init t.control_len (fun i -> t.control.(i))
 
 let address_trace t =
-  List.rev
-    (List.filter_map
-       (fun l ->
-         match List.assoc_opt "addr" l.l_operands with
-         | Some addr -> Some (l.l_location, Zipchannel_taint.Tval.value addr)
-         | None -> None)
-       t.log)
+  List.init t.trace_len (fun i -> (t.trace_loc.(i), t.trace_addr.(i)))
 
 let report ppf t =
   Format.fprintf ppf "TaintChannel report for %s (%d input bytes, %d instructions)@.@."

@@ -1,0 +1,39 @@
+(* A gadget survey: independent (target, input) analysis cases fanned out
+   over the Domain pool.  Each case builds its own engine, so workers
+   share nothing mutable; [Pool.map_list] returns results in input order,
+   which makes the merged report a deterministic function of the case
+   list alone — byte-identical for any [jobs]. *)
+
+type target = Zlib | Lzw | Bzip2 | Aes of { key : bytes }
+
+type case = { label : string; target : target; input : bytes }
+
+let case ?label target input =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> (
+        match target with
+        | Zlib -> "zlib"
+        | Lzw -> "lzw"
+        | Bzip2 -> "bzip2"
+        | Aes _ -> "aes")
+  in
+  { label; target; input }
+
+let run_case c =
+  match c.target with
+  | Zlib -> Zlib_gadget.run c.input
+  | Lzw -> Lzw_gadget.run c.input
+  | Bzip2 -> Bzip2_gadget.run c.input
+  | Aes { key } -> Aes.run_taint ~key c.input
+
+let run ?(jobs = 1) cases =
+  Zipchannel_parallel.Pool.map_list ~jobs (fun c -> (c, run_case c)) cases
+
+let report ?jobs ppf cases =
+  List.iter
+    (fun (c, engine) ->
+      Format.fprintf ppf "== %s ==@." c.label;
+      Engine.report ppf engine)
+    (run ?jobs cases)

@@ -1,0 +1,27 @@
+(** Gadget surveys over many (target, input) cases, optionally in
+    parallel.
+
+    Every case runs on its own {!Engine.t}, so cases are independent and
+    can execute on separate domains; results always come back in the
+    order of the case list, making reports deterministic and
+    byte-identical for any [jobs] value (the merge rule is: no merge —
+    per-case reports are concatenated in case order). *)
+
+type target = Zlib | Lzw | Bzip2 | Aes of { key : bytes }
+
+type case = { label : string; target : target; input : bytes }
+
+val case : ?label:string -> target -> bytes -> case
+(** [case target input] with a default label naming the target. *)
+
+val run_case : case -> Engine.t
+(** Analyse one case on a fresh engine. *)
+
+val run : ?jobs:int -> case list -> (case * Engine.t) list
+(** Analyse every case, fanning out over [jobs] domains ([jobs <= 1]
+    runs sequentially in the calling domain).  Results are in case-list
+    order regardless of scheduling. *)
+
+val report : ?jobs:int -> Format.formatter -> case list -> unit
+(** [run] the cases and print each engine's gadget report under a
+    [== label ==] header, in case-list order. *)

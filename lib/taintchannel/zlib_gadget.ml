@@ -26,9 +26,10 @@ let run ?(head_base = head_base) input =
       let shifted = Tval.shift_left h 5 in
       Engine.log_op e ~location:"libz!UPDATE_HASH" ~mnemonic:"shl $5, ins_h"
         ~operands:[ ("ins_h", shifted) ];
-      let mixed = Tval.logxor shifted (wide c) in
+      let wc = wide c in
+      let mixed = Tval.logxor shifted wc in
       Engine.log_op e ~location:"libz!UPDATE_HASH" ~mnemonic:"xor c, ins_h"
-        ~operands:[ ("ins_h", mixed); ("c", wide c) ];
+        ~operands:[ ("ins_h", mixed); ("c", wc) ];
       let masked = Tval.logand mixed mask in
       Engine.log_op e ~location:"libz!UPDATE_HASH" ~mnemonic:"and $0x7fff, ins_h"
         ~operands:[ ("ins_h", masked) ];

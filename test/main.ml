@@ -3,6 +3,7 @@ let () =
     [
       Test_util.suite;
       Test_taint.suite;
+      Test_taintplane.suite;
       Test_compress.suite;
       Test_fastpath.suite;
       Test_rfc1951.suite;

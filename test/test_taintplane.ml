@@ -1,0 +1,195 @@
+(* The fast taint plane, checked against its executable specifications:
+   the word-packed Tagset against the Set.Make reference, the paged
+   shadow memory against a Hashtbl model, and the parallel gadget survey
+   against its sequential output. *)
+
+open Zipchannel_taint
+module Tc = Zipchannel_taintchannel
+module Prng = Zipchannel_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Packed Tagset ≡ Tagset_ref *)
+
+(* Tags cluster around three regimes: the immediate-int range (< 63),
+   the first few bitvector words, and far-out values that stress the
+   offset encoding. *)
+let tag_gen =
+  QCheck.Gen.(
+    frequency [ (4, 0 -- 62); (3, 0 -- 300); (1, 0 -- 5000) ])
+
+let tags_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    QCheck.Gen.(list_size (0 -- 25) tag_gen)
+
+let check_same_elements ctx packed reference =
+  if Tagset.elements packed <> Tagset_ref.elements reference then
+    QCheck.Test.fail_reportf "%s: elements diverge" ctx
+
+let qcheck_tagset_equivalence =
+  QCheck.Test.make ~name:"packed tagset = Set.Make reference" ~count:500
+    (QCheck.pair tags_arb tags_arb)
+    (fun (la, lb) ->
+      let a = Tagset.of_list la and ra = Tagset_ref.of_list la in
+      let b = Tagset.of_list lb and rb = Tagset_ref.of_list lb in
+      check_same_elements "of_list a" a ra;
+      check_same_elements "of_list b" b rb;
+      check_same_elements "union" (Tagset.union a b) (Tagset_ref.union ra rb);
+      List.iter
+        (fun t -> check_same_elements "add" (Tagset.add t a) (Tagset_ref.add t ra))
+        lb;
+      if Tagset.cardinal a <> Tagset_ref.cardinal ra then
+        QCheck.Test.fail_reportf "cardinal diverges";
+      if Tagset.is_empty a <> Tagset_ref.is_empty ra then
+        QCheck.Test.fail_reportf "is_empty diverges";
+      if Tagset.equal a b <> Tagset_ref.equal ra rb then
+        QCheck.Test.fail_reportf "equal diverges";
+      List.iter
+        (fun t ->
+          if Tagset.mem t a <> Tagset_ref.mem t ra then
+            QCheck.Test.fail_reportf "mem %d diverges" t)
+        (la @ lb @ [ 0; 62; 63; 64; 125; 126; 4999 ]);
+      (* fold must visit tags in the same (ascending) order. *)
+      let trace fold_f set = List.rev (fold_f (fun t acc -> t :: acc) set []) in
+      trace Tagset.fold a = trace Tagset_ref.fold ra)
+
+let qcheck_tagset_union_associative =
+  QCheck.Test.make ~name:"packed union associative/commutative" ~count:300
+    (QCheck.triple tags_arb tags_arb tags_arb)
+    (fun (la, lb, lc) ->
+      let a = Tagset.of_list la
+      and b = Tagset.of_list lb
+      and c = Tagset.of_list lc in
+      Tagset.equal (Tagset.union a b) (Tagset.union b a)
+      && Tagset.equal
+           (Tagset.union a (Tagset.union b c))
+           (Tagset.union (Tagset.union a b) c))
+
+(* ------------------------------------------------------------------ *)
+(* Paged shadow memory ≡ Hashtbl model *)
+
+let test_paged_memory_differential () =
+  let prng = Prng.create ~seed:0x9A6E () in
+  let input = Prng.bytes prng 96 in
+  let engine = Tc.Engine.create ~name:"paged-diff" input in
+  let model : (int, Tval.t) Hashtbl.t = Hashtbl.create 256 in
+  (* Addresses span several 4 KiB pages, page boundaries, and a sparse
+     far-away region, so first-touch allocation and page indexing both
+     get exercised. *)
+  let addr_pool =
+    Array.init 160 (fun _ ->
+        match Prng.int prng 4 with
+        | 0 -> Prng.int prng 4096 (* first page *)
+        | 1 -> 4090 + Prng.int prng 16 (* straddling the boundary *)
+        | 2 -> Prng.int prng (1 lsl 16) (* a few pages *)
+        | _ -> 0x7f0000000000 + Prng.int prng (1 lsl 14) (* mapped high *))
+  in
+  let loc = "test!paged" in
+  for _step = 1 to 3000 do
+    let addr = addr_pool.(Prng.int prng (Array.length addr_pool)) in
+    if Prng.bool prng then begin
+      (* Store a value whose taint is a real input-byte plane half the
+         time, so taint round-trips through pages too. *)
+      let value =
+        if Prng.bool prng then
+          Tc.Engine.input_byte engine (Prng.int prng (Bytes.length input))
+        else Tval.const ~width:8 (Prng.int prng 256)
+      in
+      Tc.Engine.store engine ~location:loc ~mnemonic:"mov"
+        ~addr:(Tval.const ~width:48 addr) ~size:1 ~value ();
+      Hashtbl.replace model addr value
+    end
+    else begin
+      let got =
+        Tc.Engine.load engine ~location:loc ~mnemonic:"mov"
+          ~addr:(Tval.const ~width:48 addr) ~size:1 ()
+      in
+      let expect =
+        match Hashtbl.find_opt model addr with
+        | Some v -> v
+        | None -> Tval.const ~width:8 0
+      in
+      if not (Tval.equal got expect) then
+        Alcotest.failf "load at 0x%x: got %a, model %a" addr Tval.pp got
+          Tval.pp expect
+    end
+  done;
+  (* Untainted addresses throughout: the differential run must not have
+     manufactured gadgets. *)
+  Alcotest.(check int) "no gadgets" 0 (List.length (Tc.Engine.gadgets engine))
+
+let test_stage_input_roundtrip () =
+  let prng = Prng.create ~seed:0x57A6 () in
+  let input = Prng.bytes prng 300 in
+  let engine = Tc.Engine.create ~name:"stage" input in
+  let base = 0x5000 - 7 in
+  (* Straddles a page boundary on purpose. *)
+  Tc.Engine.stage_input engine ~base;
+  for i = 0 to Bytes.length input - 1 do
+    let got =
+      Tc.Engine.load engine ~location:"test!stage" ~mnemonic:"movzx"
+        ~addr:(Tval.const ~width:48 (base + i)) ~size:1 ()
+    in
+    if not (Tval.equal got (Tc.Engine.input_byte engine i)) then
+      Alcotest.failf "staged byte %d diverges from input_byte" i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parallel survey determinism *)
+
+let render_survey ~jobs =
+  let input = Prng.bytes (Prng.create ~seed:0x5EED ()) 900 in
+  let buf = Buffer.create 8192 in
+  let ppf = Format.formatter_of_buffer buf in
+  Tc.Survey.report ~jobs ppf
+    [
+      Tc.Survey.case Tc.Survey.Zlib input;
+      Tc.Survey.case Tc.Survey.Lzw input;
+      Tc.Survey.case Tc.Survey.Bzip2 input;
+    ];
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_survey_jobs_deterministic () =
+  let sequential = render_survey ~jobs:1 in
+  Alcotest.(check bool) "report is non-trivial" true
+    (String.length sequential > 200);
+  Alcotest.(check string) "jobs=4 = jobs=1" sequential (render_survey ~jobs:4);
+  Alcotest.(check string) "jobs=7 = jobs=1" sequential (render_survey ~jobs:7)
+
+let render_experiments ~jobs =
+  let buf = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer buf in
+  let outcomes =
+    [
+      Zipchannel.Experiments.e1_zlib_gadget ~jobs ppf;
+      Zipchannel.Experiments.e2_lzw_gadget ~jobs ppf;
+      Zipchannel.Experiments.e4_survey ~jobs ppf;
+      Zipchannel.Experiments.e5_zlib_recovery ~jobs ppf;
+      Zipchannel.Experiments.e6_lzw_recovery ~jobs ppf;
+    ]
+  in
+  Format.pp_print_flush ppf ();
+  (Buffer.contents buf,
+   List.map (fun o -> o.Zipchannel.Experiments.metrics) outcomes)
+
+let test_experiments_jobs_deterministic () =
+  let text1, metrics1 = render_experiments ~jobs:1 in
+  let text3, metrics3 = render_experiments ~jobs:3 in
+  Alcotest.(check string) "printed output identical" text1 text3;
+  Alcotest.(check bool) "metrics identical" true (metrics1 = metrics3)
+
+let suite =
+  ( "taintplane",
+    [
+      QCheck_alcotest.to_alcotest qcheck_tagset_equivalence;
+      QCheck_alcotest.to_alcotest qcheck_tagset_union_associative;
+      Alcotest.test_case "paged memory differential" `Quick
+        test_paged_memory_differential;
+      Alcotest.test_case "stage_input across pages" `Quick
+        test_stage_input_roundtrip;
+      Alcotest.test_case "survey jobs determinism" `Quick
+        test_survey_jobs_deterministic;
+      Alcotest.test_case "experiments jobs determinism" `Slow
+        test_experiments_jobs_deterministic;
+    ] )
