@@ -24,63 +24,86 @@ let random_4k = Prng.bytes (Prng.create ~seed:43 ()) 4096
 
 let staged = Bechamel.Staged.stage
 
-let bench_tests =
-  let open Bechamel in
+(* Each case is (name, thunk): Bechamel times the thunk, then a single
+   extra instrumented run captures the case's Obs metric growth for the
+   JSON snapshot. *)
+let bench_cases : (string * (unit -> unit)) list =
   [
-    Test.make ~name:"bzip2/compress-10k-text" (staged (fun () ->
-        ignore (Compress.Bzip2.compress text_10k)));
-    Test.make ~name:"deflate/compress-10k-text" (staged (fun () ->
-        ignore (Compress.Deflate.compress text_10k)));
-    Test.make ~name:"lzw/compress-10k-text" (staged (fun () ->
-        ignore (Compress.Lzw.compress text_10k)));
-    Test.make ~name:"huffman/encode-10k-text" (staged (fun () ->
-        ignore (Compress.Huffman.encode text_10k)));
-    Test.make ~name:"bwt/transform-4k-random" (staged (fun () ->
-        ignore (Compress.Bwt.transform random_4k)));
-    Test.make ~name:"taintchannel/zlib-gadget-1k"
-      (staged (fun () ->
-           ignore (Taintchannel.Zlib_gadget.run (Bytes.sub random_4k 0 1024))));
-    Test.make ~name:"aes/encrypt-4k" (staged (fun () ->
+    ("bzip2/compress-10k-text", fun () ->
+        ignore (Compress.Bzip2.compress text_10k));
+    ("deflate/compress-10k-text", fun () ->
+        ignore (Compress.Deflate.compress text_10k));
+    ("lzw/compress-10k-text", fun () ->
+        ignore (Compress.Lzw.compress text_10k));
+    ("huffman/encode-10k-text", fun () ->
+        ignore (Compress.Huffman.encode text_10k));
+    ("bwt/transform-4k-random", fun () ->
+        ignore (Compress.Bwt.transform random_4k));
+    ("taintchannel/zlib-gadget-1k", fun () ->
+        ignore (Taintchannel.Zlib_gadget.run (Bytes.sub random_4k 0 1024)));
+    ("aes/encrypt-4k", fun () ->
         ignore
           (Taintchannel.Aes.encrypt
              ~key:(Bytes.of_string "0123456789abcdef")
-             random_4k)));
+             random_4k));
     (let cache = Cache.Cache.create Cache.Cache.default_config in
      let prng = Prng.create ~seed:44 () in
      let pp = Cache.Prime_probe.create ~cache ~prng () in
-     Test.make ~name:"cache/prime+probe-round" (staged (fun () ->
+     ("cache/prime+probe-round", fun () ->
          Cache.Prime_probe.prime pp ~set:17;
-         ignore (Cache.Prime_probe.probe pp ~set:17))));
+         ignore (Cache.Prime_probe.probe pp ~set:17);
+         (* no-op unless metrics are enabled (the instrumented run) *)
+         Cache.Prime_probe.observe_metrics pp));
     (let cache = Cache.Cache.create Cache.Cache.default_config in
      let prng = Prng.create ~seed:45 () in
      let fr = Cache.Flush_reload.create ~cache ~prng () in
-     Test.make ~name:"cache/flush+reload-round" (staged (fun () ->
-         ignore (Cache.Flush_reload.round fr 0x7f0000000000))));
+     ("cache/flush+reload-round", fun () ->
+         ignore (Cache.Flush_reload.round fr 0x7f0000000000);
+         Cache.Cache.observe_metrics cache));
     (let prng = Prng.create ~seed:46 () in
      let input = Prng.bytes prng 256 in
-     Test.make ~name:"sgx/attack-256b-block" (staged (fun () ->
-         ignore (Attack.Sgx_attack.run input))));
+     ("sgx/attack-256b-block", fun () ->
+         ignore (Attack.Sgx_attack.run input)));
     (let prng = Prng.create ~seed:47 () in
      let x =
        Array.init 64 (fun _ -> Array.init 100 (fun _ -> Prng.float prng))
      in
      let y = Array.init 64 (fun i -> i mod 4) in
      let mlp = Classifier.Mlp.create ~layers:[ 100; 32; 4 ] () in
-     Test.make ~name:"classifier/mlp-epoch" (staged (fun () ->
-         Classifier.Mlp.train ~epochs:1 mlp ~x ~y)));
+     ("classifier/mlp-epoch", fun () ->
+         Classifier.Mlp.train ~epochs:1 mlp ~x ~y));
     (let input = Prng.bytes (Prng.create ~seed:48 ()) 64 in
-     Test.make ~name:"mitigation/oblivious-histogram-64b" (staged (fun () ->
-         ignore (Mitigation.Oblivious.histogram input))));
+     ("mitigation/oblivious-histogram-64b", fun () ->
+         ignore (Mitigation.Oblivious.histogram input)));
     (let input = Prng.bytes (Prng.create ~seed:49 ()) 64 in
-     Test.make ~name:"compress/plain-histogram-64b" (staged (fun () ->
-         ignore (Compress.Block_sort.histogram input))));
-    Test.make ~name:"checksum/crc32-10k" (staged (fun () ->
-        ignore (Compress.Checksum.Crc32.digest text_10k)));
-    Test.make ~name:"container/archive-pack-10k" (staged (fun () ->
+     ("compress/plain-histogram-64b", fun () ->
+         ignore (Compress.Block_sort.histogram input)));
+    ("checksum/crc32-10k", fun () ->
+        ignore (Compress.Checksum.Crc32.digest text_10k));
+    ("container/archive-pack-10k", fun () ->
         ignore
           (Compress.Container.Archive.pack
-             [ { Compress.Container.Archive.name = "f"; data = text_10k } ])));
+             [ { Compress.Container.Archive.name = "f"; data = text_10k } ]));
   ]
+
+let bench_tests =
+  List.map
+    (fun (name, fn) -> Bechamel.Test.make ~name (staged fn))
+    bench_cases
+
+(* One instrumented run of a case, after timing: the metric growth it
+   causes, flattened to numeric pairs.  Metrics are only enabled for the
+   duration, so the timed runs above see the disabled fast path. *)
+let case_metrics name =
+  match List.assoc_opt name bench_cases with
+  | None -> []
+  | Some fn ->
+      Obs.set_enabled true;
+      let before = Obs.Metrics.snapshot () in
+      fn ();
+      let after = Obs.Metrics.snapshot () in
+      Obs.set_enabled false;
+      Obs.Metrics.flat_pairs (Obs.Metrics.delta ~before ~after)
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -117,7 +140,7 @@ let run_bench ?(only = []) () =
               | Some [] | None -> nan
             in
             Format.fprintf ppf "  %-32s %12.0f ns/run@." (Test.Elt.name elt) ns;
-            Some (Test.Elt.name elt, ns)
+            Some (Test.Elt.name elt, ns, case_metrics (Test.Elt.name elt))
             end)
           (Test.elements test))
       bench_tests
@@ -154,10 +177,22 @@ let write_bench_json results =
   let oc = open_out path in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+    (fun i (name, ns, metrics) ->
+      let metrics_json =
+        match metrics with
+        | [] -> ""
+        | pairs ->
+            Printf.sprintf ", \"metrics\": {%s}"
+              (String.concat ", "
+                 (List.map
+                    (fun (k, v) ->
+                      Printf.sprintf "\"%s\": %.6g" (json_escape k) v)
+                    pairs))
+      in
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s}%s\n"
         (json_escape name)
         (if Float.is_nan ns then -1.0 else ns)
+        metrics_json
         (if i < List.length results - 1 then "," else ""))
     results;
   output_string oc "]\n";
@@ -190,8 +225,10 @@ let read_bench_json path =
 
 let regression_threshold = 1.25
 
-(* Per-benchmark speedup against a snapshot; exits non-zero when any
-   benchmark regressed by more than 25%. *)
+(* Per-benchmark speedup against a snapshot.  Every regression past the
+   threshold is collected and reported — one line per benchmark, naming
+   the compared metric (ns_per_run) and the magnitude — before exiting
+   non-zero; the first regression never masks the rest. *)
 let compare_bench ~baseline results =
   let base = read_bench_json baseline in
   Format.fprintf ppf "@.=== comparison vs %s ===@." baseline;
@@ -199,7 +236,7 @@ let compare_bench ~baseline results =
     "current ns" "speedup";
   let regressed = ref [] in
   List.iter
-    (fun (name, ns) ->
+    (fun (name, ns, _metrics) ->
       match List.assoc_opt name base with
       | None -> Format.fprintf ppf "  %-32s %12s %12.0f %9s@." name "-" ns "new"
       | Some b when Float.is_nan ns || ns <= 0.0 || b <= 0.0 ->
@@ -207,39 +244,27 @@ let compare_bench ~baseline results =
       | Some b ->
           let speedup = b /. ns in
           Format.fprintf ppf "  %-32s %12.0f %12.0f %8.2fx@." name b ns speedup;
-          if ns > b *. regression_threshold then regressed := name :: !regressed)
+          if ns > b *. regression_threshold then
+            regressed := (name, b, ns) :: !regressed)
     results;
-  (match !regressed with
+  (match List.rev !regressed with
   | [] -> Format.fprintf ppf "@.no benchmark regressed more than %.0f%%@."
             ((regression_threshold -. 1.0) *. 100.0)
   | l ->
-      Format.fprintf ppf "@.REGRESSED >%.0f%%: %s@."
-        ((regression_threshold -. 1.0) *. 100.0)
-        (String.concat ", " (List.rev l));
+      Format.fprintf ppf "@.%d benchmark%s regressed more than %.0f%%:@."
+        (List.length l)
+        (if List.length l = 1 then "" else "s")
+        ((regression_threshold -. 1.0) *. 100.0);
+      List.iter
+        (fun (name, b, ns) ->
+          Format.fprintf ppf
+            "  REGRESSED %-32s ns_per_run %+.1f%% (%.0f -> %.0f ns)@." name
+            ((ns -. b) /. b *. 100.0)
+            b ns)
+        l;
       exit 1)
 
 (* ------------------------------------------------------------------ *)
-
-let experiment_of_id = function
-  | "e1" -> Some (fun ppf -> Experiments.e1_zlib_gadget ppf)
-  | "e2" -> Some (fun ppf -> Experiments.e2_lzw_gadget ppf)
-  | "e3" -> Some (fun ppf -> Experiments.e3_bzip2_gadget ppf)
-  | "e4" -> Some (fun ppf -> Experiments.e4_survey ppf)
-  | "e5" -> Some (fun ppf -> Experiments.e5_zlib_recovery ppf)
-  | "e6" -> Some (fun ppf -> Experiments.e6_lzw_recovery ppf)
-  | "e7" -> Some (fun ppf -> Experiments.e7_sgx_attack ppf)
-  | "e8" -> Some (fun ppf -> Experiments.e8_sgx_ablations ppf)
-  | "e9" -> Some (fun ppf -> Experiments.e9_sort_control_flow ppf)
-  | "e10" -> Some (fun ppf -> Experiments.e10_fingerprint_corpus ppf)
-  | "e11" -> Some (fun ppf -> Experiments.e11_fingerprint_repetitiveness ppf)
-  | "e12" -> Some (fun ppf -> Experiments.e12_aes_validation ppf)
-  | "e13" -> Some (fun ppf -> Experiments.e13_memcpy_divergence ppf)
-  | "e14" -> Some (fun ppf -> Experiments.e14_mitigation ppf)
-  | "e15" -> Some (fun ppf -> Experiments.e15_timer_stepping ppf)
-  | "e16" -> Some (fun ppf -> Experiments.e16_tool_comparison ppf)
-  | "e17" -> Some (fun ppf -> Experiments.e17_lzw_sgx_attack ppf)
-  | "e18" -> Some (fun ppf -> Experiments.e18_zlib_sgx_attack ppf)
-  | _ -> None
 
 let summarize outcomes =
   Format.fprintf ppf "@.=== summary ===@.";
@@ -287,8 +312,8 @@ let () =
       ignore (run_bench ())
   | _ :: "bench" :: rest -> run_bench_cli rest
   | [ _; id ] -> (
-      match experiment_of_id (String.lowercase_ascii id) with
-      | Some f -> ignore (f ppf)
+      match Experiments.run ~id ppf with
+      | Some _ -> ()
       | None ->
           prerr_endline ("unknown experiment: " ^ id ^ " (use e1..e18 or bench)");
           exit 1)

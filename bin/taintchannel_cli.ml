@@ -25,22 +25,27 @@ let input_bytes file size seed =
 
 let aes_key = Bytes.of_string "0123456789abcdef"
 
-let run target file size seed jobs =
+let run target file size seed jobs () =
   let ppf = Format.std_formatter in
   let input () = input_bytes file size seed in
+  let report_engine name run =
+    let engine = Obs.with_span ("taintchannel." ^ name) run in
+    Taintchannel.Engine.report ppf engine;
+    Taintchannel.Engine.observe_metrics engine
+  in
   match target with
   | "zlib" ->
-      Taintchannel.Engine.report ppf (Taintchannel.Zlib_gadget.run (input ()));
+      report_engine "zlib" (fun () -> Taintchannel.Zlib_gadget.run (input ()));
       `Ok ()
   | "ncompress" | "lzw" ->
-      Taintchannel.Engine.report ppf (Taintchannel.Lzw_gadget.run (input ()));
+      report_engine "lzw" (fun () -> Taintchannel.Lzw_gadget.run (input ()));
       `Ok ()
   | "bzip2" ->
-      Taintchannel.Engine.report ppf (Taintchannel.Bzip2_gadget.run (input ()));
+      report_engine "bzip2" (fun () -> Taintchannel.Bzip2_gadget.run (input ()));
       `Ok ()
   | "aes" ->
-      Taintchannel.Engine.report ppf
-        (Taintchannel.Aes.run_taint ~key:aes_key (input ()));
+      report_engine "aes" (fun () ->
+          Taintchannel.Aes.run_taint ~key:aes_key (input ()));
       `Ok ()
   | "all" ->
       (* One case per gadget target over the same input, analysed on
@@ -83,15 +88,15 @@ let seed =
   Arg.(value & opt int 0xDECAF & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
 let jobs =
-  let doc =
-    "Number of domains for the multi-target survey (-t all).  Reports \
-     are byte-identical for any value."
-  in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  Obs_cli.jobs_arg
+    ~doc:
+      "Number of domains for the multi-target survey (-t all); 0 means \
+       all available cores.  Reports are byte-identical for any value."
 
 let cmd =
   let doc = "detect cache side-channel gadgets in compression code" in
   let info = Cmd.info "taintchannel" ~doc in
-  Cmd.v info Term.(ret (const run $ target $ file $ size $ seed $ jobs))
+  Cmd.v info
+    Term.(ret (const run $ target $ file $ size $ seed $ jobs $ Obs_cli.flags))
 
 let () = exit (Cmd.eval cmd)

@@ -65,13 +65,10 @@ let algo =
   Arg.(value & opt string "bzip2" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
 
 let jobs =
-  let doc =
-    "Worker domains for block/member compression (0 = all available cores)."
-  in
-  let parse j = if j = 0 then Parallel.Pool.available_jobs () else max 1 j in
-  Term.(
-    const parse
-    $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc))
+  Obs_cli.jobs_arg
+    ~doc:
+      "Worker domains for block/member compression (0 = all available \
+       cores)."
 
 let in_file n = Arg.(required & pos n (some file) None & info [] ~docv:"INPUT")
 

@@ -17,7 +17,7 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let sgx file size seed no_cat no_frame_selection =
+let sgx file size seed no_cat no_frame_selection () =
   let input =
     match file with
     | Some path -> Bytes.of_string (read_file path)
@@ -42,14 +42,25 @@ let sgx file size seed no_cat no_frame_selection =
     (Sys.time () -. t0);
   `Ok ()
 
-let fingerprint seed traces =
+let fingerprint seed traces () =
   ignore (Experiments.e11_fingerprint_repetitiveness ~seed ~traces_per_file:traces ppf);
   ignore (Experiments.e10_fingerprint_corpus ~seed ~traces_per_file:traces ppf);
   `Ok ()
 
-let experiments seed jobs =
-  ignore (Experiments.all ~seed ~jobs ppf);
-  `Ok ()
+let experiments seed jobs only () =
+  match only with
+  | None ->
+      ignore (Experiments.all ~seed ~jobs ppf);
+      `Ok ()
+  | Some id -> (
+      match Experiments.run ~seed ~jobs ~id ppf with
+      | Some _ -> `Ok ()
+      | None ->
+          `Error
+            ( false,
+              "unknown experiment id: " ^ id ^ " (expected "
+              ^ String.concat "/" Experiments.ids
+              ^ ")" ))
 
 let seed =
   let doc = "PRNG seed." in
@@ -73,7 +84,8 @@ let sgx_cmd =
   in
   Cmd.v
     (Cmd.info "sgx" ~doc:"Prime+Probe attack on Bzip2 inside SGX (Section V)")
-    Term.(ret (const sgx $ file $ size $ seed $ no_cat $ no_fs))
+    Term.(
+      ret (const sgx $ file $ size $ seed $ no_cat $ no_fs $ Obs_cli.flags))
 
 let fingerprint_cmd =
   let traces =
@@ -83,19 +95,25 @@ let fingerprint_cmd =
   Cmd.v
     (Cmd.info "fingerprint"
        ~doc:"Flush+Reload file fingerprinting on Bzip2 (Section VI)")
-    Term.(ret (const fingerprint $ seed $ traces))
+    Term.(ret (const fingerprint $ seed $ traces $ Obs_cli.flags))
 
 let experiments_cmd =
   let jobs =
-    let doc =
-      "Domains for the parallelisable experiments (output is identical \
-       for any value)."
-    in
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+    Obs_cli.jobs_arg
+      ~doc:
+        "Domains for the parallelisable experiments; 0 means all \
+         available cores (output is identical for any value)."
+  in
+  let only =
+    let doc = "Run a single experiment (E1-E18) instead of all of them." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "only" ] ~docv:"ID" ~doc)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run every paper experiment (E1-E18)")
-    Term.(ret (const experiments $ seed $ jobs))
+    Term.(ret (const experiments $ seed $ jobs $ only $ Obs_cli.flags))
 
 let cmd =
   let doc = "cache side-channel attacks on compression algorithms" in

@@ -51,7 +51,16 @@ let program input =
   end;
   Array.of_list (List.rev !events)
 
+module Obs = Zipchannel_obs.Obs
+
+let m_bytes = Obs.Metrics.counter "sgx.lzw.bytes"
+let m_faults = Obs.Metrics.counter "sgx.lzw.faults"
+let m_lost = Obs.Metrics.counter "sgx.lzw.lost_readings"
+
 let run ?(config = Attack_config.default) input =
+  Obs.with_span "sgx.lzw_attack"
+    ~attrs:[ ("input_bytes", string_of_int (Bytes.length input)) ]
+  @@ fun () ->
   let n = Bytes.length input in
   let prng = Prng.create ~seed:config.Attack_config.seed () in
   let cache = Cache.create config.Attack_config.cache_config in
@@ -88,6 +97,9 @@ let run ?(config = Attack_config.default) input =
      recurs in the input. *)
   let observations = Array.make (max 1 (n - 1)) [] in
   let lookups = ref 0 in
+  let progress =
+    Obs.Progress.create ~total:(max 0 (n - 1)) ~label:"lzw-sgx-attack" ()
+  in
   if n > 1 then begin
     protect_input ();
     protect_htab ();
@@ -118,10 +130,12 @@ let run ?(config = Attack_config.default) input =
               (fun line -> (vpage lsl Page_table.page_bits) lor (line lsl 6))
               (Page_channel.probe_page channel ~vpage);
           incr k;
+          Obs.Progress.step progress;
           protect_htab ()
       | None -> finished := true)
     done
   end;
+  Obs.Progress.finish progress;
   let recovered =
     if n = 0 then Bytes.empty
     else if n = 1 then Bytes.make 1 '\000'
@@ -131,6 +145,10 @@ let run ?(config = Attack_config.default) input =
     if n <= 1 then 0
     else Array.fold_left (fun a o -> if o = [] then a + 1 else a) 0 observations
   in
+  Obs.Metrics.add m_bytes n;
+  Obs.Metrics.add m_faults !faults;
+  Obs.Metrics.add m_lost lost;
+  Page_channel.observe_metrics channel;
   {
     recovered;
     byte_accuracy = Stats.fraction_equal recovered input;

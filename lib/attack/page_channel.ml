@@ -152,3 +152,13 @@ let probe_page t ~vpage =
   | [], s when List.length s <= 3 -> s
   | c, _ when List.length c <= 3 -> c
   | _ -> []
+
+module Obs = Zipchannel_obs.Obs
+
+let m_frame_remaps = Obs.Metrics.counter "sgx.frame_remaps"
+
+let observe_metrics t =
+  if Obs.enabled () then begin
+    Obs.Metrics.add m_frame_remaps t.remaps;
+    Prime_probe.observe_metrics t.pp
+  end

@@ -34,3 +34,9 @@ val probe_page : t -> vpage:int -> int list
 (** Probe the page's 64 line-sets; returns candidate line indices
     (0..63), preferring lines outside the page's noisy-line log and
     giving up (empty) when the window is hopelessly polluted. *)
+
+val observe_metrics : t -> unit
+(** Publish the channel's telemetry (frame remaps, the underlying
+    prime/probe and cache counters) into {!Zipchannel_obs.Obs.Metrics}
+    under [sgx.*] / [prime_probe.*] / [cache.*].  No-op while Obs is
+    disabled. *)

@@ -1,4 +1,12 @@
 module Lzw = Zipchannel_compress.Lzw
+module Obs = Zipchannel_obs.Obs
+
+let m_lzw_resolved = Obs.Metrics.counter "recovery.lzw.resolved"
+let m_lzw_repairs = Obs.Metrics.counter "recovery.lzw.repairs"
+let m_lzw_candidate_firsts = Obs.Metrics.counter "recovery.lzw.candidate_firsts"
+let m_bz_ambiguous = Obs.Metrics.counter "recovery.bzip2.ambiguous"
+let m_bz_repaired = Obs.Metrics.counter "recovery.bzip2.repaired"
+let h_bz_candidates = Obs.Metrics.histogram "recovery.bzip2.candidates_per_byte"
 
 let line_mask addr = addr land lnot 63
 
@@ -215,16 +223,21 @@ let lzw_recover_from_candidates ~htab_base ~first observations =
           Bytes.set out (k + 1) (Char.chr c);
           ignore (Lzw.Stepper.feed st c)
       | _ ->
+          Obs.Metrics.incr m_lzw_repairs;
           let c = repair k in
           Bytes.set out (k + 1) (Char.chr c);
           ignore (Lzw.Stepper.feed st c))
     observations;
+  Obs.Metrics.add m_lzw_resolved !resolved;
   let score =
     if total = 0 then 1.0 else float_of_int !resolved /. float_of_int total
   in
   (out, score)
 
 let lzw_recover_candidates_auto ~htab_base observations =
+  Obs.with_span "recovery.lzw"
+    ~attrs:[ ("readings", string_of_int (Array.length observations)) ]
+  @@ fun () ->
   let firsts =
     (* The first reading's index is (c << 9) xor first-byte, so its low
        eight observable bits pin the first byte's bits 3-7; without a
@@ -235,6 +248,7 @@ let lzw_recover_candidates_auto ~htab_base observations =
         List.init 8 (fun b -> hi lor b)
     | _ -> List.init 256 (fun b -> b)
   in
+  Obs.Metrics.add m_lzw_candidate_firsts (List.length firsts);
   let printable b = if b >= 0x20 && b <= 0x7e then 1 else 0 in
   let best = ref None in
   List.iter
@@ -264,6 +278,12 @@ let bzip2_window ~ftab_base obs =
 let bzip2_recover_candidates ~ftab_base ~n observed =
   if Array.length observed <> n then
     invalid_arg "Recovery.bzip2_recover: trace length";
+  Obs.with_span "recovery.bzip2" ~attrs:[ ("bytes", string_of_int n) ]
+  @@ fun () ->
+  if Obs.enabled () then
+    Array.iter
+      (fun cands -> Obs.Metrics.observe h_bz_candidates (List.length cands))
+      observed;
   (* Iteration k covers i = n-1-k with index j = x_i << 8 | x_{i+1 mod n};
      each candidate line address of that iteration yields a 16-value j
      window. *)
@@ -324,6 +344,7 @@ let bzip2_recover_candidates ~ftab_base ~n observed =
         | [ b ] -> b
         | _ -> (
             (* Conflicting or missing readings: take the raw candidate. *)
+            Obs.Metrics.incr m_bz_ambiguous;
             match hi_candidates i with b :: _ -> b | [] -> 0))
     done;
     (* Repair pass: a byte with no reading of its own still appears as the
@@ -345,7 +366,11 @@ let bzip2_recover_candidates ~ftab_base ~n observed =
               else None)
             (windows_of prev)
         in
-        match candidate with Some b -> out.(i) <- b | None -> ()
+        match candidate with
+        | Some b ->
+            Obs.Metrics.incr m_bz_repaired;
+            out.(i) <- b
+        | None -> ()
       end
     done
   end;

@@ -55,7 +55,20 @@ let expect_fault st =
   | Enclave.Done -> None
   | Enclave.Executed -> assert false
 
+module Obs = Zipchannel_obs.Obs
+
+let m_bytes = Obs.Metrics.counter "sgx.bytes"
+let m_faults = Obs.Metrics.counter "sgx.faults"
+let m_faults_quadrant = Obs.Metrics.counter "sgx.faults.quadrant"
+let m_faults_block = Obs.Metrics.counter "sgx.faults.block"
+let m_faults_ftab = Obs.Metrics.counter "sgx.faults.ftab"
+let m_lost = Obs.Metrics.counter "sgx.lost_readings"
+let h_candidates = Obs.Metrics.histogram "sgx.candidates_per_byte"
+
 let run ?(config = default_config) input =
+  Obs.with_span "sgx.attack"
+    ~attrs:[ ("input_bytes", string_of_int (Bytes.length input)) ]
+  @@ fun () ->
   let n = Bytes.length input in
   let prng = Prng.create ~seed:config.seed () in
   let cache = Cache.create config.cache_config in
@@ -69,11 +82,13 @@ let run ?(config = default_config) input =
     { channel; page_table; enclave; layout = Victim.layout ~n; faults = 0 }
   in
   let observations = Array.make (max 1 n) [] in
+  let progress = Obs.Progress.create ~total:n ~label:"sgx-attack" () in
   if n > 0 then begin
     protect st "quadrant";
     (* S0 of the first iteration: the quadrant store faults. *)
     let fault = expect_fault st in
     assert (fault <> None);
+    Obs.Metrics.incr m_faults_quadrant;
     let finished = ref false in
     let k = ref 0 in
     while not !finished && !k < n do
@@ -82,7 +97,7 @@ let run ?(config = default_config) input =
       unprotect st "quadrant";
       protect st "block";
       (match expect_fault st with
-      | Some _ -> ()
+      | Some _ -> Obs.Metrics.incr m_faults_block
       | None -> finished := true);
       (* S1 -> S2: restore block, revoke ftab. *)
       Noise.on_transition (Page_channel.noise st.channel);
@@ -90,7 +105,9 @@ let run ?(config = default_config) input =
       protect st "ftab";
       let vpage =
         match expect_fault st with
-        | Some f -> Page_table.vpage_of f.Enclave.page_addr
+        | Some f ->
+            Obs.Metrics.incr m_faults_ftab;
+            Page_table.vpage_of f.Enclave.page_addr
         | None ->
             finished := true;
             0
@@ -105,18 +122,22 @@ let run ?(config = default_config) input =
         (* S3 -> S4: the victim performs the single ftab access, then
            faults on the next quadrant store (or finishes). *)
         (match expect_fault st with
-        | Some _ -> ()
+        | Some _ -> Obs.Metrics.incr m_faults_quadrant
         | None -> finished := true);
         if config.background_noise then
           Noise.background (Page_channel.noise st.channel) ~cos:1;
+        let candidates = Page_channel.probe_page st.channel ~vpage in
+        Obs.Metrics.observe h_candidates (List.length candidates);
         observations.(!k) <-
           List.map
             (fun line -> (vpage lsl Page_table.page_bits) lor (line lsl 6))
-            (Page_channel.probe_page st.channel ~vpage);
-        incr k
+            candidates;
+        incr k;
+        Obs.Progress.step progress
       end
     done
   end;
+  Obs.Progress.finish progress;
   let observations = if n = 0 then [||] else observations in
   let recovered =
     if n = 0 then Bytes.empty
@@ -127,6 +148,10 @@ let run ?(config = default_config) input =
   let lost =
     Array.fold_left (fun a o -> if o = [] then a + 1 else a) 0 observations
   in
+  Obs.Metrics.add m_bytes n;
+  Obs.Metrics.add m_faults st.faults;
+  Obs.Metrics.add m_lost lost;
+  Page_channel.observe_metrics st.channel;
   {
     recovered;
     byte_accuracy = Stats.fraction_equal recovered input;

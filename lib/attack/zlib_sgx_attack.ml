@@ -42,7 +42,16 @@ let program input =
       (Lz77.hash_head_trace input);
   Array.of_list (List.rev !events)
 
+module Obs = Zipchannel_obs.Obs
+
+let m_bytes = Obs.Metrics.counter "sgx.zlib.bytes"
+let m_faults = Obs.Metrics.counter "sgx.zlib.faults"
+let m_lost = Obs.Metrics.counter "sgx.zlib.lost_readings"
+
 let run ?(config = Attack_config.default) ?(high_bits = 0b011) input =
+  Obs.with_span "sgx.zlib_attack"
+    ~attrs:[ ("input_bytes", string_of_int (Bytes.length input)) ]
+  @@ fun () ->
   let n = Bytes.length input in
   let windows = max 0 (n - 2) in
   let prng = Prng.create ~seed:config.Attack_config.seed () in
@@ -76,6 +85,9 @@ let run ?(config = Attack_config.default) ?(high_bits = 0b011) input =
   in
   let observations = Array.make (max 1 windows) [] in
   let lost = ref 0 in
+  let progress =
+    Obs.Progress.create ~total:windows ~label:"zlib-sgx-attack" ()
+  in
   if windows > 0 then begin
     protect_window ();
     protect_head ();
@@ -103,10 +115,12 @@ let run ?(config = Attack_config.default) ?(high_bits = 0b011) input =
               (fun line -> (vpage lsl Page_table.page_bits) lor (line lsl 6))
               (Page_channel.probe_page channel ~vpage);
           incr k;
+          Obs.Progress.step progress;
           protect_head ()
       | None -> finished := true)
     done
   end;
+  Obs.Progress.finish progress;
   (* The window-overlap redundancy (Section V-D) resolves ambiguous
      readings; what remains unresolved is filled with the head base (hash
      0) — only that window's two bytes suffer, there is no chain to
@@ -141,6 +155,10 @@ let run ?(config = Attack_config.default) ?(high_bits = 0b011) input =
       float_of_int !ok /. float_of_int windows
     end
   in
+  Obs.Metrics.add m_bytes n;
+  Obs.Metrics.add m_faults !faults;
+  Obs.Metrics.add m_lost !lost;
+  Page_channel.observe_metrics channel;
   {
     recovered;
     byte_accuracy = Stats.fraction_equal recovered input;

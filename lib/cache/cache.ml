@@ -30,6 +30,12 @@ type t = {
   cat : int array; (* class of service -> way mask *)
   mutable clock : int;
   slice_masks : int array; (* one parity mask per slice-index bit *)
+  (* Telemetry, maintained unconditionally (plain increments) and
+     published to Obs only on demand. *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int; (* fills that displaced a valid line *)
+  mutable flushes : int;
 }
 
 let owner_code = function
@@ -68,6 +74,10 @@ let create cfg =
     cat = Array.make 4 ((1 lsl cfg.ways) - 1);
     clock = 0;
     slice_masks = Array.sub base_slice_masks 0 slice_bits;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    flushes = 0;
   }
 
 let config t = t.cfg
@@ -129,10 +139,12 @@ let access t ?(cos = 0) ~owner addr =
   let base = set_index t addr * t.ways in
   let w = find_way t base tag in
   if w >= 0 then begin
+    t.hits <- t.hits + 1;
     Array.unsafe_set t.last_use (base + w) t.clock;
     true
   end
   else begin
+    t.misses <- t.misses + 1;
     (* Fill into a way the CAT mask allows: the least recently used one
        (an invalid way counts as oldest), or a pseudo-random one under
        the random-replacement policy; invalid ways are always taken
@@ -187,6 +199,7 @@ let access t ?(cos = 0) ~owner addr =
          with Exit -> ()));
     assert (!victim >= 0);
     let i = base + !victim in
+    if Array.unsafe_get t.tags i <> -1 then t.evictions <- t.evictions + 1;
     Array.unsafe_set t.tags i tag;
     Array.unsafe_set t.who i (owner_code owner);
     Array.unsafe_set t.last_use i t.clock;
@@ -200,8 +213,34 @@ let flush t addr =
   let base = set_index t addr * t.ways in
   let w = find_way t base (line_of t addr) in
   if w >= 0 then begin
+    t.flushes <- t.flushes + 1;
     t.tags.(base + w) <- -1;
     t.last_use.(base + w) <- 0
+  end
+
+type stats = { hits : int; misses : int; evictions : int; flushes : int }
+
+let stats (t : t) : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    flushes = t.flushes;
+  }
+
+module Obs = Zipchannel_obs.Obs
+
+let m_hits = Obs.Metrics.counter "cache.hits"
+let m_misses = Obs.Metrics.counter "cache.misses"
+let m_evictions = Obs.Metrics.counter "cache.evictions"
+let m_flushes = Obs.Metrics.counter "cache.flushes"
+
+let observe_metrics (t : t) =
+  if Obs.enabled () then begin
+    Obs.Metrics.add m_hits t.hits;
+    Obs.Metrics.add m_misses t.misses;
+    Obs.Metrics.add m_evictions t.evictions;
+    Obs.Metrics.add m_flushes t.flushes
   end
 
 let owner_in_set t ~set who =

@@ -78,6 +78,21 @@ val is_cached : t -> int -> bool
 val flush : t -> int -> unit
 (** Evict the line containing the address, wherever it is ([clflush]). *)
 
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** fills that displaced a valid line *)
+  flushes : int;  (** [flush] calls that found the line present *)
+}
+
+val stats : t -> stats
+(** Lifetime telemetry of this cache instance, maintained
+    unconditionally (plain increments on the access path). *)
+
+val observe_metrics : t -> unit
+(** Publish {!stats} into {!Zipchannel_obs.Obs.Metrics} under the
+    [cache.*] namespace.  No-op while Obs is disabled. *)
+
 val owner_in_set : t -> set:int -> owner -> int
 (** Number of ways of a global set currently holding lines of [owner]. *)
 

@@ -4,10 +4,24 @@ type t = {
   prng : Zipchannel_util.Prng.t;
   cos : int;
   addr_memo : (int, int array) Hashtbl.t; (* set -> eviction buffer lines *)
+  (* Telemetry: set-granular prime/probe rounds and lines measured as
+     evicted, maintained unconditionally, published to Obs on demand. *)
+  mutable primes : int;
+  mutable probes : int;
+  mutable probe_evictions : int;
 }
 
 let create ?(timing = Timing.default) ?(cos = 0) ~cache ~prng () =
-  { cache; timing; prng; cos; addr_memo = Hashtbl.create 256 }
+  {
+    cache;
+    timing;
+    prng;
+    cos;
+    addr_memo = Hashtbl.create 256;
+    primes = 0;
+    probes = 0;
+    probe_evictions = 0;
+  }
 
 let cos t = t.cos
 
@@ -37,6 +51,7 @@ let eviction_lines t ~set =
   if Array.length lines = n then lines else Array.sub lines 0 n
 
 let prime_lines t lines =
+  t.primes <- t.primes + 1;
   for seq = 0 to Array.length lines - 1 do
     ignore
       (Cache.access t.cache ~cos:t.cos ~owner:Attacker
@@ -44,6 +59,7 @@ let prime_lines t lines =
   done
 
 let probe_lines t lines =
+  t.probes <- t.probes + 1;
   let evicted = ref 0 in
   for seq = 0 to Array.length lines - 1 do
     (* One access both observes the hit/miss and refills the line, so the
@@ -56,7 +72,27 @@ let probe_lines t lines =
     in
     if not (Timing.measure t.timing t.prng ~hit) then incr evicted
   done;
+  t.probe_evictions <- t.probe_evictions + !evicted;
   !evicted
+
+type stats = { primes : int; probes : int; probe_evictions : int }
+
+let stats (t : t) : stats =
+  { primes = t.primes; probes = t.probes; probe_evictions = t.probe_evictions }
+
+module Obs = Zipchannel_obs.Obs
+
+let m_primes = Obs.Metrics.counter "prime_probe.primes"
+let m_probes = Obs.Metrics.counter "prime_probe.probes"
+let m_probe_evictions = Obs.Metrics.counter "prime_probe.evictions"
+
+let observe_metrics (t : t) =
+  if Obs.enabled () then begin
+    Obs.Metrics.add m_primes t.primes;
+    Obs.Metrics.add m_probes t.probes;
+    Obs.Metrics.add m_probe_evictions t.probe_evictions;
+    Cache.observe_metrics t.cache
+  end
 
 let prime t ~set = prime_lines t (eviction_lines t ~set)
 

@@ -44,6 +44,19 @@ val prime_lines : t -> int array -> unit
 val probe_lines : t -> int array -> int
 (** [probe] over a precomputed {!eviction_lines} array. *)
 
+type stats = {
+  primes : int;  (** set-granular prime rounds *)
+  probes : int;  (** set-granular probe rounds *)
+  probe_evictions : int;  (** lines measured as evicted across probes *)
+}
+
+val stats : t -> stats
+
+val observe_metrics : t -> unit
+(** Publish {!stats} (plus the underlying {!Cache.stats}) into
+    {!Zipchannel_obs.Obs.Metrics} under [prime_probe.*] / [cache.*].
+    No-op while Obs is disabled. *)
+
 val prime_sets : t -> sets:int list -> unit
 
 val probe_sets : t -> sets:int list -> (int * int) list

@@ -169,12 +169,33 @@ let train_sample t ~learning_rate ~momentum x label =
     done
   done
 
+module Obs = Zipchannel_obs.Obs
+
+let m_epochs = Obs.Metrics.counter "classifier.epochs"
+let m_samples = Obs.Metrics.counter "classifier.samples"
+let g_epoch_loss = Obs.Metrics.gauge "classifier.epoch_loss"
+
 let train ?(epochs = 30) ?(learning_rate = 0.01) ?(momentum = 0.9) t ~x ~y =
   if Array.length x <> Array.length y then invalid_arg "Mlp.train: sizes";
+  Obs.with_span "mlp.train"
+    ~attrs:
+      [
+        ("epochs", string_of_int epochs);
+        ("samples", string_of_int (Array.length x));
+      ]
+  @@ fun () ->
+  let progress = Obs.Progress.create ~total:epochs ~label:"mlp.train" () in
   let order = Array.init (Array.length x) (fun i -> i) in
   for _ = 1 to epochs do
     Prng.shuffle t.prng order;
     Array.iter
       (fun i -> train_sample t ~learning_rate ~momentum x.(i) y.(i))
-      order
-  done
+      order;
+    Obs.Metrics.incr m_epochs;
+    Obs.Metrics.add m_samples (Array.length x);
+    (* [loss] only runs forward passes (no PRNG draws), so sampling it
+       for telemetry cannot perturb the trained weights. *)
+    if Obs.enabled () then Obs.Metrics.set_gauge g_epoch_loss (loss t ~x ~y);
+    Obs.Progress.step progress
+  done;
+  Obs.Progress.finish progress

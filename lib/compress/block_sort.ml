@@ -91,6 +91,9 @@ let fallback_sort block = Bwt.sort_rotations_work block
 let default_budget_factor = 30
 
 let block_sort ?(budget_factor = default_budget_factor) ~full_block block =
+  Zipchannel_obs.Obs.with_span "bwt.sort"
+    ~attrs:[ ("bytes", string_of_int (Bytes.length block)) ]
+  @@ fun () ->
   if not full_block then begin
     let perm, work = fallback_sort block in
     (perm, { segments = [ { func = Fallback_sort; work } ]; abandoned = false })

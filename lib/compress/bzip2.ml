@@ -122,7 +122,23 @@ let read_selectors r ~n_groups ~count =
       order.(0) <- v;
       v)
 
+module Obs = Zipchannel_obs.Obs
+
+let m_bytes_in = Obs.Metrics.counter "kernel.bzip2.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "kernel.bzip2.bytes_out"
+let m_blocks = Obs.Metrics.counter "kernel.bzip2.blocks"
+let h_block_bytes = Obs.Metrics.histogram "kernel.bzip2.block_bytes"
+
 let compress_block w ~budget_factor ~block_size ~index block =
+  Obs.with_span "bzip2.block"
+    ~attrs:
+      [
+        ("index", string_of_int index);
+        ("bytes", string_of_int (Bytes.length block));
+      ]
+  @@ fun () ->
+  Obs.Metrics.incr m_blocks;
+  Obs.Metrics.observe h_block_bytes (Bytes.length block);
   let full_block = Bytes.length block = block_size in
   let perm, path = Block_sort.block_sort ~budget_factor ~full_block block in
   let last, primary = Bwt.transform_with ~perm block in
@@ -146,6 +162,9 @@ let compress_block w ~budget_factor ~block_size ~index block =
 let compress_with_info ?(block_size = default_block_size)
     ?(budget_factor = Block_sort.default_budget_factor) ?(jobs = 1) input =
   if block_size < 16 then invalid_arg "Bzip2.compress: block_size too small";
+  Obs.with_span "bzip2.compress"
+    ~attrs:[ ("bytes", string_of_int (Bytes.length input)) ]
+  @@ fun () ->
   let data = Rle1.encode input in
   let n = Bytes.length data in
   let w = Bitio.Writer.create () in
@@ -178,7 +197,10 @@ let compress_with_info ?(block_size = default_block_size)
       [] parts
   in
   Bitio.Writer.add_bits_msb w ~value:end_marker ~count:8;
-  (Bitio.Writer.to_bytes w, List.rev infos)
+  let out = Bitio.Writer.to_bytes w in
+  Obs.Metrics.add m_bytes_in (Bytes.length input);
+  Obs.Metrics.add m_bytes_out (Bytes.length out);
+  (out, List.rev infos)
 
 let compress ?block_size ?budget_factor ?jobs input =
   fst (compress_with_info ?block_size ?budget_factor ?jobs input)

@@ -132,7 +132,18 @@ let decode_tokens data =
   loop ();
   List.rev !tokens
 
+module Obs = Zipchannel_obs.Obs
+
+let m_bytes_in = Obs.Metrics.counter "kernel.deflate.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "kernel.deflate.bytes_out"
+
 let compress ?strategy ?max_chain input =
-  encode_tokens (Lz77.tokenize ?strategy ?max_chain input)
+  Obs.with_span "deflate.compress"
+    ~attrs:[ ("bytes", string_of_int (Bytes.length input)) ]
+  @@ fun () ->
+  let out = encode_tokens (Lz77.tokenize ?strategy ?max_chain input) in
+  Obs.Metrics.add m_bytes_in (Bytes.length input);
+  Obs.Metrics.add m_bytes_out (Bytes.length out);
+  out
 
 let decompress data = Lz77.detokenize (decode_tokens data)

@@ -1,3 +1,9 @@
+module Obs = Zipchannel_obs.Obs
+
+let m_literals = Obs.Metrics.counter "kernel.lz77.literals"
+let m_matches = Obs.Metrics.counter "kernel.lz77.matches"
+let h_match_len = Obs.Metrics.histogram "kernel.lz77.match_len"
+
 let min_match = 3
 let max_match = 258
 let window_size = 32768
@@ -146,6 +152,20 @@ let tokenize ?(strategy = Greedy) ?(max_chain = 128) input =
       | Some (plen, pdist) -> emit (Match { length = plen; distance = pdist })
       | None -> ()));
   let buf = !tokens in
+  (* Telemetry over the finished token array: a single extra pass, run
+     only when metrics are on, so the disabled path is untouched. *)
+  if Obs.enabled () then begin
+    let lits = ref 0 and matches = ref 0 in
+    for i = 0 to !ntokens - 1 do
+      match buf.(i) with
+      | Literal _ -> incr lits
+      | Match { length; _ } ->
+          incr matches;
+          Obs.Metrics.observe h_match_len length
+    done;
+    Obs.Metrics.add m_literals !lits;
+    Obs.Metrics.add m_matches !matches
+  end;
   let rec build i acc = if i < 0 then acc else build (i - 1) (buf.(i) :: acc) in
   build (!ntokens - 1) []
 

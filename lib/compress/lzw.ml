@@ -127,7 +127,16 @@ module Stepper = struct
   let flush t = (t.ent, emit_width t)
 end
 
+module Obs = Zipchannel_obs.Obs
+
+let m_bytes_in = Obs.Metrics.counter "kernel.lzw.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "kernel.lzw.bytes_out"
+let m_probes = Obs.Metrics.counter "kernel.lzw.htab_probes"
+
 let compress_with_probes input =
+  Obs.with_span "lzw.compress"
+    ~attrs:[ ("bytes", string_of_int (Bytes.length input)) ]
+  @@ fun () ->
   let n = Bytes.length input in
   let w = Bitio.Writer.create () in
   Bitio.Writer.add_bits_lsb w ~value:(n land 0xffff) ~count:16;
@@ -145,7 +154,11 @@ let compress_with_probes input =
     let code, width = Stepper.flush st in
     Bitio.Writer.add_bits_lsb w ~value:code ~count:width
   end;
-  (Bitio.Writer.to_bytes w, List.rev !probes)
+  let out = Bitio.Writer.to_bytes w in
+  Obs.Metrics.add m_bytes_in n;
+  Obs.Metrics.add m_bytes_out (Bytes.length out);
+  if Obs.enabled () then Obs.Metrics.add m_probes (List.length !probes);
+  (out, List.rev !probes)
 
 let compress input = fst (compress_with_probes input)
 

@@ -13,13 +13,33 @@ type outcome = {
 
 let default_seed = 0x21bc
 
+module Obs = Zipchannel_obs.Obs
+
+(* Metrics snapshot taken at the last [header], so [footer] can attach
+   the experiment's own metric growth to its report.  Only read/written
+   when Obs is enabled; with Obs off the report stays byte-identical to
+   the pre-Obs output. *)
+let before_snapshot = ref None
+
 let header ppf id title =
+  if Obs.enabled () then before_snapshot := Some (Obs.Metrics.snapshot ());
   Format.fprintf ppf "@.=== %s: %s ===@." id title
 
 let footer ppf outcome =
   List.iter
     (fun (k, v) -> Format.fprintf ppf "  %-32s %.4f@." k v)
     outcome.metrics;
+  (if Obs.enabled () then
+     match !before_snapshot with
+     | Some before ->
+         before_snapshot := None;
+         let after = Obs.Metrics.snapshot () in
+         let d = Obs.Metrics.delta ~before ~after in
+         if not (Obs.Metrics.is_empty d) then begin
+           Format.fprintf ppf "  -- metrics (this experiment) --@.";
+           Obs.Metrics.pp_snapshot ppf d
+         end
+     | None -> ());
   outcome
 
 (* ------------------------------------------------------------------ *)
@@ -667,27 +687,62 @@ let e18_zlib_sgx_attack ?(seed = default_seed) ?(size = 4000) ppf =
         ];
     }
 
-let all ?(seed = default_seed) ?jobs ppf =
-  (* Explicit sequencing: list literals evaluate right to left. *)
-  let o1 = e1_zlib_gadget ~seed ?jobs ppf in
-  let o2 = e2_lzw_gadget ~seed ?jobs ppf in
-  let o3 = e3_bzip2_gadget ~seed ?jobs ppf in
-  let o4 = e4_survey ~seed ?jobs ppf in
-  let o5 = e5_zlib_recovery ~seed ?jobs ppf in
-  let o6 = e6_lzw_recovery ~seed ?jobs ppf in
-  let o7 = e7_sgx_attack ~seed ppf in
-  let o8 = e8_sgx_ablations ~seed ppf in
-  let o9 = e9_sort_control_flow ~seed ppf in
-  let o10 = e10_fingerprint_corpus ~seed ?jobs ppf in
-  let o11 = e11_fingerprint_repetitiveness ~seed ?jobs ppf in
-  let o12 = e12_aes_validation ~seed ppf in
-  let o13 = e13_memcpy_divergence ppf in
-  let o14 = e14_mitigation ~seed ppf in
-  let o15 = e15_timer_stepping ~seed ppf in
-  let o16 = e16_tool_comparison ~seed ppf in
-  let o17 = e17_lzw_sgx_attack ~seed ppf in
-  let o18 = e18_zlib_sgx_attack ~seed ppf in
+let ids =
   [
-    o1; o2; o3; o4; o5; o6; o7; o8; o9; o10; o11; o12; o13; o14; o15; o16;
-    o17; o18;
+    "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
+    "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18";
   ]
+
+(* One dispatch point for bench, both CLIs, and [all]: experiment id
+   (case-insensitive) to the runner with its default sizes. *)
+let dispatch ~seed ?jobs id =
+  let jobs_or d = Option.value ~default:d jobs in
+  match String.lowercase_ascii id with
+  | "e1" -> Some (fun ppf -> e1_zlib_gadget ~seed ~jobs:(jobs_or 1) ppf)
+  | "e2" -> Some (fun ppf -> e2_lzw_gadget ~seed ~jobs:(jobs_or 1) ppf)
+  | "e3" -> Some (fun ppf -> e3_bzip2_gadget ~seed ~jobs:(jobs_or 1) ppf)
+  | "e4" -> Some (fun ppf -> e4_survey ~seed ~jobs:(jobs_or 1) ppf)
+  | "e5" -> Some (fun ppf -> e5_zlib_recovery ~seed ~jobs:(jobs_or 1) ppf)
+  | "e6" -> Some (fun ppf -> e6_lzw_recovery ~seed ~jobs:(jobs_or 1) ppf)
+  | "e7" -> Some (fun ppf -> e7_sgx_attack ~seed ppf)
+  | "e8" -> Some (fun ppf -> e8_sgx_ablations ~seed ppf)
+  | "e9" -> Some (fun ppf -> e9_sort_control_flow ~seed ppf)
+  | "e10" -> Some (fun ppf -> e10_fingerprint_corpus ~seed ?jobs ppf)
+  | "e11" -> Some (fun ppf -> e11_fingerprint_repetitiveness ~seed ?jobs ppf)
+  | "e12" -> Some (fun ppf -> e12_aes_validation ~seed ppf)
+  | "e13" -> Some (fun ppf -> e13_memcpy_divergence ppf)
+  | "e14" -> Some (fun ppf -> e14_mitigation ~seed ppf)
+  | "e15" -> Some (fun ppf -> e15_timer_stepping ~seed ppf)
+  | "e16" -> Some (fun ppf -> e16_tool_comparison ~seed ppf)
+  | "e17" -> Some (fun ppf -> e17_lzw_sgx_attack ~seed ppf)
+  | "e18" -> Some (fun ppf -> e18_zlib_sgx_attack ~seed ppf)
+  | _ -> None
+
+let run ?(seed = default_seed) ?jobs ~id ppf =
+  match dispatch ~seed ?jobs id with
+  | None -> None
+  | Some f ->
+      Some
+        (Obs.with_span
+           ("experiment." ^ String.lowercase_ascii id)
+           (fun () -> f ppf))
+
+let all ?(seed = default_seed) ?jobs ppf =
+  let progress =
+    Obs.Progress.create ~total:(List.length ids) ~interval_ns:0
+      ~label:"experiments" ()
+  in
+  let outcomes =
+    List.map
+      (fun id ->
+        let o =
+          match run ~seed ?jobs ~id ppf with
+          | Some o -> o
+          | None -> assert false
+        in
+        Obs.Progress.step progress;
+        o)
+      ids
+  in
+  Obs.Progress.finish progress;
+  outcomes

@@ -87,7 +87,19 @@ val e18_zlib_sgx_attack : ?seed:int -> ?size:int -> Format.formatter -> outcome
     the SGX controlled channel, on lowercase text (full recovery) and
     random data (the unconditional 2-bit leak). *)
 
+val ids : string list
+(** ["E1"; ...; "E18"], the valid inputs to {!run}. *)
+
+val run :
+  ?seed:int -> ?jobs:int -> id:string -> Format.formatter -> outcome option
+(** Run one experiment by id (case-insensitive), wrapped in an
+    [experiment.<id>] span.  [None] for an unknown id.  [jobs] reaches
+    the experiments that accept it.  This is the dispatch point shared
+    by bench and both CLIs. *)
+
 val all :
   ?seed:int -> ?jobs:int -> Format.formatter -> outcome list
 (** Run E1–E18 in order.  [jobs] is passed to the experiments that
-    support it; every metric is identical for any value. *)
+    support it; every metric is identical for any value.  With
+    {!Zipchannel_obs.Obs.Progress} enabled, prints one progress line per
+    completed experiment. *)

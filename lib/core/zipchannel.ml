@@ -43,5 +43,9 @@ module Parallel = Zipchannel_parallel
 (** Multicore work pool backing the [?jobs] parameters of the block
     compressors and the corpus experiments. *)
 
+module Obs = Zipchannel_obs.Obs
+(** Observability: process-wide metrics, span tracing, and progress
+    reporting wired through every layer above. *)
+
 module Experiments = Experiments
 (** Reproductions of every figure and evaluation number in the paper. *)

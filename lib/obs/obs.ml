@@ -1,0 +1,435 @@
+(* Process-wide metrics, span tracing and progress reporting.
+
+   Counters/histograms are sharded: each metric owns [shards] atomic
+   slots and a domain writes slot [domain_id land (shards - 1)].  Reads
+   sum the slots.  This keeps the write path lock-free and contention
+   low under the Domain pool while staying exact (no sampling). *)
+
+let shards = 16
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let shard_index () = (Domain.self () :> int) land (shards - 1)
+
+module Metrics = struct
+  type counter = int Atomic.t array
+
+  type gauge = { g_set : bool Atomic.t; g_bits : int64 Atomic.t }
+
+  (* Per-shard histogram state: sample count, running sum, and one slot
+     per log2 bucket (63 buckets cover every non-negative OCaml int). *)
+  type histogram = {
+    h_count : int Atomic.t array;
+    h_sum : int Atomic.t array;
+    h_buckets : int Atomic.t array array; (* shard -> bucket -> count *)
+  }
+
+  let buckets_per_histogram = 63
+
+  type metric =
+    | Counter of counter
+    | Gauge of gauge
+    | Histogram of histogram
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+  let registry_lock = Mutex.create ()
+
+  let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
+
+  let register name make cast =
+    Mutex.lock registry_lock;
+    let m =
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.add registry name m;
+        m
+    in
+    Mutex.unlock registry_lock;
+    cast m
+
+  let counter name =
+    register name
+      (fun () -> Counter (atomic_array shards))
+      (function
+        | Counter c -> c
+        | _ -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is not a counter"))
+
+  let add c n =
+    if Atomic.get enabled_flag then
+      ignore (Atomic.fetch_and_add c.(shard_index ()) n)
+
+  let incr c = add c 1
+
+  let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+  let gauge name =
+    register name
+      (fun () ->
+        Gauge { g_set = Atomic.make false; g_bits = Atomic.make 0L })
+      (function
+        | Gauge g -> g
+        | _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is not a gauge"))
+
+  let set_gauge g v =
+    if Atomic.get enabled_flag then begin
+      Atomic.set g.g_bits (Int64.bits_of_float v);
+      Atomic.set g.g_set true
+    end
+
+  let gauge_value g = Int64.float_of_bits (Atomic.get g.g_bits)
+
+  let histogram name =
+    register name
+      (fun () ->
+        Histogram
+          {
+            h_count = atomic_array shards;
+            h_sum = atomic_array shards;
+            h_buckets =
+              Array.init shards (fun _ -> atomic_array buckets_per_histogram);
+          })
+      (function
+        | Histogram h -> h
+        | _ ->
+          invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " is not a histogram"))
+
+  (* Bucket 0 holds v <= 1; bucket b >= 1 holds 2^(b-1) < v <= ... i.e.
+     b = bits needed for (v - 1); monotone in v, cheap to compute. *)
+  let bucket_of v =
+    if v <= 1 then 0
+    else
+      let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+      bits (v - 1) 0
+
+  let observe h v =
+    if Atomic.get enabled_flag then begin
+      let s = shard_index () in
+      ignore (Atomic.fetch_and_add h.h_count.(s) 1);
+      ignore (Atomic.fetch_and_add h.h_sum.(s) v);
+      ignore (Atomic.fetch_and_add h.h_buckets.(s).(bucket_of v) 1)
+    end
+
+  type histogram_snapshot = {
+    count : int;
+    sum : int;
+    buckets : (int * int) list;
+  }
+
+  type snapshot = {
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * histogram_snapshot) list;
+  }
+
+  let histogram_snapshot h =
+    let count = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 h.h_count in
+    let sum = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 h.h_sum in
+    let buckets = ref [] in
+    for b = buckets_per_histogram - 1 downto 0 do
+      let n =
+        Array.fold_left (fun acc row -> acc + Atomic.get row.(b)) 0 h.h_buckets
+      in
+      if n > 0 then buckets := (b, n) :: !buckets
+    done;
+    { count; sum; buckets = !buckets }
+
+  let snapshot () =
+    Mutex.lock registry_lock;
+    let entries = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+    Mutex.unlock registry_lock;
+    let entries =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+    in
+    let counters = ref [] and gauges = ref [] and histograms = ref [] in
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | Counter c ->
+          let v = counter_value c in
+          if v <> 0 then counters := (name, v) :: !counters
+        | Gauge g ->
+          if Atomic.get g.g_set then gauges := (name, gauge_value g) :: !gauges
+        | Histogram h ->
+          let hs = histogram_snapshot h in
+          if hs.count <> 0 then histograms := (name, hs) :: !histograms)
+      entries;
+    {
+      counters = List.rev !counters;
+      gauges = List.rev !gauges;
+      histograms = List.rev !histograms;
+    }
+
+  let reset () =
+    Mutex.lock registry_lock;
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | Counter c -> Array.iter (fun a -> Atomic.set a 0) c
+        | Gauge g ->
+          Atomic.set g.g_set false;
+          Atomic.set g.g_bits 0L
+        | Histogram h ->
+          Array.iter (fun a -> Atomic.set a 0) h.h_count;
+          Array.iter (fun a -> Atomic.set a 0) h.h_sum;
+          Array.iter (Array.iter (fun a -> Atomic.set a 0)) h.h_buckets)
+      registry;
+    Mutex.unlock registry_lock
+
+  let delta ~before ~after =
+    let find name xs = List.assoc_opt name xs in
+    let counters =
+      List.filter_map
+        (fun (name, v) ->
+          let v0 = Option.value ~default:0 (find name before.counters) in
+          if v - v0 <> 0 then Some (name, v - v0) else None)
+        after.counters
+    in
+    let gauges =
+      List.filter
+        (fun (name, v) -> find name before.gauges <> Some v)
+        after.gauges
+    in
+    let histograms =
+      List.filter_map
+        (fun (name, hs) ->
+          let hs0 =
+            Option.value
+              ~default:{ count = 0; sum = 0; buckets = [] }
+              (find name before.histograms)
+          in
+          if hs.count = hs0.count then None
+          else
+            let buckets =
+              List.filter_map
+                (fun (b, n) ->
+                  let n0 =
+                    Option.value ~default:0 (List.assoc_opt b hs0.buckets)
+                  in
+                  if n - n0 > 0 then Some (b, n - n0) else None)
+                hs.buckets
+            in
+            Some
+              ( name,
+                {
+                  count = hs.count - hs0.count;
+                  sum = hs.sum - hs0.sum;
+                  buckets;
+                } ))
+        after.histograms
+    in
+    { counters; gauges; histograms }
+
+  let is_empty s = s.counters = [] && s.gauges = [] && s.histograms = []
+
+  let pp_snapshot ppf s =
+    let open Format in
+    List.iter (fun (name, v) -> fprintf ppf "  %-42s %d@." name v) s.counters;
+    List.iter (fun (name, v) -> fprintf ppf "  %-42s %.4f@." name v) s.gauges;
+    List.iter
+      (fun (name, hs) ->
+        let mean =
+          if hs.count = 0 then 0. else float_of_int hs.sum /. float_of_int hs.count
+        in
+        fprintf ppf "  %-42s count=%d sum=%d mean=%.1f@." name hs.count hs.sum
+          mean)
+      s.histograms
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_float v =
+    (* JSON has no NaN/infinity literals; clamp to 0. *)
+    if Float.is_nan v || Float.abs v = Float.infinity then "0"
+    else if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.6g" v
+
+  let snapshot_to_json s =
+    let b = Buffer.create 1024 in
+    let field_sep = ref "" in
+    let obj xs f =
+      Buffer.add_char b '{';
+      let sep = ref "" in
+      List.iter
+        (fun x ->
+          Buffer.add_string b !sep;
+          sep := ", ";
+          f x)
+        xs;
+      Buffer.add_char b '}'
+    in
+    Buffer.add_char b '{';
+    let section name xs f =
+      Buffer.add_string b !field_sep;
+      field_sep := ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": " name);
+      obj xs f
+    in
+    section "counters" s.counters (fun (name, v) ->
+        Buffer.add_string b (Printf.sprintf "\"%s\": %d" (json_escape name) v));
+    section "gauges" s.gauges (fun (name, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\": %s" (json_escape name) (json_float v)));
+    section "histograms" s.histograms (fun (name, hs) ->
+        Buffer.add_string b (Printf.sprintf "\"%s\": " (json_escape name));
+        Buffer.add_string b
+          (Printf.sprintf "{\"count\": %d, \"sum\": %d, \"buckets\": " hs.count
+             hs.sum);
+        obj hs.buckets (fun (bk, n) ->
+            Buffer.add_string b (Printf.sprintf "\"%d\": %d" bk n));
+        Buffer.add_char b '}');
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+  let flat_pairs s =
+    List.map (fun (name, v) -> (name, float_of_int v)) s.counters
+    @ s.gauges
+    @ List.concat_map
+        (fun (name, hs) ->
+          [
+            (name ^ ".count", float_of_int hs.count);
+            (name ^ ".sum", float_of_int hs.sum);
+          ])
+        s.histograms
+end
+
+module Trace = struct
+  type sink = Null | Stderr | Jsonl of out_channel
+
+  (* The sink is read on every with_span; boxed in an atomic so domains
+     see a consistent value.  Writes to the sink itself are serialised
+     by [emit_lock]. *)
+  let current : sink Atomic.t = Atomic.make Null
+  let emit_lock = Mutex.create ()
+
+  let set_sink s = Atomic.set current s
+  let sink () = Atomic.get current
+  let active () = Atomic.get current <> Null
+end
+
+(* Per-domain span nesting depth, used both for JSONL nesting checks and
+   stderr indentation. *)
+let span_depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let emit_line oc line =
+  Mutex.lock Trace.emit_lock;
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  Mutex.unlock Trace.emit_lock
+
+let attrs_json attrs =
+  match attrs with
+  | [] -> ""
+  | attrs ->
+    let fields =
+      List.map
+        (fun (k, v) ->
+          Printf.sprintf "\"%s\": \"%s\"" (Metrics.json_escape k)
+            (Metrics.json_escape v))
+        attrs
+    in
+    Printf.sprintf ", \"attrs\": {%s}" (String.concat ", " fields)
+
+let with_span ?(attrs = []) name f =
+  match Atomic.get Trace.current with
+  | Null -> f ()
+  | sink ->
+    let depth = Domain.DLS.get span_depth_key in
+    let d = !depth in
+    depth := d + 1;
+    let domain = (Domain.self () :> int) in
+    let t0 = now_ns () in
+    (match sink with
+    | Jsonl oc ->
+      emit_line oc
+        (Printf.sprintf
+           "{\"ev\": \"b\", \"name\": \"%s\", \"domain\": %d, \"depth\": %d, \
+            \"ts_ns\": %d%s}"
+           (Metrics.json_escape name) domain d t0 (attrs_json attrs))
+    | _ -> ());
+    let finish () =
+      let dur = now_ns () - t0 in
+      depth := d;
+      match sink with
+      | Jsonl oc ->
+        emit_line oc
+          (Printf.sprintf
+             "{\"ev\": \"e\", \"name\": \"%s\", \"domain\": %d, \"depth\": %d, \
+              \"ts_ns\": %d, \"dur_ns\": %d%s}"
+             (Metrics.json_escape name) domain d (now_ns ()) dur
+             (attrs_json attrs))
+      | Stderr ->
+        let attrs_s =
+          match attrs with
+          | [] -> ""
+          | attrs ->
+            " ["
+            ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+            ^ "]"
+        in
+        emit_line stderr
+          (Printf.sprintf "span %s%s%s %.3fms (domain %d)"
+             (String.make (2 * d) ' ')
+             name attrs_s
+             (float_of_int dur /. 1e6)
+             domain)
+      | Null -> ()
+    in
+    Fun.protect ~finally:finish f
+
+module Progress = struct
+  let flag = Atomic.make false
+  let set_enabled b = Atomic.set flag b
+  let enabled () = Atomic.get flag
+
+  type t = {
+    label : string;
+    total : int option;
+    interval_ns : int;
+    mutable count : int;
+    mutable last_emit : int;
+  }
+
+  let create ?total ?(interval_ns = 500_000_000) ~label () =
+    { label; total; interval_ns; count = 0; last_emit = now_ns () }
+
+  let emit t =
+    let line =
+      match t.total with
+      | Some total ->
+        Printf.sprintf "[%s] %d/%d (%.1f%%)" t.label t.count total
+          (100. *. float_of_int t.count /. float_of_int (max 1 total))
+      | None -> Printf.sprintf "[%s] %d" t.label t.count
+    in
+    emit_line stderr line
+
+  let step ?(delta = 1) t =
+    if Atomic.get flag then begin
+      t.count <- t.count + delta;
+      let now = now_ns () in
+      if now - t.last_emit >= t.interval_ns then begin
+        t.last_emit <- now;
+        emit t
+      end
+    end
+
+  let finish t = if Atomic.get flag then emit t
+end

@@ -1,0 +1,135 @@
+(** Process-wide observability: metrics, span tracing, progress lines.
+
+    Every hot layer of the reproduction (compression kernels, the taint
+    engine, the cache/SGX model, recovery, the classifier) reports into
+    this module.  The design constraint is the same one the kernels live
+    under: telemetry must never change an experiment's output.  All
+    reporting is therefore {e side-band} — nothing is printed to the
+    experiment formatters — and near-free when disabled: every entry
+    point is one atomic load and a predictable branch.
+
+    Domain-safety: counters and histograms are sharded per domain (shard
+    index = domain id mod shard count, each shard an [Atomic.t]) and
+    merged on read, so instrumented code running under
+    {!Zipchannel_parallel.Pool} needs no locks and [?jobs] stays
+    byte-identical. *)
+
+val enabled : unit -> bool
+(** Are metrics being recorded?  Guards any instrumentation whose
+    {e argument computation} is itself costly (e.g. walking a token list
+    to fill a histogram). *)
+
+val set_enabled : bool -> unit
+(** Turn metric recording on or off (default: off). *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds (CLOCK_MONOTONIC via the bechamel
+    stub).  Only meaningful as a difference. *)
+
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  (** Register (or fetch) the counter named [name].  Call at module
+      initialisation and keep the handle; registration takes a lock. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  (** No-ops while {!enabled} is false. *)
+
+  val counter_value : counter -> int
+  (** Sum over all domain shards. *)
+
+  val gauge : string -> gauge
+
+  val set_gauge : gauge -> float -> unit
+  (** Last write wins (across domains, in no particular order).  No-op
+      while disabled. *)
+
+  val gauge_value : gauge -> float
+
+  val histogram : string -> histogram
+
+  val observe : histogram -> int -> unit
+  (** Record a sample into its log2 bucket (bucket [b] holds values [v]
+      with [2^(b-1) <= v < 2^b]; bucket 0 holds [v <= 0]).  No-op while
+      disabled. *)
+
+  type histogram_snapshot = {
+    count : int;
+    sum : int;
+    buckets : (int * int) list;  (** (log2 bucket, count), sparse, sorted *)
+  }
+
+  type snapshot = {
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * histogram_snapshot) list;
+  }
+  (** All lists sorted by metric name, zero-valued entries dropped —
+      a deterministic function of the recorded values. *)
+
+  val snapshot : unit -> snapshot
+
+  val reset : unit -> unit
+  (** Zero every registered metric (handles stay valid). *)
+
+  val delta : before:snapshot -> after:snapshot -> snapshot
+  (** Counter/histogram growth between two snapshots; gauges keep their
+      [after] value and are dropped when unchanged. *)
+
+  val is_empty : snapshot -> bool
+
+  val pp_snapshot : Format.formatter -> snapshot -> unit
+  (** Human-readable [name value] table. *)
+
+  val snapshot_to_json : snapshot -> string
+  (** One JSON object: [{"counters": {...}, "gauges": {...},
+      "histograms": {name: {"count": .., "sum": .., "buckets": {..}}}}]. *)
+
+  val flat_pairs : snapshot -> (string * float) list
+  (** Snapshot flattened to numeric pairs (histograms become
+      [name.count]/[name.sum]), for embedding in bench JSON. *)
+end
+
+module Trace : sig
+  type sink =
+    | Null  (** discard spans (the default) *)
+    | Stderr  (** one indented human-readable line per completed span *)
+    | Jsonl of out_channel  (** one JSON object per span begin/end event *)
+
+  val set_sink : sink -> unit
+  val sink : unit -> sink
+  val active : unit -> bool
+end
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, when a sink is active, emits a
+    begin and an end event carrying the monotonic timestamp, duration,
+    domain id and per-domain nesting depth.  Spans nest strictly within
+    a domain (the end event is emitted even when [f] raises); spans of
+    different domains interleave in the JSONL stream and are
+    distinguished by their [domain] field.  With the [Null] sink the
+    cost is one atomic load. *)
+
+module Progress : sig
+  (** Rate-limited one-line progress reports on stderr, for long attacks
+      and experiment sweeps ([--progress]).  Disabled by default; every
+      [step] is one atomic load when off. *)
+
+  val set_enabled : bool -> unit
+  val enabled : unit -> bool
+
+  type t
+
+  val create : ?total:int -> ?interval_ns:int -> label:string -> unit -> t
+  (** [interval_ns] is the minimum gap between printed lines (default
+      500 ms; 0 prints every step).  A [t] is single-domain. *)
+
+  val step : ?delta:int -> t -> unit
+
+  val finish : t -> unit
+  (** Print the final count unconditionally (when enabled). *)
+end

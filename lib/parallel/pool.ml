@@ -1,5 +1,13 @@
 let available_jobs () = Domain.recommended_domain_count ()
 
+let normalize_jobs j =
+  if j < 0 then
+    Error
+      (Printf.sprintf
+         "jobs must be a positive domain count (or 0 for auto), got %d" j)
+  else if j = 0 then Ok (available_jobs ())
+  else Ok j
+
 let map_array ~jobs f xs =
   let n = Array.length xs in
   if jobs <= 1 || n <= 1 then Array.map f xs

@@ -16,6 +16,12 @@ val available_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible upper bound for
     [jobs]. *)
 
+val normalize_jobs : int -> (int, string) result
+(** Validate a user-supplied job count: negative values are an [Error]
+    with a usable message, [0] means "auto" and resolves to
+    {!available_jobs}, anything else passes through.  Both CLIs route
+    their [--jobs] flags here so the policy stays in one place. *)
+
 val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map.  If any application raises, one of the
     raised exceptions is re-raised in the caller after all domains have

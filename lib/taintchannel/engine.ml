@@ -54,6 +54,12 @@ type t = {
   pages : (int, Tval.t array) Hashtbl.t; (* page index -> 4 KiB of slots *)
   mutable tlb_index : int; (* page index of [tlb_page], -1 when cold *)
   mutable tlb_page : Tval.t array;
+  (* Plain telemetry counters: always maintained (an increment is far
+     below the noise floor of a shadow access), published to Obs only on
+     demand so instrumentation cannot perturb results. *)
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable pages_mapped : int;
 }
 
 let create ?(log_limit = 100_000) ~name input =
@@ -75,6 +81,9 @@ let create ?(log_limit = 100_000) ~name input =
     pages = Hashtbl.create 64;
     tlb_index = -1;
     tlb_page = [||];
+    tlb_hits = 0;
+    tlb_misses = 0;
+    pages_mapped = 0;
   }
 
 let name t = t.name
@@ -89,14 +98,19 @@ let input_byte t i =
 (* The page holding [addr], faulted in on first touch. *)
 let page_for t addr =
   let idx = addr lsr page_bits in
-  if idx = t.tlb_index then t.tlb_page
+  if idx = t.tlb_index then begin
+    t.tlb_hits <- t.tlb_hits + 1;
+    t.tlb_page
+  end
   else begin
+    t.tlb_misses <- t.tlb_misses + 1;
     let page =
       match Hashtbl.find_opt t.pages idx with
       | Some page -> page
       | None ->
           let page = Array.make page_slots absent in
           Hashtbl.add t.pages idx page;
+          t.pages_mapped <- t.pages_mapped + 1;
           page
     in
     t.tlb_index <- idx;
@@ -107,14 +121,19 @@ let page_for t addr =
 (* Read-only view: never allocates a page for untouched memory. *)
 let peek t addr =
   let idx = addr lsr page_bits in
-  if idx = t.tlb_index then t.tlb_page.(addr land (page_slots - 1))
-  else
+  if idx = t.tlb_index then begin
+    t.tlb_hits <- t.tlb_hits + 1;
+    t.tlb_page.(addr land (page_slots - 1))
+  end
+  else begin
+    t.tlb_misses <- t.tlb_misses + 1;
     match Hashtbl.find_opt t.pages idx with
     | Some page ->
         t.tlb_index <- idx;
         t.tlb_page <- page;
         page.(addr land (page_slots - 1))
     | None -> absent
+  end
 
 let stage_input t ~base =
   for i = 0 to Bytes.length t.input - 1 do
@@ -243,6 +262,60 @@ let control_trace t = List.init t.control_len (fun i -> t.control.(i))
 
 let address_trace t =
   List.init t.trace_len (fun i -> (t.trace_loc.(i), t.trace_addr.(i)))
+
+type stats = {
+  instructions : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  shadow_pages : int;
+  gadget_locations : int;
+  gadget_hits : int;
+}
+
+let stats t =
+  let gadget_hits =
+    Hashtbl.fold (fun _ g acc -> acc + g.g_count) t.gadget_tbl 0
+  in
+  {
+    instructions = t.seq;
+    tlb_hits = t.tlb_hits;
+    tlb_misses = t.tlb_misses;
+    shadow_pages = t.pages_mapped;
+    gadget_locations = t.gadget_count;
+    gadget_hits;
+  }
+
+module Obs = Zipchannel_obs.Obs
+
+let m_instructions = Obs.Metrics.counter "taint.instructions"
+let m_input_bytes = Obs.Metrics.counter "taint.input_bytes"
+let m_tlb_hits = Obs.Metrics.counter "taint.tlb_hits"
+let m_tlb_misses = Obs.Metrics.counter "taint.tlb_misses"
+let m_shadow_pages = Obs.Metrics.counter "taint.shadow_pages"
+let m_gadget_locations = Obs.Metrics.counter "taint.gadget_locations"
+let m_gadget_hits = Obs.Metrics.counter "taint.gadget_hits"
+let g_tlb_hit_rate = Obs.Metrics.gauge "taint.tlb_hit_rate"
+let h_gadget_hits = Obs.Metrics.histogram "taint.gadget_hits_per_case"
+
+let observe_metrics t =
+  if Obs.enabled () then begin
+    let s = stats t in
+    Obs.Metrics.add m_instructions s.instructions;
+    Obs.Metrics.add m_input_bytes (input_length t);
+    Obs.Metrics.add m_tlb_hits s.tlb_hits;
+    Obs.Metrics.add m_tlb_misses s.tlb_misses;
+    Obs.Metrics.add m_shadow_pages s.shadow_pages;
+    Obs.Metrics.add m_gadget_locations s.gadget_locations;
+    Obs.Metrics.add m_gadget_hits s.gadget_hits;
+    Obs.Metrics.observe h_gadget_hits s.gadget_hits;
+    let accesses = s.tlb_hits + s.tlb_misses in
+    if accesses > 0 then
+      Obs.Metrics.set_gauge g_tlb_hit_rate
+        (float_of_int (Obs.Metrics.counter_value m_tlb_hits)
+        /. float_of_int
+             (Obs.Metrics.counter_value m_tlb_hits
+             + Obs.Metrics.counter_value m_tlb_misses))
+  end
 
 let report ppf t =
   Format.fprintf ppf "TaintChannel report for %s (%d input bytes, %d instructions)@.@."

@@ -70,6 +70,24 @@ val address_trace : t -> (string * int) list
     execution order — the raw material of trace-based detection tools
     ({!Trace_correlate}).  Subject to the engine's [log_limit]. *)
 
+type stats = {
+  instructions : int;
+  tlb_hits : int;  (** shadow accesses served by the single-entry TLB *)
+  tlb_misses : int;  (** shadow accesses that walked the page directory *)
+  shadow_pages : int;  (** 4 KiB shadow pages faulted in *)
+  gadget_locations : int;
+  gadget_hits : int;  (** total tainted-address occurrences *)
+}
+
+val stats : t -> stats
+(** Engine-local telemetry counters, maintained unconditionally (plain
+    increments, well below the cost of a shadow access). *)
+
+val observe_metrics : t -> unit
+(** Publish {!stats} into {!Zipchannel_obs.Obs.Metrics} under the
+    [taint.*] namespace (including the derived [taint.tlb_hit_rate]
+    gauge).  No-op while Obs is disabled. *)
+
 val report : Format.formatter -> t -> unit
 (** The full TaintChannel report: every gadget in Fig. 2 format plus a
     per-gadget input-coverage summary. *)

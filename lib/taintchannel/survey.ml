@@ -21,15 +21,34 @@ let case ?label target input =
   in
   { label; target; input }
 
+module Obs = Zipchannel_obs.Obs
+
+let m_cases = Obs.Metrics.counter "survey.cases"
+
 let run_case c =
-  match c.target with
-  | Zlib -> Zlib_gadget.run c.input
-  | Lzw -> Lzw_gadget.run c.input
-  | Bzip2 -> Bzip2_gadget.run c.input
-  | Aes { key } -> Aes.run_taint ~key c.input
+  Obs.with_span "survey.case"
+    ~attrs:
+      [
+        ("target", c.label);
+        ("input_bytes", string_of_int (Bytes.length c.input));
+      ]
+    (fun () ->
+      let engine =
+        match c.target with
+        | Zlib -> Zlib_gadget.run c.input
+        | Lzw -> Lzw_gadget.run c.input
+        | Bzip2 -> Bzip2_gadget.run c.input
+        | Aes { key } -> Aes.run_taint ~key c.input
+      in
+      Obs.Metrics.incr m_cases;
+      Engine.observe_metrics engine;
+      engine)
 
 let run ?(jobs = 1) cases =
-  Zipchannel_parallel.Pool.map_list ~jobs (fun c -> (c, run_case c)) cases
+  Obs.with_span "survey.run"
+    ~attrs:[ ("cases", string_of_int (List.length cases)) ]
+    (fun () ->
+      Zipchannel_parallel.Pool.map_list ~jobs (fun c -> (c, run_case c)) cases)
 
 let report ?jobs ppf cases =
   List.iter

@@ -18,4 +18,5 @@ let () =
       Test_mitigation.suite;
       Test_container.suite;
       Test_experiments.suite;
+      Test_obs.suite;
     ]

@@ -1,0 +1,249 @@
+(* Zipchannel.Obs: metric semantics, domain-shard merging, trace
+   nesting, and the invariant the whole module hangs on — telemetry off
+   means output byte-identical to the pre-Obs fixtures. *)
+
+open Zipchannel
+module Obs = Zipchannel_obs.Obs
+module Pool = Zipchannel_parallel.Pool
+module Prng = Util.Prng
+
+(* Every test that enables Obs must leave it disabled and zeroed, or it
+   would perturb the byte-identity tests (and any test after it). *)
+let with_obs f =
+  Obs.Metrics.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.Trace.set_sink Obs.Trace.Null;
+      Obs.Metrics.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Metric semantics *)
+
+let test_counter () =
+  with_obs @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Obs.Metrics.counter_value c);
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "snapshot carries the counter" (Some 42)
+    (List.assoc_opt "test.obs.counter" snap.Obs.Metrics.counters);
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.counter_value c)
+
+let test_gauge_and_histogram () =
+  with_obs @@ fun () ->
+  let g = Obs.Metrics.gauge "test.obs.gauge" in
+  Obs.Metrics.set_gauge g 1.5;
+  Alcotest.(check (float 1e-9)) "gauge last-write" 1.5 (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram "test.obs.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 2; 3; 100 ];
+  let snap = Obs.Metrics.snapshot () in
+  let hs = List.assoc "test.obs.hist" snap.Obs.Metrics.histograms in
+  Alcotest.(check int) "count" 5 hs.Obs.Metrics.count;
+  Alcotest.(check int) "sum" 106 hs.Obs.Metrics.sum;
+  Alcotest.(check int) "all samples bucketed" 5
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 hs.Obs.Metrics.buckets);
+  Alcotest.(check bool) "buckets sorted" true
+    (let bs = List.map fst hs.Obs.Metrics.buckets in
+     bs = List.sort_uniq compare bs)
+
+let test_disabled_noop () =
+  Obs.Metrics.reset ();
+  Obs.set_enabled false;
+  let c = Obs.Metrics.counter "test.obs.disabled" in
+  let h = Obs.Metrics.histogram "test.obs.disabled_hist" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  Obs.Metrics.observe h 7;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "snapshot empty" true
+    (Obs.Metrics.is_empty (Obs.Metrics.snapshot ()))
+
+let test_delta () =
+  with_obs @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.delta" in
+  Obs.Metrics.add c 5;
+  let before = Obs.Metrics.snapshot () in
+  Obs.Metrics.add c 3;
+  let after = Obs.Metrics.snapshot () in
+  let d = Obs.Metrics.delta ~before ~after in
+  Alcotest.(check (option int))
+    "delta is growth only" (Some 3)
+    (List.assoc_opt "test.obs.delta" d.Obs.Metrics.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Shard merging under real parallelism *)
+
+let qcheck_shard_merge =
+  QCheck.Test.make ~name:"sharded counters merge to the exact sum" ~count:30
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (int_bound 50)) (int_bound 3))
+    (fun (increments, jobs_minus_one) ->
+      with_obs @@ fun () ->
+      let c = Obs.Metrics.counter "test.obs.sharded" in
+      let jobs = jobs_minus_one + 1 in
+      ignore
+        (Pool.map_list ~jobs
+           (fun n ->
+             for _ = 1 to n do
+               Obs.Metrics.incr c
+             done)
+           increments);
+      Obs.Metrics.counter_value c = List.fold_left ( + ) 0 increments)
+
+(* The taint counters a parallel survey publishes must not depend on
+   [jobs]: per-domain shards merge to the same totals. *)
+let test_survey_parity () =
+  let input = Prng.bytes (Prng.create ~seed:7 ()) 256 in
+  let cases () =
+    Taintchannel.Survey.
+      [ case Zlib input; case Lzw input; case Bzip2 input ]
+  in
+  let counters_with jobs =
+    with_obs @@ fun () ->
+    ignore (Taintchannel.Survey.run ~jobs (cases ()));
+    (Obs.Metrics.snapshot ()).Obs.Metrics.counters
+  in
+  let seq = counters_with 1 and par = counters_with 4 in
+  Alcotest.(check bool) "survey published taint counters" true
+    (List.mem_assoc "taint.instructions" seq);
+  Alcotest.(check (list (pair string int))) "jobs=1 = jobs=4" seq par
+
+(* ------------------------------------------------------------------ *)
+(* Trace sink *)
+
+type ev = { ev : string; name : string; domain : int; depth : int }
+
+let parse_event line =
+  match
+    Scanf.sscanf_opt line "{\"ev\": %S, \"name\": %S, \"domain\": %d, \"depth\": %d"
+      (fun ev name domain depth -> { ev; name; domain; depth })
+  with
+  | Some e -> e
+  | None -> Alcotest.failf "unparseable trace line: %s" line
+
+let test_trace_nesting () =
+  let path = Filename.temp_file "zipchannel_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (let oc = open_out path in
+   Obs.Trace.set_sink (Obs.Trace.Jsonl oc);
+   Fun.protect
+     ~finally:(fun () ->
+       Obs.Trace.set_sink Obs.Trace.Null;
+       close_out oc)
+     (fun () ->
+       Obs.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+           Obs.with_span "inner" (fun () -> ());
+           Obs.with_span "inner2" (fun () -> ()));
+       (* the end event must be emitted even when the body raises *)
+       try Obs.with_span "raises" (fun () -> raise Exit)
+       with Exit -> ()));
+  let ic = open_in path in
+  let events = ref [] in
+  (try
+     while true do
+       events := parse_event (input_line ic) :: !events
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let events = List.rev !events in
+  Alcotest.(check int) "4 spans = 8 events" 8 (List.length events);
+  (* Replay against a stack: strict nesting, matching names & depths. *)
+  let stack = ref [] in
+  List.iter
+    (fun e ->
+      match e.ev with
+      | "b" ->
+          Alcotest.(check int) "begin depth = stack depth"
+            (List.length !stack) e.depth;
+          stack := e :: !stack
+      | "e" -> (
+          match !stack with
+          | top :: rest ->
+              Alcotest.(check string) "end matches innermost begin" top.name
+                e.name;
+              Alcotest.(check int) "end depth" top.depth e.depth;
+              stack := rest
+          | [] -> Alcotest.fail "end event with empty stack")
+      | other -> Alcotest.failf "unknown ev %S" other)
+    events;
+  Alcotest.(check int) "every span closed" 0 (List.length !stack);
+  Alcotest.(check (list string)) "begin order"
+    [ "outer"; "inner"; "inner2"; "raises" ]
+    (List.filter_map
+       (fun e -> if e.ev = "b" then Some e.name else None)
+       events)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity: with Obs fully disabled the instrumented code paths
+   must print exactly what the pre-Obs code printed (fixtures captured
+   before lib/obs existed). *)
+
+let read_fixture path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let capture f =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_fixture_taintchannel_zlib () =
+  let out =
+    capture (fun ppf ->
+        let input = Prng.bytes (Prng.create ~seed:123 ()) 512 in
+        Taintchannel.Engine.report ppf (Taintchannel.Zlib_gadget.run input))
+  in
+  Alcotest.(check string) "report byte-identical to pre-Obs fixture"
+    (read_fixture "fixtures/obs/taintchannel_zlib_512.txt")
+    out
+
+let test_fixture_e13 () =
+  let out =
+    capture (fun ppf -> ignore (Experiments.run ~id:"E13" ppf))
+  in
+  Alcotest.(check string) "E13 byte-identical to pre-Obs fixture"
+    (read_fixture "fixtures/obs/e13.txt")
+    out
+
+(* ------------------------------------------------------------------ *)
+(* --jobs guard *)
+
+let test_normalize_jobs () =
+  (match Pool.normalize_jobs (-1) with
+  | Error msg ->
+      Alcotest.(check bool) "error names the value" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "negative jobs accepted");
+  (match Pool.normalize_jobs 0 with
+  | Ok j -> Alcotest.(check int) "0 = auto" (Pool.available_jobs ()) j
+  | Error msg -> Alcotest.failf "jobs 0 rejected: %s" msg);
+  Alcotest.(check bool) "positive passes through" true
+    (Pool.normalize_jobs 3 = Ok 3)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter incr/add/reset" `Quick test_counter;
+      Alcotest.test_case "gauge & histogram" `Quick test_gauge_and_histogram;
+      Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+      Alcotest.test_case "snapshot delta" `Quick test_delta;
+      QCheck_alcotest.to_alcotest qcheck_shard_merge;
+      Alcotest.test_case "parallel survey counter parity" `Slow
+        test_survey_parity;
+      Alcotest.test_case "JSONL trace nests strictly" `Quick
+        test_trace_nesting;
+      Alcotest.test_case "disabled: taintchannel fixture identity" `Quick
+        test_fixture_taintchannel_zlib;
+      Alcotest.test_case "disabled: E13 fixture identity" `Quick
+        test_fixture_e13;
+      Alcotest.test_case "--jobs normalization" `Quick test_normalize_jobs;
+    ] )
