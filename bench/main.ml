@@ -40,7 +40,9 @@ let bench_cases : (string * (unit -> unit)) list =
     ("bwt/transform-4k-random", fun () ->
         ignore (Compress.Bwt.transform random_4k));
     ("taintchannel/zlib-gadget-1k", fun () ->
-        ignore (Taintchannel.Zlib_gadget.run (Bytes.sub random_4k 0 1024)));
+        (* no-op unless metrics are enabled (the instrumented run) *)
+        Taintchannel.Engine.observe_metrics
+          (Taintchannel.Zlib_gadget.run (Bytes.sub random_4k 0 1024)));
     ("aes/encrypt-4k", fun () ->
         ignore
           (Taintchannel.Aes.encrypt
@@ -92,8 +94,9 @@ let bench_tests =
     bench_cases
 
 (* One instrumented run of a case, after timing: the metric growth it
-   causes, flattened to numeric pairs.  Metrics are only enabled for the
-   duration, so the timed runs above see the disabled fast path. *)
+   causes, flattened to numeric pairs, plus the leak.* scoreboard derived
+   from that growth.  Metrics are only enabled for the duration, so the
+   timed runs above see the disabled fast path. *)
 let case_metrics name =
   match List.assoc_opt name bench_cases with
   | None -> []
@@ -103,7 +106,8 @@ let case_metrics name =
       fn ();
       let after = Obs.Metrics.snapshot () in
       Obs.set_enabled false;
-      Obs.Metrics.flat_pairs (Obs.Metrics.delta ~before ~after)
+      let d = Obs.Metrics.delta ~before ~after in
+      Obs.Metrics.flat_pairs d @ Obs_export.Leak.derive d
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -172,6 +176,13 @@ let next_bench_index () =
       | None -> acc)
     1 files
 
+(* Metric values must survive the JSON round trip exactly — the compare
+   gate checks deterministic counters for equality, and %.6g would
+   truncate counters past a million. *)
+let metric_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
 let write_bench_json results =
   let path = Printf.sprintf "BENCH_%d.json" (next_bench_index ()) in
   let oc = open_out path in
@@ -186,7 +197,8 @@ let write_bench_json results =
               (String.concat ", "
                  (List.map
                     (fun (k, v) ->
-                      Printf.sprintf "\"%s\": %.6g" (json_escape k) v)
+                      Printf.sprintf "\"%s\": %s" (json_escape k)
+                        (metric_number v))
                     pairs))
       in
       Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s}%s\n"
@@ -199,70 +211,98 @@ let write_bench_json results =
   close_out oc;
   Format.fprintf ppf "wrote %s@." path
 
-(* A BENCH_<n>.json snapshot, parsed line-by-line (the files are written
-   by {!write_bench_json}, one entry per line). *)
+(* A BENCH_<n>.json snapshot: an array of {"name", "ns_per_run",
+   "metrics"?} entries, as written by {!write_bench_json}. *)
 let read_bench_json path =
-  let ic =
-    try open_in path
+  let module J = Obs_export.Json in
+  let content =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
     with Sys_error msg ->
       prerr_endline ("bench --compare: " ^ msg);
       exit 2
   in
-  let entries = ref [] in
-  (try
-     while true do
-       let line = String.trim (input_line ic) in
-       match
-         Scanf.sscanf_opt line "{\"name\": %S, \"ns_per_run\": %f"
-           (fun name ns -> (name, ns))
-       with
-       | Some e -> entries := e :: !entries
-       | None -> ()
-     done
-   with End_of_file -> ());
-  close_in ic;
-  List.rev !entries
+  match J.parse content with
+  | J.Arr entries ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (J.member "name" e) J.to_str,
+              Option.bind (J.member "ns_per_run" e) J.to_num )
+          with
+          | Some name, Some ns ->
+              let metrics =
+                match J.member "metrics" e with
+                | Some (J.Obj pairs) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        Option.map (fun n -> (k, n)) (J.to_num v))
+                      pairs
+                | _ -> []
+              in
+              Some (name, ns, metrics)
+          | _ -> None)
+        entries
+  | _ | (exception J.Parse_error _) ->
+      prerr_endline ("bench --compare: " ^ path ^ ": not a BENCH json array");
+      exit 2
 
-let regression_threshold = 1.25
-
-(* Per-benchmark speedup against a snapshot.  Every regression past the
-   threshold is collected and reported — one line per benchmark, naming
-   the compared metric (ns_per_run) and the magnitude — before exiting
-   non-zero; the first regression never masks the rest. *)
-let compare_bench ~baseline results =
+(* Per-benchmark comparison against a snapshot: wall time (speedup table,
+   gated on max increase) plus every recorded metric, classified by the
+   threshold rules (exact / percentage band / ignore).  Every regression
+   is collected and reported — one line per benchmark+metric, naming the
+   magnitude and the allowance it broke — before exiting non-zero; the
+   first regression never masks the rest. *)
+let compare_bench ~rules ~baseline results =
+  let module Gate = Obs_export.Gate in
   let base = read_bench_json baseline in
   Format.fprintf ppf "@.=== comparison vs %s ===@." baseline;
-  Format.fprintf ppf "  %-32s %12s %12s %9s@." "benchmark" "baseline ns"
-    "current ns" "speedup";
+  Format.fprintf ppf "  %-32s %12s %12s %9s %8s@." "benchmark" "baseline ns"
+    "current ns" "speedup" "metrics";
   let regressed = ref [] in
+  let push rs = regressed := !regressed @ rs in
   List.iter
-    (fun (name, ns, _metrics) ->
-      match List.assoc_opt name base with
-      | None -> Format.fprintf ppf "  %-32s %12s %12.0f %9s@." name "-" ns "new"
-      | Some b when Float.is_nan ns || ns <= 0.0 || b <= 0.0 ->
-          Format.fprintf ppf "  %-32s %12.0f %12.0f %9s@." name b ns "?"
-      | Some b ->
-          let speedup = b /. ns in
-          Format.fprintf ppf "  %-32s %12.0f %12.0f %8.2fx@." name b ns speedup;
-          if ns > b *. regression_threshold then
-            regressed := (name, b, ns) :: !regressed)
+    (fun (name, ns, metrics) ->
+      match
+        List.find_opt (fun (n, _, _) -> n = name) base
+      with
+      | None ->
+          Format.fprintf ppf "  %-32s %12s %12.0f %9s %8s@." name "-" ns "new"
+            "-"
+      | Some (_, b, base_metrics) ->
+          let checked =
+            Gate.compare_metrics rules ~bench:name ~baseline:base_metrics
+              ~current:metrics
+          in
+          let metrics_cell =
+            if base_metrics = [] then "-"
+            else if checked = [] then "ok"
+            else string_of_int (List.length checked) ^ " bad"
+          in
+          if Float.is_nan ns || ns <= 0.0 || b <= 0.0 then
+            Format.fprintf ppf "  %-32s %12.0f %12.0f %9s %8s@." name b ns "?"
+              metrics_cell
+          else begin
+            Format.fprintf ppf "  %-32s %12.0f %12.0f %8.2fx %8s@." name b ns
+              (b /. ns) metrics_cell;
+            Option.iter
+              (fun r -> push [ r ])
+              (Gate.check_ns rules ~bench:name ~baseline:b ~current:ns)
+          end;
+          push checked)
     results;
-  (match List.rev !regressed with
-  | [] -> Format.fprintf ppf "@.no benchmark regressed more than %.0f%%@."
-            ((regression_threshold -. 1.0) *. 100.0)
+  match !regressed with
+  | [] -> Format.fprintf ppf "@.no regression against %s@." baseline
   | l ->
-      Format.fprintf ppf "@.%d benchmark%s regressed more than %.0f%%:@."
-        (List.length l)
-        (if List.length l = 1 then "" else "s")
-        ((regression_threshold -. 1.0) *. 100.0);
+      Format.fprintf ppf "@.%d metric regression%s:@." (List.length l)
+        (if List.length l = 1 then "" else "s");
       List.iter
-        (fun (name, b, ns) ->
-          Format.fprintf ppf
-            "  REGRESSED %-32s ns_per_run %+.1f%% (%.0f -> %.0f ns)@." name
-            ((ns -. b) /. b *. 100.0)
-            b ns)
+        (fun r -> Format.fprintf ppf "  REGRESSED %a@." Gate.pp_regression r)
         l;
-      exit 1)
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -279,11 +319,14 @@ let summarize outcomes =
 let usage () =
   prerr_endline
     "usage: main.exe [e1..e18|bench [--json] [--only a,b,...] [--compare \
-     BENCH_n.json]]";
+     BENCH_n.json] [--thresholds FILE.json]]";
   exit 1
 
 let run_bench_cli rest =
-  let json = ref false and only = ref [] and compare = ref None in
+  let json = ref false
+  and only = ref []
+  and compare = ref None
+  and thresholds = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -295,13 +338,29 @@ let run_bench_cli rest =
     | "--compare" :: path :: rest ->
         compare := Some path;
         parse rest
+    | "--thresholds" :: path :: rest ->
+        thresholds := Some path;
+        parse rest
     | _ -> usage ()
   in
   parse rest;
+  let rules =
+    match !thresholds with
+    | None -> Obs_export.Gate.default_rules
+    | Some path -> (
+        try Obs_export.Gate.load path
+        with
+        | Sys_error msg | Failure msg ->
+            prerr_endline ("bench --thresholds: " ^ msg);
+            exit 2
+        | Obs_export.Json.Parse_error msg ->
+            prerr_endline ("bench --thresholds: " ^ path ^ ": " ^ msg);
+            exit 2)
+  in
   let results = run_bench ~only:(List.filter (( <> ) "") !only) () in
   if !json then write_bench_json results;
   match !compare with
-  | Some baseline -> compare_bench ~baseline results
+  | Some baseline -> compare_bench ~rules ~baseline results
   | None -> ()
 
 let () =

@@ -143,9 +143,141 @@ let archive_cmd =
   in
   Cmd.group (Cmd.info "archive" ~doc:"Multi-file archives") [ create; list; extract ]
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: offline converters and the span profiler *)
+
+let read_text path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_out output s =
+  match output with
+  | None -> print_string s
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let obs_export format output input =
+  let module E = Obs_export in
+  match E.Json.parse_many (read_text input) with
+  | [] -> `Error (false, input ^ ": empty input")
+  | first :: _ as values -> (
+      (* A telemetry file is either a JSONL span stream or a single
+         metrics snapshot; tell them apart by shape, so both formats
+         work without the caller saying which one they have. *)
+      let kind =
+        if E.Span_stream.is_span_stream first then `Trace
+        else if E.Snapshot_io.is_snapshot first then `Snapshot
+        else `Unknown
+      in
+      match (format, kind) with
+      | _, `Unknown ->
+          `Error
+            (false, input ^ ": neither a span stream nor a metrics snapshot")
+      | `Otlp, `Trace ->
+          let events = List.map E.Span_stream.event_of_json values in
+          write_out output (E.Json.to_string (E.Otlp.trace_request events) ^ "\n");
+          `Ok ()
+      | `Otlp, `Snapshot ->
+          let snap = E.Snapshot_io.of_json first in
+          write_out output
+            (E.Json.to_string (E.Otlp.metrics_request snap) ^ "\n");
+          `Ok ()
+      | `Prom, `Snapshot ->
+          write_out output (E.Prom.exposition (E.Snapshot_io.of_json first));
+          `Ok ()
+      | `Prom, `Trace ->
+          `Error
+            ( false,
+              input
+              ^ ": is a span stream; Prometheus exposition needs a metrics \
+                 snapshot" )
+      | exception (E.Json.Parse_error msg | Failure msg) -> `Error (false, msg))
+
+let obs_profile folded inputs =
+  let module E = Obs_export in
+  match
+    List.concat_map
+      (fun input -> List.map E.Span_stream.event_of_json
+          (E.Json.parse_many (read_text input)))
+      inputs
+  with
+  | events ->
+      let spans = E.Profile.spans_of_events events in
+      (match folded with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              E.Profile.pp_folded
+                (Format.formatter_of_out_channel oc)
+                (E.Profile.folded_stacks spans)));
+      E.Profile.pp_table Format.std_formatter (E.Profile.aggregate spans);
+      `Ok ()
+  | exception (E.Json.Parse_error msg | Failure msg) -> `Error (false, msg)
+
+let obs_cmd =
+  let out_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let export =
+    let format =
+      Arg.(
+        value
+        & vflag `Otlp
+            [
+              ( `Otlp,
+                info [ "otlp" ]
+                  ~doc:
+                    "OTLP/JSON: a span stream becomes an \
+                     ExportTraceServiceRequest, a metrics snapshot an \
+                     ExportMetricsServiceRequest (default)." );
+              ( `Prom,
+                info [ "prom" ]
+                  ~doc:"Prometheus text exposition (metrics snapshots only)." );
+            ])
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Convert a --trace JSONL span stream or --metrics JSON snapshot \
+            to OTLP/JSON or Prometheus text")
+      Term.(ret (const obs_export $ format $ out_opt $ in_file 0))
+  in
+  let profile =
+    let folded =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "folded" ] ~docv:"PATH"
+            ~doc:
+              "Also write flamegraph folded stacks (self-time-weighted \
+               $(b,domain;outer;inner count) lines) to $(docv).")
+    in
+    let inputs =
+      Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE")
+    in
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "Aggregate --trace JSONL span streams: per-span call counts, \
+            total/self wall time, p50/p95/max, sorted by self time")
+      Term.(ret (const obs_profile $ folded $ inputs))
+  in
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Telemetry export and profiling")
+    [ export; profile ]
+
 let cmd =
   Cmd.group
     (Cmd.info "zc" ~doc:"compress and decompress files with the ZipChannel codecs")
-    [ compress_cmd; decompress_cmd; archive_cmd ]
+    [ compress_cmd; decompress_cmd; archive_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval cmd)

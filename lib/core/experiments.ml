@@ -38,7 +38,14 @@ let footer ppf outcome =
          if not (Obs.Metrics.is_empty d) then begin
            Format.fprintf ppf "  -- metrics (this experiment) --@.";
            Obs.Metrics.pp_snapshot ppf d
-         end
+         end;
+         (match Zipchannel_obs_export.Leak.derive d with
+         | [] -> ()
+         | scores ->
+             Format.fprintf ppf "  -- leak scoreboard --@.";
+             List.iter
+               (fun (k, v) -> Format.fprintf ppf "  %-42s %.4f@." k v)
+               scores)
      | None -> ());
   outcome
 

@@ -47,5 +47,10 @@ module Obs = Zipchannel_obs.Obs
 (** Observability: process-wide metrics, span tracing, and progress
     reporting wired through every layer above. *)
 
+module Obs_export = Zipchannel_obs_export
+(** Telemetry export and analysis: OTLP/JSON and Prometheus exporters,
+    the offline span profiler, the leakage scoreboard, and per-metric
+    bench regression gating. *)
+
 module Experiments = Experiments
 (** Reproductions of every figure and evaluation number in the paper. *)

@@ -191,8 +191,14 @@ module Metrics = struct
         after.counters
     in
     let gauges =
+      (* [Float.compare] rather than structural (<>): a gauge rewritten to
+         the value it already had — including NaN, where [=] would always
+         differ — is unchanged and must not appear in the delta. *)
       List.filter
-        (fun (name, v) -> find name before.gauges <> Some v)
+        (fun (name, v) ->
+          match find name before.gauges with
+          | Some v0 -> Float.compare v0 v <> 0
+          | None -> true)
         after.gauges
     in
     let histograms =
@@ -227,6 +233,26 @@ module Metrics = struct
 
   let is_empty s = s.counters = [] && s.gauges = [] && s.histograms = []
 
+  (* Midpoint of a log2 bucket's value range: bucket 0 holds v <= 1,
+     bucket b >= 1 holds 2^(b-1) < v <= 2^b. *)
+  let bucket_midpoint b =
+    if b = 0 then 1.0 else 1.5 *. float_of_int (1 lsl (b - 1))
+
+  let approx_quantile hs q =
+    if hs.count = 0 then 0.0
+    else begin
+      let rank = q *. float_of_int hs.count in
+      let rec go seen = function
+        | [] -> 0.0
+        | [ (b, _) ] -> bucket_midpoint b
+        | (b, n) :: rest ->
+            let seen = seen + n in
+            if float_of_int seen >= rank then bucket_midpoint b
+            else go seen rest
+      in
+      go 0 hs.buckets
+    end
+
   let pp_snapshot ppf s =
     let open Format in
     List.iter (fun (name, v) -> fprintf ppf "  %-42s %d@." name v) s.counters;
@@ -236,8 +262,10 @@ module Metrics = struct
         let mean =
           if hs.count = 0 then 0. else float_of_int hs.sum /. float_of_int hs.count
         in
-        fprintf ppf "  %-42s count=%d sum=%d mean=%.1f@." name hs.count hs.sum
-          mean)
+        fprintf ppf "  %-42s count=%d sum=%d mean=%.1f p50~%g p95~%g@." name
+          hs.count hs.sum mean
+          (approx_quantile hs 0.5)
+          (approx_quantile hs 0.95))
       s.histograms
 
   let json_escape s =
@@ -311,7 +339,21 @@ module Metrics = struct
 end
 
 module Trace = struct
-  type sink = Null | Stderr | Jsonl of out_channel
+  type span_event = {
+    phase : [ `Begin | `End ];
+    name : string;
+    domain : int;
+    depth : int;
+    ts_ns : int;
+    dur_ns : int;
+    attrs : (string * string) list;
+  }
+
+  type sink =
+    | Null
+    | Stderr
+    | Jsonl of out_channel
+    | Custom of (span_event -> unit)
 
   (* The sink is read on every with_span; boxed in an atomic so domains
      see a consistent value.  Writes to the sink itself are serialised
@@ -321,7 +363,53 @@ module Trace = struct
 
   let set_sink s = Atomic.set current s
   let sink () = Atomic.get current
-  let active () = Atomic.get current <> Null
+  let active () = match Atomic.get current with Null -> false | _ -> true
+
+  let attrs_json = function
+    | [] -> ""
+    | attrs ->
+      let fields =
+        List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\": \"%s\"" (Metrics.json_escape k)
+              (Metrics.json_escape v))
+          attrs
+      in
+      Printf.sprintf ", \"attrs\": {%s}" (String.concat ", " fields)
+
+  let jsonl_of_event ev =
+    match ev.phase with
+    | `Begin ->
+      Printf.sprintf
+        "{\"ev\": \"b\", \"name\": \"%s\", \"domain\": %d, \"depth\": %d, \
+         \"ts_ns\": %d%s}"
+        (Metrics.json_escape ev.name)
+        ev.domain ev.depth ev.ts_ns (attrs_json ev.attrs)
+    | `End ->
+      Printf.sprintf
+        "{\"ev\": \"e\", \"name\": \"%s\", \"domain\": %d, \"depth\": %d, \
+         \"ts_ns\": %d, \"dur_ns\": %d%s}"
+        (Metrics.json_escape ev.name)
+        ev.domain ev.depth ev.ts_ns ev.dur_ns (attrs_json ev.attrs)
+
+  let stderr_line_of_event ev =
+    match ev.phase with
+    | `Begin -> None
+    | `End ->
+      let attrs_s =
+        match ev.attrs with
+        | [] -> ""
+        | attrs ->
+          " ["
+          ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+          ^ "]"
+      in
+      Some
+        (Printf.sprintf "span %s%s%s %.3fms (domain %d)"
+           (String.make (2 * ev.depth) ' ')
+           ev.name attrs_s
+           (float_of_int ev.dur_ns /. 1e6)
+           ev.domain)
 end
 
 (* Per-domain span nesting depth, used both for JSONL nesting checks and
@@ -335,18 +423,13 @@ let emit_line oc line =
   flush oc;
   Mutex.unlock Trace.emit_lock
 
-let attrs_json attrs =
-  match attrs with
-  | [] -> ""
-  | attrs ->
-    let fields =
-      List.map
-        (fun (k, v) ->
-          Printf.sprintf "\"%s\": \"%s\"" (Metrics.json_escape k)
-            (Metrics.json_escape v))
-        attrs
-    in
-    Printf.sprintf ", \"attrs\": {%s}" (String.concat ", " fields)
+(* A Custom sink's callback runs under [emit_lock] like every other
+   emission, so a collecting sink needs no synchronisation of its own. *)
+let emit_custom cb ev =
+  Mutex.lock Trace.emit_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock Trace.emit_lock)
+    (fun () -> cb ev)
 
 let with_span ?(attrs = []) name f =
   match Atomic.get Trace.current with
@@ -357,40 +440,24 @@ let with_span ?(attrs = []) name f =
     depth := d + 1;
     let domain = (Domain.self () :> int) in
     let t0 = now_ns () in
+    let event phase ts_ns dur_ns =
+      { Trace.phase; name; domain; depth = d; ts_ns; dur_ns; attrs }
+    in
     (match sink with
-    | Jsonl oc ->
-      emit_line oc
-        (Printf.sprintf
-           "{\"ev\": \"b\", \"name\": \"%s\", \"domain\": %d, \"depth\": %d, \
-            \"ts_ns\": %d%s}"
-           (Metrics.json_escape name) domain d t0 (attrs_json attrs))
+    | Jsonl oc -> emit_line oc (Trace.jsonl_of_event (event `Begin t0 0))
+    | Custom cb -> emit_custom cb (event `Begin t0 0)
     | _ -> ());
     let finish () =
       let dur = now_ns () - t0 in
       depth := d;
       match sink with
       | Jsonl oc ->
-        emit_line oc
-          (Printf.sprintf
-             "{\"ev\": \"e\", \"name\": \"%s\", \"domain\": %d, \"depth\": %d, \
-              \"ts_ns\": %d, \"dur_ns\": %d%s}"
-             (Metrics.json_escape name) domain d (now_ns ()) dur
-             (attrs_json attrs))
-      | Stderr ->
-        let attrs_s =
-          match attrs with
-          | [] -> ""
-          | attrs ->
-            " ["
-            ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
-            ^ "]"
-        in
-        emit_line stderr
-          (Printf.sprintf "span %s%s%s %.3fms (domain %d)"
-             (String.make (2 * d) ' ')
-             name attrs_s
-             (float_of_int dur /. 1e6)
-             domain)
+        emit_line oc (Trace.jsonl_of_event (event `End (now_ns ()) dur))
+      | Custom cb -> emit_custom cb (event `End (now_ns ()) dur)
+      | Stderr -> (
+        match Trace.stderr_line_of_event (event `End (now_ns ()) dur) with
+        | Some line -> emit_line stderr line
+        | None -> ())
       | Null -> ()
     in
     Fun.protect ~finally:finish f
@@ -404,22 +471,41 @@ module Progress = struct
     label : string;
     total : int option;
     interval_ns : int;
+    start : int;
     mutable count : int;
     mutable last_emit : int;
   }
 
   let create ?total ?(interval_ns = 500_000_000) ~label () =
-    { label; total; interval_ns; count = 0; last_emit = now_ns () }
+    let now = now_ns () in
+    { label; total; interval_ns; start = now; count = 0; last_emit = now }
+
+  (* Pure so the formatting (and the ETA arithmetic) is unit-testable:
+     ETA = elapsed scaled by the work remaining, shown only while the
+     rate is measurable and work remains. *)
+  let render ~label ~count ~total ~elapsed_ns =
+    match total with
+    | None -> Printf.sprintf "[%s] %d" label count
+    | Some total ->
+      let base =
+        Printf.sprintf "[%s] %d/%d (%.1f%%)" label count total
+          (100. *. float_of_int count /. float_of_int (max 1 total))
+      in
+      if count > 0 && count < total && elapsed_ns > 0 then begin
+        let eta =
+          float_of_int elapsed_ns
+          *. float_of_int (total - count)
+          /. float_of_int count /. 1e9
+        in
+        if eta < 10. then Printf.sprintf "%s ~%.1fs" base eta
+        else Printf.sprintf "%s ~%.0fs" base eta
+      end
+      else base
 
   let emit t =
-    let line =
-      match t.total with
-      | Some total ->
-        Printf.sprintf "[%s] %d/%d (%.1f%%)" t.label t.count total
-          (100. *. float_of_int t.count /. float_of_int (max 1 total))
-      | None -> Printf.sprintf "[%s] %d" t.label t.count
-    in
-    emit_line stderr line
+    emit_line stderr
+      (render ~label:t.label ~count:t.count ~total:t.total
+         ~elapsed_ns:(now_ns () - t.start))
 
   let step ?(delta = 1) t =
     if Atomic.get flag then begin

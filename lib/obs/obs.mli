@@ -78,12 +78,26 @@ module Metrics : sig
 
   val delta : before:snapshot -> after:snapshot -> snapshot
   (** Counter/histogram growth between two snapshots; gauges keep their
-      [after] value and are dropped when unchanged. *)
+      [after] value and are dropped when unchanged.  "Unchanged" compares
+      with {!Float.compare}: a gauge rewritten to the value it already had
+      between the snapshots — including NaN — does not appear. *)
 
   val is_empty : snapshot -> bool
 
+  val bucket_midpoint : int -> float
+  (** Midpoint estimate for a log2 bucket's value range: 1 for bucket 0
+      (which holds v <= 1), [1.5 *. 2.^(b-1)] for bucket [b >= 1]
+      (which holds [2^(b-1) < v <= 2^b]). *)
+
+  val approx_quantile : histogram_snapshot -> float -> float
+  (** [approx_quantile hs q] estimates the [q]-quantile ([0. <= q <= 1.])
+      of the recorded samples as the midpoint of the log2 bucket holding
+      that rank (bucket 0 estimates 1, bucket [b >= 1] estimates
+      [1.5 *. 2.^(b-1)]).  0 for an empty histogram. *)
+
   val pp_snapshot : Format.formatter -> snapshot -> unit
-  (** Human-readable [name value] table. *)
+  (** Human-readable [name value] table; histogram rows include
+      approximate p50/p95 ({!approx_quantile} midpoint estimates). *)
 
   val snapshot_to_json : snapshot -> string
   (** One JSON object: [{"counters": {...}, "gauges": {...},
@@ -95,14 +109,40 @@ module Metrics : sig
 end
 
 module Trace : sig
+  type span_event = {
+    phase : [ `Begin | `End ];
+    name : string;
+    domain : int;  (** emitting domain's id *)
+    depth : int;  (** per-domain nesting depth of this span *)
+    ts_ns : int;  (** monotonic timestamp of the event *)
+    dur_ns : int;  (** span duration; 0 on [`Begin] events *)
+    attrs : (string * string) list;
+  }
+  (** One span begin/end event, as delivered to a [Custom] sink — the
+      in-memory form of one JSONL trace line. *)
+
   type sink =
     | Null  (** discard spans (the default) *)
     | Stderr  (** one indented human-readable line per completed span *)
     | Jsonl of out_channel  (** one JSON object per span begin/end event *)
+    | Custom of (span_event -> unit)
+        (** deliver each event to a callback (serialised under the
+            emission lock, so collecting sinks need no locking of their
+            own; the callback must not call {!with_span}).  This is how
+            {!Zipchannel_obs_export}'s OTLP sink attaches without a
+            dependency cycle. *)
 
   val set_sink : sink -> unit
   val sink : unit -> sink
   val active : unit -> bool
+
+  val jsonl_of_event : span_event -> string
+  (** The exact JSONL line the [Jsonl] sink writes for this event (no
+      trailing newline) — lets a [Custom] sink tee the JSONL stream. *)
+
+  val stderr_line_of_event : span_event -> string option
+  (** The human-readable line the [Stderr] sink prints — [Some] on end
+      events, [None] on begin events. *)
 end
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
@@ -126,7 +166,17 @@ module Progress : sig
 
   val create : ?total:int -> ?interval_ns:int -> label:string -> unit -> t
   (** [interval_ns] is the minimum gap between printed lines (default
-      500 ms; 0 prints every step).  A [t] is single-domain. *)
+      500 ms; 0 prints every step).  A [t] is single-domain.  When
+      [total] is known, printed lines carry an ETA extrapolated from the
+      monotonic clock: [[label] k/total (xx.x%) ~12s]. *)
+
+  val render :
+    label:string -> count:int -> total:int option -> elapsed_ns:int -> string
+  (** The line {!step}/{!finish} print, as a pure function of the
+      progress state (exposed for tests).  The ETA suffix appears only
+      when [total] is known, [0 < count < total], and [elapsed_ns > 0];
+      it is printed with one decimal under 10 s and as whole seconds
+      above. *)
 
   val step : ?delta:int -> t -> unit
 

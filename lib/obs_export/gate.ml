@@ -1,0 +1,179 @@
+(* Per-metric regression gating for bench --compare.
+
+   Metric classes express how much a metric is allowed to move between a
+   committed baseline and the current run:
+   - [Exact]   deterministic counters: any change (beyond float
+               round-trip noise) is a regression;
+   - [Band p]  cache/timing-coupled metrics: allowed to move up to p%
+               in either direction;
+   - [Ignore]  metrics that depend on run count or ordering and carry no
+               regression signal.
+
+   Classification is by first matching name prefix, so a thresholds file
+   reads top-to-bottom like a routing table. *)
+
+type klass = Exact | Band of float | Ignore
+
+type rule = { prefix : string; klass : klass }
+
+type rules = {
+  metric_rules : rule list;
+  ns_max_increase_pct : float option;
+      (* Gate on each benchmark's ns_per_run growing more than this;
+         None disables wall-time gating (shared CI runners). *)
+}
+
+let classify rules name =
+  let rec go = function
+    | [] -> Exact
+    | r :: rest ->
+        if String.starts_with ~prefix:r.prefix name then r.klass else go rest
+  in
+  go rules.metric_rules
+
+let default_rules =
+  {
+    ns_max_increase_pct = Some 25.0;
+    metric_rules =
+      [
+        (* Cumulative hit-rate and per-epoch loss depend on how many
+           runs the harness chose; no signal in their values. *)
+        { prefix = "taint.tlb_hit_rate"; klass = Ignore };
+        { prefix = "classifier.epoch_loss"; klass = Ignore };
+        (* Cache simulators keep state across timed runs, so their
+           counters scale with run count and layout. *)
+        { prefix = "cache."; klass = Band 50.0 };
+        { prefix = "prime_probe."; klass = Band 50.0 };
+        (* Leak rates are ratios of the above where cache-coupled. *)
+        { prefix = "leak."; klass = Band 25.0 };
+        { prefix = ""; klass = Exact };
+      ];
+  }
+
+(* -- thresholds file --------------------------------------------------- *)
+
+let klass_of_json j =
+  match Option.bind (Json.member "class" j) Json.to_str with
+  | Some "exact" -> Exact
+  | Some "ignore" -> Ignore
+  | Some "band" -> (
+      match Option.bind (Json.member "pct" j) Json.to_num with
+      | Some pct when pct >= 0. -> Band pct
+      | _ -> failwith "Gate: band rule needs a non-negative \"pct\"")
+  | Some other -> failwith ("Gate: unknown metric class " ^ other)
+  | None -> failwith "Gate: rule missing \"class\""
+
+let rules_of_json j =
+  let metric_rules =
+    match Json.member "metrics" j with
+    | Some (Json.Arr rs) ->
+        List.map
+          (fun r ->
+            match Option.bind (Json.member "prefix" r) Json.to_str with
+            | Some prefix -> { prefix; klass = klass_of_json r }
+            | None -> failwith "Gate: rule missing \"prefix\"")
+          rs
+    | _ -> failwith "Gate: thresholds file missing \"metrics\" array"
+  in
+  let ns_max_increase_pct =
+    match Json.member "ns_per_run_max_increase_pct" j with
+    | None | Some Json.Null -> None
+    | Some v -> (
+        match Json.to_num v with
+        | Some pct -> Some pct
+        | None -> failwith "Gate: ns_per_run_max_increase_pct must be a number")
+  in
+  { metric_rules; ns_max_increase_pct }
+
+let load path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  rules_of_json (Json.parse content)
+
+(* -- comparison -------------------------------------------------------- *)
+
+type regression = {
+  bench : string;
+  metric : string;
+  baseline : float;
+  current : float;
+  change_pct : float;  (* +inf when the baseline was 0 or the metric vanished *)
+  allowed : klass;
+}
+
+let change_pct ~baseline ~current =
+  if Float.abs baseline > 0. then
+    100. *. (current -. baseline) /. Float.abs baseline
+  else if Float.abs current > 0. then Float.infinity
+  else 0.
+
+(* Exact metrics still round-trip through JSON, so compare with a tiny
+   relative tolerance rather than bitwise. *)
+let exact_tol = 1e-9
+
+let check ~bench ~allowed ~metric ~baseline ~current =
+  let pct = change_pct ~baseline ~current in
+  let bad =
+    match allowed with
+    | Ignore -> false
+    | Exact ->
+        Float.abs (current -. baseline)
+        > exact_tol *. Float.max 1. (Float.abs baseline)
+    | Band limit -> Float.abs pct > limit
+  in
+  if bad then Some { bench; metric; baseline; current; change_pct = pct; allowed }
+  else None
+
+let compare_metrics rules ~bench ~baseline ~current =
+  List.filter_map
+    (fun (metric, v0) ->
+      let allowed = classify rules metric in
+      match List.assoc_opt metric current with
+      | Some v -> check ~bench ~allowed ~metric ~baseline:v0 ~current:v
+      | None ->
+          if allowed = Ignore then None
+          else
+            Some
+              {
+                bench;
+                metric;
+                baseline = v0;
+                current = 0.;
+                change_pct = Float.neg_infinity;
+                allowed;
+              })
+    baseline
+
+let check_ns rules ~bench ~baseline ~current =
+  match rules.ns_max_increase_pct with
+  | None -> None
+  | Some limit ->
+      let pct = change_pct ~baseline ~current in
+      if pct > limit then
+        Some
+          {
+            bench;
+            metric = "ns_per_run";
+            baseline;
+            current;
+            change_pct = pct;
+            allowed = Band limit;
+          }
+      else None
+
+let pp_klass ppf = function
+  | Exact -> Format.fprintf ppf "exact"
+  | Band pct -> Format.fprintf ppf "band \xc2\xb1%g%%" pct
+  | Ignore -> Format.fprintf ppf "ignore"
+
+let pp_regression ppf r =
+  if r.change_pct = Float.neg_infinity then
+    Format.fprintf ppf "%s: %s missing from current run (baseline %g, %a)"
+      r.bench r.metric r.baseline pp_klass r.allowed
+  else
+    Format.fprintf ppf "%s: %s %g -> %g (%+.2f%%, allowed %a)" r.bench r.metric
+      r.baseline r.current r.change_pct pp_klass r.allowed

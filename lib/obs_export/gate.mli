@@ -1,0 +1,60 @@
+(** Per-metric regression gating for [bench --compare].
+
+    Each metric name is classified by first-matching-prefix rule into a
+    threshold class: [Exact] (deterministic counters — any change is a
+    regression), [Band pct] (cache/timing-coupled — may move up to
+    [pct]% either direction), or [Ignore] (run-count/order dependent —
+    no signal).  Wall time ([ns_per_run]) is gated separately on maximum
+    increase, and can be disabled for noisy CI runners. *)
+
+type klass = Exact | Band of float | Ignore
+
+type rule = { prefix : string; klass : klass }
+
+type rules = {
+  metric_rules : rule list;  (** Checked in order; first prefix match wins. *)
+  ns_max_increase_pct : float option;
+}
+
+val classify : rules -> string -> klass
+(** Defaults to [Exact] when no rule matches. *)
+
+val default_rules : rules
+
+val rules_of_json : Json.t -> rules
+(** Parse a thresholds file:
+    [{"ns_per_run_max_increase_pct": 25,
+      "metrics": [{"prefix": "cache.", "class": "band", "pct": 50},
+                  {"prefix": "", "class": "exact"}]}]
+    A [null] (or absent) ns limit disables wall-time gating.
+    @raise Failure on malformed rules. *)
+
+val load : string -> rules
+(** @raise Json.Parse_error @raise Failure @raise Sys_error *)
+
+type regression = {
+  bench : string;
+  metric : string;
+  baseline : float;
+  current : float;
+  change_pct : float;
+      (** [+inf] when baseline was 0; [-inf] when the metric vanished. *)
+  allowed : klass;
+}
+
+val compare_metrics :
+  rules ->
+  bench:string ->
+  baseline:(string * float) list ->
+  current:(string * float) list ->
+  regression list
+(** Check every baseline metric against the current run.  A non-[Ignore]
+    metric missing from the current run is a regression; metrics new in
+    the current run are not (they need a baseline refresh, not a gate).
+    [Exact] compares with relative tolerance 1e-9 to absorb JSON
+    round-tripping. *)
+
+val check_ns :
+  rules -> bench:string -> baseline:float -> current:float -> regression option
+
+val pp_regression : Format.formatter -> regression -> unit

@@ -1,0 +1,72 @@
+module Metrics = Zipchannel_obs.Obs.Metrics
+
+(* Leakage scoreboard: per-gadget leak indicators derived purely from the
+   counters and histograms the engines already publish.  Everything here
+   is a read-only function of a snapshot — no new instrumentation, so
+   the scoreboard costs nothing when Obs is off. *)
+
+let counter s name = List.assoc_opt name s.Metrics.counters
+let histogram s name = List.assoc_opt name s.Metrics.histograms
+
+let ratio num den =
+  match (num, den) with
+  | Some n, Some d when d > 0 -> Some (float_of_int n /. float_of_int d)
+  | _ -> None
+
+(* Mean log2 of a candidate-set-size histogram: the residual entropy (in
+   bits) an attacker still faces per recovered byte, estimated at bucket
+   midpoints.  0 bits = unique candidate = full recovery. *)
+let mean_log2 (hs : Metrics.histogram_snapshot) =
+  if hs.count = 0 then None
+  else
+    Some
+      (List.fold_left
+         (fun acc (b, n) ->
+           acc +. (float_of_int n *. Float.log2 (Metrics.bucket_midpoint b)))
+         0. hs.buckets
+      /. float_of_int hs.count)
+
+let derive s =
+  let out = ref [] in
+  let put name v = out := (name, v) :: !out in
+  let rate name num den =
+    Option.iter (put name) (ratio (counter s num) (counter s den))
+  in
+  let entropy name hist =
+    Option.iter
+      (fun hs -> Option.iter (put name) (mean_log2 hs))
+      (histogram s hist)
+  in
+  (* Taint engine: how often tainted bytes reach a leaking gadget. *)
+  rate "leak.taint.gadget_hits_per_input_byte" "taint.gadget_hits"
+    "taint.input_bytes";
+  (* Page-fault channels: observed faults per secret byte processed, and
+     the fraction of bytes whose reading was lost to fault coalescing. *)
+  rate "leak.sgx.faults_per_byte" "sgx.faults" "sgx.bytes";
+  rate "leak.sgx.lost_reading_rate" "sgx.lost_readings" "sgx.bytes";
+  rate "leak.sgx.zlib.faults_per_byte" "sgx.zlib.faults" "sgx.zlib.bytes";
+  rate "leak.sgx.zlib.lost_reading_rate" "sgx.zlib.lost_readings"
+    "sgx.zlib.bytes";
+  rate "leak.sgx.lzw.faults_per_byte" "sgx.lzw.faults" "sgx.lzw.bytes";
+  rate "leak.sgx.lzw.lost_reading_rate" "sgx.lzw.lost_readings"
+    "sgx.lzw.bytes";
+  (* Recovery: residual entropy per byte and how much of the ambiguity
+     the repair passes win back. *)
+  entropy "leak.sgx.candidate_entropy_bits" "sgx.candidates_per_byte";
+  entropy "leak.recovery.bzip2.candidate_entropy_bits"
+    "recovery.bzip2.candidates_per_byte";
+  (match
+     (counter s "recovery.bzip2.ambiguous", histogram s "recovery.bzip2.candidates_per_byte")
+   with
+  | Some ambiguous, Some hs when hs.count > 0 ->
+      put "leak.recovery.bzip2.ambiguity_rate"
+        (float_of_int ambiguous /. float_of_int hs.count)
+  | _ -> ());
+  (match (counter s "recovery.bzip2.repaired", counter s "recovery.bzip2.ambiguous") with
+  | Some repaired, Some ambiguous when ambiguous > 0 ->
+      put "leak.recovery.bzip2.repair_rate"
+        (float_of_int repaired /. float_of_int ambiguous)
+  | _ -> ());
+  rate "leak.recovery.lzw.repair_rate" "recovery.lzw.repairs"
+    "recovery.lzw.resolved";
+  List.rev !out

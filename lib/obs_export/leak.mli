@@ -1,0 +1,22 @@
+(** Leakage scoreboard: per-gadget leak indicators in a [leak.*]
+    namespace, derived purely from the counters and histograms the
+    attack and taint engines already publish.
+
+    Definitions:
+    - [leak.taint.gadget_hits_per_input_byte] — taint-engine gadget hits
+      divided by tainted input bytes: channel-access density.
+    - [leak.sgx{,.zlib,.lzw}.faults_per_byte] — page faults observed per
+      secret byte; [..lost_reading_rate] — fraction of bytes whose
+      reading was coalesced away.
+    - [leak.*.candidate_entropy_bits] — mean log2 of the candidate-set
+      size per recovered byte (log2-bucket midpoint estimate): the
+      residual entropy an attacker still faces; 0 = unique recovery.
+    - [leak.recovery.*.ambiguity_rate] / [..repair_rate] — fraction of
+      bytes ambiguous after the channel, and the fraction of those the
+      repair pass resolved. *)
+
+val derive : Zipchannel_obs.Obs.Metrics.snapshot -> (string * float) list
+(** Each indicator appears only when its inputs are present with a
+    non-zero denominator; an Obs-off (empty) snapshot yields []. *)
+
+val mean_log2 : Zipchannel_obs.Obs.Metrics.histogram_snapshot -> float option

@@ -1,0 +1,197 @@
+module Obs = Zipchannel_obs.Obs
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  domain : int;
+  depth : int;
+  start_ns : int;
+  end_ns : int;
+  dur_ns : int;
+  self_ns : int;
+  attrs : (string * string) list;
+}
+
+(* In-flight span while replaying the event stream. *)
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_name : string;
+  o_depth : int;
+  o_attrs : (string * string) list;
+  mutable o_start_ns : int;
+  mutable o_child_ns : int;
+}
+
+let spans_of_events events =
+  let stacks : (int, open_span list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack domain =
+    match Hashtbl.find_opt stacks domain with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks domain s;
+        s
+  in
+  let next_id = ref 0 in
+  let spans = ref [] in
+  List.iter
+    (fun (ev : Obs.Trace.span_event) ->
+      let st = stack ev.domain in
+      match ev.phase with
+      | `Begin ->
+          incr next_id;
+          let parent =
+            match !st with [] -> None | top :: _ -> Some top.o_id
+          in
+          st :=
+            {
+              o_id = !next_id;
+              o_parent = parent;
+              o_name = ev.name;
+              o_depth = ev.depth;
+              o_attrs = ev.attrs;
+              o_start_ns = ev.ts_ns;
+              o_child_ns = 0;
+            }
+            :: !st
+      | `End -> (
+          match !st with
+          | [] ->
+              (* End without a begin: a trace truncated at the front.
+                 Synthesise a root-level span from the end event alone. *)
+              incr next_id;
+              spans :=
+                {
+                  id = !next_id;
+                  parent = None;
+                  name = ev.name;
+                  domain = ev.domain;
+                  depth = ev.depth;
+                  start_ns = ev.ts_ns - ev.dur_ns;
+                  end_ns = ev.ts_ns;
+                  dur_ns = ev.dur_ns;
+                  self_ns = ev.dur_ns;
+                  attrs = ev.attrs;
+                }
+                :: !spans
+          | top :: rest ->
+              st := rest;
+              (match rest with
+              | parent :: _ -> parent.o_child_ns <- parent.o_child_ns + ev.dur_ns
+              | [] -> ());
+              spans :=
+                {
+                  id = top.o_id;
+                  parent = top.o_parent;
+                  name = top.o_name;
+                  domain = ev.domain;
+                  depth = top.o_depth;
+                  start_ns = top.o_start_ns;
+                  end_ns = ev.ts_ns;
+                  dur_ns = ev.dur_ns;
+                  self_ns = max 0 (ev.dur_ns - top.o_child_ns);
+                  attrs = top.o_attrs;
+                }
+                :: !spans))
+    events;
+  (* Spans still open at end-of-stream (truncated trace tail) are dropped:
+     they have no duration to account. *)
+  List.rev !spans
+
+type agg = {
+  a_name : string;
+  count : int;
+  total_ns : int;
+  a_self_ns : int;
+  p50_ns : int;
+  p95_ns : int;
+  max_ns : int;
+}
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let aggregate spans =
+  let by_name : (string, int list ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt by_name s.name with
+      | Some (durs, self) ->
+          durs := s.dur_ns :: !durs;
+          self := !self + s.self_ns
+      | None -> Hashtbl.add by_name s.name (ref [ s.dur_ns ], ref s.self_ns))
+    spans;
+  let rows =
+    Hashtbl.fold
+      (fun name (durs, self) acc ->
+        let sorted = Array.of_list !durs in
+        Array.sort compare sorted;
+        {
+          a_name = name;
+          count = Array.length sorted;
+          total_ns = Array.fold_left ( + ) 0 sorted;
+          a_self_ns = !self;
+          p50_ns = exact_quantile sorted 0.5;
+          p95_ns = exact_quantile sorted 0.95;
+          max_ns = sorted.(Array.length sorted - 1);
+        }
+        :: acc)
+      by_name []
+  in
+  List.sort
+    (fun a b ->
+      match compare b.a_self_ns a.a_self_ns with
+      | 0 -> String.compare a.a_name b.a_name
+      | c -> c)
+    rows
+
+let folded_stacks spans =
+  (* One frame path per span, rooted at its domain; weight = self time.
+     Paths are rebuilt by chasing parent links through an id index. *)
+  let by_id = Hashtbl.create (List.length spans) in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
+  let weights : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let rec path acc s =
+        let acc = s.name :: acc in
+        match s.parent with
+        | Some p -> (
+            match Hashtbl.find_opt by_id p with
+            | Some parent -> path acc parent
+            | None -> acc)
+        | None -> acc
+      in
+      let key =
+        String.concat ";" (Printf.sprintf "domain-%d" s.domain :: path [] s)
+      in
+      (match Hashtbl.find_opt weights key with
+      | Some w -> Hashtbl.replace weights key (w + s.self_ns)
+      | None ->
+          Hashtbl.add weights key s.self_ns;
+          order := key :: !order))
+    spans;
+  List.rev_map (fun key -> (key, Hashtbl.find weights key)) !order
+  |> List.rev
+
+let pp_folded ppf stacks =
+  List.iter (fun (path, w) -> Format.fprintf ppf "%s %d@." path w) stacks
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-36s %8s %12s %12s %10s %10s %10s@." "span" "count"
+    "total_ms" "self_ms" "p50_ms" "p95_ms" "max_ms";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-36s %8d %12.3f %12.3f %10.3f %10.3f %10.3f@."
+        r.a_name r.count (ms r.total_ns) (ms r.a_self_ns) (ms r.p50_ns)
+        (ms r.p95_ns) (ms r.max_ns))
+    rows

@@ -1,0 +1,42 @@
+(** Offline span-stream profiler: rebuilds the span tree from a JSONL
+    trace (per-domain stack replay of begin/end events) and aggregates
+    wall/self time per span name, plus folded stacks for flamegraphs. *)
+
+type span = {
+  id : int;  (** 1-based, in begin-event order — stable across runs. *)
+  parent : int option;  (** [id] of the enclosing span on the same domain. *)
+  name : string;
+  domain : int;
+  depth : int;
+  start_ns : int;
+  end_ns : int;
+  dur_ns : int;
+  self_ns : int;  (** [dur_ns] minus time spent in direct children. *)
+  attrs : (string * string) list;
+}
+
+val spans_of_events : Zipchannel_obs.Obs.Trace.span_event list -> span list
+(** Replay a stream in emission order.  Nesting is tracked per domain, so
+    interleaved events from concurrent domains reconstruct correctly.
+    End events with no matching begin become root spans (front-truncated
+    trace); begins with no end are dropped (tail-truncated). *)
+
+type agg = {
+  a_name : string;
+  count : int;
+  total_ns : int;
+  a_self_ns : int;
+  p50_ns : int;  (** Exact percentile over this name's span durations. *)
+  p95_ns : int;
+  max_ns : int;
+}
+
+val aggregate : span list -> agg list
+(** Per-name rollup, sorted by self time descending. *)
+
+val folded_stacks : span list -> (string * int) list
+(** Flamegraph folded format: ["domain-0;outer;inner", self_ns] pairs,
+    self-time-weighted, aggregated over identical paths. *)
+
+val pp_folded : Format.formatter -> (string * int) list -> unit
+val pp_table : Format.formatter -> agg list -> unit

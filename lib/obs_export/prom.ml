@@ -1,0 +1,48 @@
+module Metrics = Zipchannel_obs.Obs.Metrics
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let metric_name name = "zipchannel_" ^ sanitize name
+
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let exposition (s : Metrics.snapshot) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name ^ "_total" in
+      line "# TYPE %s counter" n;
+      line "%s %d" n v)
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (num v))
+    s.gauges;
+  List.iter
+    (fun (name, (hs : Metrics.histogram_snapshot)) ->
+      let n = metric_name name in
+      line "# TYPE %s histogram" n;
+      (* Log2 bucket b counts v <= 2^b, so the cumulative count up to
+         bucket b is exactly the classic-histogram count for le = 2^b. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (bk, cnt) ->
+          cum := !cum + cnt;
+          line "%s_bucket{le=\"%d\"} %d" n (1 lsl bk) !cum)
+        hs.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" n hs.count;
+      line "%s_sum %d" n hs.sum;
+      line "%s_count %d" n hs.count)
+    s.histograms;
+  Buffer.contents b

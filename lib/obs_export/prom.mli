@@ -1,0 +1,12 @@
+(** Prometheus text exposition (version 0.0.4) of a metric snapshot.
+    Names are prefixed [zipchannel_] with dots mapped to underscores;
+    counters get the [_total] suffix; log2 histograms become classic
+    cumulative histograms with [le] boundaries at powers of two. *)
+
+val sanitize : string -> string
+(** Replace every character outside [[a-zA-Z0-9_]] with [_]. *)
+
+val metric_name : string -> string
+(** [metric_name "taint.gadget_hits"] is ["zipchannel_taint_gadget_hits"]. *)
+
+val exposition : Zipchannel_obs.Obs.Metrics.snapshot -> string

@@ -1,0 +1,49 @@
+module Metrics = Zipchannel_obs.Obs.Metrics
+
+let hist_of_json j =
+  let int key = Option.bind (Json.member key j) Json.to_int in
+  match (int "count", int "sum", Json.member "buckets" j) with
+  | Some count, Some sum, Some (Json.Obj buckets) ->
+      let buckets =
+        List.filter_map
+          (fun (b, n) ->
+            match (int_of_string_opt b, Json.to_int n) with
+            | Some b, Some n -> Some (b, n)
+            | _ -> None)
+          buckets
+      in
+      { Metrics.count; sum; buckets }
+  | _ -> failwith "Snapshot_io: malformed histogram"
+
+let of_json j =
+  let section key =
+    match Json.member key j with
+    | Some (Json.Obj members) -> members
+    | _ -> failwith ("Snapshot_io: missing \"" ^ key ^ "\" section")
+  in
+  let num_exn v =
+    match Json.to_num v with
+    | Some f -> f
+    | None -> failwith "Snapshot_io: non-numeric metric value"
+  in
+  {
+    Metrics.counters =
+      List.map (fun (k, v) -> (k, int_of_float (num_exn v))) (section "counters");
+    gauges = List.map (fun (k, v) -> (k, num_exn v)) (section "gauges");
+    histograms = List.map (fun (k, v) -> (k, hist_of_json v)) (section "histograms");
+  }
+
+let of_string s = of_json (Json.parse s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string content
+
+let is_snapshot = function
+  | Json.Obj _ as j -> Json.member "counters" j <> None
+  | _ -> false

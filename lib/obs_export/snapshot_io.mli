@@ -1,0 +1,15 @@
+(** Reader for the metric-snapshot JSON written by
+    {!Zipchannel_obs.Obs.Metrics.snapshot_to_json} (and embedded in
+    BENCH files): the exact inverse of that serialization. *)
+
+val of_json : Json.t -> Zipchannel_obs.Obs.Metrics.snapshot
+(** @raise Failure on values that are not metric snapshots. *)
+
+val of_string : string -> Zipchannel_obs.Obs.Metrics.snapshot
+(** @raise Json.Parse_error @raise Failure *)
+
+val read_file : string -> Zipchannel_obs.Obs.Metrics.snapshot
+
+val is_snapshot : Json.t -> bool
+(** Does this value look like a metric snapshot (an object with a
+    ["counters"] member)? *)

@@ -1,0 +1,47 @@
+module Obs = Zipchannel_obs.Obs
+
+let event_of_json j =
+  let str key = Option.bind (Json.member key j) Json.to_str in
+  let int key = Option.bind (Json.member key j) Json.to_int in
+  match (str "ev", str "name", int "domain", int "depth", int "ts_ns") with
+  | Some ev, Some name, Some domain, Some depth, Some ts_ns ->
+      let phase =
+        match ev with
+        | "b" -> `Begin
+        | "e" -> `End
+        | other -> failwith ("Span_stream: unknown event kind " ^ other)
+      in
+      let attrs =
+        match Json.member "attrs" j with
+        | Some (Json.Obj members) ->
+            List.filter_map
+              (fun (k, v) ->
+                match Json.to_str v with Some s -> Some (k, s) | None -> None)
+              members
+        | _ -> []
+      in
+      {
+        Obs.Trace.phase;
+        name;
+        domain;
+        depth;
+        ts_ns;
+        dur_ns = Option.value ~default:0 (int "dur_ns");
+        attrs;
+      }
+  | _ -> failwith "Span_stream: missing ev/name/domain/depth/ts_ns field"
+
+let of_string s = List.map event_of_json (Json.parse_many s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string content
+
+let is_span_stream = function
+  | Json.Obj _ as j -> Json.member "ev" j <> None
+  | _ -> false

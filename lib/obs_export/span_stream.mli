@@ -1,0 +1,17 @@
+(** Reader for the JSONL span streams {!Zipchannel_obs.Obs.Trace.Jsonl}
+    emits: one JSON object per span begin/end event, in emission order.
+    The offline half of the trace pipeline — the profiler and the OTLP
+    trace exporter both start from this event list. *)
+
+val event_of_json : Json.t -> Zipchannel_obs.Obs.Trace.span_event
+(** @raise Failure on objects that are not span events. *)
+
+val of_string : string -> Zipchannel_obs.Obs.Trace.span_event list
+(** Parse a whole JSONL stream, in order.
+    @raise Json.Parse_error @raise Failure *)
+
+val read_file : string -> Zipchannel_obs.Obs.Trace.span_event list
+
+val is_span_stream : Json.t -> bool
+(** Does this value look like a span event (an object with an ["ev"]
+    member)?  Used to tell trace files from metric snapshots. *)

@@ -19,4 +19,5 @@ let () =
       Test_container.suite;
       Test_experiments.suite;
       Test_obs.suite;
+      Test_obs_export.suite;
     ]

@@ -76,6 +76,89 @@ let test_delta () =
     "delta is growth only" (Some 3)
     (List.assoc_opt "test.obs.delta" d.Obs.Metrics.counters)
 
+(* Regression test: a gauge rewritten between snapshots — to the same
+   value, via a detour, or staying NaN — is unchanged and must not
+   appear in the delta.  Structural (<>) got NaN wrong (NaN <> NaN) and
+   the docs promised "changed gauges only". *)
+let test_delta_gauge_unchanged () =
+  with_obs @@ fun () ->
+  let g = Obs.Metrics.gauge "test.obs.delta_gauge" in
+  let delta_after f =
+    let before = Obs.Metrics.snapshot () in
+    f ();
+    Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ())
+  in
+  Obs.Metrics.set_gauge g 2.5;
+  let d = delta_after (fun () -> Obs.Metrics.set_gauge g 2.5) in
+  Alcotest.(check bool) "same-value rewrite absent" false
+    (List.mem_assoc "test.obs.delta_gauge" d.Obs.Metrics.gauges);
+  let d =
+    delta_after (fun () ->
+        Obs.Metrics.set_gauge g 7.0;
+        Obs.Metrics.set_gauge g 2.5)
+  in
+  Alcotest.(check bool) "set-away-and-back absent" false
+    (List.mem_assoc "test.obs.delta_gauge" d.Obs.Metrics.gauges);
+  Obs.Metrics.set_gauge g Float.nan;
+  let d = delta_after (fun () -> Obs.Metrics.set_gauge g Float.nan) in
+  Alcotest.(check bool) "unchanged NaN absent" false
+    (List.mem_assoc "test.obs.delta_gauge" d.Obs.Metrics.gauges);
+  let d = delta_after (fun () -> Obs.Metrics.set_gauge g 3.0) in
+  Alcotest.(check bool) "real change present" true
+    (List.mem_assoc "test.obs.delta_gauge" d.Obs.Metrics.gauges)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_progress_render () =
+  let render = Obs.Progress.render in
+  Alcotest.(check string) "no total"
+    "[lab] 5"
+    (render ~label:"lab" ~count:5 ~total:None ~elapsed_ns:7_000_000_000);
+  Alcotest.(check string) "zero count: no ETA yet"
+    "[lab] 0/10 (0.0%)"
+    (render ~label:"lab" ~count:0 ~total:(Some 10) ~elapsed_ns:1_000_000_000);
+  (* 5 of 10 done in 5 s: the rest extrapolates to 5 s. *)
+  Alcotest.(check string) "halfway ETA, one decimal under 10 s"
+    "[lab] 5/10 (50.0%) ~5.0s"
+    (render ~label:"lab" ~count:5 ~total:(Some 10)
+       ~elapsed_ns:5_000_000_000);
+  Alcotest.(check string) "long ETA, whole seconds"
+    "[lab] 1/100 (1.0%) ~99s"
+    (render ~label:"lab" ~count:1 ~total:(Some 100)
+       ~elapsed_ns:1_000_000_000);
+  Alcotest.(check string) "complete: no ETA"
+    "[lab] 10/10 (100.0%)"
+    (render ~label:"lab" ~count:10 ~total:(Some 10)
+       ~elapsed_ns:5_000_000_000)
+
+let test_histogram_quantiles () =
+  Alcotest.(check (float 1e-9)) "bucket 0 midpoint" 1.0
+    (Obs.Metrics.bucket_midpoint 0);
+  Alcotest.(check (float 1e-9)) "bucket 1 midpoint" 1.5
+    (Obs.Metrics.bucket_midpoint 1);
+  Alcotest.(check (float 1e-9)) "bucket 4 midpoint" 12.0
+    (Obs.Metrics.bucket_midpoint 4);
+  with_obs @@ fun () ->
+  let h = Obs.Metrics.histogram "test.obs.quantile" in
+  List.iter (Obs.Metrics.observe h) [ 1; 2; 100 ];
+  let snap = Obs.Metrics.snapshot () in
+  let hs = List.assoc "test.obs.quantile" snap.Obs.Metrics.histograms in
+  Alcotest.(check (float 1e-9)) "p50 in bucket 1" 1.5
+    (Obs.Metrics.approx_quantile hs 0.5);
+  (* 64 < 100 <= 128 puts the sample in bucket 7, midpoint 96. *)
+  Alcotest.(check (float 1e-9)) "p95 in the top bucket" 96.0
+    (Obs.Metrics.approx_quantile hs 0.95);
+  let rendered =
+    Format.asprintf "%a" Obs.Metrics.pp_snapshot snap
+  in
+  Alcotest.(check bool) "pp_snapshot shows p50" true
+    (contains ~sub:"p50~1.5" rendered);
+  Alcotest.(check bool) "pp_snapshot shows p95" true
+    (contains ~sub:"p95~96" rendered)
+
 (* ------------------------------------------------------------------ *)
 (* Shard merging under real parallelism *)
 
@@ -236,6 +319,12 @@ let suite =
       Alcotest.test_case "gauge & histogram" `Quick test_gauge_and_histogram;
       Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
       Alcotest.test_case "snapshot delta" `Quick test_delta;
+      Alcotest.test_case "delta drops unchanged gauges" `Quick
+        test_delta_gauge_unchanged;
+      Alcotest.test_case "progress line & ETA rendering" `Quick
+        test_progress_render;
+      Alcotest.test_case "histogram midpoint quantiles" `Quick
+        test_histogram_quantiles;
       QCheck_alcotest.to_alcotest qcheck_shard_merge;
       Alcotest.test_case "parallel survey counter parity" `Slow
         test_survey_parity;
