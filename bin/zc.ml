@@ -144,6 +144,96 @@ let archive_cmd =
   Cmd.group (Cmd.info "archive" ~doc:"Multi-file archives") [ create; list; extract ]
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzing *)
+
+let fuzz_run () codec seed runs jobs budget_ms fixtures no_minimize =
+  let codecs =
+    if codec = "all" then Ok Fuzz.Codecs.all
+    else
+      match Fuzz.Codecs.find codec with
+      | Some c -> Ok [ c ]
+      | None ->
+          Error
+            ("unknown codec (use all, "
+            ^ String.concat ", " Fuzz.Codecs.names
+            ^ ")")
+  in
+  match codecs with
+  | Error msg -> `Error (false, msg)
+  | Ok codecs ->
+      let report =
+        Fuzz.Runner.run ~codecs ~seed ~runs ~jobs ~budget_ms
+          ~minimize:(not no_minimize) ()
+      in
+      print_string (Fuzz.Report.render report);
+      let failures = Fuzz.Report.failures report in
+      if failures = [] then `Ok ()
+      else begin
+        (match fixtures with
+        | None -> ()
+        | Some dir ->
+            List.iter
+              (fun p -> Printf.printf "wrote %s\n" p)
+              (Fuzz.Runner.write_fixtures ~dir report));
+        `Error
+          ( false,
+            Printf.sprintf "%d failing case(s)" (List.length failures) )
+      end
+
+let fuzz_cmd =
+  let codec =
+    let doc =
+      "Codec to fuzz: $(b,all) or one of "
+      ^ String.concat ", " Fuzz.Codecs.names ^ "."
+    in
+    Arg.(value & opt string "all" & info [ "codec" ] ~docv:"CODEC" ~doc)
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"PRNG seed; the whole campaign is deterministic in it.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 1000
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Total case count, split evenly across the selected codecs.")
+  in
+  let fuzz_jobs =
+    Obs_cli.jobs_arg
+      ~doc:"Worker domains for the campaign (0 = all available cores)."
+  in
+  let budget_ms =
+    Arg.(
+      value & opt float 1000.
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Per-case work budget; a slower case is reported as a failure.")
+  in
+  let fixtures =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fixtures" ] ~docv:"DIR"
+          ~doc:"Write minimized reproducers for failing cases under $(docv).")
+  in
+  let no_minimize =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ] ~doc:"Keep failing inputs as found, unshrunk.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the decoders with structure-aware mutations of valid streams; \
+          exits non-zero if any case crashes, round-trip-fails, bombs or \
+          blows its budget")
+    Term.(
+      ret
+        (const fuzz_run $ Obs_cli.flags $ codec $ seed $ runs $ fuzz_jobs
+       $ budget_ms $ fixtures $ no_minimize))
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry: offline converters and the span profiler *)
 
 let read_text path =
@@ -278,6 +368,6 @@ let obs_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "zc" ~doc:"compress and decompress files with the ZipChannel codecs")
-    [ compress_cmd; decompress_cmd; archive_cmd; obs_cmd ]
+    [ compress_cmd; decompress_cmd; archive_cmd; fuzz_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval cmd)

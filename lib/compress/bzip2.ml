@@ -6,6 +6,13 @@ type block_info = {
 
 let default_block_size = 10_000
 
+(* The largest post-RLE1 block length the format supports.  The header's
+   u32 length field otherwise lets a few dozen adversarial bytes demand a
+   4 GiB block; the cap keeps the decoder's per-block memory bounded.
+   [compress] rejects larger [block_size] values so every stream the
+   compressor can produce stays decodable. *)
+let max_block_size = 1 lsl 24
+
 let magic = "ZBZ2"
 
 let block_marker = 0x31
@@ -109,18 +116,24 @@ let write_selectors w ~n_groups selectors =
       order.(0) <- v)
     selectors
 
+(* Explicit in-order loop: both the MTF order array and the bit reader
+   are mutated per selector, and [Array.init] does not guarantee the
+   order it applies the closure in. *)
 let read_selectors r ~n_groups ~count =
   let order = Array.init n_groups (fun i -> i) in
-  Array.init count (fun _ ->
-      let pos = ref 0 in
-      while Bitio.Reader.read_bit r do
-        incr pos;
-        if !pos >= n_groups then failwith "Bzip2.decompress: bad selector"
-      done;
-      let v = order.(!pos) in
-      Array.blit order 0 order 1 !pos;
-      order.(0) <- v;
-      v)
+  let selectors = Array.make count 0 in
+  for k = 0 to count - 1 do
+    let pos = ref 0 in
+    while Bitio.Reader.read_bit r do
+      incr pos;
+      if !pos >= n_groups then failwith "Bzip2.decompress: bad selector"
+    done;
+    let v = order.(!pos) in
+    Array.blit order 0 order 1 !pos;
+    order.(0) <- v;
+    selectors.(k) <- v
+  done;
+  selectors
 
 module Obs = Zipchannel_obs.Obs
 
@@ -162,6 +175,8 @@ let compress_block w ~budget_factor ~block_size ~index block =
 let compress_with_info ?(block_size = default_block_size)
     ?(budget_factor = Block_sort.default_budget_factor) ?(jobs = 1) input =
   if block_size < 16 then invalid_arg "Bzip2.compress: block_size too small";
+  if block_size > max_block_size then
+    invalid_arg "Bzip2.compress: block_size too large";
   Obs.with_span "bzip2.compress"
     ~attrs:[ ("bytes", string_of_int (Bytes.length input)) ]
   @@ fun () ->
@@ -205,8 +220,11 @@ let compress_with_info ?(block_size = default_block_size)
 let compress ?block_size ?budget_factor ?jobs input =
   fst (compress_with_info ?block_size ?budget_factor ?jobs input)
 
-let decompress data =
+let decompress_result data =
   let r = Bitio.Reader.create data in
+  Codec_error.protect ~codec:"bzip2"
+    ~offset:(fun () -> Bitio.Reader.byte_position r)
+  @@ fun () ->
   String.iter
     (fun c ->
       if Bitio.Reader.read_bits_msb r 8 <> Char.code c then
@@ -218,19 +236,24 @@ let decompress data =
     | m when m = end_marker -> ()
     | m when m = block_marker ->
         let len = read_u32 r in
+        if len > max_block_size then
+          failwith "Bzip2.decompress: block length exceeds maximum";
         let primary = read_u32 r in
         let n_groups = Bitio.Reader.read_bits_msb r 3 in
         if n_groups < 2 || n_groups > 6 then
           failwith "Bzip2.decompress: bad table count";
         let n_selectors = Bitio.Reader.read_bits_msb r 15 in
         let selectors = read_selectors r ~n_groups ~count:n_selectors in
+        (* Explicit in-order loop: each table read advances the reader. *)
         let decoders =
-          Array.init n_groups (fun _ ->
-              let lengths = Huffman.read_lengths r in
-              if Array.length lengths <> Rle2.alphabet_size then
-                failwith "Bzip2.decompress: bad table";
-              Huffman.decoder_of_lengths lengths)
+          Array.make n_groups (Huffman.decoder_of_lengths [||])
         in
+        for t = 0 to n_groups - 1 do
+          let lengths = Huffman.read_lengths r in
+          if Array.length lengths <> Rle2.alphabet_size then
+            failwith "Bzip2.decompress: bad table";
+          decoders.(t) <- Huffman.decoder_of_lengths lengths
+        done;
         let symbols = ref [] in
         let count = ref 0 in
         let finished = ref false in
@@ -243,7 +266,11 @@ let decompress data =
           incr count;
           if s = Rle2.eob then finished := true
         done;
-        let mtf = Rle2.decode (Array.of_list (List.rev !symbols)) in
+        (* The decoded block must come out exactly [len] bytes, so [len]
+           also caps the zero-run expansion. *)
+        let mtf =
+          Rle2.decode ~max_output:len (Array.of_list (List.rev !symbols))
+        in
         let last = Mtf.decode mtf in
         if Bytes.length last <> len then
           failwith "Bzip2.decompress: length mismatch";
@@ -253,3 +280,5 @@ let decompress data =
   in
   blocks ();
   Rle1.decode (Buffer.to_bytes out)
+
+let decompress data = Codec_error.unwrap (decompress_result data)

@@ -16,6 +16,12 @@ type block_info = {
 val default_block_size : int
 (** 10,000 bytes, per the paper's description. *)
 
+val max_block_size : int
+(** 2^24 bytes — the largest post-RLE1 block length the format
+    supports.  {!compress} rejects larger [block_size] values;
+    {!decompress} rejects headers declaring more (they would let a
+    ~50-byte input demand a 4 GiB allocation). *)
+
 val compress :
   ?block_size:int -> ?budget_factor:int -> ?jobs:int -> bytes -> bytes
 (** [jobs] (default 1) compresses blocks on that many domains; the output
@@ -31,5 +37,11 @@ val compress_with_info :
 (** Also reports the per-block sorting control flow — the observable the
     fingerprinting attack of Section VI classifies. *)
 
+val decompress_result : bytes -> (bytes, Codec_error.t) result
+(** Safe decoder: truncated or corrupt streams, oversized block headers
+    and zero-run bombs are an [Error]; no exception escapes this
+    boundary. *)
+
 val decompress : bytes -> bytes
-(** @raise Failure on malformed input. *)
+(** [Codec_error.unwrap] of {!decompress_result}.
+    @raise Failure on malformed input. *)

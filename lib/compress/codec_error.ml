@@ -1,0 +1,30 @@
+type t = { codec : string; offset : int; reason : string }
+
+exception Codec_error of t
+
+let v ~codec ?(offset = -1) reason = { codec; offset; reason }
+
+let error ~codec ?offset reason = Error (v ~codec ?offset reason)
+
+let fail ~codec ?offset reason = raise (Codec_error (v ~codec ?offset reason))
+
+let to_string e =
+  if e.offset < 0 then Printf.sprintf "%s decode error: %s" e.codec e.reason
+  else
+    Printf.sprintf "%s decode error at byte %d: %s" e.codec e.offset e.reason
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let protect ~codec ~offset f =
+  match f () with
+  | x -> Ok x
+  | exception Codec_error e -> Error e
+  | exception Failure reason -> Error (v ~codec ~offset:(offset ()) reason)
+  | exception Invalid_argument reason ->
+      Error (v ~codec ~offset:(offset ()) reason)
+  | exception Bitio.Reader.Out_of_bits ->
+      Error (v ~codec ~offset:(offset ()) (codec ^ ": truncated input"))
+  | exception Bitio.Lsb_reader.Out_of_bits ->
+      Error (v ~codec ~offset:(offset ()) (codec ^ ": truncated input"))
+
+let unwrap = function Ok x -> x | Error e -> raise (Failure e.reason)

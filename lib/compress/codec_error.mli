@@ -1,0 +1,53 @@
+(** Structured decode errors.
+
+    Every decoder in this library reports malformed input through one
+    value shape: which codec rejected the bytes, the byte offset the
+    decoder had reached when it gave up, and a human-readable reason.
+    The [*_result] entry points of each codec return [Error t]; the
+    historical exception entry points ([decompress]/[decode]/[unpack])
+    are thin wrappers that raise their documented exception with
+    [t.reason] as the message, so existing callers see exactly the
+    messages they always did.
+
+    The contract the fuzzer ({!Zipchannel_fuzz}) enforces: no decoder
+    boundary lets [Bitio.Reader.Out_of_bits],
+    [Bitio.Lsb_reader.Out_of_bits] or an internal [Invalid_argument]
+    escape — all of them are mapped here. *)
+
+type t = {
+  codec : string;  (** short codec name, e.g. ["lzw"], ["bzip2"] *)
+  offset : int;
+      (** byte offset into the input reached when the error was
+          detected; [-1] when no position is meaningful *)
+  reason : string;  (** human-readable message, stable across releases *)
+}
+
+exception Codec_error of t
+
+val v : codec:string -> ?offset:int -> string -> t
+(** [v ~codec ~offset reason]; [offset] defaults to [-1]. *)
+
+val error : codec:string -> ?offset:int -> string -> ('a, t) result
+(** [Error (v ~codec ~offset reason)]. *)
+
+val fail : codec:string -> ?offset:int -> string -> 'a
+(** @raise Codec_error always. *)
+
+val to_string : t -> string
+(** ["<codec> decode error at byte <offset>: <reason>"] (offset part
+    omitted when unknown). *)
+
+val pp : Format.formatter -> t -> unit
+
+val protect : codec:string -> offset:(unit -> int) -> (unit -> 'a) -> ('a, t) result
+(** [protect ~codec ~offset f] runs [f] and maps every exception a
+    decoder is allowed to signal malformed input with — {!Codec_error},
+    [Failure], [Invalid_argument], [Bitio.Reader.Out_of_bits] and
+    [Bitio.Lsb_reader.Out_of_bits] — to [Error]. The [offset] thunk is
+    consulted at catch time, so passing the live bit reader's
+    [byte_position] reports where the decode stopped.  Any other
+    exception (I/O, [Out_of_memory], …) propagates. *)
+
+val unwrap : ('a, t) result -> 'a
+(** [Ok x -> x]; [Error e -> raise (Failure e.reason)] — the shim that
+    keeps the historical [@raise Failure] contracts intact. *)

@@ -56,13 +56,18 @@ module Stream = struct
     let crc = get_u32 data (7 + body_len) in
     let plain_len = get_u32 data (11 + body_len) in
     let plain =
-      try Deflate.decompress body with
-      | Failure msg | Invalid_argument msg -> corrupt "bad body: %s" msg
-      | Bitio.Reader.Out_of_bits -> corrupt "bad body: truncated bitstream"
+      match Deflate.decompress_result body with
+      | Ok plain -> plain
+      | Error e -> corrupt "bad body: %s" e.Codec_error.reason
     in
     if Bytes.length plain <> plain_len then corrupt "length mismatch";
     if Checksum.Crc32.digest plain <> crc then corrupt "crc mismatch";
     plain
+
+  let unpack_result data =
+    match unpack data with
+    | plain -> Ok plain
+    | exception Corrupt reason -> Codec_error.error ~codec:"stream" reason
 end
 
 module Archive = struct
@@ -122,28 +127,41 @@ module Archive = struct
     r_plain_len : int;
   }
 
+  (* The smallest possible directory record: empty name + five fixed
+     fields.  Bounds the record count an archive of [n] bytes can hold,
+     so a forged count field is rejected before any record is parsed. *)
+  let min_record_size = 2 + 16
+
   let directory data =
     let n = Bytes.length data in
     if n < 12 then corrupt "archive too short";
     if Bytes.sub_string data (n - 4) 4 <> magic then corrupt "bad archive magic";
     let count = get_u32 data (n - 8) in
     let dir_offset = get_u32 data (n - 12) in
+    if count > (n - 12) / min_record_size then
+      corrupt "implausible entry count %d" count;
     let pos = ref dir_offset in
-    List.init count (fun _ ->
-        let name_len = get_u16 data !pos in
-        let name = Bytes.to_string (get_sub data (!pos + 2) name_len) in
-        let base = !pos + 2 + name_len in
-        let r =
-          {
-            r_name = name;
-            r_offset = get_u32 data base;
-            r_body_len = get_u32 data (base + 4);
-            r_crc = get_u32 data (base + 8);
-            r_plain_len = get_u32 data (base + 12);
-          }
-        in
-        pos := base + 16;
-        r)
+    (* Explicit in-order loop: each record parse advances [pos], and
+       [List.init] does not guarantee the order it applies the closure
+       in. *)
+    let records = ref [] in
+    for _ = 1 to count do
+      let name_len = get_u16 data !pos in
+      let name = Bytes.to_string (get_sub data (!pos + 2) name_len) in
+      let base = !pos + 2 + name_len in
+      let r =
+        {
+          r_name = name;
+          r_offset = get_u32 data base;
+          r_body_len = get_u32 data (base + 4);
+          r_crc = get_u32 data (base + 8);
+          r_plain_len = get_u32 data (base + 12);
+        }
+      in
+      pos := base + 16;
+      records := r :: !records
+    done;
+    List.rev !records
 
   let extract_record data r =
     let body = get_sub data r.r_offset r.r_body_len in
@@ -164,6 +182,11 @@ module Archive = struct
     List.map
       (fun r -> { name = r.r_name; data = extract_record data r })
       (directory data)
+
+  let unpack_result data =
+    match unpack data with
+    | entries -> Ok entries
+    | exception Corrupt reason -> Codec_error.error ~codec:"archive" reason
 
   let names data = List.map (fun r -> r.r_name) (directory data)
 

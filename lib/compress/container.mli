@@ -17,6 +17,10 @@ module Stream : sig
 
   val unpack : bytes -> bytes
   (** @raise Corrupt on bad magic, truncation or checksum mismatch. *)
+
+  val unpack_result : bytes -> (bytes, Codec_error.t) result
+  (** Safe decoder: every malformation {!unpack} reports via {!Corrupt}
+      is an [Error]; no exception escapes. *)
 end
 
 (** Multi-entry archive, zip-style: named entries, per-entry CRC, central
@@ -32,7 +36,12 @@ module Archive : sig
 
   val unpack : bytes -> entry list
   (** Entries in original order.  @raise Corrupt on framing or checksum
-      errors. *)
+      errors (including a directory entry count larger than the archive
+      could possibly hold). *)
+
+  val unpack_result : bytes -> (entry list, Codec_error.t) result
+  (** Safe decoder: every malformation {!unpack} reports via {!Corrupt}
+      is an [Error]; no exception escapes. *)
 
   val names : bytes -> string list
   (** Read just the central directory. *)

@@ -93,8 +93,11 @@ let encode_tokens tokens =
   Huffman.write_symbol w litlen_codes end_of_block;
   Bitio.Writer.to_bytes w
 
-let decode_tokens data =
+let decode_tokens_result data =
   let r = Bitio.Reader.create data in
+  Codec_error.protect ~codec:"deflate"
+    ~offset:(fun () -> Bitio.Reader.byte_position r)
+  @@ fun () ->
   let litlen_lengths = Huffman.read_lengths r in
   let dist_lengths = Huffman.read_lengths r in
   if Array.length litlen_lengths <> litlen_alphabet
@@ -132,6 +135,8 @@ let decode_tokens data =
   loop ();
   List.rev !tokens
 
+let decode_tokens data = Codec_error.unwrap (decode_tokens_result data)
+
 module Obs = Zipchannel_obs.Obs
 
 let m_bytes_in = Obs.Metrics.counter "kernel.deflate.bytes_in"
@@ -146,4 +151,15 @@ let compress ?strategy ?max_chain input =
   Obs.Metrics.add m_bytes_out (Bytes.length out);
   out
 
-let decompress data = Lz77.detokenize (decode_tokens data)
+let decompress_result data =
+  match decode_tokens_result data with
+  | Error e -> Error e
+  | Ok tokens -> (
+      (* [detokenize] validates match distances against the output built
+         so far; a bad distance is corrupt input, not a caller bug. *)
+      match Lz77.detokenize tokens with
+      | plain -> Ok plain
+      | exception Invalid_argument reason ->
+          Codec_error.error ~codec:"deflate" reason)
+
+let decompress data = Codec_error.unwrap (decompress_result data)

@@ -22,10 +22,21 @@ val base_of_distance_code : int -> int * int
 
 val encode_tokens : Lz77.token list -> bytes
 
+val decode_tokens_result : bytes -> (Lz77.token list, Codec_error.t) result
+(** Safe token decoder: truncated or corrupt input is an [Error]; no
+    exception escapes this boundary. *)
+
 val decode_tokens : bytes -> Lz77.token list
-(** @raise Failure on malformed input. *)
+(** [Codec_error.unwrap] of {!decode_tokens_result}.
+    @raise Failure on malformed input. *)
 
 val compress : ?strategy:Lz77.strategy -> ?max_chain:int -> bytes -> bytes
 (** [Lz77.tokenize] + [encode_tokens]. *)
 
+val decompress_result : bytes -> (bytes, Codec_error.t) result
+(** {!decode_tokens_result} + [Lz77.detokenize], with out-of-window match
+    distances reported as decode errors rather than exceptions. *)
+
 val decompress : bytes -> bytes
+(** [Codec_error.unwrap] of {!decompress_result}.
+    @raise Failure on malformed input. *)

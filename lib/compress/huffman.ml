@@ -170,9 +170,15 @@ let write_lengths w lengths =
       Bitio.Writer.add_bits_msb w ~value:l ~count:4)
     lengths
 
+(* Explicit in-order loop: [Array.init] does not guarantee the order it
+   applies the closure in, and each application advances the bit reader. *)
 let read_lengths r =
   let n = Bitio.Reader.read_bits_msb r 16 in
-  Array.init n (fun _ -> Bitio.Reader.read_bits_msb r 4)
+  let lengths = Array.make n 0 in
+  for i = 0 to n - 1 do
+    lengths.(i) <- Bitio.Reader.read_bits_msb r 4
+  done;
+  lengths
 
 let write_symbol w codes sym =
   let c = codes.(sym) in
@@ -246,12 +252,28 @@ let encode data =
   Bytes.iter (fun c -> write_symbol w codes (Char.code c)) data;
   Bitio.Writer.to_bytes w
 
-let decode data =
+let decode_result data =
   let r = Bitio.Reader.create data in
+  Codec_error.protect ~codec:"huffman"
+    ~offset:(fun () -> Bitio.Reader.byte_position r)
+  @@ fun () ->
   let hi = Bitio.Reader.read_bits_msb r 16 in
   let lo = Bitio.Reader.read_bits_msb r 16 in
   let n = (hi lsl 16) lor lo in
   let lengths = read_lengths r in
   if Array.length lengths <> 256 then failwith "Huffman.decode: bad header";
+  (* Bomb guard: every symbol costs at least one bit, so the declared
+     output length can never exceed the bits left after the tables.
+     Checked before the output buffer is allocated. *)
+  if n > Bitio.Reader.bits_remaining r then
+    failwith "Huffman.decode: declared length exceeds what the input can encode";
   let d = decoder_of_lengths lengths in
-  Bytes.init n (fun _ -> Char.chr (read_symbol r d))
+  (* Explicit in-order loop: [Bytes.init] does not guarantee application
+     order, and each symbol read advances the bit reader. *)
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (Char.chr (read_symbol r d))
+  done;
+  out
+
+let decode data = Codec_error.unwrap (decode_result data)

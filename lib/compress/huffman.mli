@@ -23,6 +23,10 @@ val write_lengths : Bitio.Writer.t -> int array -> unit
     16-bit symbol count. *)
 
 val read_lengths : Bitio.Reader.t -> int array
+(** Reads the 16-bit count then that many 4-bit lengths, in stream
+    order.  Truncation surfaces as the reader's own exception (see
+    {!Bitio.Reader}) — callers are decoder internals that map it to a
+    {!Codec_error.t} at their own boundary. *)
 
 val write_symbol : Bitio.Writer.t -> code array -> int -> unit
 (** @raise Invalid_argument when the symbol has no code. *)
@@ -45,5 +49,11 @@ val encode : bytes -> bytes
     32-bit symbol count.  Exercises the whole module and serves as the
     entropy stage of the LZW-less pipelines. *)
 
+val decode_result : bytes -> (bytes, Codec_error.t) result
+(** Safe inverse of {!encode}: truncated or corrupt input, and headers
+    declaring more output than the payload holds bits (each symbol costs
+    at least one bit), return [Error]; no exception escapes. *)
+
 val decode : bytes -> bytes
-(** Inverse of {!encode}.  @raise Failure on malformed input. *)
+(** [Codec_error.unwrap] of {!decode_result}.
+    @raise Failure on malformed input. *)

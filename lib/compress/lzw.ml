@@ -162,12 +162,27 @@ let compress_with_probes input =
 
 let compress input = fst (compress_with_probes input)
 
-let decompress data =
+(* Decompression-bomb guard: the 32-bit header length is attacker
+   controlled, so it is validated against what the payload could possibly
+   expand to before anything is allocated.  Every LZW code is at least
+   [min_bits] wide, and after [c] codes the longest dictionary string is
+   [c] bytes (each new entry extends a previous string by one byte), so
+   [c] codes can emit at most [c * (c + 1) / 2] bytes. *)
+let max_declared_length ~payload_bits =
+  let c = payload_bits / min_bits in
+  if c >= 1 lsl 31 then max_int else c * (c + 1) / 2
+
+let decompress_result data =
   let r = Bitio.Reader.create data in
+  Codec_error.protect ~codec:"lzw"
+    ~offset:(fun () -> Bitio.Reader.byte_position r)
+  @@ fun () ->
   let lo = Bitio.Reader.read_bits_lsb r 16 in
   let hi = Bitio.Reader.read_bits_lsb r 16 in
   let n = (hi lsl 16) lor lo in
-  let out = Buffer.create (max 16 n) in
+  if n > max_declared_length ~payload_bits:(Bitio.Reader.bits_remaining r) then
+    failwith "Lzw.decompress: declared length exceeds what the input can encode";
+  let out = Buffer.create (max 16 (min n 65536)) in
   if n > 0 then begin
     (* prefix/suffix tables for codes >= 257; codes < 256 are literals. *)
     let prefix = Array.make code_limit 0 in
@@ -219,3 +234,5 @@ let decompress data =
     if Buffer.length out <> n then failwith "Lzw.decompress: length mismatch"
   end;
   Buffer.to_bytes out
+
+let decompress data = Codec_error.unwrap (decompress_result data)

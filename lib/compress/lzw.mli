@@ -72,5 +72,11 @@ val compress_with_probes : bytes -> bytes * probe list
 (** Also returns every hash-table probe in execution order — the memory
     trace an attacker of the Listing 2 gadget observes. *)
 
+val decompress_result : bytes -> (bytes, Codec_error.t) result
+(** Safe decoder: truncated, corrupt or bomb-shaped input (a header
+    declaring more output than the payload could possibly encode) is an
+    [Error]; no exception escapes this boundary. *)
+
 val decompress : bytes -> bytes
-(** @raise Failure on malformed input. *)
+(** [Codec_error.unwrap] of {!decompress_result}.
+    @raise Failure on malformed input. *)

@@ -5,20 +5,49 @@ let move_to_front order pos =
   Array.blit order 0 order 1 pos;
   order.(0) <- v
 
+(* Explicit in-order loops on both sides: the recency list is mutated by
+   every step, and [Array.init]/[Bytes.init] do not guarantee the order
+   they apply the closure in. *)
 let encode input =
   let order = initial_order () in
-  Array.init (Bytes.length input) (fun i ->
-      let c = Char.code (Bytes.get input i) in
-      let pos = ref 0 in
-      while order.(!pos) <> c do incr pos done;
-      move_to_front order !pos;
-      !pos)
+  let n = Bytes.length input in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get input i) in
+    let pos = ref 0 in
+    while order.(!pos) <> c do incr pos done;
+    move_to_front order !pos;
+    out.(i) <- !pos
+  done;
+  out
 
-let decode symbols =
-  let order = initial_order () in
-  Bytes.init (Array.length symbols) (fun i ->
+let decode_result symbols =
+  let bad = ref (-1) in
+  let n = Array.length symbols in
+  (try
+     for i = 0 to n - 1 do
+       let s = symbols.(i) in
+       if s < 0 || s > 255 then begin
+         bad := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !bad >= 0 then
+    Codec_error.error ~codec:"mtf" ~offset:!bad "Mtf.decode: symbol out of range"
+  else begin
+    let order = initial_order () in
+    let out = Bytes.create n in
+    for i = 0 to n - 1 do
       let pos = symbols.(i) in
-      if pos < 0 || pos > 255 then invalid_arg "Mtf.decode: symbol out of range";
       let c = order.(pos) in
       move_to_front order pos;
-      Char.chr c)
+      Bytes.set out i (Char.chr c)
+    done;
+    Ok out
+  end
+
+let decode symbols =
+  match decode_result symbols with
+  | Ok out -> out
+  | Error e -> invalid_arg e.Codec_error.reason

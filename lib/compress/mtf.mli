@@ -7,5 +7,9 @@
 val encode : bytes -> int array
 (** Output values are in 0..255. *)
 
+val decode_result : int array -> (bytes, Codec_error.t) result
+(** Safe decoder: a symbol outside 0..255 is an [Error] whose offset is
+    the index of the offending symbol. *)
+
 val decode : int array -> bytes
 (** @raise Invalid_argument on values outside 0..255. *)

@@ -248,41 +248,42 @@ let inflate_block r out litlen dist =
     end
   done
 
-let inflate data =
+let inflate_result data =
   let r = Bitio.Lsb_reader.create data in
+  Codec_error.protect ~codec:"rfc1951"
+    ~offset:(fun () -> Bitio.Lsb_reader.byte_position r)
+  @@ fun () ->
   let out = Buffer.create (Bytes.length data * 3) in
-  (try
-     let final = ref false in
-     while not !final do
-       final := Bitio.Lsb_reader.read_bits r 1 = 1;
-       match Bitio.Lsb_reader.read_bits r 2 with
-       | 0 ->
-           Bitio.Lsb_reader.align_byte r;
-           let len = Bitio.Lsb_reader.read_bits r 16 in
-           let nlen = Bitio.Lsb_reader.read_bits r 16 in
-           if len lxor 0xffff <> nlen then
-             failwith "Rfc1951.inflate: stored length check";
-           for _ = 1 to len do
-             Buffer.add_char out (Char.chr (Bitio.Lsb_reader.read_bits r 8))
-           done
-       | 1 ->
-           inflate_block r out
-             (Huffman.decoder_of_lengths fixed_litlen_lengths)
-             (Some (Huffman.decoder_of_lengths fixed_dist_lengths))
-       | 2 ->
-           let litlen_lengths, dist_lengths = read_dynamic_tables r in
-           let dist =
-             if Array.exists (fun l -> l > 0) dist_lengths then
-               Some (Huffman.decoder_of_lengths dist_lengths)
-             else None
-           in
-           inflate_block r out (Huffman.decoder_of_lengths litlen_lengths) dist
-       | _ -> failwith "Rfc1951.inflate: reserved block type"
-     done
-   with
-  | Bitio.Lsb_reader.Out_of_bits -> failwith "Rfc1951.inflate: truncated stream"
-  | Invalid_argument msg -> failwith ("Rfc1951.inflate: " ^ msg));
+  let final = ref false in
+  while not !final do
+    final := Bitio.Lsb_reader.read_bits r 1 = 1;
+    match Bitio.Lsb_reader.read_bits r 2 with
+    | 0 ->
+        Bitio.Lsb_reader.align_byte r;
+        let len = Bitio.Lsb_reader.read_bits r 16 in
+        let nlen = Bitio.Lsb_reader.read_bits r 16 in
+        if len lxor 0xffff <> nlen then
+          failwith "Rfc1951.inflate: stored length check";
+        for _ = 1 to len do
+          Buffer.add_char out (Char.chr (Bitio.Lsb_reader.read_bits r 8))
+        done
+    | 1 ->
+        inflate_block r out
+          (Huffman.decoder_of_lengths fixed_litlen_lengths)
+          (Some (Huffman.decoder_of_lengths fixed_dist_lengths))
+    | 2 ->
+        let litlen_lengths, dist_lengths = read_dynamic_tables r in
+        let dist =
+          if Array.exists (fun l -> l > 0) dist_lengths then
+            Some (Huffman.decoder_of_lengths dist_lengths)
+          else None
+        in
+        inflate_block r out (Huffman.decoder_of_lengths litlen_lengths) dist
+    | _ -> failwith "Rfc1951.inflate: reserved block type"
+  done;
   Buffer.to_bytes out
+
+let inflate data = Codec_error.unwrap (inflate_result data)
 
 (* ------------------------------------------------------------------ *)
 (* RFC 1950 (zlib) wrapper *)
@@ -307,22 +308,41 @@ module Zlib = struct
     done;
     Buffer.to_bytes buf
 
-  let decompress data =
-    if Bytes.length data < 6 then failwith "Rfc1951.Zlib: too short";
-    let cmf = Char.code (Bytes.get data 0) in
-    let flg = Char.code (Bytes.get data 1) in
-    if cmf land 0x0f <> 8 then failwith "Rfc1951.Zlib: not deflate";
-    if ((cmf * 256) + flg) mod 31 <> 0 then failwith "Rfc1951.Zlib: bad header check";
-    if flg land 0x20 <> 0 then failwith "Rfc1951.Zlib: preset dictionary unsupported";
-    let body = Bytes.sub data 2 (Bytes.length data - 6) in
-    let plain = inflate body in
-    let adler = ref 0 in
-    for k = 0 to 3 do
-      adler := (!adler lsl 8) lor Char.code (Bytes.get data (Bytes.length data - 4 + k))
-    done;
-    if Checksum.Adler32.digest plain <> !adler then
-      failwith "Rfc1951.Zlib: adler32 mismatch";
-    plain
+  let decompress_result data =
+    let err ?offset reason = Codec_error.error ~codec:"zlib" ?offset reason in
+    if Bytes.length data < 6 then err ~offset:0 "Rfc1951.Zlib: too short"
+    else begin
+      let cmf = Char.code (Bytes.get data 0) in
+      let flg = Char.code (Bytes.get data 1) in
+      if cmf land 0x0f <> 8 then err ~offset:0 "Rfc1951.Zlib: not deflate"
+      else if ((cmf * 256) + flg) mod 31 <> 0 then
+        err ~offset:1 "Rfc1951.Zlib: bad header check"
+      else if flg land 0x20 <> 0 then
+        err ~offset:1 "Rfc1951.Zlib: preset dictionary unsupported"
+      else begin
+        let body = Bytes.sub data 2 (Bytes.length data - 6) in
+        match inflate_result body with
+        | Error e ->
+            Error
+              {
+                e with
+                Codec_error.codec = "zlib";
+                offset = (if e.Codec_error.offset < 0 then -1 else e.Codec_error.offset + 2);
+              }
+        | Ok plain ->
+            let adler = ref 0 in
+            for k = 0 to 3 do
+              adler :=
+                (!adler lsl 8)
+                lor Char.code (Bytes.get data (Bytes.length data - 4 + k))
+            done;
+            if Checksum.Adler32.digest plain <> !adler then
+              err ~offset:(Bytes.length data - 4) "Rfc1951.Zlib: adler32 mismatch"
+            else Ok plain
+      end
+    end
+
+  let decompress data = Codec_error.unwrap (decompress_result data)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -398,22 +418,37 @@ module Gzip = struct
     if !pos + 8 > n then failwith "Rfc1951.Gzip: truncated";
     (flg, !pos, !name)
 
-  let decompress data =
-    let _, body_off, _ = parse_header data in
-    let n = Bytes.length data in
-    let body = Bytes.sub data body_off (n - body_off - 8) in
-    let plain = inflate body in
-    let le32 off =
-      Char.code (Bytes.get data off)
-      lor (Char.code (Bytes.get data (off + 1)) lsl 8)
-      lor (Char.code (Bytes.get data (off + 2)) lsl 16)
-      lor (Char.code (Bytes.get data (off + 3)) lsl 24)
-    in
-    if Checksum.Crc32.digest plain <> le32 (n - 8) then
-      failwith "Rfc1951.Gzip: crc mismatch";
-    if Bytes.length plain land 0xffffffff <> le32 (n - 4) then
-      failwith "Rfc1951.Gzip: size mismatch";
-    plain
+  let decompress_result data =
+    let err ?offset reason = Codec_error.error ~codec:"gzip" ?offset reason in
+    match parse_header data with
+    | exception Failure reason -> err ~offset:0 reason
+    | _, body_off, _ -> (
+        let n = Bytes.length data in
+        let body = Bytes.sub data body_off (n - body_off - 8) in
+        match inflate_result body with
+        | Error e ->
+            Error
+              {
+                e with
+                Codec_error.codec = "gzip";
+                offset =
+                  (if e.Codec_error.offset < 0 then -1
+                   else e.Codec_error.offset + body_off);
+              }
+        | Ok plain ->
+            let le32 off =
+              Char.code (Bytes.get data off)
+              lor (Char.code (Bytes.get data (off + 1)) lsl 8)
+              lor (Char.code (Bytes.get data (off + 2)) lsl 16)
+              lor (Char.code (Bytes.get data (off + 3)) lsl 24)
+            in
+            if Checksum.Crc32.digest plain <> le32 (n - 8) then
+              err ~offset:(n - 8) "Rfc1951.Gzip: crc mismatch"
+            else if Bytes.length plain land 0xffffffff <> le32 (n - 4) then
+              err ~offset:(n - 4) "Rfc1951.Gzip: size mismatch"
+            else Ok plain)
+
+  let decompress data = Codec_error.unwrap (decompress_result data)
 
   let original_name data =
     let _, _, name = parse_header data in

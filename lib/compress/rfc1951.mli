@@ -16,16 +16,25 @@ val deflate :
 (** Compress into a single final block of the requested kind (default
     [Dynamic]).  The token stream comes from {!Lz77.tokenize}. *)
 
+val inflate_result : bytes -> (bytes, Codec_error.t) result
+(** Safe decoder for a raw DEFLATE stream (any block sequence):
+    truncated or corrupt input is an [Error]; no exception escapes. *)
+
 val inflate : bytes -> bytes
-(** Decompress a raw DEFLATE stream (any block sequence).
+(** [Codec_error.unwrap] of {!inflate_result}.
     @raise Failure on malformed input. *)
 
 (** RFC 1950 zlib wrapper: 2-byte header + DEFLATE + Adler-32. *)
 module Zlib : sig
   val compress : ?kind:block_kind -> bytes -> bytes
 
+  val decompress_result : bytes -> (bytes, Codec_error.t) result
+  (** Safe decoder; stream errors carry the offset within the whole
+      zlib member. *)
+
   val decompress : bytes -> bytes
-  (** @raise Failure on a bad header, stream or checksum. *)
+  (** [Codec_error.unwrap] of {!decompress_result}.
+      @raise Failure on a bad header, stream or checksum. *)
 end
 
 (** RFC 1952 gzip wrapper: magic/method/flags header (optional file
@@ -33,8 +42,13 @@ end
 module Gzip : sig
   val compress : ?kind:block_kind -> ?name:string -> bytes -> bytes
 
+  val decompress_result : bytes -> (bytes, Codec_error.t) result
+  (** Safe decoder; stream errors carry the offset within the whole
+      gzip member. *)
+
   val decompress : bytes -> bytes
-  (** Handles the FNAME/FEXTRA/FCOMMENT/FHCRC header fields.
+  (** [Codec_error.unwrap] of {!decompress_result}.  Handles the
+      FNAME/FEXTRA/FCOMMENT/FHCRC header fields.
       @raise Failure on a bad header, stream, checksum or size. *)
 
   val original_name : bytes -> string option

@@ -20,10 +20,11 @@ let encode input =
   done;
   Buffer.to_bytes out
 
-let decode input =
+let decode_result input =
   let n = Bytes.length input in
   let out = Buffer.create n in
   let i = ref 0 in
+  Codec_error.protect ~codec:"rle1" ~offset:(fun () -> !i) @@ fun () ->
   while !i < n do
     let c = Bytes.get input !i in
     (* Detect an encoded run: four equal bytes followed by a count. *)
@@ -43,3 +44,5 @@ let decode input =
     end
   done;
   Buffer.to_bytes out
+
+let decode input = Codec_error.unwrap (decode_result input)

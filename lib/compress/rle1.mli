@@ -7,5 +7,8 @@
 
 val encode : bytes -> bytes
 
+val decode_result : bytes -> (bytes, Codec_error.t) result
+(** Safe decoder: a truncated run is an [Error] at its offset. *)
+
 val decode : bytes -> bytes
 (** @raise Failure on a truncated run. *)

@@ -30,31 +30,57 @@ let encode symbols =
   push eob;
   Array.of_list (List.rev !out)
 
-let decode symbols =
+(* The run accumulator doubles its weight on every RUNA/RUNB digit, so an
+   adversarial symbol stream of ~60 digits demands 2^60 zeros (and then
+   overflows the accumulator into a negative count).  [max_output] caps
+   the decoded length: both the running weight and the accumulated total
+   are checked against it before they can overflow. *)
+let default_max_output = max_int / 4
+
+let decode_result ?(max_output = default_max_output) symbols =
+  let i = ref 0 in
+  Codec_error.protect ~codec:"rle2" ~offset:(fun () -> !i) @@ fun () ->
+  if max_output < 0 || max_output > default_max_output then
+    failwith "Rle2.decode: max_output out of range";
   let out = ref [] in
+  let produced = ref 0 in
+  let emit s =
+    incr produced;
+    if !produced > max_output then failwith "Rle2.decode: output exceeds limit";
+    out := s :: !out
+  in
   let run_value = ref 0 and run_weight = ref 1 in
   let flush_run () =
-    for _ = 1 to !run_value do out := 0 :: !out done;
+    for _ = 1 to !run_value do emit 0 done;
     run_value := 0;
     run_weight := 1
   in
   let finished = ref false in
-  Array.iter
-    (fun s ->
-      if !finished then failwith "Rle2.decode: data after EOB";
-      if s = runa || s = runb then begin
-        run_value := !run_value + ((if s = runa then 1 else 2) * !run_weight);
-        run_weight := !run_weight * 2
-      end
-      else if s = eob then begin
-        flush_run ();
-        finished := true
-      end
-      else if s >= 2 && s <= 256 then begin
-        flush_run ();
-        out := (s - 1) :: !out
-      end
-      else failwith "Rle2.decode: symbol out of range")
-    symbols;
+  let n = Array.length symbols in
+  while !i < n do
+    let s = symbols.(!i) in
+    if !finished then failwith "Rle2.decode: data after EOB";
+    if s = runa || s = runb then begin
+      if !run_weight > max_output then
+        failwith "Rle2.decode: output exceeds limit";
+      run_value := !run_value + ((if s = runa then 1 else 2) * !run_weight);
+      if !run_value > max_output then
+        failwith "Rle2.decode: output exceeds limit";
+      run_weight := !run_weight * 2
+    end
+    else if s = eob then begin
+      flush_run ();
+      finished := true
+    end
+    else if s >= 2 && s <= 256 then begin
+      flush_run ();
+      emit (s - 1)
+    end
+    else failwith "Rle2.decode: symbol out of range";
+    incr i
+  done;
   if not !finished then failwith "Rle2.decode: missing EOB";
   Array.of_list (List.rev !out)
+
+let decode ?max_output symbols =
+  Codec_error.unwrap (decode_result ?max_output symbols)

@@ -21,6 +21,20 @@ val alphabet_size : int
 val encode : int array -> int array
 (** MTF symbols (0..255) to the RLE2 alphabet, EOB-terminated. *)
 
-val decode : int array -> int array
-(** Inverse of {!encode}; input must be EOB-terminated.
+val default_max_output : int
+(** The default decoded-length cap: [max_int / 4], i.e. effectively
+    unlimited while still leaving headroom so the run accumulator cannot
+    overflow. *)
+
+val decode_result :
+  ?max_output:int -> int array -> (int array, Codec_error.t) result
+(** Safe inverse of {!encode}; input must be EOB-terminated.
+    [max_output] (default {!default_max_output}) bounds the decoded
+    length: zero-run digits grow the pending run geometrically, so a few
+    dozen adversarial symbols can demand 2^60 zeros — the cap rejects
+    such streams before anything is materialised.  The [Error] offset is
+    the index of the offending symbol. *)
+
+val decode : ?max_output:int -> int array -> int array
+(** [Codec_error.unwrap] of {!decode_result}.
     @raise Failure on malformed input. *)

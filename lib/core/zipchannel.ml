@@ -18,6 +18,15 @@ module Compress = Zipchannel_compress
 (** The compressors: Bzip2 pipeline, DEFLATE-style LZ77, LZW, and their
     stages. *)
 
+module Codec_error = Zipchannel_compress.Codec_error
+(** The structured decode error ([codec], byte [offset], [reason]) every
+    [*_result] decoder in {!Compress} returns. *)
+
+module Fuzz = Zipchannel_fuzz
+(** Structure-aware fuzzing harness: valid-corpus generation,
+    format-aware mutation, round-trip/differential oracles, crash
+    minimization, and the parallel campaign runner behind [zc fuzz]. *)
+
 module Taintchannel = Zipchannel_taintchannel
 (** The TaintChannel tool: instrumentation engine, gadget models, AES
     validation target, control-flow trace diffing. *)

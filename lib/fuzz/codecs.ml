@@ -1,0 +1,98 @@
+module C = Zipchannel_compress
+
+type t = {
+  name : string;
+  compress : bytes -> bytes;
+  decode : bytes -> (bytes, C.Codec_error.t) result;
+  decode_exn : bytes -> bytes;
+  max_plain : int;
+}
+
+let join_entries entries =
+  Bytes.concat Bytes.empty
+    (List.map (fun e -> e.C.Container.Archive.data) entries)
+
+let all =
+  [
+    {
+      name = "lzw";
+      compress = C.Lzw.compress;
+      decode = C.Lzw.decompress_result;
+      decode_exn = C.Lzw.decompress;
+      max_plain = 4096;
+    };
+    {
+      name = "huffman";
+      compress = C.Huffman.encode;
+      decode = C.Huffman.decode_result;
+      decode_exn = C.Huffman.decode;
+      max_plain = 4096;
+    };
+    {
+      name = "deflate";
+      compress = (fun b -> C.Deflate.compress b);
+      decode = C.Deflate.decompress_result;
+      decode_exn = C.Deflate.decompress;
+      max_plain = 4096;
+    };
+    {
+      name = "rfc1951";
+      compress = (fun b -> C.Rfc1951.deflate b);
+      decode = C.Rfc1951.inflate_result;
+      decode_exn = C.Rfc1951.inflate;
+      max_plain = 4096;
+    };
+    {
+      name = "zlib";
+      compress = (fun b -> C.Rfc1951.Zlib.compress b);
+      decode = C.Rfc1951.Zlib.decompress_result;
+      decode_exn = C.Rfc1951.Zlib.decompress;
+      max_plain = 4096;
+    };
+    {
+      name = "gzip";
+      compress = (fun b -> C.Rfc1951.Gzip.compress b);
+      decode = C.Rfc1951.Gzip.decompress_result;
+      decode_exn = C.Rfc1951.Gzip.decompress;
+      max_plain = 4096;
+    };
+    {
+      name = "bzip2";
+      compress = (fun b -> C.Bzip2.compress b);
+      decode = C.Bzip2.decompress_result;
+      decode_exn = C.Bzip2.decompress;
+      (* bzip2 block sorting dominates corpus construction; keep the
+         plaintext under one default block. *)
+      max_plain = 2048;
+    };
+    {
+      name = "rle1";
+      compress = C.Rle1.encode;
+      decode = C.Rle1.decode_result;
+      decode_exn = C.Rle1.decode;
+      max_plain = 4096;
+    };
+    {
+      name = "stream";
+      compress = C.Container.Stream.pack;
+      decode = C.Container.Stream.unpack_result;
+      decode_exn = C.Container.Stream.unpack;
+      max_plain = 4096;
+    };
+    {
+      name = "archive";
+      compress =
+        (fun data -> C.Container.Archive.pack [ { name = "fuzz"; data } ]);
+      decode =
+        (fun b ->
+          match C.Container.Archive.unpack_result b with
+          | Ok entries -> Ok (join_entries entries)
+          | Error e -> Error e);
+      decode_exn = (fun b -> join_entries (C.Container.Archive.unpack b));
+      max_plain = 2048;
+    };
+  ]
+
+let names = List.map (fun c -> c.name) all
+
+let find name = List.find_opt (fun c -> c.name = name) all

@@ -1,0 +1,50 @@
+module Prng = Zipchannel_util.Prng
+module Lipsum = Zipchannel_util.Lipsum
+
+(* Plaintext shapes, chosen to hit distinct decoder regimes: the empty
+   and one-byte cases exercise header-only streams; runs exercise RLE
+   stages and LZW dictionary growth; noise defeats every model (worst
+   case for entropy coders); text and repetitive text match the paper's
+   Section VI corpus. *)
+
+let run_plain rng max_len =
+  let n = 1 + Prng.int rng (max 1 max_len) in
+  let b = Bytes.make n (Char.chr (Prng.byte rng)) in
+  (* occasionally break the run so RLE escape paths fire *)
+  if Prng.bool rng && n > 2 then
+    Bytes.set b (Prng.int rng n) (Char.chr (Prng.byte rng));
+  b
+
+let text_plain rng max_len =
+  let buf = Buffer.create 256 in
+  while Buffer.length buf < max_len / 2 do
+    Buffer.add_string buf (Lipsum.sentence rng);
+    Buffer.add_char buf ' '
+  done;
+  Bytes.of_string (Buffer.sub buf 0 (min (Buffer.length buf) max_len))
+
+let repetitive_plain rng max_len =
+  let level = 1 + Prng.int rng 5 in
+  let size = 1 + Prng.int rng (max 1 max_len) in
+  Bytes.of_string (Lipsum.repetitive_file rng ~level ~size)
+
+let plain rng ~max_len =
+  match Prng.int rng 6 with
+  | 0 -> Bytes.empty
+  | 1 -> Bytes.make 1 (Char.chr (Prng.byte rng))
+  | 2 -> run_plain rng max_len
+  | 3 -> Prng.bytes rng (Prng.int rng (max 1 max_len))
+  | 4 -> text_plain rng max_len
+  | _ -> repetitive_plain rng max_len
+
+let pool (codec : Codecs.t) ~seed ~size =
+  let rng = Prng.create ~seed ()
+  and size = max 1 size in
+  let out = Array.make size Bytes.empty in
+  (* explicit loop: the generator is advanced by each iteration, and
+     [Array.init] does not specify the order it applies the closure in *)
+  for i = 0 to size - 1 do
+    let p = if i = 0 then Bytes.empty else plain rng ~max_len:codec.max_plain in
+    out.(i) <- codec.compress p
+  done;
+  out

@@ -1,0 +1,16 @@
+(** Valid-corpus generation.
+
+    Every fuzz case starts from bytes the codec's own compressor
+    produced, so mutations explore the neighbourhood of well-formed
+    streams instead of the (almost always trivially rejected) space of
+    uniform noise.  Plaintext shapes cover the regimes the kernels
+    branch on: empty input, single bytes, long runs, uniform noise,
+    lipsum text and the paper's repetitive-file corpus. *)
+
+val plain : Zipchannel_util.Prng.t -> max_len:int -> bytes
+(** One plaintext, shape and length drawn from the generator. *)
+
+val pool : Codecs.t -> seed:int -> size:int -> bytes array
+(** [pool codec ~seed ~size] is [size] valid compressed streams for
+    [codec], deterministic in [seed].  Index 0 is always the compression
+    of the empty plaintext. *)

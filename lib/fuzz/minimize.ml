@@ -1,0 +1,49 @@
+(* ddmin-style chunk removal, then byte simplification.  Each phase is a
+   plain deterministic scan; [steps] caps total predicate calls so a
+   slow reproducer cannot stall the whole run. *)
+
+let remove_chunks ~steps ~interesting b =
+  let b = ref b in
+  let chunk = ref (max 1 (Bytes.length !b / 2)) in
+  while !chunk >= 1 && !steps > 0 do
+    let off = ref 0 in
+    let progress = ref false in
+    while !off < Bytes.length !b && !steps > 0 do
+      let n = Bytes.length !b in
+      let len = min !chunk (n - !off) in
+      let candidate =
+        Bytes.cat (Bytes.sub !b 0 !off) (Bytes.sub !b (!off + len) (n - !off - len))
+      in
+      decr steps;
+      if interesting candidate then begin
+        b := candidate;
+        progress := true
+        (* keep [off] in place: the next chunk slid into this offset *)
+      end
+      else off := !off + len
+    done;
+    if not !progress then chunk := !chunk / 2
+  done;
+  !b
+
+let simplify_bytes ~steps ~interesting b =
+  let b = ref (Bytes.copy b) in
+  let i = ref 0 in
+  while !i < Bytes.length !b && !steps > 0 do
+    let c = Bytes.get !b !i in
+    if c <> '\x00' then begin
+      let candidate = Bytes.copy !b in
+      Bytes.set candidate !i '\x00';
+      decr steps;
+      if interesting candidate then b := candidate
+    end;
+    incr i
+  done;
+  !b
+
+let minimize ?(max_steps = 2000) ~interesting b =
+  if not (interesting b) then
+    invalid_arg "Minimize.minimize: input is not interesting";
+  let steps = ref max_steps in
+  let b = remove_chunks ~steps ~interesting b in
+  simplify_bytes ~steps ~interesting b

@@ -1,0 +1,13 @@
+(** Crash minimization: shrink a failing input while it keeps failing.
+
+    Delta-debugging flavoured but deterministic and allocation-light:
+    repeatedly try removing exponentially shrinking chunks, then
+    simplify surviving bytes toward zero.  [interesting] is typically
+    "the oracle still reports the same verdict label". *)
+
+val minimize :
+  ?max_steps:int -> interesting:(bytes -> bool) -> bytes -> bytes
+(** [minimize ~interesting b] returns a smallest-found input for which
+    [interesting] holds.  [interesting b] must be true on entry;
+    the result always satisfies [interesting].  [max_steps] bounds the
+    number of oracle invocations (default 2000). *)

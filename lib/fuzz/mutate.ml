@@ -1,0 +1,121 @@
+module Prng = Zipchannel_util.Prng
+
+(* Each operator takes and returns a fresh bytes value; [mutate] chains
+   a few of them.  Operators must accept the empty input. *)
+
+let flip_bit rng b =
+  let n = Bytes.length b in
+  if n = 0 then Bytes.make 1 '\x01'
+  else begin
+    let b = Bytes.copy b in
+    let i = Prng.int rng n in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int rng 8)));
+    b
+  end
+
+let set_byte rng b =
+  let n = Bytes.length b in
+  if n = 0 then Bytes.make 1 (Char.chr (Prng.byte rng))
+  else begin
+    let b = Bytes.copy b in
+    Bytes.set b (Prng.int rng n) (Char.chr (Prng.byte rng));
+    b
+  end
+
+let truncate rng b =
+  let n = Bytes.length b in
+  if n = 0 then b else Bytes.sub b 0 (Prng.int rng n)
+
+let drop_prefix rng b =
+  let n = Bytes.length b in
+  if n = 0 then b
+  else
+    let k = 1 + Prng.int rng n in
+    Bytes.sub b k (n - k)
+
+let extend rng b =
+  let extra = Prng.bytes rng (1 + Prng.int rng 16) in
+  Bytes.cat b extra
+
+let delete_chunk rng b =
+  let n = Bytes.length b in
+  if n < 2 then b
+  else
+    let off = Prng.int rng n in
+    let len = 1 + Prng.int rng (n - off) in
+    Bytes.cat (Bytes.sub b 0 off) (Bytes.sub b (off + len) (n - off - len))
+
+let duplicate_chunk rng b =
+  let n = Bytes.length b in
+  if n = 0 then b
+  else
+    let off = Prng.int rng n in
+    let len = 1 + Prng.int rng (min 64 (n - off)) in
+    Bytes.cat
+      (Bytes.sub b 0 (off + len))
+      (Bytes.cat (Bytes.sub b off len) (Bytes.sub b (off + len) (n - off - len)))
+
+let splice rng ~corpus b =
+  if Array.length corpus = 0 then extend rng b
+  else
+    let other = Prng.pick rng corpus in
+    let cut b' =
+      let n = Bytes.length b' in
+      if n = 0 then (Bytes.empty, Bytes.empty)
+      else
+        let k = Prng.int rng (n + 1) in
+        (Bytes.sub b' 0 k, Bytes.sub b' k (n - k))
+    in
+    let head, _ = cut b and _, tail = cut other in
+    Bytes.cat head tail
+
+(* Integer-field mutator: pick a 1/2/4-byte aligned window near the head
+   or tail — where every format in the registry keeps its length, count
+   and checksum fields — and overwrite it with a boundary value.  This
+   is what finds forged-length decompression bombs. *)
+let boundary_values = [| 0x00; 0x01; 0x7f; 0x80; 0xff |]
+
+let int_field rng b =
+  let n = Bytes.length b in
+  if n = 0 then Bytes.make 4 '\xff'
+  else begin
+    let b = Bytes.copy b in
+    let width = [| 1; 2; 4 |].(Prng.int rng 3) in
+    let zone = min n 16 in
+    let off =
+      if Prng.bool rng then Prng.int rng zone (* header *)
+      else n - 1 - Prng.int rng zone (* trailer *)
+    in
+    let v = Prng.pick rng boundary_values in
+    for k = 0 to width - 1 do
+      let i = off + k in
+      if i >= 0 && i < n then Bytes.set b i (Char.chr v)
+    done;
+    b
+  end
+
+let operators =
+  [|
+    ("flip_bit", fun rng ~corpus:_ b -> flip_bit rng b);
+    ("set_byte", fun rng ~corpus:_ b -> set_byte rng b);
+    ("truncate", fun rng ~corpus:_ b -> truncate rng b);
+    ("drop_prefix", fun rng ~corpus:_ b -> drop_prefix rng b);
+    ("extend", fun rng ~corpus:_ b -> extend rng b);
+    ("delete_chunk", fun rng ~corpus:_ b -> delete_chunk rng b);
+    ("duplicate_chunk", fun rng ~corpus:_ b -> duplicate_chunk rng b);
+    ("splice", fun rng ~corpus b -> splice rng ~corpus b);
+    ("int_field", fun rng ~corpus:_ b -> int_field rng b);
+  |]
+
+let operator_names = Array.to_list (Array.map fst operators)
+
+let mutate rng ~corpus base =
+  let rounds = 1 + Prng.int rng 4 in
+  let b = ref base in
+  for _ = 1 to rounds do
+    let _, op = Prng.pick rng operators in
+    b := op rng ~corpus !b
+  done;
+  (* [mutate] promises an input distinct from [base]; a truncate of an
+     empty stream (etc.) can be a no-op, so force a byte change then. *)
+  if Bytes.equal !b base then flip_bit rng !b else !b

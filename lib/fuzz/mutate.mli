@@ -1,0 +1,16 @@
+(** Structure-aware mutation of valid compressed streams.
+
+    Mutators are format-aware in the sense that they know where
+    compressed formats keep their load-bearing state: length and count
+    fields live in the first bytes (headers) and last bytes (trailers),
+    so those regions get a dedicated integer-field mutator alongside the
+    classic bit-flip / truncate / splice operators. *)
+
+val mutate : Zipchannel_util.Prng.t -> corpus:bytes array -> bytes -> bytes
+(** [mutate rng ~corpus base] applies 1–4 mutation operators to a copy
+    of [base].  [corpus] feeds the splice operator.  Never returns
+    [base] itself. *)
+
+val operator_names : string list
+(** Names of the mutation operators, in selection order (for docs and
+    the report). *)

@@ -1,0 +1,100 @@
+module C = Zipchannel_compress
+module Obs = Zipchannel_obs.Obs
+
+type verdict =
+  | Accepted
+  | Rejected of C.Codec_error.t
+  | Crash of { exn : string }
+  | Mismatch of { detail : string }
+  | Bomb of { output_len : int }
+  | Overbudget of { elapsed_ms : float }
+
+let verdict_label = function
+  | Accepted -> "accepted"
+  | Rejected _ -> "rejected"
+  | Crash _ -> "crash"
+  | Mismatch _ -> "mismatch"
+  | Bomb _ -> "bomb"
+  | Overbudget _ -> "overbudget"
+
+let is_failure = function
+  | Accepted | Rejected _ -> false
+  | Crash _ | Mismatch _ | Bomb _ | Overbudget _ -> true
+
+let bomb_cap = 4 * 1024 * 1024
+
+(* The exception APIs document [Failure], [Invalid_argument] and
+   [Container.Corrupt].  Anything else escaping — [Out_of_bits],
+   [Stack_overflow], [Out_of_memory], [Not_found] — is the bug class
+   this harness exists to catch. *)
+let allowed_exn = function
+  | Failure _ | Invalid_argument _ | C.Container.Corrupt _ -> true
+  | _ -> false
+
+(* Run the historical exception API and fold its behaviour into the
+   verdict for the safe API's result: the two must agree. *)
+let differential (codec : Codecs.t) input safe_result =
+  match safe_result with
+  | Ok out -> (
+      if Bytes.length out > bomb_cap then Bomb { output_len = Bytes.length out }
+      else
+        match codec.Codecs.decode_exn input with
+        | out' ->
+            if Bytes.equal out out' then Accepted
+            else
+              Mismatch
+                { detail = "safe and exception decode APIs returned different bytes" }
+        | exception e ->
+            if allowed_exn e then
+              Mismatch
+                {
+                  detail =
+                    Printf.sprintf
+                      "safe API accepted but exception API raised %s"
+                      (Printexc.to_string e);
+                }
+            else Crash { exn = Printexc.to_string e })
+  | Error err -> (
+      match codec.Codecs.decode_exn input with
+      | _ ->
+          Mismatch
+            { detail = "safe API rejected but exception API accepted" }
+      | exception e ->
+          if allowed_exn e then Rejected err
+          else Crash { exn = Printexc.to_string e })
+
+let timed ~budget_ms f =
+  let t0 = Obs.now_ns () in
+  let v = f () in
+  let elapsed_ms = float_of_int (Obs.now_ns () - t0) /. 1e6 in
+  let v =
+    if budget_ms > 0. && elapsed_ms > budget_ms && not (is_failure v) then
+      Overbudget { elapsed_ms }
+    else v
+  in
+  (v, elapsed_ms)
+
+let check (codec : Codecs.t) ~budget_ms input =
+  timed ~budget_ms @@ fun () ->
+  match codec.Codecs.decode input with
+  | result -> differential codec input result
+  | exception e -> Crash { exn = Printexc.to_string e }
+
+let roundtrip (codec : Codecs.t) ~budget_ms plain =
+  timed ~budget_ms @@ fun () ->
+  match codec.Codecs.compress plain with
+  | exception e ->
+      Crash { exn = "compress: " ^ Printexc.to_string e }
+  | packed -> (
+      match codec.Codecs.decode packed with
+      | exception e -> Crash { exn = Printexc.to_string e }
+      | Error err ->
+          Mismatch
+            {
+              detail =
+                Printf.sprintf "valid stream rejected: %s" err.C.Codec_error.reason;
+            }
+      | Ok out ->
+          if not (Bytes.equal out plain) then
+            Mismatch { detail = "round trip did not restore the plaintext" }
+          else differential codec packed (Ok out))

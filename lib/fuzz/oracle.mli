@@ -1,0 +1,42 @@
+(** The oracles: what a decoder is and is not allowed to do.
+
+    Two modes.  {!roundtrip} drives the differential oracle on a valid
+    stream: the safe decoder must return [Ok] with exactly the original
+    plaintext, and the historical exception API must agree byte for
+    byte.  {!check} drives the robustness oracle on a (usually mutated)
+    stream: the safe decoder must return [Ok] or a structured [Error] —
+    any escaped exception is a crash — and when it does decode, the
+    output must stay within the bomb cap and the work budget. *)
+
+type verdict =
+  | Accepted  (** decoded cleanly (round trips on valid input) *)
+  | Rejected of Zipchannel_compress.Codec_error.t
+      (** structured error — the intended response to malformed input *)
+  | Crash of { exn : string }
+      (** an exception escaped the safe decode API, or the exception API
+          raised something outside its documented contract *)
+  | Mismatch of { detail : string }
+      (** differential failure: round-trip output differed from the
+          plaintext, or the two decode APIs disagreed *)
+  | Bomb of { output_len : int }
+      (** output exceeded [bomb_cap] for a small input *)
+  | Overbudget of { elapsed_ms : float }
+      (** the case exceeded its work budget *)
+
+val verdict_label : verdict -> string
+(** Stable one-word label: [accepted], [rejected], [crash], [mismatch],
+    [bomb], [overbudget]. *)
+
+val is_failure : verdict -> bool
+(** True for [Crash], [Mismatch], [Bomb] and [Overbudget]. *)
+
+val bomb_cap : int
+(** Maximum plausible decode output for corpus-sized inputs (4 MiB). *)
+
+val check : Codecs.t -> budget_ms:float -> bytes -> verdict * float
+(** Robustness + differential oracle on arbitrary bytes.  Returns the
+    verdict and the elapsed milliseconds. *)
+
+val roundtrip : Codecs.t -> budget_ms:float -> bytes -> verdict * float
+(** [roundtrip codec ~budget_ms plain] compresses [plain] and checks the
+    full decode path restores it exactly. *)

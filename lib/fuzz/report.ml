@@ -1,0 +1,61 @@
+type failure = {
+  codec : string;
+  case : int;
+  verdict : Oracle.verdict;
+  input : bytes;
+  original_len : int;
+}
+
+type codec_stats = {
+  name : string;
+  runs : int;
+  accepted : int;
+  rejected : int;
+  failures : failure list;
+}
+
+type t = { seed : int; total_runs : int; stats : codec_stats list }
+
+let failures t = List.concat_map (fun s -> s.failures) t.stats
+
+let fnv1a b =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Bytes.length b - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  Printf.sprintf "%016Lx" !h
+
+let fixture_name f =
+  Printf.sprintf "%s-%s-%s.bin" f.codec (Oracle.verdict_label f.verdict)
+    (fnv1a f.input)
+
+let describe_verdict = function
+  | Oracle.Accepted -> "accepted"
+  | Oracle.Rejected e -> Printf.sprintf "rejected (%s)" e.Zipchannel_compress.Codec_error.reason
+  | Oracle.Crash { exn } -> Printf.sprintf "CRASH: %s" exn
+  | Oracle.Mismatch { detail } -> Printf.sprintf "MISMATCH: %s" detail
+  | Oracle.Bomb { output_len } -> Printf.sprintf "BOMB: %d-byte output" output_len
+  | Oracle.Overbudget { elapsed_ms } ->
+      Printf.sprintf "OVERBUDGET: %.1f ms" elapsed_ms
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "fuzz: seed %d, %d cases\n" t.seed t.total_runs;
+  List.iter
+    (fun s ->
+      Printf.bprintf buf "  %-8s %6d runs  %6d accepted  %6d rejected  %d failures\n"
+        s.name s.runs s.accepted s.rejected (List.length s.failures))
+    t.stats;
+  let fs = failures t in
+  if fs = [] then Buffer.add_string buf "no failures\n"
+  else begin
+    Printf.bprintf buf "%d failing case(s):\n" (List.length fs);
+    List.iter
+      (fun f ->
+        Printf.bprintf buf "  %s case %d (%d -> %d bytes): %s\n    fixture %s\n"
+          f.codec f.case f.original_len (Bytes.length f.input)
+          (describe_verdict f.verdict) (fixture_name f))
+      fs
+  end;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Order-stable fuzz reports.
+
+    Per-codec tallies in registry order, failures sorted by (codec, case
+    index) — the rendering is a pure function of the run's inputs, so
+    [--jobs 1] and [--jobs 8] produce identical reports. *)
+
+type failure = {
+  codec : string;
+  case : int;  (** case index within the codec's run *)
+  verdict : Oracle.verdict;
+  input : bytes;  (** minimized reproducer *)
+  original_len : int;  (** length before minimization *)
+}
+
+type codec_stats = {
+  name : string;
+  runs : int;
+  accepted : int;
+  rejected : int;
+  failures : failure list;  (** sorted by case index *)
+}
+
+type t = {
+  seed : int;
+  total_runs : int;
+  stats : codec_stats list;  (** in {!Codecs.all} order *)
+}
+
+val failures : t -> failure list
+
+val fnv1a : bytes -> string
+(** FNV-1a 64-bit hash as 16 hex digits — stable fixture naming. *)
+
+val fixture_name : failure -> string
+(** ["<codec>-<verdict>-<hash>.bin"]. *)
+
+val render : t -> string
+(** Human-readable multi-line summary. *)

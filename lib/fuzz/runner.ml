@@ -1,0 +1,158 @@
+module Prng = Zipchannel_util.Prng
+module Pool = Zipchannel_parallel.Pool
+module Obs = Zipchannel_obs.Obs
+
+let m_cases = Obs.Metrics.counter "fuzz.cases"
+let m_accepted = Obs.Metrics.counter "fuzz.accepted"
+let m_rejected = Obs.Metrics.counter "fuzz.rejected"
+let m_failures = Obs.Metrics.counter "fuzz.failures"
+let m_case_ns = Obs.Metrics.histogram "fuzz.case_ns"
+
+(* Per-case PRNG derivation: hash (seed, codec, index) through FNV-1a so
+   every case has an independent, position-addressable stream.  This is
+   what makes the run order-free: a case's bytes depend only on its
+   coordinates, never on which domain ran it or what ran before it. *)
+let case_seed ~seed ~codec_name ~index =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    h := Int64.logxor !h (Int64.of_int v);
+    h := Int64.mul !h 0x100000001b3L
+  in
+  mix seed;
+  String.iter (fun c -> mix (Char.code c)) codec_name;
+  mix index;
+  Int64.to_int !h land max_int
+
+type outcome = {
+  o_codec : string;
+  o_case : int;
+  o_verdict : Oracle.verdict;
+  o_input : bytes;
+  o_original_len : int;
+  o_elapsed_ns : int;
+}
+
+(* Minimization predicate: the shrunk input must reproduce the same
+   verdict label.  The budget is disabled during shrinking — wall-clock
+   verdicts are not stable enough to steer a minimizer. *)
+let minimize_failure codec verdict input =
+  let label = Oracle.verdict_label verdict in
+  match verdict with
+  | Oracle.Overbudget _ -> input
+  | _ ->
+      let interesting candidate =
+        let v, _ = Oracle.check codec ~budget_ms:0. candidate in
+        Oracle.verdict_label v = label
+      in
+      Minimize.minimize ~interesting input
+
+let run_case (codec : Codecs.t) ~corpus ~seed ~budget_ms ~minimize index =
+  let rng = Prng.create ~seed:(case_seed ~seed ~codec_name:codec.name ~index) () in
+  let verdict, input, original_len, elapsed_ms =
+    if index mod 4 = 0 then begin
+      let plain = Corpus.plain rng ~max_len:codec.max_plain in
+      let v, ms = Oracle.roundtrip codec ~budget_ms plain in
+      (* reproducer for a round-trip failure is the compressed stream *)
+      let packed = try codec.compress plain with _ -> plain in
+      (v, packed, Bytes.length packed, ms)
+    end
+    else begin
+      let base = Prng.pick rng corpus in
+      let input = Mutate.mutate rng ~corpus base in
+      let v, ms = Oracle.check codec ~budget_ms input in
+      (v, input, Bytes.length input, ms)
+    end
+  in
+  let input =
+    if minimize && Oracle.is_failure verdict then
+      minimize_failure codec verdict input
+    else input
+  in
+  {
+    o_codec = codec.name;
+    o_case = index;
+    o_verdict = verdict;
+    o_input = input;
+    o_original_len = original_len;
+    o_elapsed_ns = int_of_float (elapsed_ms *. 1e6);
+  }
+
+let tally outcomes =
+  let runs = Array.length outcomes in
+  let accepted = ref 0 and rejected = ref 0 and failures = ref [] in
+  Array.iter
+    (fun o ->
+      Obs.Metrics.incr m_cases;
+      Obs.Metrics.observe m_case_ns o.o_elapsed_ns;
+      match o.o_verdict with
+      | Oracle.Accepted ->
+          incr accepted;
+          Obs.Metrics.incr m_accepted
+      | Oracle.Rejected _ ->
+          incr rejected;
+          Obs.Metrics.incr m_rejected
+      | v ->
+          Obs.Metrics.incr m_failures;
+          failures :=
+            {
+              Report.codec = o.o_codec;
+              case = o.o_case;
+              verdict = v;
+              input = o.o_input;
+              original_len = o.o_original_len;
+            }
+            :: !failures)
+    outcomes;
+  (runs, !accepted, !rejected, List.rev !failures)
+
+let run ?(codecs = Codecs.all) ?(seed = 1) ?(runs = 1000) ?(jobs = 1)
+    ?(budget_ms = 1000.) ?(corpus_size = 32) ?(minimize = true) () =
+  let n_codecs = max 1 (List.length codecs) in
+  let per_codec = max 1 (runs / n_codecs) in
+  (* Corpus pools are built sequentially up front: they are shared
+     read-only state for the parallel phase. *)
+  let pools =
+    List.map (fun c -> (c, Corpus.pool c ~seed ~size:corpus_size)) codecs
+  in
+  let work =
+    Array.concat
+      (List.map
+         (fun (c, pool) -> Array.init per_codec (fun i -> (c, pool, i)))
+         pools)
+  in
+  let outcomes =
+    Pool.map_array ~jobs
+      (fun (c, pool, i) ->
+        run_case c ~corpus:pool ~seed ~budget_ms ~minimize i)
+      work
+  in
+  let stats =
+    List.mapi
+      (fun ci (c, _) ->
+        let slice = Array.sub outcomes (ci * per_codec) per_codec in
+        let runs, accepted, rejected, failures = tally slice in
+        { Report.name = c.Codecs.name; runs; accepted; rejected; failures })
+      pools
+  in
+  { Report.seed; total_runs = Array.length work; stats }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_fixtures ~dir report =
+  let fs = Report.failures report in
+  if fs = [] then []
+  else begin
+    mkdir_p dir;
+    List.map
+      (fun f ->
+        let path = Filename.concat dir (Report.fixture_name f) in
+        let oc = open_out_bin path in
+        output_bytes oc f.Report.input;
+        close_out oc;
+        path)
+      fs
+  end

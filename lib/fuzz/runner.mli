@@ -1,0 +1,37 @@
+(** The fuzzing campaign driver.
+
+    A run is a pure function of [(codecs, seed, runs, budget_ms)]:
+    each case derives its own PRNG from the seed, the codec name and the
+    case index, so cases are independent and the report is identical for
+    every [jobs] value (the fan-out goes through
+    {!Zipchannel_parallel.Pool.map_array}, which preserves order).
+
+    Every fourth case is a round-trip check on freshly generated
+    plaintext; the rest mutate a valid corpus stream and run the
+    robustness oracle.  Failing cases are minimized in-worker with the
+    same deterministic predicate.
+
+    Reports into [Obs] under [fuzz.*]: [fuzz.cases], [fuzz.accepted],
+    [fuzz.rejected], [fuzz.failures] and the [fuzz.case_ns] histogram. *)
+
+val run :
+  ?codecs:Codecs.t list ->
+  ?seed:int ->
+  ?runs:int ->
+  ?jobs:int ->
+  ?budget_ms:float ->
+  ?corpus_size:int ->
+  ?minimize:bool ->
+  unit ->
+  Report.t
+(** [run ()] fuzzes [codecs] (default all) with [runs] total cases
+    (default 1000) split evenly across them (each codec gets at least
+    one).  [budget_ms] (default 1000.) is the per-case work budget;
+    [jobs] (default 1) the worker-domain count; [corpus_size]
+    (default 32) valid streams per codec; [minimize] (default true)
+    shrinks failing inputs. *)
+
+val write_fixtures : dir:string -> Report.t -> string list
+(** Write each failure's minimized reproducer under [dir] (created if
+    missing) using {!Report.fixture_name}; returns the paths written, in
+    report order.  Runs after the parallel phase, in one domain. *)

@@ -8,6 +8,7 @@ let () =
       Test_fastpath.suite;
       Test_rfc1951.suite;
       Test_robustness.suite;
+      Test_fuzz.suite;
       Test_trace.suite;
       Test_cache.suite;
       Test_sgx.suite;
