@@ -20,30 +20,42 @@ let text_10k =
   let prng = Prng.create ~seed:42 () in
   Bytes.of_string (Util.Lipsum.repetitive_file prng ~level:4 ~size:10_000)
 
+let text_1m =
+  let prng = Prng.create ~seed:50 () in
+  Bytes.of_string (Util.Lipsum.repetitive_file prng ~level:4 ~size:1_048_576)
+
 let random_4k = Prng.bytes (Prng.create ~seed:43 ()) 4096
 
 let staged = Bechamel.Staged.stage
 
-(* Each case is (name, thunk): Bechamel times the thunk, then a single
-   extra instrumented run captures the case's Obs metric growth for the
-   JSON snapshot. *)
-let bench_cases : (string * (unit -> unit)) list =
+(* Each case is (name, bytes_per_run, thunk): Bechamel times the thunk,
+   then a single extra instrumented run captures the case's Obs metric
+   growth for the JSON snapshot.  [bytes_per_run] is the payload the
+   thunk processes (0 for round-based cases with no natural byte count)
+   and turns the wall time into a throughput figure. *)
+let bench_cases : (string * int * (unit -> unit)) list =
   [
-    ("bzip2/compress-10k-text", fun () ->
+    ("bzip2/compress-10k-text", 10_000, fun () ->
         ignore (Compress.Bzip2.compress text_10k));
-    ("deflate/compress-10k-text", fun () ->
+    ("bzip2/compress-1m-text", 1_048_576, fun () ->
+        ignore (Compress.Bzip2.compress text_1m));
+    ("deflate/compress-10k-text", 10_000, fun () ->
         ignore (Compress.Deflate.compress text_10k));
-    ("lzw/compress-10k-text", fun () ->
+    ("deflate/compress-1m-text", 1_048_576, fun () ->
+        ignore (Compress.Deflate.compress text_1m));
+    ("lzw/compress-10k-text", 10_000, fun () ->
         ignore (Compress.Lzw.compress text_10k));
-    ("huffman/encode-10k-text", fun () ->
+    ("lzw/compress-1m-text", 1_048_576, fun () ->
+        ignore (Compress.Lzw.compress text_1m));
+    ("huffman/encode-10k-text", 10_000, fun () ->
         ignore (Compress.Huffman.encode text_10k));
-    ("bwt/transform-4k-random", fun () ->
+    ("bwt/transform-4k-random", 4096, fun () ->
         ignore (Compress.Bwt.transform random_4k));
-    ("taintchannel/zlib-gadget-1k", fun () ->
+    ("taintchannel/zlib-gadget-1k", 1024, fun () ->
         (* no-op unless metrics are enabled (the instrumented run) *)
         Taintchannel.Engine.observe_metrics
           (Taintchannel.Zlib_gadget.run (Bytes.sub random_4k 0 1024)));
-    ("aes/encrypt-4k", fun () ->
+    ("aes/encrypt-4k", 4096, fun () ->
         ignore
           (Taintchannel.Aes.encrypt
              ~key:(Bytes.of_string "0123456789abcdef")
@@ -51,7 +63,7 @@ let bench_cases : (string * (unit -> unit)) list =
     (let cache = Cache.Cache.create Cache.Cache.default_config in
      let prng = Prng.create ~seed:44 () in
      let pp = Cache.Prime_probe.create ~cache ~prng () in
-     ("cache/prime+probe-round", fun () ->
+     ("cache/prime+probe-round", 0, fun () ->
          Cache.Prime_probe.prime pp ~set:17;
          ignore (Cache.Prime_probe.probe pp ~set:17);
          (* no-op unless metrics are enabled (the instrumented run) *)
@@ -59,12 +71,12 @@ let bench_cases : (string * (unit -> unit)) list =
     (let cache = Cache.Cache.create Cache.Cache.default_config in
      let prng = Prng.create ~seed:45 () in
      let fr = Cache.Flush_reload.create ~cache ~prng () in
-     ("cache/flush+reload-round", fun () ->
+     ("cache/flush+reload-round", 0, fun () ->
          ignore (Cache.Flush_reload.round fr 0x7f0000000000);
          Cache.Cache.observe_metrics cache));
     (let prng = Prng.create ~seed:46 () in
      let input = Prng.bytes prng 256 in
-     ("sgx/attack-256b-block", fun () ->
+     ("sgx/attack-256b-block", 256, fun () ->
          ignore (Attack.Sgx_attack.run input)));
     (let prng = Prng.create ~seed:47 () in
      let x =
@@ -72,17 +84,17 @@ let bench_cases : (string * (unit -> unit)) list =
      in
      let y = Array.init 64 (fun i -> i mod 4) in
      let mlp = Classifier.Mlp.create ~layers:[ 100; 32; 4 ] () in
-     ("classifier/mlp-epoch", fun () ->
+     ("classifier/mlp-epoch", 0, fun () ->
          Classifier.Mlp.train ~epochs:1 mlp ~x ~y));
     (let input = Prng.bytes (Prng.create ~seed:48 ()) 64 in
-     ("mitigation/oblivious-histogram-64b", fun () ->
+     ("mitigation/oblivious-histogram-64b", 64, fun () ->
          ignore (Mitigation.Oblivious.histogram input)));
     (let input = Prng.bytes (Prng.create ~seed:49 ()) 64 in
-     ("compress/plain-histogram-64b", fun () ->
+     ("compress/plain-histogram-64b", 64, fun () ->
          ignore (Compress.Block_sort.histogram input)));
-    ("checksum/crc32-10k", fun () ->
+    ("checksum/crc32-10k", 10_000, fun () ->
         ignore (Compress.Checksum.Crc32.digest text_10k));
-    ("container/archive-pack-10k", fun () ->
+    ("container/archive-pack-10k", 10_000, fun () ->
         ignore
           (Compress.Container.Archive.pack
              [ { Compress.Container.Archive.name = "f"; data = text_10k } ]));
@@ -90,17 +102,29 @@ let bench_cases : (string * (unit -> unit)) list =
 
 let bench_tests =
   List.map
-    (fun (name, fn) -> Bechamel.Test.make ~name (staged fn))
+    (fun (name, _, fn) -> Bechamel.Test.make ~name (staged fn))
     bench_cases
+
+let bytes_of_case name =
+  match List.find_opt (fun (n, _, _) -> n = name) bench_cases with
+  | Some (_, bytes, _) -> bytes
+  | None -> 0
+
+(* MB/s from an ns-per-run estimate (decimal megabytes, the unit every
+   compressor datasheet uses); None when the case has no byte count or
+   the estimate is unusable. *)
+let mb_per_s ~bytes ~ns =
+  if bytes <= 0 || Float.is_nan ns || ns <= 0.0 then None
+  else Some (float_of_int bytes *. 1000.0 /. ns)
 
 (* One instrumented run of a case, after timing: the metric growth it
    causes, flattened to numeric pairs, plus the leak.* scoreboard derived
    from that growth.  Metrics are only enabled for the duration, so the
    timed runs above see the disabled fast path. *)
 let case_metrics name =
-  match List.assoc_opt name bench_cases with
+  match List.find_opt (fun (n, _, _) -> n = name) bench_cases with
   | None -> []
-  | Some fn ->
+  | Some (_, _, fn) ->
       Obs.set_enabled true;
       let before = Obs.Metrics.snapshot () in
       fn ();
@@ -143,8 +167,26 @@ let run_bench ?(only = []) () =
               | Some (e :: _) -> e
               | Some [] | None -> nan
             in
-            Format.fprintf ppf "  %-32s %12.0f ns/run@." (Test.Elt.name elt) ns;
-            Some (Test.Elt.name elt, ns, case_metrics (Test.Elt.name elt))
+            let name = Test.Elt.name elt in
+            let bytes = bytes_of_case name in
+            (match mb_per_s ~bytes ~ns with
+            | Some m ->
+                Format.fprintf ppf "  %-32s %12.0f ns/run %10.1f MB/s@." name
+                  ns m
+            | None -> Format.fprintf ppf "  %-32s %12.0f ns/run@." name ns);
+            (* Throughput rides in the metrics map so the compare gate
+               classifies it like any other metric (exact byte count,
+               banded or ignored rate — see bench/thresholds*.json). *)
+            let throughput =
+              if bytes <= 0 then []
+              else
+                ("bench.bytes_per_run", float_of_int bytes)
+                ::
+                (match mb_per_s ~bytes ~ns with
+                | Some m -> [ ("bench.mb_per_s", m) ]
+                | None -> [])
+            in
+            Some (name, ns, bytes, case_metrics name @ throughput)
             end)
           (Test.elements test))
       bench_tests
@@ -188,7 +230,15 @@ let write_bench_json results =
   let oc = open_out path in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, ns, metrics) ->
+    (fun i (name, ns, bytes, metrics) ->
+      let throughput_json =
+        if bytes <= 0 then ""
+        else
+          Printf.sprintf ", \"bytes_per_run\": %d%s" bytes
+            (match mb_per_s ~bytes ~ns with
+            | Some m -> Printf.sprintf ", \"mb_per_s\": %.1f" m
+            | None -> "")
+      in
       let metrics_json =
         match metrics with
         | [] -> ""
@@ -201,10 +251,10 @@ let write_bench_json results =
                         (metric_number v))
                     pairs))
       in
-      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s}%s\n"
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s%s}%s\n"
         (json_escape name)
         (if Float.is_nan ns then -1.0 else ns)
-        metrics_json
+        throughput_json metrics_json
         (if i < List.length results - 1 then "," else ""))
     results;
   output_string oc "]\n";
@@ -212,7 +262,10 @@ let write_bench_json results =
   Format.fprintf ppf "wrote %s@." path
 
 (* A BENCH_<n>.json snapshot: an array of {"name", "ns_per_run",
-   "metrics"?} entries, as written by {!write_bench_json}. *)
+   "bytes_per_run"?, "mb_per_s"?, "metrics"?} entries, as written by
+   {!write_bench_json}.  The comparison only needs name, ns and the
+   metrics map; throughput is mirrored in there under the "bench."
+   prefix. *)
 let read_bench_json path =
   let module J = Obs_export.Json in
   let content =
@@ -265,7 +318,7 @@ let compare_bench ~rules ~baseline results =
   let regressed = ref [] in
   let push rs = regressed := !regressed @ rs in
   List.iter
-    (fun (name, ns, metrics) ->
+    (fun (name, ns, _bytes, metrics) ->
       match
         List.find_opt (fun (n, _, _) -> n = name) base
       with

@@ -71,7 +71,12 @@ let run ?(config = default_config) input =
   let distinct_sets =
     Array.of_list (Hashtbl.fold (fun set _ acc -> set :: acc) set_to_lines [])
   in
-  Array.iter (fun set -> Prime_probe.prime pp ~set) distinct_sets;
+  (* The monitored sets never change, so their eviction buffers are
+     precompiled once into a flat prime+probe plan; every window then
+     sweeps them in bulk instead of dispatching per set. *)
+  let plan = Prime_probe.plan pp ~sets:distinct_sets in
+  let evicted = Array.make (max 1 (Array.length distinct_sets)) 0 in
+  Prime_probe.prime_plan pp plan;
   let observations = Array.make (max 1 n) [] in
   let iteration = ref 0 in
   let windows = ref 0 in
@@ -86,11 +91,7 @@ let run ?(config = default_config) input =
               (Prng.gaussian prng ~mean:config.interval_mean
                  ~stddev:config.interval_jitter)))
     in
-    for _ = 1 to k do
-      match Enclave.step enclave with
-      | Enclave.Done -> finished := true
-      | Enclave.Executed | Enclave.Fault _ -> ()
-    done;
+    if Enclave.run_steps enclave k then finished := true;
     incr windows;
     (* The victim's quadrant/block accesses also evict monitored sets; the
        attacker predicts them from its estimated loop position and filters
@@ -114,10 +115,10 @@ let run ?(config = default_config) input =
        window that actually held zero or two accesses shifts every later
        reading, which is exactly the unreliability the paper reports. *)
     let candidates = ref [] in
-    Array.iter
-      (fun set ->
-        if Prime_probe.probe pp ~set > 0 && not (Hashtbl.mem excluded set)
-        then
+    Prime_probe.probe_plan pp plan ~evicted;
+    Array.iteri
+      (fun j set ->
+        if evicted.(j) > 0 && not (Hashtbl.mem excluded set) then
           List.iter
             (fun idx -> candidates := monitored.(idx) :: !candidates)
             (Hashtbl.find set_to_lines set))

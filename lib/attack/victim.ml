@@ -28,17 +28,19 @@ let layout ~n =
 let program input =
   let n = Bytes.length input in
   let js = Block_sort.ftab_indices input in
-  let events = ref [] in
+  let filler = Event.read ~addr:0 ~size:1 () in
+  let events = Array.make (3 * n) filler in
   for k = 0 to n - 1 do
     let i = n - 1 - k in
-    events :=
+    events.(3 * k) <-
+      Event.write ~label:"quadrant[i]=0" ~addr:(quadrant_base + (2 * i))
+        ~size:2 ();
+    events.((3 * k) + 1) <-
+      Event.read ~label:"block[i]" ~addr:(block_base + i) ~size:1 ();
+    events.((3 * k) + 2) <-
       Event.write ~label:"ftab[j]++" ~addr:(ftab_base + (4 * js.(k))) ~size:4 ()
-      :: Event.read ~label:"block[i]" ~addr:(block_base + i) ~size:1 ()
-      :: Event.write ~label:"quadrant[i]=0" ~addr:(quadrant_base + (2 * i))
-           ~size:2 ()
-      :: !events
   done;
-  Array.of_list (List.rev !events)
+  events
 
 let ftab_addresses input =
   Array.map (fun j -> ftab_base + (4 * j)) (Block_sort.ftab_indices input)

@@ -206,6 +206,17 @@ let access t ?(cos = 0) ~owner addr =
     false
   end
 
+let access_many t ?(cos = 0) ~owner addrs =
+  (* Tight batched loop: one call drains a whole flat address array
+     through the simulator, so callers replaying precompiled access
+     plans pay no per-access dispatch.  Exactly equivalent to folding
+     {!access} over the array left to right. *)
+  let hits = ref 0 in
+  for i = 0 to Array.length addrs - 1 do
+    if access t ~cos ~owner (Array.unsafe_get addrs i) then incr hits
+  done;
+  !hits
+
 let is_cached t addr =
   find_way t (set_index t addr * t.ways) (line_of t addr) >= 0
 

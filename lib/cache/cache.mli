@@ -71,6 +71,12 @@ val access : t -> ?cos:int -> owner:owner -> int -> bool
     the line fills into the least-recently-used way among those the [cos]
     mask (default class 0) allows, evicting its previous occupant. *)
 
+val access_many : t -> ?cos:int -> owner:owner -> int array -> int
+(** Drain a flat address array through the simulator in one tight loop;
+    returns the number of hits.  Exactly equivalent to folding {!access}
+    over the array left to right — batching changes dispatch cost, never
+    outcomes. *)
+
 val is_cached : t -> int -> bool
 (** Lookup without disturbing LRU state (the model's observer view; the
     attacker only gets this through {!access} timing). *)

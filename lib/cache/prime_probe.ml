@@ -52,16 +52,16 @@ let eviction_lines t ~set =
 
 let prime_lines t lines =
   t.primes <- t.primes + 1;
-  for seq = 0 to Array.length lines - 1 do
-    ignore
-      (Cache.access t.cache ~cos:t.cos ~owner:Attacker
-         (Array.unsafe_get lines seq))
-  done
+  ignore (Cache.access_many t.cache ~cos:t.cos ~owner:Attacker lines)
 
-let probe_lines t lines =
+(* Probe a [lo, hi) range of a flat line array.  The per-line loop stays
+   here (not in [Cache.access_many]) because every access is followed by
+   a timing draw from the attacker's PRNG, and the draw order is part of
+   the simulated protocol. *)
+let probe_range t lines lo hi =
   t.probes <- t.probes + 1;
   let evicted = ref 0 in
-  for seq = 0 to Array.length lines - 1 do
+  for seq = lo to hi - 1 do
     (* One access both observes the hit/miss and refills the line, so the
        probe doubles as a re-prime; the timing draw happens after the
        access but consumes the same PRNG stream as measuring first
@@ -74,6 +74,8 @@ let probe_lines t lines =
   done;
   t.probe_evictions <- t.probe_evictions + !evicted;
   !evicted
+
+let probe_lines t lines = probe_range t lines 0 (Array.length lines)
 
 type stats = { primes : int; probes : int; probe_evictions : int }
 
@@ -103,3 +105,42 @@ let probe_hit t ~set = probe t ~set > 0
 let prime_sets t ~sets = List.iter (fun set -> prime t ~set) sets
 
 let probe_sets t ~sets = List.map (fun set -> (set, probe t ~set)) sets
+
+(* A monitoring plan: the eviction buffers of a fixed set list laid out
+   in one flat address array, so the per-window prime/probe sweep is a
+   tight loop with no per-set memo lookups or list traffic. *)
+type plan = {
+  p_sets : int array;
+  p_starts : int array; (* length n_sets + 1; set k owns [starts.(k), starts.(k+1)) *)
+  p_lines : int array;
+}
+
+let plan t ~sets =
+  let n = Array.length sets in
+  let starts = Array.make (n + 1) 0 in
+  let buffers = Array.map (fun set -> eviction_lines t ~set) sets in
+  for k = 0 to n - 1 do
+    starts.(k + 1) <- starts.(k) + Array.length buffers.(k)
+  done;
+  let lines = Array.make starts.(n) 0 in
+  Array.iteri (fun k b -> Array.blit b 0 lines starts.(k) (Array.length b)) buffers;
+  { p_sets = Array.copy sets; p_starts = starts; p_lines = lines }
+
+let plan_sets plan = plan.p_sets
+
+let prime_plan (t : t) plan =
+  for k = 0 to Array.length plan.p_sets - 1 do
+    t.primes <- t.primes + 1;
+    for seq = plan.p_starts.(k) to plan.p_starts.(k + 1) - 1 do
+      ignore
+        (Cache.access t.cache ~cos:t.cos ~owner:Attacker
+           (Array.unsafe_get plan.p_lines seq))
+    done
+  done
+
+let probe_plan t plan ~evicted =
+  let n = Array.length plan.p_sets in
+  if Array.length evicted < n then invalid_arg "Prime_probe.probe_plan: evicted";
+  for k = 0 to n - 1 do
+    evicted.(k) <- probe_range t plan.p_lines plan.p_starts.(k) plan.p_starts.(k + 1)
+  done

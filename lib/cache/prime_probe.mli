@@ -61,3 +61,25 @@ val prime_sets : t -> sets:int list -> unit
 
 val probe_sets : t -> sets:int list -> (int * int) list
 (** Per-set eviction counts, in the order given. *)
+
+type plan
+(** A precompiled monitoring plan: the eviction buffers of a fixed set
+    list laid out in one flat address array, so each window's
+    prime/probe sweep is a single tight loop with no per-set memo
+    lookups. *)
+
+val plan : t -> sets:int array -> plan
+(** Build the plan.  Sets are swept in the order given; results are
+    identical to calling {!prime}/{!probe} per set in that order. *)
+
+val plan_sets : plan -> int array
+(** The monitored sets, in sweep order. *)
+
+val prime_plan : t -> plan -> unit
+(** {!prime} every planned set, in order. *)
+
+val probe_plan : t -> plan -> evicted:int array -> unit
+(** {!probe} every planned set in order; [evicted.(k)] receives the
+    eviction count of the k-th planned set.  The caller provides (and
+    reuses) the result buffer.
+    @raise Invalid_argument if [evicted] is shorter than the plan. *)

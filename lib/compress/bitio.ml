@@ -1,32 +1,58 @@
-(* Word-at-a-time bit I/O.  Writers accumulate pending bits in an int and
-   emit whole bytes; readers gather up to four bytes per call.  Every
-   operation is O(1) in the number of bits, but the produced byte streams
-   are bit-identical to the original per-bit implementation (the test
-   suite cross-checks against a per-bit reference model). *)
+(* Bit I/O on the zero-copy substrate.  Writers emit into a growable
+   bigstring (off-heap, no [Buffer] re-allocation churn) and splice
+   aligned streams with a single word-at-a-time blit; readers stay
+   zero-copy over the caller's [bytes] and gather up to eight bytes per
+   call with one unaligned 64-bit load.  The produced byte streams and
+   every observable reader state (values, [Out_of_bits] positions) are
+   bit-identical to [Bitio_ref], the retained reference implementation
+   the differential suite pins this module against. *)
+
+module Bigstring = Zipchannel_buf.Bigstring
+
+external bswap64 : int64 -> int64 = "%bswap_int64"
 
 module Writer = struct
   type t = {
-    buf : Buffer.t;
+    mutable data : Bigstring.t;
+    mutable len : int; (* whole bytes emitted *)
     mutable acc : int; (* pending bits, right-aligned, MSB emitted first *)
     mutable nbits : int; (* number of pending bits, 0..7 between calls *)
   }
 
-  let create () = { buf = Buffer.create 256; acc = 0; nbits = 0 }
+  let create () = { data = Bigstring.create 256; len = 0; acc = 0; nbits = 0 }
 
-  (* Emit every whole byte held in [acc], leaving 0..7 pending bits. *)
+  let ensure t extra =
+    let need = t.len + extra in
+    let cap = Bigstring.length t.data in
+    if need > cap then begin
+      let cap' = ref (max 256 (2 * cap)) in
+      while !cap' < need do cap' := !cap' * 2 done;
+      let d = Bigstring.create !cap' in
+      Bigstring.blit t.data ~src_off:0 d ~dst_off:0 ~len:t.len;
+      t.data <- d
+    end
+
+  (* Emit every whole byte held in [acc], leaving 0..7 pending bits.
+     Callers add at most 30 bits, so at most 4 bytes spill per call. *)
   let flush_whole_bytes t =
-    while t.nbits >= 8 do
-      Buffer.add_char t.buf
-        (Char.unsafe_chr ((t.acc lsr (t.nbits - 8)) land 0xff));
-      t.nbits <- t.nbits - 8
-    done;
-    t.acc <- t.acc land ((1 lsl t.nbits) - 1)
+    if t.nbits >= 8 then begin
+      ensure t 8;
+      while t.nbits >= 8 do
+        Bigstring.unsafe_set t.data t.len
+          (Char.unsafe_chr ((t.acc lsr (t.nbits - 8)) land 0xff));
+        t.len <- t.len + 1;
+        t.nbits <- t.nbits - 8
+      done;
+      t.acc <- t.acc land ((1 lsl t.nbits) - 1)
+    end
 
   let add_bit t b =
     t.acc <- (t.acc lsl 1) lor (if b then 1 else 0);
     t.nbits <- t.nbits + 1;
     if t.nbits = 8 then begin
-      Buffer.add_char t.buf (Char.unsafe_chr t.acc);
+      ensure t 1;
+      Bigstring.unsafe_set t.data t.len (Char.unsafe_chr t.acc);
+      t.len <- t.len + 1;
       t.acc <- 0;
       t.nbits <- 0
     end
@@ -54,49 +80,74 @@ module Writer = struct
 
   let align_byte t =
     if t.nbits <> 0 then begin
-      Buffer.add_char t.buf (Char.unsafe_chr (t.acc lsl (8 - t.nbits)));
+      ensure t 1;
+      Bigstring.unsafe_set t.data t.len
+        (Char.unsafe_chr (t.acc lsl (8 - t.nbits)));
+      t.len <- t.len + 1;
       t.acc <- 0;
       t.nbits <- 0
     end
 
-  let bit_length t = (8 * Buffer.length t.buf) + t.nbits
+  let bit_length t = (8 * t.len) + t.nbits
 
   let append t src =
     (* Append every bit of [src] (which stays usable) to [t].  With [t]
-       byte-aligned this is a plain buffer copy; otherwise each source
-       byte is spliced in O(1). *)
-    if t.nbits = 0 then Buffer.add_buffer t.buf src.buf
+       byte-aligned this is one block blit; otherwise each source byte
+       is spliced in O(1). *)
+    if t.nbits = 0 then begin
+      ensure t src.len;
+      Bigstring.blit src.data ~src_off:0 t.data ~dst_off:t.len ~len:src.len;
+      t.len <- t.len + src.len
+    end
     else
-      String.iter
-        (fun c -> add_bits_msb t ~value:(Char.code c) ~count:8)
-        (Buffer.contents src.buf);
+      for i = 0 to src.len - 1 do
+        add_bits_msb t
+          ~value:(Char.code (Bigstring.unsafe_get src.data i))
+          ~count:8
+      done;
     if src.nbits > 0 then add_bits_msb t ~value:src.acc ~count:src.nbits
 
   let to_bytes t =
-    if t.nbits = 0 then Buffer.to_bytes t.buf
+    if t.nbits = 0 then Bigstring.to_bytes t.data ~off:0 ~len:t.len
     else begin
-      let b = Buffer.create (Buffer.length t.buf + 1) in
-      Buffer.add_buffer b t.buf;
-      Buffer.add_char b (Char.chr (t.acc lsl (8 - t.nbits)));
-      Buffer.to_bytes b
+      let b = Bytes.create (t.len + 1) in
+      Bigstring.blit_to_bytes t.data ~src_off:0 b ~dst_off:0 ~len:t.len;
+      Bytes.set b t.len (Char.chr (t.acc lsl (8 - t.nbits)));
+      b
     end
 end
 
 module Lsb_writer = struct
   type t = {
-    buf : Buffer.t;
+    mutable data : Bigstring.t;
+    mutable len : int;
     mutable acc : int; (* pending bits, bit 0 = next stream position *)
     mutable nbits : int;
   }
 
-  let create () = { buf = Buffer.create 256; acc = 0; nbits = 0 }
+  let create () = { data = Bigstring.create 256; len = 0; acc = 0; nbits = 0 }
+
+  let ensure t extra =
+    let need = t.len + extra in
+    let cap = Bigstring.length t.data in
+    if need > cap then begin
+      let cap' = ref (max 256 (2 * cap)) in
+      while !cap' < need do cap' := !cap' * 2 done;
+      let d = Bigstring.create !cap' in
+      Bigstring.blit t.data ~src_off:0 d ~dst_off:0 ~len:t.len;
+      t.data <- d
+    end
 
   let flush_bytes t =
-    while t.nbits >= 8 do
-      Buffer.add_char t.buf (Char.unsafe_chr (t.acc land 0xff));
-      t.acc <- t.acc lsr 8;
-      t.nbits <- t.nbits - 8
-    done
+    if t.nbits >= 8 then begin
+      ensure t 8;
+      while t.nbits >= 8 do
+        Bigstring.unsafe_set t.data t.len (Char.unsafe_chr (t.acc land 0xff));
+        t.len <- t.len + 1;
+        t.acc <- t.acc lsr 8;
+        t.nbits <- t.nbits - 8
+      done
+    end
 
   let add_bits t ~value ~count =
     if count < 0 || count > 24 then invalid_arg "Bitio.Lsb_writer.add_bits: count";
@@ -119,32 +170,46 @@ module Lsb_writer = struct
 
   let align_byte t =
     if t.nbits > 0 then begin
-      Buffer.add_char t.buf (Char.unsafe_chr (t.acc land 0xff));
+      ensure t 1;
+      Bigstring.unsafe_set t.data t.len (Char.unsafe_chr (t.acc land 0xff));
+      t.len <- t.len + 1;
       t.acc <- 0;
       t.nbits <- 0
     end
 
   let to_bytes t =
-    if t.nbits = 0 then Buffer.to_bytes t.buf
+    if t.nbits = 0 then Bigstring.to_bytes t.data ~off:0 ~len:t.len
     else begin
-      let b = Buffer.create (Buffer.length t.buf + 1) in
-      Buffer.add_buffer b t.buf;
-      Buffer.add_char b (Char.chr (t.acc land 0xff));
-      Buffer.to_bytes b
+      let b = Bytes.create (t.len + 1) in
+      Bigstring.blit_to_bytes t.data ~src_off:0 b ~dst_off:0 ~len:t.len;
+      Bytes.set b t.len (Char.chr (t.acc land 0xff));
+      b
     end
 end
 
 module Lsb_reader = struct
-  type t = { data : bytes; mutable pos : int }
+  (* Zero-copy over the caller's buffer: [limit] is the first bit past
+     the readable slice, so [create ~start ~len] reads exactly the bits
+     of [Bytes.sub data start len] without the copy. *)
+  type t = { data : bytes; mutable pos : int; limit : int (* bits *) }
 
   exception Out_of_bits
 
-  let create ?(start = 0) data = { data; pos = 8 * start }
-
-  let total_bits t = 8 * Bytes.length t.data
+  let create ?(start = 0) ?len data =
+    if start < 0 then invalid_arg "Bitio.Lsb_reader.create: start";
+    let n = Bytes.length data in
+    let len =
+      match len with
+      | None -> max 0 (n - start)
+      | Some l ->
+          if l < 0 || start + l > n then
+            invalid_arg "Bitio.Lsb_reader.create: len";
+          l
+    in
+    { data; pos = 8 * start; limit = 8 * (start + len) }
 
   let read_bit t =
-    if t.pos >= total_bits t then raise Out_of_bits;
+    if t.pos >= t.limit then raise Out_of_bits;
     let byte = Char.code (Bytes.unsafe_get t.data (t.pos lsr 3)) in
     let bit = (byte lsr (t.pos land 7)) land 1 in
     t.pos <- t.pos + 1;
@@ -154,41 +219,56 @@ module Lsb_reader = struct
     if count < 0 || count > 24 then invalid_arg "Bitio.Lsb_reader.read_bits";
     if count = 0 then 0
     else begin
-      let total = total_bits t in
-      if t.pos + count > total then begin
+      if t.pos + count > t.limit then begin
         (* The per-bit reference consumed every remaining bit before
            noticing the shortfall; preserve that observable position. *)
-        t.pos <- total;
+        t.pos <- t.limit;
         raise Out_of_bits
       end;
       let byte0 = t.pos lsr 3 and bit = t.pos land 7 in
-      let nbytes = (bit + count + 7) lsr 3 in
-      let w = ref 0 in
-      for k = nbytes - 1 downto 0 do
-        w := (!w lsl 8) lor Char.code (Bytes.unsafe_get t.data (byte0 + k))
-      done;
       t.pos <- t.pos + count;
-      (!w lsr bit) land ((1 lsl count) - 1)
+      if byte0 + 8 <= Bytes.length t.data then
+        (* One unaligned little-endian load covers the 0..31 bits
+           needed; bits past the slice are shifted or masked away. *)
+        Int64.to_int
+          (Int64.shift_right_logical (Bigstring.bytes_get64u t.data byte0) bit)
+        land ((1 lsl count) - 1)
+      else begin
+        let nbytes = (bit + count + 7) lsr 3 in
+        let w = ref 0 in
+        for k = nbytes - 1 downto 0 do
+          w := (!w lsl 8) lor Char.code (Bytes.unsafe_get t.data (byte0 + k))
+        done;
+        (!w lsr bit) land ((1 lsl count) - 1)
+      end
     end
 
   let align_byte t = if t.pos land 7 <> 0 then t.pos <- (t.pos lor 7) + 1
 
   let byte_position t = t.pos lsr 3
 
-  let bits_remaining t = max 0 (total_bits t - t.pos)
+  let bits_remaining t = max 0 (t.limit - t.pos)
 end
 
 module Reader = struct
-  type t = { data : bytes; mutable pos : int (* absolute bit position *) }
+  type t = { data : bytes; mutable pos : int; limit : int (* bits *) }
 
   exception Out_of_bits
 
-  let create ?(start = 0) data = { data; pos = 8 * start }
-
-  let total_bits t = 8 * Bytes.length t.data
+  let create ?(start = 0) ?len data =
+    if start < 0 then invalid_arg "Bitio.Reader.create: start";
+    let n = Bytes.length data in
+    let len =
+      match len with
+      | None -> max 0 (n - start)
+      | Some l ->
+          if l < 0 || start + l > n then invalid_arg "Bitio.Reader.create: len";
+          l
+    in
+    { data; pos = 8 * start; limit = 8 * (start + len) }
 
   let read_bit t =
-    if t.pos >= total_bits t then raise Out_of_bits;
+    if t.pos >= t.limit then raise Out_of_bits;
     let byte = Char.code (Bytes.unsafe_get t.data (t.pos lsr 3)) in
     let bit = (byte lsr (7 - (t.pos land 7))) land 1 in
     t.pos <- t.pos + 1;
@@ -198,19 +278,26 @@ module Reader = struct
     if count < 0 || count > 30 then invalid_arg "Bitio.read_bits_msb: count";
     if count = 0 then 0
     else begin
-      let total = total_bits t in
-      if t.pos + count > total then begin
-        t.pos <- total;
+      if t.pos + count > t.limit then begin
+        t.pos <- t.limit;
         raise Out_of_bits
       end;
       let byte0 = t.pos lsr 3 and bit = t.pos land 7 in
-      let nbytes = (bit + count + 7) lsr 3 in
-      let w = ref 0 in
-      for k = 0 to nbytes - 1 do
-        w := (!w lsl 8) lor Char.code (Bytes.unsafe_get t.data (byte0 + k))
-      done;
       t.pos <- t.pos + count;
-      (!w lsr ((8 * nbytes) - bit - count)) land ((1 lsl count) - 1)
+      if byte0 + 8 <= Bytes.length t.data then
+        (* One unaligned load, byte-swapped so the first byte in memory
+           is most significant, mirroring the MSB-first stream order. *)
+        let w = bswap64 (Bigstring.bytes_get64u t.data byte0) in
+        Int64.to_int (Int64.shift_right_logical w (64 - bit - count))
+        land ((1 lsl count) - 1)
+      else begin
+        let nbytes = (bit + count + 7) lsr 3 in
+        let w = ref 0 in
+        for k = 0 to nbytes - 1 do
+          w := (!w lsl 8) lor Char.code (Bytes.unsafe_get t.data (byte0 + k))
+        done;
+        (!w lsr ((8 * nbytes) - bit - count)) land ((1 lsl count) - 1)
+      end
     end
 
   let read_bits_lsb t count =
@@ -227,7 +314,7 @@ module Reader = struct
 
   let align_byte t = if t.pos land 7 <> 0 then t.pos <- (t.pos lor 7) + 1
 
-  let bits_remaining t = max 0 (total_bits t - t.pos)
+  let bits_remaining t = max 0 (t.limit - t.pos)
 
   let byte_position t = t.pos lsr 3
 end

@@ -1,10 +1,8 @@
-(** Bit-level serialization on the zero-copy substrate.
+(** Reference bit-level serialization ([Buffer.t]/[bytes] backed).
 
-    Writers emit into growable bigstrings; readers are zero-copy views
-    over the caller's [bytes] — [create ?start ?len] reads exactly the
-    bits of [Bytes.sub data start len] without materializing the slice.
-    Byte streams and reader observables are bit-identical to
-    {!Bitio_ref}, the retained reference implementation.
+    The pre-bigstring implementation of {!Bitio}, kept as the executable
+    specification the differential tests pin the optimized module
+    against.  Production codecs must use {!Bitio}.
 
     Two packing orders are provided because the compressors disagree:
     Huffman/Bzip2 streams are most-significant-bit first, while the LZW
@@ -72,10 +70,7 @@ module Lsb_reader : sig
 
   exception Out_of_bits
 
-  val create : ?start:int -> ?len:int -> bytes -> t
-  (** [create ~start ~len b] reads the bits of [Bytes.sub b start len]
-      without copying; [len] defaults to the rest of the buffer. *)
-
+  val create : ?start:int -> bytes -> t
   val read_bits : t -> int -> int
   (** LSB-first, mirroring {!Lsb_writer.add_bits}. *)
 
@@ -94,10 +89,8 @@ module Reader : sig
   exception Out_of_bits
   (** Raised when reading past the end of the stream. *)
 
-  val create : ?start:int -> ?len:int -> bytes -> t
-  (** [create ~start ~len b] reads from byte offset [start] (default 0),
-      stopping after [len] bytes (default: the rest of the buffer) — a
-      zero-copy replacement for reading from [Bytes.sub b start len]. *)
+  val create : ?start:int -> bytes -> t
+  (** [create ~start b] reads from byte offset [start] (default 0). *)
 
   val read_bit : t -> bool
   val read_bits_msb : t -> int -> int

@@ -1,3 +1,6 @@
+module Bigstring = Zipchannel_buf.Bigstring
+module Arena = Zipchannel_buf.Arena
+
 type func = Main_sort | Fallback_sort
 
 type segment = { func : func; work : int }
@@ -27,87 +30,185 @@ let histogram block =
 
 exception Abandoned of int
 
-let main_sort ~budget block =
-  let n = Bytes.length block in
+(* Arena slots (see the table in DESIGN.md §12): this module owns int
+   slots 0..2 and big slot 0; int slot 3 (the returned permutation) is
+   deliberately shared with [Bwt.sort_rotations_work_sub], so a fallback
+   sort after an abandoned main sort overwrites the dead partial order. *)
+let slot_ftab = 0
+let slot_starts = 1
+let slot_fill = 2
+let slot_perm = 3
+let big_slot_dbl = 0
+
+(* Stdlib [Array.sort]'s ternary heapsort over the subrange
+   [a.(base .. base + l - 1)]: the comparison sequence is exactly what
+   [Array.sort cmp] performed on the [Array.sub] copy the reference
+   implementation made per bucket — required, because the comparator
+   below charges the work budget and the abandon point must not move. *)
+let heapsort_sub cmp a base l =
+  let exception Bottom of int in
+  let get i = Array.unsafe_get a (base + i) in
+  let set i v = Array.unsafe_set a (base + i) v in
+  let maxson l i =
+    let i31 = i + i + i + 1 in
+    let x = ref i31 in
+    if i31 + 2 < l then begin
+      if cmp (get i31) (get (i31 + 1)) < 0 then x := i31 + 1;
+      if cmp (get !x) (get (i31 + 2)) < 0 then x := i31 + 2;
+      !x
+    end
+    else if i31 + 1 < l && cmp (get i31) (get (i31 + 1)) < 0 then i31 + 1
+    else if i31 < l then i31
+    else raise (Bottom i)
+  in
+  let rec trickledown l i e =
+    let j = maxson l i in
+    if cmp (get j) e > 0 then begin
+      set i (get j);
+      trickledown l j e
+    end
+    else set i e
+  in
+  let trickle l i e = try trickledown l i e with Bottom i -> set i e in
+  let rec bubbledown l i =
+    let j = maxson l i in
+    set i (get j);
+    bubbledown l j
+  in
+  let bubble l i = try bubbledown l i with Bottom i -> i in
+  let rec trickleup i e =
+    let father = (i - 1) / 3 in
+    if cmp (get father) e < 0 then begin
+      set i (get father);
+      if father > 0 then trickleup father e else set 0 e
+    end
+    else set i e
+  in
+  for i = ((l + 1) / 3) - 1 downto 0 do
+    trickle l i (get i)
+  done;
+  for i = l - 1 downto 2 do
+    let e = get i in
+    set i (get 0);
+    trickleup (bubble i 0) e
+  done;
+  if l > 1 then begin
+    let e = get 1 in
+    set 1 (get 0);
+    set 0 e
+  end
+
+let main_sort_sub ?arena ~budget block ~off ~len =
+  let n = len in
   if n = 0 then ([||], 0)
   else begin
-    let byte i = Char.code (Bytes.get block i) in
-    let work = ref 0 in
-    let spend k =
-      work := !work + k;
-      if !work > budget then raise (Abandoned !work)
+    let ints slot len =
+      match arena with
+      | Some a -> Arena.ints a ~slot len
+      | None -> Array.make len 0
     in
+    let work = ref 0 in
+    (* The block staged twice back to back: [dbl.(i) = block.(off + i mod
+       n)] for i < 2n, so every rotation byte is a plain load — no [mod]
+       on the comparison path — and rotation suffixes compare
+       word-at-a-time. *)
+    let dbl =
+      match arena with
+      | Some a -> Arena.big a ~slot:big_slot_dbl (2 * n)
+      | None -> Bigstring.create (2 * n)
+    in
+    Bigstring.blit_of_bytes block ~src_off:off dbl ~dst_off:0 ~len:n;
+    Bigstring.blit dbl ~src_off:0 dbl ~dst_off:n ~len:n;
+    let byte i = Char.code (Bigstring.unsafe_get dbl i) in
     (* Stage 1: the ftab histogram (the paper's leakage gadget). *)
-    let ftab = histogram block in
-    spend n;
+    let ftab = ints slot_ftab ftab_size in
+    Array.fill ftab 0 ftab_size 0;
+    for i = 0 to n - 1 do
+      let j = (byte i lsl 8) lor byte (i + 1) in
+      Array.unsafe_set ftab j (Array.unsafe_get ftab j + 1)
+    done;
+    work := !work + n;
+    if !work > budget then raise (Abandoned !work);
     (* Stage 2: bucket rotations by their first two bytes via the running
        sums of ftab, exactly how mainSort derives bucket boundaries. *)
-    let starts = Array.make ftab_size 0 in
+    let starts = ints slot_starts ftab_size in
     let acc = ref 0 in
     for j = 0 to ftab_size - 1 do
       starts.(j) <- !acc;
       acc := !acc + ftab.(j)
     done;
-    let perm = Array.make n 0 in
-    let fill = Array.copy starts in
+    let perm = ints slot_perm n in
+    let fill = ints slot_fill ftab_size in
+    Array.blit starts 0 fill 0 ftab_size;
     for i = 0 to n - 1 do
-      let j = (byte i lsl 8) lor byte ((i + 1) mod n) in
+      let j = (byte i lsl 8) lor byte (i + 1) in
       perm.(fill.(j)) <- i;
       fill.(j) <- fill.(j) + 1
     done;
     (* Stage 3: finish each bucket by comparison sort on the rotation
        suffixes past the two bucketed bytes, paying one work unit per byte
        comparison.  Repetitive input makes comparisons deep and trips the
-       budget. *)
+       budget.  The prefix scan runs word-at-a-time and the work is
+       charged in one batch: the reference charged the same total one
+       byte at a time, so on exhaustion it crossed at exactly
+       [budget + 1] — which is what the batched raise reports. *)
+    let spend k =
+      work := !work + k;
+      if !work > budget then raise (Abandoned (budget + 1))
+    in
     let compare_rotations i1 i2 =
       if i1 = i2 then 0
       else begin
-        let rec loop k =
-          if k >= n then compare i1 i2
-          else begin
-            spend 1;
-            let c =
-              compare (byte ((i1 + k) mod n)) (byte ((i2 + k) mod n))
-            in
-            if c <> 0 then c else loop (k + 1)
-          end
-        in
-        loop 2
+        let m = Bigstring.common_prefix dbl (i1 + 2) (i2 + 2) ~limit:(n - 2) in
+        if m = n - 2 then begin
+          (* Full cycle: the reference compared n - 2 equal bytes and
+             then broke the tie on start index. *)
+          spend (n - 2);
+          compare (i1 : int) i2
+        end
+        else begin
+          spend (m + 1);
+          compare (byte (i1 + 2 + m) : int) (byte (i2 + 2 + m))
+        end
       end
     in
     for j = 0 to ftab_size - 1 do
-      let len = ftab.(j) in
-      if len > 1 then begin
-        let bucket = Array.sub perm starts.(j) len in
-        Array.sort compare_rotations bucket;
-        Array.blit bucket 0 perm starts.(j) len
-      end
+      let blen = ftab.(j) in
+      if blen > 1 then heapsort_sub compare_rotations perm starts.(j) blen
     done;
     (perm, !work)
   end
+
+let main_sort ~budget block =
+  main_sort_sub ~budget block ~off:0 ~len:(Bytes.length block)
 
 let fallback_sort block = Bwt.sort_rotations_work block
 
 let default_budget_factor = 30
 
-let block_sort ?(budget_factor = default_budget_factor) ~full_block block =
+let block_sort_sub ?arena ?(budget_factor = default_budget_factor) ~full_block
+    block ~off ~len =
   Zipchannel_obs.Obs.with_span "bwt.sort"
-    ~attrs:[ ("bytes", string_of_int (Bytes.length block)) ]
+    ~attrs:[ ("bytes", string_of_int len) ]
   @@ fun () ->
   if not full_block then begin
-    let perm, work = fallback_sort block in
+    let perm, work = Bwt.sort_rotations_work_sub ?arena block ~off ~len in
     (perm, { segments = [ { func = Fallback_sort; work } ]; abandoned = false })
   end
   else begin
-    let budget = budget_factor * max 1 (Bytes.length block) in
-    match main_sort ~budget block with
+    let budget = budget_factor * max 1 len in
+    match main_sort_sub ?arena ~budget block ~off ~len with
     | perm, work ->
         (perm, { segments = [ { func = Main_sort; work } ]; abandoned = false })
     | exception Abandoned spent ->
-        let perm, work = fallback_sort block in
+        let perm, work = Bwt.sort_rotations_work_sub ?arena block ~off ~len in
         ( perm,
           { segments =
               [ { func = Main_sort; work = spent };
                 { func = Fallback_sort; work } ];
             abandoned = true } )
   end
+
+let block_sort ?budget_factor ~full_block block =
+  block_sort_sub ?budget_factor ~full_block block ~off:0
+    ~len:(Bytes.length block)

@@ -50,3 +50,19 @@ val block_sort :
 (** The dispatch of the paper's Fig. 6: a full-size block starts in
     [main_sort] and falls back on abandonment; a short block goes directly
     to [fallback_sort]. *)
+
+val block_sort_sub :
+  ?arena:Zipchannel_buf.Arena.t ->
+  ?budget_factor:int ->
+  full_block:bool ->
+  bytes ->
+  off:int ->
+  len:int ->
+  int array * path
+(** {!block_sort} of [Bytes.sub block off len] without materializing the
+    slice.  With [arena], scratch tables and the returned permutation
+    live in arena slots: the permutation's physical length may exceed
+    [len] (only the first [len] entries are meaningful) and it is
+    overwritten by the next sort using the same arena.  Permutation
+    entries, work counts, and abandonment behaviour are identical to
+    {!block_sort}. *)

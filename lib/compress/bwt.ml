@@ -60,22 +60,52 @@ let reference_sort_rotations_work block =
 (* Ranks stay below n and the initial byte ranks below 256, so a
    (rank, rank') pair packs losslessly into [rank lsl 31 lor rank'] as long
    as both fit in 31 bits; the packed ints order and compare equal exactly
-   as the tuples do.  [Array.sort] then performs the identical comparison
+   as the tuples do.  [Intsort.sort_by_key] — the stdlib heapsort with the
+   comparator expanded inline — then performs the identical comparison
    sequence — the work counter advances by 2 per comparison (the reference
-   evaluates [key] twice per comparison) and by 2 per re-rank step. *)
-let sort_rotations_work block =
-  let n = Bytes.length block in
+   evaluates [key] twice per comparison) and by 2 per re-rank step.  The
+   final tie-break packs [(rank, index)] the same way with 1 work unit per
+   comparison, matching the reference's comparator.
+
+   [sort_rotations_work_sub] is the slice-and-arena entry: it sorts
+   [Bytes.sub block off len] without materializing the slice, drawing
+   every scratch array (and the returned permutation, whose physical
+   length may then exceed [len]) from the arena's slots. *)
+
+module Arena = Zipchannel_buf.Arena
+module Intsort = Zipchannel_buf.Intsort
+
+(* Arena int-slot assignments for the whole bzip2 block pipeline live in
+   the 0..8 range; see the slot table in DESIGN.md §12.  This module owns
+   slots 3 (perm, shared with Block_sort's main sort output) and 4..6. *)
+let slot_perm = 3
+let slot_rank = 4
+let slot_tmp = 5
+let slot_keys = 6
+let slot_last = 0 (* bytes slot: transform output *)
+
+let sort_rotations_work_sub ?arena block ~off ~len =
+  let n = len in
   if n = 0 then ([||], 0)
-  else if n >= 1 lsl 31 then reference_sort_rotations_work block
+  else if n >= 1 lsl 31 then
+    reference_sort_rotations_work (Bytes.sub block off len)
   else begin
+    let ints slot n =
+      match arena with
+      | Some a -> Arena.ints a ~slot n
+      | None -> Array.make n 0
+    in
     let work = ref 0 in
-    let rank = Array.make n 0 in
+    let rank = ints slot_rank n in
     for i = 0 to n - 1 do
-      rank.(i) <- Char.code (Bytes.unsafe_get block i)
+      rank.(i) <- Char.code (Bytes.unsafe_get block (off + i))
     done;
-    let perm = Array.init n (fun i -> i) in
-    let tmp = Array.make n 0 in
-    let keys = Array.make n 0 in
+    let perm = ints slot_perm n in
+    for i = 0 to n - 1 do
+      perm.(i) <- i
+    done;
+    let tmp = ints slot_tmp n in
+    let keys = ints slot_keys n in
     let k = ref 1 in
     let distinct = ref false in
     while (not !distinct) && !k < n do
@@ -85,11 +115,7 @@ let sort_rotations_work block =
         Array.unsafe_set keys i
           ((Array.unsafe_get rank i lsl 31) lor Array.unsafe_get rank j)
       done;
-      Array.sort
-        (fun a b ->
-          work := !work + 2;
-          compare (Array.unsafe_get keys a : int) (Array.unsafe_get keys b))
-        perm;
+      Intsort.sort_by_key perm ~len:n ~keys ~work ~per_cmp:2;
       tmp.(perm.(0)) <- 0;
       let all_distinct = ref true in
       for j = 1 to n - 1 do
@@ -105,16 +131,18 @@ let sort_rotations_work block =
       distinct := !all_distinct;
       k := !k * 2
     done;
-    if not !distinct then
-      Array.sort
-        (fun a b ->
-          incr work;
-          match compare (rank.(a) : int) rank.(b) with
-          | 0 -> compare (a : int) b
-          | c -> c)
-        perm;
+    if not !distinct then begin
+      (* (rank, index) packs like the rank pairs: index < n < 2^31. *)
+      for i = 0 to n - 1 do
+        Array.unsafe_set keys i ((Array.unsafe_get rank i lsl 31) lor i)
+      done;
+      Intsort.sort_by_key perm ~len:n ~keys ~work ~per_cmp:1
+    end;
     (perm, !work)
   end
+
+let sort_rotations_work block =
+  sort_rotations_work_sub block ~off:0 ~len:(Bytes.length block)
 
 (* Comparison-free rotation sort: Manber–Myers prefix doubling where each
    round re-orders by the k-shifted previous order and a stable counting
@@ -244,6 +272,29 @@ let transform_with ~perm block =
   end
 
 let transform block = transform_with ~perm:(sort_rotations block) block
+
+let transform_with_sub ?arena ~perm block ~off ~len =
+  (* Pipeline-internal slice variant: [perm] comes straight from the
+     block sorts above (physical length possibly > [len]) and is trusted
+     rather than re-validated; the returned last column is the arena's
+     bytes slot with logical length [len]. *)
+  let n = len in
+  if n = 0 then (Bytes.create 0, 0)
+  else begin
+    let last =
+      match arena with
+      | Some a -> Arena.bytes a ~slot:slot_last n
+      | None -> Bytes.create n
+    in
+    let primary = ref (-1) in
+    for k = 0 to n - 1 do
+      let start = Array.unsafe_get perm k in
+      if start = 0 then primary := k;
+      let p = if start = 0 then n - 1 else start - 1 in
+      Bytes.unsafe_set last k (Bytes.get block (off + p))
+    done;
+    (last, !primary)
+  end
 
 let inverse last primary =
   let n = Bytes.length last in

@@ -25,12 +25,36 @@ val reference_sort_rotations_work : bytes -> int array * int
     specification of both the permutation and the work count; the test
     suite cross-checks the fast paths against it. *)
 
+val sort_rotations_work_sub :
+  ?arena:Zipchannel_buf.Arena.t -> bytes -> off:int -> len:int -> int array * int
+(** {!sort_rotations_work} of [Bytes.sub block off len] without
+    materializing the slice.  With [arena], every scratch array — and
+    the returned permutation — lives in the arena's slots: the
+    permutation's physical length may exceed [len] (only the first [len]
+    entries are meaningful) and it is overwritten by the next sort using
+    the same arena.  Permutation entries and work count are identical to
+    the whole-buffer entry points. *)
+
 val transform_with : perm:int array -> bytes -> bytes * int
 (** Last column and primary index from a precomputed rotation order.
     @raise Invalid_argument if [perm] is not a permutation of the right
     length. *)
 
 val transform : bytes -> bytes * int
+
+val transform_with_sub :
+  ?arena:Zipchannel_buf.Arena.t ->
+  perm:int array ->
+  bytes ->
+  off:int ->
+  len:int ->
+  bytes * int
+(** Pipeline-internal {!transform_with} over [Bytes.sub block off len].
+    [perm] must order the slice's rotations (physical length >= [len];
+    it is trusted, not re-validated — pass only permutations produced by
+    the sorts above).  With [arena] the returned last column is the
+    arena's bytes slot: logical length [len], physical possibly longer,
+    overwritten by the next transform using the same arena. *)
 
 val inverse : bytes -> int -> bytes
 (** [inverse last_column primary_index] recovers the original string.

@@ -44,26 +44,28 @@ let read_u32 r =
   let lo = Bitio.Reader.read_bits_msb r 16 in
   (hi lsl 16) lor lo
 
-let n_syms_of symbols = Array.length symbols
+(* [symbols] buffers may be arena slots whose physical length exceeds
+   the encoded stream, so every helper below takes the logical symbol
+   count [n_syms] explicitly. *)
 
-let group_count symbols = (n_syms_of symbols + group_size - 1) / group_size
+let group_count ~n_syms = (n_syms + group_size - 1) / group_size
 
-let group_bounds symbols g =
+let group_bounds ~n_syms g =
   let lo = g * group_size in
-  (lo, min (n_syms_of symbols) (lo + group_size) - 1)
+  (lo, min n_syms (lo + group_size) - 1)
 
 (* Train the tables: initial assignment is round-robin over contiguous
    chunks, then a few rounds of cheapest-table reassignment. *)
-let train_tables symbols =
-  let n_groups = n_groups_for (n_syms_of symbols) in
-  let groups = group_count symbols in
+let train_tables symbols ~n_syms =
+  let n_groups = n_groups_for n_syms in
+  let groups = group_count ~n_syms in
   let selectors = Array.init groups (fun g -> g * n_groups / max 1 groups) in
   let lengths = Array.make n_groups [||] in
   let refit () =
     let freqs = Array.init n_groups (fun _ -> Array.make Rle2.alphabet_size 0) in
     Array.iteri
       (fun g table ->
-        let lo, hi = group_bounds symbols g in
+        let lo, hi = group_bounds ~n_syms g in
         for k = lo to hi do
           let s = symbols.(k) in
           freqs.(table).(s) <- freqs.(table).(s) + 1
@@ -82,7 +84,7 @@ let train_tables symbols =
        in some table makes that table infinitely expensive. *)
     Array.iteri
       (fun g _ ->
-        let lo, hi = group_bounds symbols g in
+        let lo, hi = group_bounds ~n_syms g in
         let best = ref selectors.(g) and best_cost = ref max_int in
         for t = 0 to n_groups - 1 do
           let cost = ref 0 in
@@ -142,35 +144,44 @@ let m_bytes_out = Obs.Metrics.counter "kernel.bzip2.bytes_out"
 let m_blocks = Obs.Metrics.counter "kernel.bzip2.blocks"
 let h_block_bytes = Obs.Metrics.histogram "kernel.bzip2.block_bytes"
 
-let compress_block w ~budget_factor ~block_size ~index block =
-  Obs.with_span "bzip2.block"
-    ~attrs:
-      [
-        ("index", string_of_int index);
-        ("bytes", string_of_int (Bytes.length block));
-      ]
-  @@ fun () ->
-  Obs.Metrics.incr m_blocks;
-  Obs.Metrics.observe h_block_bytes (Bytes.length block);
-  let full_block = Bytes.length block = block_size in
-  let perm, path = Block_sort.block_sort ~budget_factor ~full_block block in
-  let last, primary = Bwt.transform_with ~perm block in
-  let symbols = Rle2.encode (Mtf.encode last) in
-  let n_groups, selectors, lengths = train_tables symbols in
+(* Everything after the BWT/MTF/RLE2 stages — table training and the
+   serialised block body — shared by the arena pipeline and the
+   reference path so the two can only diverge in the stages the
+   differential tests pin. *)
+let write_block_body w ~primary ~len symbols ~n_syms =
+  let n_groups, selectors, lengths = train_tables symbols ~n_syms in
   let codes = Array.map Huffman.canonical_codes lengths in
   Bitio.Writer.add_bits_msb w ~value:block_marker ~count:8;
-  add_u32 w (Bytes.length block);
+  add_u32 w len;
   add_u32 w primary;
   Bitio.Writer.add_bits_msb w ~value:n_groups ~count:3;
   Bitio.Writer.add_bits_msb w ~value:(Array.length selectors) ~count:15;
   write_selectors w ~n_groups selectors;
   Array.iter (fun l -> Huffman.write_lengths w l) lengths;
-  Array.iteri
-    (fun k s ->
-      let table = selectors.(k / group_size) in
-      Huffman.write_symbol w codes.(table) s)
-    symbols;
-  { index; length = Bytes.length block; path }
+  for k = 0 to n_syms - 1 do
+    let table = selectors.(k / group_size) in
+    Huffman.write_symbol w codes.(table) symbols.(k)
+  done
+
+(* One post-RLE1 block, read in place from [data.(off .. off + len - 1)].
+   All per-stage scratch lives in [arena], which the caller owns for the
+   duration of the call; the chain RLE1 slice -> BWT -> MTF -> RLE2 runs
+   with no intermediate [Bytes.sub] or copies. *)
+let compress_block w ~budget_factor ~block_size ~index ~arena data ~off ~len =
+  Obs.with_span "bzip2.block"
+    ~attrs:[ ("index", string_of_int index); ("bytes", string_of_int len) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_blocks;
+  Obs.Metrics.observe h_block_bytes len;
+  let full_block = len = block_size in
+  let perm, path =
+    Block_sort.block_sort_sub ~arena ~budget_factor ~full_block data ~off ~len
+  in
+  let last, primary = Bwt.transform_with_sub ~arena ~perm data ~off ~len in
+  let mtf = Mtf.encode_sub ~arena last ~off:0 ~len in
+  let symbols, n_syms = Rle2.encode_sub ~arena mtf ~len in
+  write_block_body w ~primary ~len symbols ~n_syms;
+  { index; length = len; path }
 
 let compress_with_info ?(block_size = default_block_size)
     ?(budget_factor = Block_sort.default_budget_factor) ?(jobs = 1) input =
@@ -191,18 +202,19 @@ let compress_with_info ?(block_size = default_block_size)
      back in order.  Splicing is pure bit concatenation, so the output is
      byte-identical for every [jobs] value. *)
   let n_blocks = (n + block_size - 1) / block_size in
-  let blocks =
-    Array.init n_blocks (fun index ->
-        let pos = index * block_size in
-        (index, Bytes.sub data pos (min block_size (n - pos))))
-  in
   let parts =
     Zipchannel_parallel.Pool.map_array ~jobs
-      (fun (index, block) ->
+      (fun index ->
+        let off = index * block_size in
+        let len = min block_size (n - off) in
         let bw = Bitio.Writer.create () in
-        let info = compress_block bw ~budget_factor ~block_size ~index block in
+        let info =
+          Zipchannel_buf.Arena.with_arena (fun arena ->
+              compress_block bw ~budget_factor ~block_size ~index ~arena data
+                ~off ~len)
+        in
         (bw, info))
-      blocks
+      (Array.init n_blocks (fun i -> i))
   in
   let infos =
     Array.fold_left
@@ -219,6 +231,35 @@ let compress_with_info ?(block_size = default_block_size)
 
 let compress ?block_size ?budget_factor ?jobs input =
   fst (compress_with_info ?block_size ?budget_factor ?jobs input)
+
+(* Reference compression path: sequential, one whole-block [Bytes.sub]
+   per block, fresh allocations in every stage via the public per-stage
+   APIs.  Not used in production — retained so the differential tests can
+   pin the arena/slice pipeline above to byte-identical output. *)
+let compress_ref ?(block_size = default_block_size)
+    ?(budget_factor = Block_sort.default_budget_factor) input =
+  if block_size < 16 then invalid_arg "Bzip2.compress: block_size too small";
+  if block_size > max_block_size then
+    invalid_arg "Bzip2.compress: block_size too large";
+  let data = Rle1.encode input in
+  let n = Bytes.length data in
+  let w = Bitio.Writer.create () in
+  String.iter
+    (fun c -> Bitio.Writer.add_bits_msb w ~value:(Char.code c) ~count:8)
+    magic;
+  let n_blocks = (n + block_size - 1) / block_size in
+  for index = 0 to n_blocks - 1 do
+    let pos = index * block_size in
+    let block = Bytes.sub data pos (min block_size (n - pos)) in
+    let full_block = Bytes.length block = block_size in
+    let perm, _ = Block_sort.block_sort ~budget_factor ~full_block block in
+    let last, primary = Bwt.transform_with ~perm block in
+    let symbols = Rle2.encode (Mtf.encode last) in
+    write_block_body w ~primary ~len:(Bytes.length block) symbols
+      ~n_syms:(Array.length symbols)
+  done;
+  Bitio.Writer.add_bits_msb w ~value:end_marker ~count:8;
+  Bitio.Writer.to_bytes w
 
 let decompress_result data =
   let r = Bitio.Reader.create data in

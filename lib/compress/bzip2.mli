@@ -37,6 +37,13 @@ val compress_with_info :
 (** Also reports the per-block sorting control flow — the observable the
     fingerprinting attack of Section VI classifies. *)
 
+val compress_ref : ?block_size:int -> ?budget_factor:int -> bytes -> bytes
+(** Reference implementation of {!compress}: sequential, one whole-block
+    [Bytes.sub] per block, fresh allocations in every stage.  Slower than
+    {!compress} and not used by production code; retained so differential
+    tests can pin the zero-copy arena pipeline to byte-identical
+    output. *)
+
 val decompress_result : bytes -> (bytes, Codec_error.t) result
 (** Safe decoder: truncated or corrupt streams, oversized block headers
     and zero-run bombs are an [Error]; no exception escapes this

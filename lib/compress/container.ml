@@ -18,9 +18,14 @@ let get_u16 data off =
 let get_u32 data off =
   get_u16 data off lor (get_u16 data (off + 2) lsl 16)
 
-let get_sub data off len =
+(* Validate a slice without materialising it; compressed bodies are
+   decoded in place via [Deflate.decompress_sub_result]. *)
+let check_sub data off len =
   if off < 0 || len < 0 || off + len > Bytes.length data then
-    corrupt "truncated at slice %d+%d" off len;
+    corrupt "truncated at slice %d+%d" off len
+
+let get_sub data off len =
+  check_sub data off len;
   Bytes.sub data off len
 
 module Stream = struct
@@ -52,11 +57,11 @@ module Stream = struct
     if Char.code (Bytes.get data 2) <> method_deflate then
       corrupt "unknown method %d" (Char.code (Bytes.get data 2));
     let body_len = get_u32 data 3 in
-    let body = get_sub data 7 body_len in
+    check_sub data 7 body_len;
     let crc = get_u32 data (7 + body_len) in
     let plain_len = get_u32 data (11 + body_len) in
     let plain =
-      match Deflate.decompress_result body with
+      match Deflate.decompress_sub_result data ~off:7 ~len:body_len with
       | Ok plain -> plain
       | Error e -> corrupt "bad body: %s" e.Codec_error.reason
     in
@@ -164,13 +169,13 @@ module Archive = struct
     List.rev !records
 
   let extract_record data r =
-    let body = get_sub data r.r_offset r.r_body_len in
+    check_sub data r.r_offset r.r_body_len;
     let plain =
-      try Deflate.decompress body with
-      | Failure msg | Invalid_argument msg ->
-          corrupt "entry %s: bad body: %s" r.r_name msg
-      | Bitio.Reader.Out_of_bits ->
-          corrupt "entry %s: bad body: truncated bitstream" r.r_name
+      match
+        Deflate.decompress_sub_result data ~off:r.r_offset ~len:r.r_body_len
+      with
+      | Ok plain -> plain
+      | Error e -> corrupt "entry %s: bad body: %s" r.r_name e.Codec_error.reason
     in
     if Bytes.length plain <> r.r_plain_len then
       corrupt "entry %s: length mismatch" r.r_name;

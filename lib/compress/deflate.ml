@@ -35,17 +35,48 @@ let find_code bases extra v name =
   if off lsr bits <> 0 then invalid_arg name;
   (idx, bits, off)
 
+(* Per-length symbol table, replacing the linear [find_code] scan on the
+   encoder hot path.  Built once from [find_code] itself, so the mapping
+   is the scan's by construction. *)
+let length_syms =
+  Array.init 259 (fun len ->
+      if len < 3 then 0
+      else if len = 258 then 285
+      else begin
+        let idx, _, _ =
+          find_code length_bases length_extra len "Deflate.length_code"
+        in
+        257 + idx
+      end)
+
 let length_code len =
   if len < 3 || len > 258 then invalid_arg "Deflate.length_code";
-  if len = 258 then (285, 0, 0)
+  let sym = Array.unsafe_get length_syms len in
+  if sym = 285 then (285, 0, 0)
   else begin
-    let idx, bits, off = find_code length_bases length_extra len "Deflate.length_code" in
-    (257 + idx, bits, off)
+    let bits = Array.unsafe_get length_extra (sym - 257) in
+    (sym, bits, len - Array.unsafe_get length_bases (sym - 257))
   end
+
+(* zlib's two-level distance table: distances 1..256 index the low half
+   directly, larger ones via [(dist - 1) lsr 7] — every RFC 1951 range
+   past 256 is 128-aligned, so one probe per bucket pins the symbol. *)
+let dist_syms =
+  Array.init 512 (fun i ->
+      let dist = if i < 256 then i + 1 else ((i - 256) lsl 7) + 1 in
+      let idx, _, _ =
+        find_code distance_bases distance_extra dist "Deflate.distance_code"
+      in
+      idx)
 
 let distance_code dist =
   if dist < 1 || dist > 32768 then invalid_arg "Deflate.distance_code";
-  find_code distance_bases distance_extra dist "Deflate.distance_code"
+  let sym =
+    if dist <= 256 then Array.unsafe_get dist_syms (dist - 1)
+    else Array.unsafe_get dist_syms (256 + ((dist - 1) lsr 7))
+  in
+  let bits = Array.unsafe_get distance_extra sym in
+  (sym, bits, dist - Array.unsafe_get distance_bases sym)
 
 let base_of_length_code sym =
   if sym < 257 || sym > 285 then invalid_arg "Deflate.base_of_length_code";
@@ -56,11 +87,11 @@ let base_of_distance_code sym =
     invalid_arg "Deflate.base_of_distance_code";
   (distance_bases.(sym), distance_extra.(sym))
 
-let encode_tokens tokens =
+let encode_token_array tokens =
   let litlen_freqs = Array.make litlen_alphabet 0 in
   let dist_freqs = Array.make dist_alphabet 0 in
   let bump a i = a.(i) <- a.(i) + 1 in
-  List.iter
+  Array.iter
     (fun token ->
       match token with
       | Lz77.Literal c -> bump litlen_freqs (Char.code c)
@@ -78,7 +109,7 @@ let encode_tokens tokens =
   let w = Bitio.Writer.create () in
   Huffman.write_lengths w litlen_lengths;
   Huffman.write_lengths w dist_lengths;
-  List.iter
+  Array.iter
     (fun token ->
       match token with
       | Lz77.Literal c -> Huffman.write_symbol w litlen_codes (Char.code c)
@@ -93,8 +124,10 @@ let encode_tokens tokens =
   Huffman.write_symbol w litlen_codes end_of_block;
   Bitio.Writer.to_bytes w
 
-let decode_tokens_result data =
-  let r = Bitio.Reader.create data in
+let encode_tokens tokens = encode_token_array (Array.of_list tokens)
+
+let decode_tokens_sub_result data ~off ~len =
+  let r = Bitio.Reader.create ~start:off ~len data in
   Codec_error.protect ~codec:"deflate"
     ~offset:(fun () -> Bitio.Reader.byte_position r)
   @@ fun () ->
@@ -135,6 +168,9 @@ let decode_tokens_result data =
   loop ();
   List.rev !tokens
 
+let decode_tokens_result data =
+  decode_tokens_sub_result data ~off:0 ~len:(Bytes.length data)
+
 let decode_tokens data = Codec_error.unwrap (decode_tokens_result data)
 
 module Obs = Zipchannel_obs.Obs
@@ -146,13 +182,13 @@ let compress ?strategy ?max_chain input =
   Obs.with_span "deflate.compress"
     ~attrs:[ ("bytes", string_of_int (Bytes.length input)) ]
   @@ fun () ->
-  let out = encode_tokens (Lz77.tokenize ?strategy ?max_chain input) in
+  let out = encode_token_array (Lz77.tokenize_array ?strategy ?max_chain input) in
   Obs.Metrics.add m_bytes_in (Bytes.length input);
   Obs.Metrics.add m_bytes_out (Bytes.length out);
   out
 
-let decompress_result data =
-  match decode_tokens_result data with
+let decompress_sub_result data ~off ~len =
+  match decode_tokens_sub_result data ~off ~len with
   | Error e -> Error e
   | Ok tokens -> (
       (* [detokenize] validates match distances against the output built
@@ -161,5 +197,8 @@ let decompress_result data =
       | plain -> Ok plain
       | exception Invalid_argument reason ->
           Codec_error.error ~codec:"deflate" reason)
+
+let decompress_result data =
+  decompress_sub_result data ~off:0 ~len:(Bytes.length data)
 
 let decompress data = Codec_error.unwrap (decompress_result data)

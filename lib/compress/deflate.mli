@@ -37,6 +37,13 @@ val decompress_result : bytes -> (bytes, Codec_error.t) result
 (** {!decode_tokens_result} + [Lz77.detokenize], with out-of-window match
     distances reported as decode errors rather than exceptions. *)
 
+val decompress_sub_result :
+  bytes -> off:int -> len:int -> (bytes, Codec_error.t) result
+(** {!decompress_result} of the [len]-byte slice at [off], read in place
+    — no copy of the slice is taken.  Error offsets are positions in the
+    whole buffer, not the slice.
+    @raise Invalid_argument if the slice is out of bounds. *)
+
 val decompress : bytes -> bytes
 (** [Codec_error.unwrap] of {!decompress_result}.
     @raise Failure on malformed input. *)

@@ -40,7 +40,19 @@ val tokenize : ?strategy:strategy -> ?max_chain:int -> bytes -> token list
     (default) takes every match immediately; [Lazy] is zlib's
     deflate_slow evaluation — the paper's Fig. 2 gadget location — which
     defers a match by one position when the next position matches
-    longer. *)
+    longer.  Match extension runs word-at-a-time over an off-heap
+    staging of the input; the token sequence is identical to
+    {!tokenize_ref} on every input. *)
+
+val tokenize_array : ?strategy:strategy -> ?max_chain:int -> bytes -> token array
+(** The {!tokenize} sequence as a fresh array — same tokens in the same
+    order; lets hot consumers (e.g. {!Deflate.compress}) skip the
+    intermediate list. *)
+
+val tokenize_ref : ?strategy:strategy -> ?max_chain:int -> bytes -> token list
+(** The retained byte-at-a-time reference tokenizer — the executable
+    specification {!tokenize} is differential-tested against.  Same
+    signature, same output, no word-level fast paths. *)
 
 val detokenize : token list -> bytes
 (** @raise Invalid_argument on a match reaching before the start of the

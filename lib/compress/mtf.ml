@@ -8,18 +8,23 @@ let move_to_front order pos =
 (* Explicit in-order loops on both sides: the recency list is mutated by
    every step, and [Array.init]/[Bytes.init] do not guarantee the order
    they apply the closure in. *)
-let encode input =
+let encode_sub ?arena input ~off ~len =
   let order = initial_order () in
-  let n = Bytes.length input in
-  let out = Array.make n 0 in
-  for i = 0 to n - 1 do
-    let c = Char.code (Bytes.get input i) in
+  let out =
+    match arena with
+    | Some a -> Zipchannel_buf.Arena.ints a ~slot:7 len
+    | None -> Array.make len 0
+  in
+  for i = 0 to len - 1 do
+    let c = Char.code (Bytes.get input (off + i)) in
     let pos = ref 0 in
     while order.(!pos) <> c do incr pos done;
     move_to_front order !pos;
     out.(i) <- !pos
   done;
   out
+
+let encode input = encode_sub input ~off:0 ~len:(Bytes.length input)
 
 let decode_result symbols =
   let bad = ref (-1) in

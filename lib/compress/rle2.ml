@@ -5,10 +5,22 @@ let alphabet_size = 258
 
 (* A zero-run of length [n >= 1] is written as the bijective base-2 digits
    of [n], least significant first, with digit values 1 -> RUNA, 2 -> RUNB.
-   Decoding sums digit * 2^position. *)
-let encode symbols =
-  let out = ref [] in
-  let push s = out := s :: !out in
+   Decoding sums digit * 2^position.
+
+   Every input symbol contributes at most one output symbol (a zero-run of
+   z zeros emits at most z digits), plus the trailing EOB, so [len + 2]
+   bounds the output and [encode_sub] can fill a flat arena buffer. *)
+let encode_sub ?arena symbols ~len =
+  let out =
+    match arena with
+    | Some a -> Zipchannel_buf.Arena.ints a ~slot:8 (len + 2)
+    | None -> Array.make (len + 2) 0
+  in
+  let n_out = ref 0 in
+  let push s =
+    out.(!n_out) <- s;
+    incr n_out
+  in
   let flush_run n =
     let n = ref n in
     while !n > 0 do
@@ -17,18 +29,22 @@ let encode symbols =
     done
   in
   let run = ref 0 in
-  Array.iter
-    (fun s ->
-      if s = 0 then incr run
-      else begin
-        flush_run !run;
-        run := 0;
-        push (s + 1)
-      end)
-    symbols;
+  for i = 0 to len - 1 do
+    let s = symbols.(i) in
+    if s = 0 then incr run
+    else begin
+      flush_run !run;
+      run := 0;
+      push (s + 1)
+    end
+  done;
   flush_run !run;
   push eob;
-  Array.of_list (List.rev !out)
+  (out, !n_out)
+
+let encode symbols =
+  let out, n_out = encode_sub symbols ~len:(Array.length symbols) in
+  Array.sub out 0 n_out
 
 (* The run accumulator doubles its weight on every RUNA/RUNB digit, so an
    adversarial symbol stream of ~60 digits demands 2^60 zeros (and then

@@ -21,6 +21,14 @@ val alphabet_size : int
 val encode : int array -> int array
 (** MTF symbols (0..255) to the RLE2 alphabet, EOB-terminated. *)
 
+val encode_sub :
+  ?arena:Zipchannel_buf.Arena.t -> int array -> len:int -> int array * int
+(** [encode_sub symbols ~len] is {!encode} of the prefix
+    [symbols.(0 .. len - 1)], returned as [(buffer, n_syms)]: the first
+    [n_syms] entries of [buffer] are the encoded stream.  With [arena]
+    the buffer is the arena's int slot 8, overwritten by the next encode
+    using the same arena. *)
+
 val default_max_output : int
 (** The default decoded-length cap: [max_int / 4], i.e. effectively
     unlimited while still leaving headroom so the run accumulator cannot

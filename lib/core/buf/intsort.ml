@@ -1,0 +1,79 @@
+(* Stdlib-identical heapsort specialised to int keys with work counting.
+
+   [Bwt.sort_rotations_work] must report the exact comparison count of
+   the seed implementation — the count *is* the modelled side channel —
+   so it cannot swap [Array.sort] for a different algorithm.  What it
+   can do is drop the per-comparison closure: this is the ternary
+   heapsort of [Stdlib.Array.sort], transcribed with the comparator
+   [fun x y -> work += per_cmp; compare keys.(x) keys.(y)] expanded
+   inline at each of the call sites the stdlib version has.  It
+   performs the same comparisons in the same order on every input, so
+   both the resulting permutation and the work count are identical
+   while the hot loop runs on immediate ints with no indirect calls. *)
+
+exception Bottom of int
+
+let sort_by_key ?len a ~keys ~work ~per_cmp =
+  (* key of the element stored at position [i] of [a]. *)
+  let kat i = Array.unsafe_get keys (Array.unsafe_get a i) in
+  let maxson l i =
+    let i31 = i + i + i + 1 in
+    let x = ref i31 in
+    if i31 + 2 < l then begin
+      work := !work + per_cmp;
+      if (kat i31 : int) < kat (i31 + 1) then x := i31 + 1;
+      work := !work + per_cmp;
+      if (kat !x : int) < kat (i31 + 2) then x := i31 + 2;
+      !x
+    end
+    else if
+      i31 + 1 < l
+      && (work := !work + per_cmp;
+          (kat i31 : int) < kat (i31 + 1))
+    then i31 + 1
+    else if i31 < l then i31
+    else raise (Bottom i)
+  in
+  let rec trickledown l i e ke =
+    let j = maxson l i in
+    work := !work + per_cmp;
+    if (kat j : int) > ke then begin
+      Array.unsafe_set a i (Array.unsafe_get a j);
+      trickledown l j e ke
+    end
+    else Array.unsafe_set a i e
+  in
+  let trickle l i e =
+    try trickledown l i e (Array.unsafe_get keys e)
+    with Bottom i -> Array.unsafe_set a i e
+  in
+  let rec bubbledown l i =
+    let j = maxson l i in
+    Array.unsafe_set a i (Array.unsafe_get a j);
+    bubbledown l j
+  in
+  let bubble l i = try bubbledown l i with Bottom i -> i in
+  let rec trickleup i e ke =
+    let father = (i - 1) / 3 in
+    work := !work + per_cmp;
+    if (kat father : int) < ke then begin
+      Array.unsafe_set a i (Array.unsafe_get a father);
+      if father > 0 then trickleup father e ke else Array.unsafe_set a 0 e
+    end
+    else Array.unsafe_set a i e
+  in
+  let l = match len with Some l -> l | None -> Array.length a in
+  if l < 0 || l > Array.length a then invalid_arg "Intsort.sort_by_key: len";
+  for i = ((l + 1) / 3) - 1 downto 0 do
+    trickle l i (Array.unsafe_get a i)
+  done;
+  for i = l - 1 downto 2 do
+    let e = Array.unsafe_get a i in
+    Array.unsafe_set a i (Array.unsafe_get a 0);
+    trickleup (bubble i 0) e (Array.unsafe_get keys e)
+  done;
+  if l > 1 then begin
+    let e = Array.unsafe_get a 1 in
+    Array.unsafe_set a 1 (Array.unsafe_get a 0);
+    Array.unsafe_set a 0 e
+  end

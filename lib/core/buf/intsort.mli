@@ -1,0 +1,16 @@
+(** Stdlib-identical heapsort over int keys with work counting.
+
+    [sort_by_key a ~keys ~work ~per_cmp] sorts [a] so that
+    [keys.(a.(0)) <= keys.(a.(1)) <= ...], performing the exact same
+    comparison sequence as
+    [Array.sort (fun x y -> work := !work + per_cmp;
+                            compare keys.(x) keys.(y)) a]
+    and charging [per_cmp] to [work] per comparison — but with the
+    comparator expanded inline, so the hot loop has no indirect calls.
+    Elements of [a] must be valid indices into [keys].  [len] restricts
+    the sort to the prefix [a.(0 .. len - 1)] — for arena-backed arrays
+    whose physical length exceeds the logical one — and defaults to the
+    whole array. *)
+
+val sort_by_key :
+  ?len:int -> int array -> keys:int array -> work:int ref -> per_cmp:int -> unit

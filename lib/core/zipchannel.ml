@@ -8,6 +8,13 @@
 module Util = Zipchannel_util
 (** PRNG, lipsum text, statistics. *)
 
+module Bigstring = Zipchannel_buf.Bigstring
+(** Off-heap char buffers with unaligned 8/16/32/64-bit word access —
+    the zero-copy substrate under the compression kernels. *)
+
+module Arena = Zipchannel_buf.Arena
+(** Reusable per-domain scratch buffers backing the block pipelines. *)
+
 module Taint = Zipchannel_taint
 (** Per-bit taint tags, tainted words, report rendering. *)
 

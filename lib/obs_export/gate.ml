@@ -14,7 +14,12 @@
 
 type klass = Exact | Band of float | Ignore
 
-type rule = { prefix : string; klass : klass }
+(* [bench] scopes a rule to benchmarks whose name starts with it ("" =
+   every benchmark): stateful benchmark fixtures (the cache "round"
+   cases) accumulate across however many runs the harness chose, so the
+   same counter can be deterministic under one benchmark and
+   run-count-coupled under another. *)
+type rule = { bench : string; prefix : string; klass : klass }
 
 type rules = {
   metric_rules : rule list;
@@ -23,30 +28,40 @@ type rules = {
          None disables wall-time gating (shared CI runners). *)
 }
 
-let classify rules name =
+let classify rules ?(bench = "") name =
   let rec go = function
     | [] -> Exact
     | r :: rest ->
-        if String.starts_with ~prefix:r.prefix name then r.klass else go rest
+        if
+          String.starts_with ~prefix:r.bench bench
+          && String.starts_with ~prefix:r.prefix name
+        then r.klass
+        else go rest
   in
   go rules.metric_rules
 
 let default_rules =
+  let any prefix klass = { bench = ""; prefix; klass } in
   {
     ns_max_increase_pct = Some 25.0;
     metric_rules =
       [
         (* Cumulative hit-rate and per-epoch loss depend on how many
            runs the harness chose; no signal in their values. *)
-        { prefix = "taint.tlb_hit_rate"; klass = Ignore };
-        { prefix = "classifier.epoch_loss"; klass = Ignore };
+        any "taint.tlb_hit_rate" Ignore;
+        any "classifier.epoch_loss" Ignore;
+        (* The cache "round" benches reuse one simulator across every
+           timed run, so their counters scale directly with the run
+           count the harness picked. *)
+        { bench = "cache/"; prefix = "cache."; klass = Ignore };
+        { bench = "cache/"; prefix = "prime_probe."; klass = Ignore };
         (* Cache simulators keep state across timed runs, so their
            counters scale with run count and layout. *)
-        { prefix = "cache."; klass = Band 50.0 };
-        { prefix = "prime_probe."; klass = Band 50.0 };
+        any "cache." (Band 50.0);
+        any "prime_probe." (Band 50.0);
         (* Leak rates are ratios of the above where cache-coupled. *)
-        { prefix = "leak."; klass = Band 25.0 };
-        { prefix = ""; klass = Exact };
+        any "leak." (Band 25.0);
+        any "" Exact;
       ];
   }
 
@@ -69,8 +84,12 @@ let rules_of_json j =
     | Some (Json.Arr rs) ->
         List.map
           (fun r ->
+            let bench =
+              Option.value ~default:""
+                (Option.bind (Json.member "bench" r) Json.to_str)
+            in
             match Option.bind (Json.member "prefix" r) Json.to_str with
-            | Some prefix -> { prefix; klass = klass_of_json r }
+            | Some prefix -> { bench; prefix; klass = klass_of_json r }
             | None -> failwith "Gate: rule missing \"prefix\"")
           rs
     | _ -> failwith "Gate: thresholds file missing \"metrics\" array"
@@ -131,7 +150,7 @@ let check ~bench ~allowed ~metric ~baseline ~current =
 let compare_metrics rules ~bench ~baseline ~current =
   List.filter_map
     (fun (metric, v0) ->
-      let allowed = classify rules metric in
+      let allowed = classify rules ~bench metric in
       match List.assoc_opt metric current with
       | Some v -> check ~bench ~allowed ~metric ~baseline:v0 ~current:v
       | None ->

@@ -9,24 +9,31 @@
 
 type klass = Exact | Band of float | Ignore
 
-type rule = { prefix : string; klass : klass }
+type rule = { bench : string; prefix : string; klass : klass }
+(** A rule applies when the benchmark name starts with [bench] ([""]
+    matches every benchmark) and the metric name starts with [prefix].
+    Bench scoping lets a counter that is deterministic in one benchmark
+    be ignored in another whose fixture accumulates across runs. *)
 
 type rules = {
-  metric_rules : rule list;  (** Checked in order; first prefix match wins. *)
+  metric_rules : rule list;  (** Checked in order; first match wins. *)
   ns_max_increase_pct : float option;
 }
 
-val classify : rules -> string -> klass
-(** Defaults to [Exact] when no rule matches. *)
+val classify : rules -> ?bench:string -> string -> klass
+(** Class of a metric, observed under benchmark [bench] (default [""]).
+    Defaults to [Exact] when no rule matches. *)
 
 val default_rules : rules
 
 val rules_of_json : Json.t -> rules
 (** Parse a thresholds file:
     [{"ns_per_run_max_increase_pct": 25,
-      "metrics": [{"prefix": "cache.", "class": "band", "pct": 50},
+      "metrics": [{"bench": "cache/", "prefix": "cache.", "class": "ignore"},
+                  {"prefix": "cache.", "class": "band", "pct": 50},
                   {"prefix": "", "class": "exact"}]}]
-    A [null] (or absent) ns limit disables wall-time gating.
+    The ["bench"] scope is optional and defaults to every benchmark; a
+    [null] (or absent) ns limit disables wall-time gating.
     @raise Failure on malformed rules. *)
 
 val load : string -> rules

@@ -2,8 +2,13 @@ type fault = { page_addr : int; kind : Zipchannel_trace.Event.kind }
 
 type outcome = Done | Fault of fault | Executed
 
+(* The program is precompiled at creation into flat int arrays (address,
+   size, kind code) so the stepping loop reads machine integers instead
+   of chasing one [Event.t] record per access. *)
 type t = {
-  program : Zipchannel_trace.Event.t array;
+  p_addr : int array;
+  p_size : int array;
+  p_kind : int array; (* 0 = Read, 1 = Write *)
   page_table : Page_table.t;
   cache : Zipchannel_cache.Cache.t;
   cos : int;
@@ -12,45 +17,99 @@ type t = {
 }
 
 let create ?(cos = 0) ~program ~page_table ~cache () =
-  { program; page_table; cache; cos; pc = 0; executed = 0 }
+  let n = Array.length program in
+  let p_addr = Array.make n 0 in
+  let p_size = Array.make n 0 in
+  let p_kind = Array.make n 0 in
+  Array.iteri
+    (fun i ev ->
+      p_addr.(i) <- ev.Zipchannel_trace.Event.addr;
+      p_size.(i) <- ev.Zipchannel_trace.Event.size;
+      p_kind.(i) <-
+        (match ev.Zipchannel_trace.Event.kind with
+        | Zipchannel_trace.Event.Read -> 0
+        | Zipchannel_trace.Event.Write -> 1))
+    program;
+  { p_addr; p_size; p_kind; page_table; cache; cos; pc = 0; executed = 0 }
 
 let page_mask = lnot (Page_table.page_size - 1)
 
-let step t =
-  if t.pc >= Array.length t.program then Done
-  else begin
-    let ev = t.program.(t.pc) in
-    let first = Page_table.vpage_of ev.Zipchannel_trace.Event.addr in
-    let last = Page_table.vpage_of (ev.addr + max 1 ev.size - 1) in
-    let rec blocked p =
-      if p > last then None
-      else if not (Page_table.is_accessible t.page_table ~vpage:p) then Some p
-      else blocked (p + 1)
-    in
-    match blocked first with
-    | Some vpage ->
-        (* SGX reports the fault with the page offset masked. *)
-        let addr_on_page =
-          if vpage = first then ev.addr else vpage lsl Page_table.page_bits
-        in
-        Fault { page_addr = addr_on_page land page_mask; kind = ev.kind }
-    | None ->
-        let phys = Page_table.phys_of t.page_table ev.addr in
-        ignore
-          (Zipchannel_cache.Cache.access t.cache ~cos:t.cos ~owner:Zipchannel_cache.Cache.Victim phys);
-        t.pc <- t.pc + 1;
-        t.executed <- t.executed + 1;
-        Executed
-  end
+let kind_of_code k =
+  if k = 0 then Zipchannel_trace.Event.Read else Zipchannel_trace.Event.Write
 
-let rec run_to_fault t =
-  match step t with
-  | Done -> Done
-  | Fault f -> Fault f
-  | Executed -> run_to_fault t
+(* First inaccessible page the access [addr, addr + size) touches, or -1.
+   Kept out of the stepping loops; the accessible case is decided by the
+   caller's cheap interval scan. *)
+let blocked_page t addr size =
+  let first = Page_table.vpage_of addr in
+  let last = Page_table.vpage_of (addr + max 1 size - 1) in
+  let rec go p =
+    if p > last then -1
+    else if not (Page_table.is_accessible t.page_table ~vpage:p) then p
+    else go (p + 1)
+  in
+  go first
+
+let fault_of t pc vpage =
+  let addr = Array.unsafe_get t.p_addr pc in
+  (* SGX reports the fault with the page offset masked. *)
+  let addr_on_page =
+    if vpage = Page_table.vpage_of addr then addr
+    else vpage lsl Page_table.page_bits
+  in
+  Fault
+    {
+      page_addr = addr_on_page land page_mask;
+      kind = kind_of_code (Array.unsafe_get t.p_kind pc);
+    }
+
+(* Execute up to [budget] access attempts in one tight loop over the flat
+   program.  Stops early at [Done] (program exhausted) or [Fault] (pc not
+   advanced; equivalent to {!step} returning the same fault on every
+   remaining attempt). *)
+let run_budget t budget =
+  let n = Array.length t.p_addr in
+  let left = ref budget in
+  let result = ref Executed in
+  (try
+     while !left > 0 do
+       if t.pc >= n then begin
+         result := Done;
+         raise Exit
+       end;
+       let addr = Array.unsafe_get t.p_addr t.pc in
+       let size = Array.unsafe_get t.p_size t.pc in
+       let vpage = blocked_page t addr size in
+       if vpage >= 0 then begin
+         result := fault_of t t.pc vpage;
+         raise Exit
+       end;
+       let phys = Page_table.phys_of t.page_table addr in
+       ignore
+         (Zipchannel_cache.Cache.access t.cache ~cos:t.cos
+            ~owner:Zipchannel_cache.Cache.Victim phys);
+       t.pc <- t.pc + 1;
+       t.executed <- t.executed + 1;
+       decr left
+     done
+   with Exit -> ());
+  !result
+
+let step t = run_budget t 1
+
+let run_to_fault t =
+  match run_budget t max_int with
+  | Executed -> assert false (* max_int attempts cannot all execute *)
+  | outcome -> outcome
+
+let run_steps t k =
+  (* A timer window of [k] access attempts: equivalent to [k] calls to
+     {!step} with faults ignored (a faulting access retries and faults
+     again, consuming the remaining attempts without advancing). *)
+  match run_budget t k with Done -> true | Fault _ | Executed -> false
 
 let pc t = t.pc
 
-let finished t = t.pc >= Array.length t.program
+let finished t = t.pc >= Array.length t.p_addr
 
 let executed_count t = t.executed

@@ -32,6 +32,13 @@ val step : t -> outcome
 val run_to_fault : t -> outcome
 (** Step until [Fault] or [Done]. *)
 
+val run_steps : t -> int -> bool
+(** Execute up to [k] access attempts in one tight loop over the
+    precompiled flat program — a timer window.  Returns [true] if the
+    program finished within the window.  Equivalent to [k] calls to
+    {!step} with fault outcomes ignored (a faulting access does not
+    advance and would fault again on every remaining attempt). *)
+
 val pc : t -> int
 
 val finished : t -> bool

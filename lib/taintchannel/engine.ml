@@ -263,6 +263,8 @@ let control_trace t = List.init t.control_len (fun i -> t.control.(i))
 let address_trace t =
   List.init t.trace_len (fun i -> (t.trace_loc.(i), t.trace_addr.(i)))
 
+let trace_arrays t = (t.trace_loc, t.trace_addr, t.trace_len)
+
 type stats = {
   instructions : int;
   tlb_hits : int;

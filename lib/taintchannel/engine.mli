@@ -70,6 +70,13 @@ val address_trace : t -> (string * int) list
     execution order — the raw material of trace-based detection tools
     ({!Trace_correlate}).  Subject to the engine's [log_limit]. *)
 
+val trace_arrays : t -> string array * int array * int
+(** Borrowed view of the same log as [(locations, addresses, len)]: only
+    the first [len] entries are live, the arrays are the engine's own
+    buffers (treat as read-only; further execution may grow or replace
+    them).  Lets bulk consumers scan the log without materialising
+    {!address_trace}'s per-entry pairs. *)
+
 type stats = {
   instructions : int;
   tlb_hits : int;  (** shadow accesses served by the single-entry TLB *)

@@ -4,18 +4,20 @@ type finding = {
   line_varying_positions : int;
 }
 
-(* Group one run's address trace by location, keeping per-location order. *)
-let by_location trace =
+(* Group one run's address trace by location, keeping per-location
+   order.  Scans the engine's flat log arrays directly — no per-entry
+   pair or cons is built for what is the tool's biggest input. *)
+let by_location (locs, addrs, len) =
   let tbl = Hashtbl.create 16 in
   let order = ref [] in
-  List.iter
-    (fun (loc, addr) ->
-      (match Hashtbl.find_opt tbl loc with
-      | Some addrs -> addrs := addr :: !addrs
-      | None ->
-          Hashtbl.add tbl loc (ref [ addr ]);
-          order := loc :: !order))
-    trace;
+  for i = 0 to len - 1 do
+    let loc = Array.unsafe_get locs i and addr = Array.unsafe_get addrs i in
+    match Hashtbl.find_opt tbl loc with
+    | Some cell -> cell := addr :: !cell
+    | None ->
+        Hashtbl.add tbl loc (ref [ addr ]);
+        order := loc :: !order
+  done;
   List.rev_map
     (fun loc -> (loc, Array.of_list (List.rev !(Hashtbl.find tbl loc))))
     !order
@@ -25,7 +27,7 @@ let analyze ~run ~inputs =
   | [] | [ _ ] -> invalid_arg "Trace_correlate.analyze: need >= 2 inputs"
   | _ -> ());
   let traces =
-    List.map (fun input -> by_location (Engine.address_trace (run input))) inputs
+    List.map (fun input -> by_location (Engine.trace_arrays (run input))) inputs
   in
   let reference = List.hd traces and others = List.tl traces in
   let findings =

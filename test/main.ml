@@ -6,6 +6,7 @@ let () =
       Test_taintplane.suite;
       Test_compress.suite;
       Test_fastpath.suite;
+      Test_bigstring.suite;
       Test_rfc1951.suite;
       Test_robustness.suite;
       Test_fuzz.suite;

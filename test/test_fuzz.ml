@@ -404,7 +404,7 @@ let fixtures_stay_fixed () =
    API admits to raising it. *)
 
 let mli_dir = Filename.concat ".." (Filename.concat "lib" "compress")
-let out_of_bits_allowed = [ "bitio.mli"; "codec_error.mli" ]
+let out_of_bits_allowed = [ "bitio.mli"; "bitio_ref.mli"; "codec_error.mli" ]
 
 let no_out_of_bits_in_public_api () =
   let files = Sys.readdir mli_dir in

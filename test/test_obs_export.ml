@@ -327,7 +327,29 @@ let test_gate_classify () =
          {|{"ns_per_run_max_increase_pct": null, "metrics": []}|})
   in
   Alcotest.(check bool) "null disables the ns gate" true
-    (no_ns.E.Gate.ns_max_increase_pct = None)
+    (no_ns.E.Gate.ns_max_increase_pct = None);
+  (* Bench-scoped rules: the same metric can be ignored under one
+     benchmark and banded everywhere else. *)
+  let scoped =
+    E.Gate.rules_of_json
+      (Json.parse
+         {|{"ns_per_run_max_increase_pct": null,
+            "metrics": [
+              {"bench": "cache/", "prefix": "cache.", "class": "ignore"},
+              {"prefix": "cache.", "class": "band", "pct": 50}
+            ]}|})
+  in
+  Alcotest.(check bool) "scoped rule wins under its bench" true
+    (E.Gate.classify scoped ~bench:"cache/prime+probe-round" "cache.hits"
+    = E.Gate.Ignore);
+  Alcotest.(check bool) "other benches fall through" true
+    (E.Gate.classify scoped ~bench:"sgx/attack-256b-block" "cache.hits"
+    = E.Gate.Band 50.);
+  Alcotest.(check int) "compare honours the bench scope" 0
+    (List.length
+       (E.Gate.compare_metrics scoped ~bench:"cache/prime+probe-round"
+          ~baseline:[ ("cache.hits", 100.) ]
+          ~current:[ ("cache.hits", 10.) ]))
 
 let test_gate_compare () =
   let rules = E.Gate.rules_of_json (Json.parse rules_json) in
