@@ -47,6 +47,10 @@ let bench_cases : (string * int * (unit -> unit)) list =
         ignore (Compress.Lzw.compress text_10k));
     ("lzw/compress-1m-text", 1_048_576, fun () ->
         ignore (Compress.Lzw.compress text_1m));
+    ("frame/deflate-pipelined-1m-jobs1", 1_048_576, fun () ->
+        ignore (Frame.compress ~codec:Frame.Deflate text_1m));
+    ("frame/deflate-pipelined-1m-jobs4", 1_048_576, fun () ->
+        ignore (Frame.compress ~jobs:4 ~codec:Frame.Deflate text_1m));
     ("huffman/encode-10k-text", 10_000, fun () ->
         ignore (Compress.Huffman.encode text_10k));
     ("bwt/transform-4k-random", 4096, fun () ->
@@ -117,6 +121,11 @@ let mb_per_s ~bytes ~ns =
   if bytes <= 0 || Float.is_nan ns || ns <= 0.0 then None
   else Some (float_of_int bytes *. 1000.0 /. ns)
 
+(* One formatter for every place a rate is shown (table, JSON): six
+   significant digits, so a 0.98 MB/s case never rounds up to the 1.0
+   the gate then appears to contradict. *)
+let mb_string m = Printf.sprintf "%.6g" m
+
 (* One instrumented run of a case, after timing: the metric growth it
    causes, flattened to numeric pairs, plus the leak.* scoreboard derived
    from that growth.  Metrics are only enabled for the duration, so the
@@ -171,8 +180,8 @@ let run_bench ?(only = []) () =
             let bytes = bytes_of_case name in
             (match mb_per_s ~bytes ~ns with
             | Some m ->
-                Format.fprintf ppf "  %-32s %12.0f ns/run %10.1f MB/s@." name
-                  ns m
+                Format.fprintf ppf "  %-32s %12.0f ns/run %10s MB/s@." name
+                  ns (mb_string m)
             | None -> Format.fprintf ppf "  %-32s %12.0f ns/run@." name ns);
             (* Throughput rides in the metrics map so the compare gate
                classifies it like any other metric (exact byte count,
@@ -193,6 +202,57 @@ let run_bench ?(only = []) () =
   in
   Format.fprintf ppf "@.";
   results
+
+(* Cross-case invariants, checked whenever both sides of a relation ran
+   (the CI --only subsets skip what they don't time).  These are claims
+   the suite exists to defend, not inter-run drift — so they gate every
+   run, not just --compare runs. *)
+let check_invariants results =
+  let find name = List.find_opt (fun (n, _, _, _) -> n = name) results in
+  let ns name =
+    match find name with
+    | Some (_, ns, _, _) when (not (Float.is_nan ns)) && ns > 0.0 -> Some ns
+    | _ -> None
+  in
+  let per_byte name =
+    match find name with
+    | Some (_, ns, bytes, _)
+      when bytes > 0 && (not (Float.is_nan ns)) && ns > 0.0 ->
+        Some (ns /. float_of_int bytes)
+    | _ -> None
+  in
+  let failures = ref [] in
+  (* The LZW large-input cliff stays fixed: per-byte cost at 1 MiB within
+     2x of the 10 KiB case (it was ~3.6x before the probe-trace
+     allocation was taken off the plain compress path). *)
+  (match (per_byte "lzw/compress-10k-text", per_byte "lzw/compress-1m-text") with
+  | Some small, Some big when big > 2.0 *. small ->
+      failures :=
+        Printf.sprintf
+          "lzw/compress-1m-text costs %.2f ns/byte vs %.2f at 10k (> 2x)" big
+          small
+        :: !failures
+  | _ -> ());
+  (* Framing must pay for itself: the pipelined 1 MiB deflate cases beat
+     the whole-buffer compressor at any jobs count. *)
+  List.iter
+    (fun case ->
+      match (ns case, ns "deflate/compress-1m-text") with
+      | Some framed, Some whole when framed >= whole ->
+          failures :=
+            Printf.sprintf "%s (%.0f ns) is not faster than \
+                            deflate/compress-1m-text (%.0f ns)"
+              case framed whole
+            :: !failures
+      | _ -> ())
+    [ "frame/deflate-pipelined-1m-jobs1"; "frame/deflate-pipelined-1m-jobs4" ];
+  match !failures with
+  | [] -> ()
+  | l ->
+      List.iter
+        (fun m -> Format.fprintf ppf "  INVARIANT FAILED: %s@." m)
+        (List.rev l);
+      exit 1
 
 (* Machine-readable trajectory: "bench --json" appends a numbered
    BENCH_<n>.json snapshot next to any earlier ones, so successive PRs can
@@ -236,7 +296,7 @@ let write_bench_json results =
         else
           Printf.sprintf ", \"bytes_per_run\": %d%s" bytes
             (match mb_per_s ~bytes ~ns with
-            | Some m -> Printf.sprintf ", \"mb_per_s\": %.1f" m
+            | Some m -> Printf.sprintf ", \"mb_per_s\": %s" (mb_string m)
             | None -> "")
       in
       let metrics_json =
@@ -411,6 +471,7 @@ let run_bench_cli rest =
             exit 2)
   in
   let results = run_bench ~only:(List.filter (( <> ) "") !only) () in
+  check_invariants results;
   if !json then write_bench_json results;
   match !compare with
   | Some baseline -> compare_bench ~rules ~baseline results

@@ -1,0 +1,357 @@
+(* Engine behind [zc stream] and [zc serve]: framed streaming over
+   channels and sockets, and the TCP daemon with a Prometheus endpoint.
+
+   Daemon wire protocol (one request per connection):
+
+     client -> "ZCRQ" | op (1 compress, 2 decompress) | codec id |
+               frame_size u32 LE | payload... | shutdown(SEND)
+     server -> "ZCOK" | result stream          on success
+               "ZCER" | utf-8 message          on failure
+
+   The 4-byte response tag keeps errors distinguishable from payload
+   without framing the response: a compressed stream starts with "ZCF1"
+   and plaintext is arbitrary, so the client needs the tag to know
+   whether the rest of the socket is data or a diagnostic. *)
+
+module Frame = Zipchannel.Frame
+module Obs = Zipchannel.Obs
+
+let m_conns = Obs.Metrics.counter "serve.connections"
+let m_bytes_in = Obs.Metrics.counter "serve.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "serve.bytes_out"
+let m_errors = Obs.Metrics.counter "serve.errors"
+let m_scrapes = Obs.Metrics.counter "serve.scrapes"
+let g_active = Obs.Metrics.gauge "serve.active_connections"
+let m_request_bytes = Obs.Metrics.histogram "serve.request_bytes"
+
+(* ------------------------------------------------------------------ *)
+(* fd helpers *)
+
+let write_all fd buf ~off ~len =
+  let pos = ref off and rem = ref len in
+  while !rem > 0 do
+    let n = Unix.write fd buf !pos !rem in
+    pos := !pos + n;
+    rem := !rem - n
+  done
+
+let read_exact fd buf off len =
+  let got = ref 0 in
+  while !got < len do
+    let n = Unix.read fd buf (off + !got) (len - !got) in
+    if n = 0 then failwith "connection closed mid-header";
+    got := !got + n
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Local streaming: channel -> channel, no daemon involved *)
+
+let with_in_channel path f =
+  if path = "-" then f stdin
+  else
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let with_out_channel path f =
+  if path = "-" then begin
+    let r = f stdout in
+    flush stdout;
+    r
+  end
+  else
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let reader_of_channel ic buf off len = input ic buf off len
+
+let writer_of_channel oc buf ~off ~len = output oc buf off len
+
+let stream_local ~decompress ~codec ~frame_size ~jobs ~input ~output =
+  with_in_channel input @@ fun ic ->
+  with_out_channel output @@ fun oc ->
+  let read = reader_of_channel ic and write = writer_of_channel oc in
+  if decompress then
+    match Frame.decompress_stream ~jobs ~read ~write () with
+    | Ok () -> Ok ()
+    | Error e -> Error (Zipchannel.Codec_error.to_string e)
+  else begin
+    Frame.compress_stream ~frame_size ~jobs ~codec ~read ~write ();
+    Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Remote streaming: shuttle bytes to/from a zc serve daemon *)
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | None -> Error (Printf.sprintf "bad port in %S" s)
+      | Some port -> Ok (host, port))
+
+let resolve host port =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+  | [] -> Error (Printf.sprintf "cannot resolve %s" host)
+  | ai :: _ -> Ok ai.Unix.ai_addr
+
+let stream_remote ~decompress ~codec ~frame_size ~connect ~input ~output =
+  match parse_host_port connect with
+  | Error _ as e -> e
+  | Ok (host, port) -> (
+      match resolve host port with
+      | Error _ as e -> e
+      | Ok addr ->
+          let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+          Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          Unix.connect fd addr;
+          let hdr = Bytes.create 10 in
+          Bytes.blit_string "ZCRQ" 0 hdr 0 4;
+          Bytes.set hdr 4 (if decompress then '\002' else '\001');
+          Bytes.set hdr 5 (Char.chr (Frame.codec_id codec));
+          Bytes.set_int32_le hdr 6 (Int32.of_int frame_size);
+          write_all fd hdr ~off:0 ~len:10;
+          (* Uploader thread: payload up, then half-close so the server
+             sees EOF; the main thread reads the response concurrently
+             (required: the server streams output while input is still
+             arriving, so a send-all-then-read client can deadlock on
+             socket buffers). *)
+          let upload_err = ref None in
+          let uploader =
+            Thread.create
+              (fun () ->
+                try
+                  with_in_channel input @@ fun ic ->
+                  let buf = Bytes.create 65536 in
+                  let rec loop () =
+                    let n = Stdlib.input ic buf 0 (Bytes.length buf) in
+                    if n > 0 then begin
+                      write_all fd buf ~off:0 ~len:n;
+                      loop ()
+                    end
+                  in
+                  loop ();
+                  Unix.shutdown fd Unix.SHUTDOWN_SEND
+                with e -> upload_err := Some (Printexc.to_string e))
+              ()
+          in
+          let tag = Bytes.create 4 in
+          let result =
+            match read_exact fd tag 0 4 with
+            | exception Failure msg -> Error msg
+            | () ->
+                if Bytes.to_string tag = "ZCOK" then begin
+                  with_out_channel output @@ fun oc ->
+                  let buf = Bytes.create 65536 in
+                  let rec drain () =
+                    let n = Unix.read fd buf 0 (Bytes.length buf) in
+                    if n > 0 then begin
+                      Stdlib.output oc buf 0 n;
+                      drain ()
+                    end
+                  in
+                  drain ();
+                  Ok ()
+                end
+                else if Bytes.to_string tag = "ZCER" then begin
+                  let b = Buffer.create 64 in
+                  let buf = Bytes.create 4096 in
+                  let rec drain () =
+                    let n = Unix.read fd buf 0 (Bytes.length buf) in
+                    if n > 0 then begin
+                      Buffer.add_subbytes b buf 0 n;
+                      drain ()
+                    end
+                  in
+                  drain ();
+                  Error ("server: " ^ Buffer.contents b)
+                end
+                else Error "malformed response from server"
+          in
+          Thread.join uploader;
+          (match (!upload_err, result) with
+          | Some msg, Ok () -> Error ("upload: " ^ msg)
+          | _, r -> r))
+
+(* ------------------------------------------------------------------ *)
+(* The daemon *)
+
+type counted_fd = { fd : Unix.file_descr; counter : Obs.Metrics.counter }
+
+(* Wrap a socket read/write with byte accounting so per-connection
+   traffic lands in the serve.* counters. *)
+let counted_read c buf off len =
+  let n = Unix.read c.fd buf off len in
+  Obs.Metrics.add c.counter n;
+  n
+
+let counted_write c buf ~off ~len =
+  write_all c.fd buf ~off ~len;
+  Obs.Metrics.add m_bytes_out len
+
+let active = ref 0
+let active_mu = Mutex.create ()
+
+let adjust_active d =
+  Mutex.lock active_mu;
+  active := !active + d;
+  Obs.Metrics.set_gauge g_active (float_of_int !active);
+  Mutex.unlock active_mu
+
+let respond_error fd msg =
+  try
+    let b = Bytes.of_string ("ZCER" ^ msg) in
+    write_all fd b ~off:0 ~len:(Bytes.length b)
+  with Unix.Unix_error _ -> ()
+
+let handle_data_conn ~jobs fd =
+  Obs.Metrics.incr m_conns;
+  adjust_active 1;
+  Fun.protect
+    ~finally:(fun () ->
+      adjust_active (-1);
+      (try Unix.close fd with Unix.Unix_error _ -> ()))
+  @@ fun () ->
+  match
+    let hdr = Bytes.create 10 in
+    read_exact fd hdr 0 10;
+    if Bytes.sub_string hdr 0 4 <> "ZCRQ" then failwith "bad request magic";
+    let op = Char.code (Bytes.get hdr 4) in
+    let codec =
+      match Frame.codec_of_id (Char.code (Bytes.get hdr 5)) with
+      | Some c -> c
+      | None -> failwith "bad codec id"
+    in
+    let frame_size = Int32.to_int (Bytes.get_int32_le hdr 6) land 0xFFFFFFFF in
+    if frame_size < 1 || frame_size > Frame.max_frame_size then
+      failwith "bad frame size";
+    (op, codec, frame_size)
+  with
+  | exception Failure msg ->
+      Obs.Metrics.incr m_errors;
+      respond_error fd msg
+  | exception Unix.Unix_error (e, _, _) ->
+      Obs.Metrics.incr m_errors;
+      respond_error fd (Unix.error_message e)
+  | op, codec, frame_size -> (
+      let c = { fd; counter = m_bytes_in } in
+      let req_bytes = ref 0 in
+      let read buf off len =
+        let n = counted_read c buf off len in
+        req_bytes := !req_bytes + n;
+        n
+      in
+      let ok = Bytes.of_string "ZCOK" in
+      write_all fd ok ~off:0 ~len:4;
+      Obs.Metrics.add m_bytes_out 4;
+      let write = counted_write c in
+      let outcome =
+        match op with
+        | 1 ->
+            (try
+               Frame.compress_stream ~frame_size ~jobs ~codec ~read ~write ();
+               Ok ()
+             with
+            | Failure msg -> Error msg
+            | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+        | 2 -> (
+            match Frame.decompress_stream ~jobs ~read ~write () with
+            | Ok () -> Ok ()
+            | Error e -> Error (Zipchannel.Codec_error.to_string e)
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e))
+        | _ -> Error "bad op"
+      in
+      Obs.Metrics.observe m_request_bytes !req_bytes;
+      match outcome with
+      | Ok () -> ()
+      | Error _ ->
+          (* The ZCOK tag is already on the wire, so the client cannot
+             be told cleanly; cut the connection short instead of
+             letting it look complete. *)
+          Obs.Metrics.incr m_errors)
+
+let http_response ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    content_type (String.length body) body
+
+let http_not_found =
+  "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+
+let handle_metrics_conn fd =
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  try
+    let buf = Bytes.create 4096 in
+    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    let req = Bytes.sub_string buf 0 n in
+    let path =
+      match String.split_on_char ' ' req with
+      | _meth :: path :: _ -> path
+      | _ -> "/"
+    in
+    Obs.Metrics.incr m_scrapes;
+    let resp =
+      match path with
+      | "/metrics" ->
+          http_response ~content_type:"text/plain; version=0.0.4"
+            (Zipchannel.Obs_export.Prom.exposition (Obs.Metrics.snapshot ()))
+      | "/metrics.json" ->
+          http_response ~content_type:"application/json"
+            (Obs.Metrics.snapshot_to_json (Obs.Metrics.snapshot ()))
+      | _ -> http_not_found
+    in
+    let b = Bytes.of_string resp in
+    write_all fd b ~off:0 ~len:(Bytes.length b)
+  with Unix.Unix_error _ -> ()
+
+let stop = ref false
+
+let listener port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let serve ~port ~metrics_port ~jobs =
+  Obs.set_enabled true;
+  stop := false;
+  let on_signal _ = stop := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let data_sock = listener port in
+  let metrics_sock = listener metrics_port in
+  Printf.printf "zc serve: data on 127.0.0.1:%d, metrics on 127.0.0.1:%d\n%!"
+    port metrics_port;
+  let threads = ref [] in
+  let spawn f x = threads := Thread.create f x :: !threads in
+  while not !stop do
+    match Unix.select [ data_sock; metrics_sock ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun sock ->
+            match Unix.accept sock with
+            | exception Unix.Unix_error _ -> ()
+            | conn, _ ->
+                if sock = data_sock then
+                  spawn (handle_data_conn ~jobs) conn
+                else spawn handle_metrics_conn conn)
+          ready
+  done;
+  (try Unix.close data_sock with Unix.Unix_error _ -> ());
+  (try Unix.close metrics_sock with Unix.Unix_error _ -> ());
+  List.iter Thread.join !threads;
+  Printf.printf "zc serve: %d connection(s) served, shutting down\n%!"
+    (Obs.Metrics.counter_value m_conns)

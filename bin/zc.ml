@@ -144,6 +144,118 @@ let archive_cmd =
   Cmd.group (Cmd.info "archive" ~doc:"Multi-file archives") [ create; list; extract ]
 
 (* ------------------------------------------------------------------ *)
+(* Framed streaming and the daemon *)
+
+let frame_codec_arg =
+  let doc =
+    "Frame codec: " ^ String.concat ", " Frame.codec_names ^ "."
+  in
+  let codec_conv =
+    Arg.conv
+      ( (fun s ->
+          match Frame.codec_of_name s with
+          | Some c -> Ok c
+          | None ->
+              Error
+                (`Msg
+                  ("unknown codec (use "
+                  ^ String.concat "/" Frame.codec_names
+                  ^ ")"))),
+        fun ppf c -> Format.pp_print_string ppf (Frame.codec_name c) )
+  in
+  Arg.(
+    value
+    & opt codec_conv Frame.Deflate
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let frame_size_arg =
+  Arg.(
+    value
+    & opt int Frame.default_frame_size
+    & info [ "frame-size" ] ~docv:"BYTES"
+        ~doc:"Plaintext bytes per frame (the unit of parallel compression).")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:"Stream through a running $(b,zc serve) daemon instead of \
+              compressing locally.")
+
+let stream_pos_file n =
+  Arg.(value & pos n string "-" & info [] ~docv:(if n = 0 then "INPUT" else "OUTPUT")
+         ~doc:"Defaults to $(b,-) (stdin/stdout).")
+
+let stream_run ~decompress () codec frame_size jobs connect input output =
+  if frame_size < 1 || frame_size > Frame.max_frame_size then
+    `Error (false, "frame size out of range")
+  else
+    let r =
+      match connect with
+      | None ->
+          (try Serve.stream_local ~decompress ~codec ~frame_size ~jobs ~input ~output
+           with
+          | Failure msg -> Error msg
+          | Sys_error msg -> Error msg
+          | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+      | Some connect -> (
+          try Serve.stream_remote ~decompress ~codec ~frame_size ~connect ~input ~output
+          with
+          | Failure msg -> Error msg
+          | Sys_error msg -> Error msg
+          | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+    in
+    match r with Ok () -> `Ok () | Error msg -> `Error (false, msg)
+
+let stream_cmd =
+  let mk ~decompress name doc =
+    Cmd.v (Cmd.info name ~doc)
+      Term.(
+        ret
+          (const (stream_run ~decompress)
+          $ Obs_cli.flags $ frame_codec_arg $ frame_size_arg $ jobs
+          $ connect_arg $ stream_pos_file 0 $ stream_pos_file 1))
+  in
+  Cmd.group
+    (Cmd.info "stream"
+       ~doc:
+         "Framed streaming compression: stdin/stdout or files, pipelined \
+          across domains with $(b,--jobs), or proxied through a daemon \
+          with $(b,--connect)")
+    [
+      mk ~decompress:false "compress" "Compress to the zc frame format";
+      mk ~decompress:true "decompress" "Decompress a zc frame stream";
+    ]
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 9441
+      & info [ "port" ] ~docv:"PORT" ~doc:"Data port (loopback only).")
+  in
+  let metrics_port =
+    Arg.(
+      value & opt int 9442
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "HTTP port serving $(b,/metrics) (Prometheus text) and \
+             $(b,/metrics.json) (raw snapshot).")
+  in
+  let run () port metrics_port jobs =
+    match Serve.serve ~port ~metrics_port ~jobs with
+    | () -> `Ok ()
+    | exception Unix.Unix_error (e, fn, _) ->
+        `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming compression daemon: one framed request per \
+          connection, per-connection metrics scraped live over HTTP")
+    Term.(ret (const run $ Obs_cli.flags $ port $ metrics_port $ jobs))
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzing *)
 
 let fuzz_run () codec seed runs jobs budget_ms fixtures no_minimize =
@@ -368,6 +480,9 @@ let obs_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "zc" ~doc:"compress and decompress files with the ZipChannel codecs")
-    [ compress_cmd; decompress_cmd; archive_cmd; fuzz_cmd; obs_cmd ]
+    [
+      compress_cmd; decompress_cmd; archive_cmd; stream_cmd; serve_cmd;
+      fuzz_cmd; obs_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

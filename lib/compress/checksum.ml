@@ -11,20 +11,72 @@ module Crc32 = struct
            done;
            !c))
 
+  (* Slicing-by-8: [tables.(k).(b)] is the CRC of byte [b] followed by
+     [k] zero bytes, so one 64-bit load plus eight table lookups advance
+     the remainder eight bytes — same polynomial, same values as the
+     byte-at-a-time loop, ~5x the throughput.  This is the checksum the
+     frame layer runs over every plaintext and payload byte, so it sits
+     on the streaming hot path. *)
+  let tables =
+    lazy
+      (let t = Lazy.force table in
+       let m = Array.make_matrix 8 256 0 in
+       for n = 0 to 255 do
+         m.(0).(n) <- t.(n);
+         let c = ref t.(n) in
+         for k = 1 to 7 do
+           c := t.(!c land 0xff) lxor (!c lsr 8);
+           m.(k).(n) <- !c
+         done
+       done;
+       m)
+
   let init = 0xFFFFFFFF
 
   let feed_byte t b =
     let table = Lazy.force table in
     table.((t lxor b) land 0xff) lxor (t lsr 8)
 
-  let feed_bytes t data =
+  let feed_sub t data ~off ~len =
+    if off < 0 || len < 0 || off + len > Bytes.length data then
+      invalid_arg "Checksum.Crc32.feed_sub";
+    let m = Lazy.force tables in
+    let t0 = m.(0) and t1 = m.(1) and t2 = m.(2) and t3 = m.(3) in
+    let t4 = m.(4) and t5 = m.(5) and t6 = m.(6) and t7 = m.(7) in
     let acc = ref t in
-    Bytes.iter (fun c -> acc := feed_byte !acc (Char.code c)) data;
+    let i = ref off in
+    let stop = off + len in
+    while !i + 8 <= stop do
+      (* in bounds by the loop guard; little-endian per Bigstring *)
+      let w = Zipchannel_buf.Bigstring.bytes_get64u data !i in
+      let lo = !acc lxor (Int64.to_int w land 0xFFFFFFFF) in
+      let hi = Int64.to_int (Int64.shift_right_logical w 32) land 0xFFFFFFFF in
+      acc :=
+        Array.unsafe_get t7 (lo land 0xff)
+        lxor Array.unsafe_get t6 ((lo lsr 8) land 0xff)
+        lxor Array.unsafe_get t5 ((lo lsr 16) land 0xff)
+        lxor Array.unsafe_get t4 (lo lsr 24)
+        lxor Array.unsafe_get t3 (hi land 0xff)
+        lxor Array.unsafe_get t2 ((hi lsr 8) land 0xff)
+        lxor Array.unsafe_get t1 ((hi lsr 16) land 0xff)
+        lxor Array.unsafe_get t0 (hi lsr 24);
+      i := !i + 8
+    done;
+    while !i < stop do
+      acc :=
+        Array.unsafe_get t0 ((!acc lxor Char.code (Bytes.unsafe_get data !i)) land 0xff)
+        lxor (!acc lsr 8);
+      incr i
+    done;
     !acc
+
+  let feed_bytes t data = feed_sub t data ~off:0 ~len:(Bytes.length data)
 
   let value t = t lxor 0xFFFFFFFF
 
   let digest data = value (feed_bytes init data)
+
+  let digest_sub data ~off ~len = value (feed_sub init data ~off ~len)
 end
 
 module Adler32 = struct

@@ -10,11 +10,19 @@ module Crc32 : sig
   val init : t
   val feed_byte : t -> int -> t
   val feed_bytes : t -> bytes -> t
+
+  val feed_sub : t -> bytes -> off:int -> len:int -> t
+  (** Feed the [len]-byte slice at [off], read in place — no copy.
+      @raise Invalid_argument if the slice is out of bounds. *)
+
   val value : t -> int
   (** Finalized 32-bit checksum. *)
 
   val digest : bytes -> int
   (** One-shot. *)
+
+  val digest_sub : bytes -> off:int -> len:int -> int
+  (** One-shot over a slice, read in place. *)
 end
 
 module Adler32 : sig

@@ -1,0 +1,154 @@
+(** Self-describing framed container for streaming compression.
+
+    A frame stream is a stream header naming the codec, a sequence of
+    independently-compressed frames each carrying its plaintext length,
+    compressed length and a CRC-32 over the compressed payload, and an
+    end-of-stream trailer with the total plaintext length and a CRC-32
+    over the whole plaintext.  Because frames are independent, the
+    pipelined entry points compress them on multiple domains and splice
+    the results back in production order — the output is byte-identical
+    at any [jobs].
+
+    Wire layout (integers little-endian):
+    {v
+      stream header  "ZCF1" | codec id (1 byte) | 3 reserved zero bytes
+      data frame     0x01 | ulen u32 | clen u32 | crc32(payload) | payload
+      flush frame    0x02 | same shape (ulen = clen = 0 allowed)
+      trailer        0xFF | total ulen u64 | crc32(plaintext)
+    v} *)
+
+module Bigstring = Zipchannel_buf.Bigstring
+
+type codec = Deflate | Gzip | Bzip2 | Lzw
+
+val codec_id : codec -> int
+val codec_of_id : int -> codec option
+val codec_name : codec -> string
+val codec_of_name : string -> codec option
+
+val codec_names : string list
+(** All accepted [codec_of_name] spellings, for CLI docs. *)
+
+val header_len : int
+val frame_header_len : int
+val trailer_len : int
+
+val default_frame_size : int
+(** 64 KiB. *)
+
+val max_frame_size : int
+(** Largest per-frame plaintext length the format admits (64 MiB). *)
+
+val max_frame_clen : int
+(** Largest per-frame compressed payload (128 MiB). *)
+
+(** Incremental framing compressor.
+
+    Plaintext fed in arbitrary slices is staged into [frame_size]
+    chunks; each full chunk is compressed and emitted as one frame
+    through the [emit] callback as a [(bigstring, off, len)] slice.
+    The slice borrows an internal scratch buffer that is reused for the
+    next frame — consumers must copy or write it out before returning.
+    Steady-state encoding allocates only what the underlying codec
+    itself allocates. *)
+module Encoder : sig
+  type t
+
+  val create :
+    ?frame_size:int ->
+    codec:codec ->
+    emit:(Bigstring.t -> off:int -> len:int -> unit) ->
+    unit ->
+    t
+  (** Emits the stream header immediately.  [frame_size] defaults to
+      {!default_frame_size}.
+      @raise Invalid_argument if [frame_size] is outside
+        [1 .. max_frame_size]. *)
+
+  val feed : t -> Bigstring.t -> off:int -> len:int -> unit
+  val feed_bytes : t -> bytes -> off:int -> len:int -> unit
+
+  val flush : t -> unit
+  (** Emit whatever is pending as a flush frame — even when nothing is
+      pending, marking an explicit flush point in the stream. *)
+
+  val finish : t -> unit
+  (** Emit any pending data and the end-of-stream trailer.  The encoder
+      is unusable afterwards ([Invalid_argument] on further calls). *)
+end
+
+(** Incremental framing decompressor (push-based).
+
+    Feed compressed bytes in arbitrary slices; decoded plaintext is
+    handed to [emit] one frame at a time, as slices of a reused
+    internal buffer.  Errors are reported as structured
+    {!Codec_error.t} values with [codec = "frame"] and the input offset
+    reached.  The decoder never allocates based on a declared length
+    alone: staging grows only as payload bytes actually arrive, so a
+    forged header cannot balloon memory. *)
+module Decoder : sig
+  type t
+
+  val create : emit:(Bigstring.t -> off:int -> len:int -> unit) -> unit -> t
+
+  val feed :
+    t -> Bigstring.t -> off:int -> len:int -> (unit, Codec_error.t) result
+
+  val feed_bytes :
+    t -> bytes -> off:int -> len:int -> (unit, Codec_error.t) result
+
+  val is_done : t -> bool
+  (** The trailer has been seen and verified. *)
+
+  val finish : t -> (unit, Codec_error.t) result
+  (** [Ok ()] iff the stream ended exactly at the trailer; a truncation
+      error otherwise. *)
+
+  val codec : t -> codec option
+  (** The codec named by the stream header, once parsed. *)
+end
+
+val compress_stream :
+  ?frame_size:int ->
+  ?jobs:int ->
+  ?capacity:int ->
+  codec:codec ->
+  read:(bytes -> int -> int -> int) ->
+  write:(bytes -> off:int -> len:int -> unit) ->
+  unit ->
+  unit
+(** [compress_stream ~codec ~read ~write ()] pulls plaintext with
+    [read buf off len] (returning the number of bytes read, [0] at end
+    of input) and pushes the frame stream through [write].  With
+    [jobs > 1], frames are compressed on worker domains through
+    {!Zipchannel_parallel.Pipeline} with at most [capacity] frames in
+    flight (default [2 * jobs]); output is byte-identical to
+    [jobs = 1].  [jobs] is clamped to the machine's recommended domain
+    count — oversubscribed domains only add GC rendezvous — which never
+    changes the output, only the wall time.
+
+    The [Deflate] codec uses the frame profile of the compressor
+    (bounded match-chain walk): decoding interoperates with every
+    conforming inflate, but framed deflate output differs from (and is
+    faster to produce than) {!Deflate.compress} on the same bytes. *)
+
+val decompress_stream :
+  ?jobs:int ->
+  ?capacity:int ->
+  read:(bytes -> int -> int -> int) ->
+  write:(bytes -> off:int -> len:int -> unit) ->
+  unit ->
+  (unit, Codec_error.t) result
+(** Inverse of {!compress_stream}, with the same pipelining contract.
+    Stops reading right after the trailer; bytes past it are the
+    caller's. *)
+
+val compress : ?frame_size:int -> ?jobs:int -> codec:codec -> bytes -> bytes
+(** Whole-buffer convenience over {!compress_stream}. *)
+
+val decompress_result : bytes -> (bytes, Codec_error.t) result
+(** Whole-buffer strict decode through {!Decoder}: trailing bytes after
+    the trailer are an error. *)
+
+val decompress : bytes -> bytes
+(** @raise Failure on malformed input (via {!Codec_error.unwrap}). *)

@@ -160,7 +160,68 @@ let compress_with_probes input =
   if Obs.enabled () then Obs.Metrics.add m_probes (List.length !probes);
   (out, List.rev !probes)
 
-let compress input = fst (compress_with_probes input)
+(* The plain compressor runs the same loop as {!Stepper.feed} but never
+   materialises the probe trace: at 1 MiB the per-step probe records and
+   cons cells (~1.2M of each) dominate the runtime and crater throughput
+   to a quarter of the small-input rate.  The probe *count* is kept in a
+   plain int so [kernel.lzw.htab_probes] reports exactly the same value
+   as the recording path — one tick per table slot inspected. *)
+let compress input =
+  Obs.with_span "lzw.compress"
+    ~attrs:[ ("bytes", string_of_int (Bytes.length input)) ]
+  @@ fun () ->
+  let n = Bytes.length input in
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.add_bits_lsb w ~value:(n land 0xffff) ~count:16;
+  Bitio.Writer.add_bits_lsb w ~value:(n lsr 16) ~count:16;
+  let probe_count = ref 0 in
+  if n > 0 then begin
+    let htab = Array.make htab_size (-1) in
+    let codetab = Array.make htab_size 0 in
+    let free_ent = ref first_code in
+    let n_bits = ref min_bits in
+    let ent = ref (Char.code (Bytes.get input 0)) in
+    let emit_width () =
+      if !free_ent > (1 lsl !n_bits) - 1 && !n_bits < max_bits then
+        incr n_bits;
+      !n_bits
+    in
+    for i = 1 to n - 1 do
+      let c = Char.code (Bytes.unsafe_get input i) in
+      let fc = (!ent lsl 8) lor c in
+      let hp = ref (hash ~c ~ent:!ent) in
+      let disp = if !hp = 0 then 1 else (htab_size - !hp) lor 1 in
+      let found = ref false and missing = ref false in
+      while (not !found) && not !missing do
+        incr probe_count;
+        let slot = Array.unsafe_get htab !hp in
+        if slot = fc then found := true
+        else if slot < 0 then missing := true
+        else begin
+          hp := !hp - disp;
+          if !hp < 0 then hp := !hp + htab_size
+        end
+      done;
+      if !found then ent := Array.unsafe_get codetab !hp
+      else begin
+        let code = !ent and width = emit_width () in
+        if !free_ent < code_limit then begin
+          Array.unsafe_set htab !hp fc;
+          Array.unsafe_set codetab !hp !free_ent;
+          incr free_ent
+        end;
+        ent := c;
+        Bitio.Writer.add_bits_lsb w ~value:code ~count:width
+      end
+    done;
+    let width = emit_width () in
+    Bitio.Writer.add_bits_lsb w ~value:!ent ~count:width
+  end;
+  let out = Bitio.Writer.to_bytes w in
+  Obs.Metrics.add m_bytes_in n;
+  Obs.Metrics.add m_bytes_out (Bytes.length out);
+  if Obs.enabled () then Obs.Metrics.add m_probes !probe_count;
+  out
 
 (* Decompression-bomb guard: the 32-bit header length is attacker
    controlled, so it is validated against what the payload could possibly

@@ -29,6 +29,11 @@ module Codec_error = Zipchannel_compress.Codec_error
 (** The structured decode error ([codec], byte [offset], [reason]) every
     [*_result] decoder in {!Compress} returns. *)
 
+module Frame = Zipchannel_compress.Frame
+(** Self-describing framed container over the codecs: incremental
+    encoder/decoder state machines plus pipelined multi-domain
+    streaming. *)
+
 module Fuzz = Zipchannel_fuzz
 (** Structure-aware fuzzing harness: valid-corpus generation,
     format-aware mutation, round-trip/differential oracles, crash

@@ -80,6 +80,16 @@ let all =
       max_plain = 4096;
     };
     {
+      name = "frame";
+      (* Small frames so a 4 KiB corpus plaintext spans several frames
+         and mutations can land in any header, payload or the trailer. *)
+      compress =
+        (fun data -> C.Frame.compress ~frame_size:512 ~codec:C.Frame.Deflate data);
+      decode = C.Frame.decompress_result;
+      decode_exn = C.Frame.decompress;
+      max_plain = 4096;
+    };
+    {
       name = "archive";
       compress =
         (fun data -> C.Container.Archive.pack [ { name = "fuzz"; data } ]);

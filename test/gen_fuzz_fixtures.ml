@@ -84,6 +84,20 @@ let reproducers () =
          Compress.Bitio.Writer.add_bits_msb w ~value:0x7fff ~count:16;
          Compress.Bitio.Writer.add_bits_msb w ~value:0xffff ~count:16;
          Compress.Bitio.Writer.to_bytes w) );
+    (* Frame container: truncated stream, forged magic, corrupted
+       payload behind an intact per-frame CRC. *)
+    (find "frame", truncated (find "frame") ~reason:"truncated" plain);
+    ( find "frame",
+      minimized (find "frame") ~reason:"bad magic"
+        (let b = (find "frame").compress plain in
+         Bytes.set b 0 'X';
+         b) );
+    ( find "frame",
+      minimized (find "frame") ~reason:"payload checksum mismatch"
+        (let b = (find "frame").compress plain in
+         let p = Compress.Frame.header_len + Compress.Frame.frame_header_len in
+         Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor 0xff));
+         b) );
     (* Forged directory entry count. *)
     ( find "archive",
       minimized (find "archive") ~reason:"implausible entry count"

@@ -19,6 +19,7 @@ let () =
       Test_page_channel.suite;
       Test_mitigation.suite;
       Test_container.suite;
+      Test_frame.suite;
       Test_experiments.suite;
       Test_obs.suite;
       Test_obs_export.suite;

@@ -1,0 +1,376 @@
+(* The frame container and the pipelined engine under it.
+
+   The load-bearing properties: framed output decodes to exactly the
+   input across every chunking of the feed and every codec; the
+   pipelined entry points are byte-identical to [jobs = 1]; the bounded
+   queue applies backpressure instead of buffering without limit; and
+   malformed streams come back as structured [Codec_error]s, never
+   exceptions. *)
+
+open Zipchannel_util
+module C = Zipchannel_compress
+module Frame = C.Frame
+module Pipeline = Zipchannel_parallel.Pipeline
+module Bigstring = Zipchannel_buf.Bigstring
+
+let all_codecs = Frame.[ Deflate; Gzip; Bzip2; Lzw ]
+let chunk_sizes = [ 1; 7; 4096; 65536 ]
+
+let lipsum n =
+  let prng = Prng.create ~seed:0xF7A3E ()  in
+  Bytes.of_string (Lipsum.repetitive_file prng ~level:3 ~size:n)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-buffer round trips *)
+
+let test_roundtrip_all_codecs () =
+  let data = lipsum 20_000 in
+  List.iter
+    (fun codec ->
+      let packed = Frame.compress ~frame_size:4096 ~codec data in
+      Alcotest.(check bytes)
+        (Frame.codec_name codec ^ " roundtrip")
+        data (Frame.decompress packed))
+    all_codecs
+
+let test_roundtrip_empty () =
+  List.iter
+    (fun codec ->
+      let packed = Frame.compress ~codec Bytes.empty in
+      Alcotest.(check bytes)
+        (Frame.codec_name codec ^ " empty")
+        Bytes.empty (Frame.decompress packed);
+      (* header + trailer only *)
+      Alcotest.(check int)
+        (Frame.codec_name codec ^ " empty size")
+        (Frame.header_len + Frame.trailer_len)
+        (Bytes.length packed))
+    all_codecs
+
+let test_jobs_byte_identical () =
+  let data = lipsum 300_000 in
+  List.iter
+    (fun codec ->
+      let one = Frame.compress ~frame_size:16384 ~codec data in
+      let four = Frame.compress ~frame_size:16384 ~jobs:4 ~codec data in
+      Alcotest.(check bytes)
+        (Frame.codec_name codec ^ " jobs 4 = jobs 1")
+        one four)
+    all_codecs
+
+(* ------------------------------------------------------------------ *)
+(* Encoder: chunked feeds agree with the whole-buffer compressor *)
+
+let encode_chunked ~chunk ~frame_size ~codec data =
+  let out = Buffer.create 256 in
+  let emit big ~off ~len = Buffer.add_bytes out (Bigstring.to_bytes big ~off ~len) in
+  let enc = Frame.Encoder.create ~frame_size ~codec ~emit () in
+  let n = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < n do
+    let take = min chunk (n - !pos) in
+    Frame.Encoder.feed_bytes enc data ~off:!pos ~len:take;
+    pos := !pos + take
+  done;
+  Frame.Encoder.finish enc;
+  Buffer.to_bytes out
+
+let test_encoder_chunking_invariant () =
+  let data = lipsum 50_000 in
+  List.iter
+    (fun codec ->
+      let whole = Frame.compress ~frame_size:4096 ~codec data in
+      List.iter
+        (fun chunk ->
+          Alcotest.(check bytes)
+            (Printf.sprintf "%s chunk=%d" (Frame.codec_name codec) chunk)
+            whole
+            (encode_chunked ~chunk ~frame_size:4096 ~codec data))
+        chunk_sizes)
+    all_codecs
+
+(* ------------------------------------------------------------------ *)
+(* Decoder: chunked feeds, flush frames, error shapes *)
+
+let decode_chunked ~chunk packed =
+  let out = Buffer.create 256 in
+  let emit big ~off ~len = Buffer.add_bytes out (Bigstring.to_bytes big ~off ~len) in
+  let dec = Frame.Decoder.create ~emit () in
+  let n = Bytes.length packed in
+  let rec go pos =
+    if pos >= n then Frame.Decoder.finish dec
+    else
+      let take = min chunk (n - pos) in
+      match Frame.Decoder.feed_bytes dec packed ~off:pos ~len:take with
+      | Error _ as e -> e
+      | Ok () -> go (pos + take)
+  in
+  Result.map (fun () -> Buffer.to_bytes out) (go 0)
+
+let test_decoder_chunking_invariant () =
+  let data = lipsum 50_000 in
+  List.iter
+    (fun codec ->
+      let packed = Frame.compress ~frame_size:4096 ~codec data in
+      List.iter
+        (fun chunk ->
+          match decode_chunked ~chunk packed with
+          | Ok out ->
+              Alcotest.(check bytes)
+                (Printf.sprintf "%s chunk=%d" (Frame.codec_name codec) chunk)
+                data out
+          | Error e ->
+              Alcotest.failf "%s chunk=%d: %s" (Frame.codec_name codec) chunk
+                (C.Codec_error.to_string e))
+        chunk_sizes)
+    all_codecs
+
+let test_flush_points_roundtrip () =
+  let out = Buffer.create 256 in
+  let emit big ~off ~len = Buffer.add_bytes out (Bigstring.to_bytes big ~off ~len) in
+  let enc = Frame.Encoder.create ~frame_size:64 ~codec:Frame.Lzw ~emit () in
+  let a = Bytes.of_string "first part " and b = Bytes.of_string "second part" in
+  Frame.Encoder.feed_bytes enc a ~off:0 ~len:(Bytes.length a);
+  Frame.Encoder.flush enc;
+  Frame.Encoder.flush enc;
+  (* an empty flush point must also be representable *)
+  Frame.Encoder.feed_bytes enc b ~off:0 ~len:(Bytes.length b);
+  Frame.Encoder.finish enc;
+  Alcotest.(check bytes) "flush-framed stream decodes"
+    (Bytes.cat a b)
+    (Frame.decompress (Buffer.to_bytes out))
+
+let check_error ~reason packed =
+  match Frame.decompress_result packed with
+  | Ok _ -> Alcotest.failf "expected %S error" reason
+  | Error e ->
+      Alcotest.(check string) "codec" "frame" e.C.Codec_error.codec;
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      if not (contains reason e.C.Codec_error.reason) then
+        Alcotest.failf "reason %S does not mention %S" e.C.Codec_error.reason
+          reason
+
+let test_decoder_errors () =
+  let data = lipsum 5_000 in
+  let packed = Frame.compress ~frame_size:1024 ~codec:Frame.Deflate data in
+  (* truncation: every strict prefix fails; check a few *)
+  check_error ~reason:"truncated" (Bytes.sub packed 0 (Bytes.length packed - 1));
+  check_error ~reason:"truncated" (Bytes.sub packed 0 Frame.header_len);
+  check_error ~reason:"truncated" (Bytes.sub packed 0 3);
+  (* bad magic *)
+  let bad = Bytes.copy packed in
+  Bytes.set bad 0 'Q';
+  check_error ~reason:"bad magic" bad;
+  (* unknown codec id *)
+  let bad = Bytes.copy packed in
+  Bytes.set bad 4 '\213';
+  check_error ~reason:"unknown codec" bad;
+  (* payload corruption behind the per-frame CRC *)
+  let bad = Bytes.copy packed in
+  let p = Frame.header_len + Frame.frame_header_len in
+  Bytes.set bad p (Char.chr (Char.code (Bytes.get bad p) lxor 0x40));
+  check_error ~reason:"checksum mismatch" bad;
+  (* trailing garbage after the trailer *)
+  check_error ~reason:"trailing data" (Bytes.cat packed (Bytes.of_string "x"));
+  (* decode boundary never raises: arbitrary mutations give Error *)
+  let prng = Prng.create ~seed:99 () in
+  for _ = 1 to 200 do
+    let bad = Bytes.copy packed in
+    let i = Prng.int prng (Bytes.length bad) in
+    Bytes.set bad i (Char.chr (Prng.int prng 256));
+    match Frame.decompress_result bad with Ok _ | Error _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Streaming entry points *)
+
+let reader_of_bytes data =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = min len (Bytes.length data - !pos) in
+    Bytes.blit data !pos buf off n;
+    pos := !pos + n;
+    n
+
+let test_stream_roundtrip_jobs () =
+  let data = lipsum 200_000 in
+  List.iter
+    (fun jobs ->
+      let out = Buffer.create 256 in
+      Frame.compress_stream ~frame_size:8192 ~jobs ~codec:Frame.Gzip
+        ~read:(reader_of_bytes data)
+        ~write:(fun b ~off ~len -> Buffer.add_subbytes out b off len)
+        ();
+      let packed = Buffer.to_bytes out in
+      let plain = Buffer.create 256 in
+      match
+        Frame.decompress_stream ~jobs
+          ~read:(reader_of_bytes packed)
+          ~write:(fun b ~off ~len -> Buffer.add_subbytes plain b off len)
+          ()
+      with
+      | Error e -> Alcotest.failf "jobs=%d: %s" jobs (C.Codec_error.to_string e)
+      | Ok () ->
+          Alcotest.(check bytes)
+            (Printf.sprintf "jobs=%d stream roundtrip" jobs)
+            data (Buffer.to_bytes plain))
+    [ 1; 4 ]
+
+let qcheck_frame_roundtrip =
+  QCheck.Test.make ~name:"framed compress/decompress is the identity"
+    ~count:60
+    QCheck.(
+      pair
+        (string_of_size QCheck.Gen.(0 -- 3000))
+        (int_range 0 (List.length all_codecs * List.length chunk_sizes - 1)))
+    (fun (s, pick) ->
+      let codec = List.nth all_codecs (pick / List.length chunk_sizes) in
+      let chunk = List.nth chunk_sizes (pick mod List.length chunk_sizes) in
+      let data = Bytes.of_string s in
+      let packed = Frame.compress ~frame_size:256 ~codec data in
+      (* one whole-buffer encode must agree with a chunked feed, and the
+         chunked decode must invert both *)
+      let chunked = encode_chunked ~chunk ~frame_size:256 ~codec data in
+      Bytes.equal packed chunked
+      &&
+      match decode_chunked ~chunk packed with
+      | Ok out -> Bytes.equal out data
+      | Error _ -> false)
+
+let qcheck_stream_jobs_identical =
+  QCheck.Test.make ~name:"pipelined frame stream is byte-identical at any jobs"
+    ~count:20
+    QCheck.(string_of_size QCheck.Gen.(0 -- 50_000))
+    (fun s ->
+      let data = Bytes.of_string s in
+      let run jobs =
+        let out = Buffer.create 256 in
+        Frame.compress_stream ~frame_size:1024 ~jobs ~codec:Frame.Deflate
+          ~read:(reader_of_bytes data)
+          ~write:(fun b ~off ~len -> Buffer.add_subbytes out b off len)
+          ();
+        Buffer.to_bytes out
+      in
+      Bytes.equal (run 1) (run 4))
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline engine proper (unclamped: these exercise real domains
+   even on a single-core machine) *)
+
+let test_pipeline_order_and_identity () =
+  let n = 500 in
+  let out = ref [] in
+  Pipeline.run ~jobs:4
+    ~produce:(fun ~seq -> if seq < n then Some seq else None)
+    ~work:(fun x -> x * x)
+    ~consume:(fun ~seq y -> out := (seq, y) :: !out)
+    ();
+  let got = List.rev !out in
+  Alcotest.(check int) "all items" n (List.length got);
+  List.iteri
+    (fun i (seq, y) ->
+      Alcotest.(check int) "in order" i seq;
+      Alcotest.(check int) "result" (i * i) y)
+    got
+
+let test_pipeline_backpressure () =
+  (* A slow consumer must bound the in-flight window: with capacity 4,
+     the producer can never run more than 4 items ahead of the
+     consumer.  The producer and consumer run in the calling domain, so
+     observing [produced - consumed] at produce time is race-free. *)
+  let produced = ref 0 and consumed = ref 0 in
+  let max_ahead = ref 0 in
+  Pipeline.run ~jobs:3 ~capacity:4
+    ~produce:(fun ~seq ->
+      max_ahead := max !max_ahead (!produced - !consumed);
+      if seq < 200 then begin
+        incr produced;
+        Some seq
+      end
+      else None)
+    ~work:(fun x -> x)
+    ~consume:(fun ~seq:_ _ ->
+      incr consumed;
+      (* slow consumer: let workers pile results up if they could *)
+      if !consumed mod 10 = 0 then
+        for _ = 1 to 1000 do
+          Domain.cpu_relax ()
+        done)
+    ();
+  Alcotest.(check int) "everything consumed" 200 !consumed;
+  Alcotest.(check bool)
+    (Printf.sprintf "window bounded (saw %d ahead, capacity 4)" !max_ahead)
+    true (!max_ahead <= 4)
+
+let test_pipeline_worker_exception_propagates () =
+  let boom = Failure "boom at 17" in
+  let consumed_after_fault = ref false in
+  (match
+     Pipeline.run ~jobs:4
+       ~produce:(fun ~seq -> if seq < 100 then Some seq else None)
+       ~work:(fun x -> if x = 17 then raise boom else x)
+       ~consume:(fun ~seq _ -> if seq > 17 then consumed_after_fault := true)
+       ()
+   with
+  | () -> Alcotest.fail "expected the worker failure to propagate"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom at 17" msg);
+  Alcotest.(check bool) "nothing past the fault was consumed" false
+    !consumed_after_fault
+
+let test_pipeline_consumer_exception_propagates () =
+  match
+    Pipeline.run ~jobs:2
+      ~produce:(fun ~seq -> if seq < 50 then Some seq else None)
+      ~work:(fun x -> x)
+      ~consume:(fun ~seq _ -> if seq = 5 then failwith "consumer")
+      ()
+  with
+  | () -> Alcotest.fail "expected the consumer failure to propagate"
+  | exception Failure msg -> Alcotest.(check string) "message" "consumer" msg
+
+let qcheck_pipeline_deterministic =
+  QCheck.Test.make ~name:"pipeline consume order is deterministic in jobs"
+    ~count:30
+    QCheck.(pair (int_range 0 300) (int_range 2 6))
+    (fun (n, jobs) ->
+      let run jobs =
+        let acc = Buffer.create 64 in
+        Pipeline.run ~jobs
+          ~produce:(fun ~seq -> if seq < n then Some seq else None)
+          ~work:(fun x -> x * 7)
+          ~consume:(fun ~seq y -> Buffer.add_string acc (Printf.sprintf "%d:%d;" seq y))
+          ();
+        Buffer.contents acc
+      in
+      run 1 = run jobs)
+
+let suite =
+  ( "frame",
+    [
+      Alcotest.test_case "roundtrip all codecs" `Quick test_roundtrip_all_codecs;
+      Alcotest.test_case "roundtrip empty" `Quick test_roundtrip_empty;
+      Alcotest.test_case "jobs byte-identical" `Quick test_jobs_byte_identical;
+      Alcotest.test_case "encoder chunking invariant" `Quick
+        test_encoder_chunking_invariant;
+      Alcotest.test_case "decoder chunking invariant" `Quick
+        test_decoder_chunking_invariant;
+      Alcotest.test_case "flush points" `Quick test_flush_points_roundtrip;
+      Alcotest.test_case "decoder errors" `Quick test_decoder_errors;
+      Alcotest.test_case "stream roundtrip at jobs" `Quick
+        test_stream_roundtrip_jobs;
+      QCheck_alcotest.to_alcotest qcheck_frame_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_stream_jobs_identical;
+      Alcotest.test_case "pipeline order/identity" `Quick
+        test_pipeline_order_and_identity;
+      Alcotest.test_case "pipeline backpressure" `Quick
+        test_pipeline_backpressure;
+      Alcotest.test_case "pipeline worker exception" `Quick
+        test_pipeline_worker_exception_propagates;
+      Alcotest.test_case "pipeline consumer exception" `Quick
+        test_pipeline_consumer_exception_propagates;
+      QCheck_alcotest.to_alcotest qcheck_pipeline_deterministic;
+    ] )
