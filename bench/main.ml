@@ -51,6 +51,15 @@ let bench_cases : (string * int * (unit -> unit)) list =
         ignore (Frame.compress ~codec:Frame.Deflate text_1m));
     ("frame/deflate-pipelined-1m-jobs4", 1_048_576, fun () ->
         ignore (Frame.compress ~jobs:4 ~codec:Frame.Deflate text_1m));
+    (let probe =
+       Attack.Chunk_oracle.local_probe ~codec:Frame.Deflate ~frame_size:64 ()
+     in
+     ("leak/chunk-oracle-64", 0, fun () ->
+         (* mini recovery: 2 secret digits from a 512-byte victim; the
+            instrumented run surfaces the leak.chunk.* metrics *)
+         ignore
+           (Attack.Chunk_oracle.run ~seed:7 ~secret_len:2 ~body_len:512
+              ~tries:4 ~trials:1 ~frame_size:64 ~probe ())));
     ("huffman/encode-10k-text", 10_000, fun () ->
         ignore (Compress.Huffman.encode text_10k));
     ("bwt/transform-4k-random", 4096, fun () ->

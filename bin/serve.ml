@@ -15,14 +15,19 @@
 
 module Frame = Zipchannel.Frame
 module Obs = Zipchannel.Obs
+module Leak_audit = Zipchannel.Leak_audit
 
 let m_conns = Obs.Metrics.counter "serve.connections"
 let m_bytes_in = Obs.Metrics.counter "serve.bytes_in"
 let m_bytes_out = Obs.Metrics.counter "serve.bytes_out"
 let m_errors = Obs.Metrics.counter "serve.errors"
+let m_rejected = Obs.Metrics.counter "serve.rejected"
 let m_scrapes = Obs.Metrics.counter "serve.scrapes"
 let g_active = Obs.Metrics.gauge "serve.active_connections"
 let m_request_bytes = Obs.Metrics.histogram "serve.request_bytes"
+let h_request_ns = Obs.Metrics.histogram "serve.request_ns"
+let g_request_p50 = Obs.Metrics.gauge "serve.request_ns_p50"
+let g_request_p95 = Obs.Metrics.gauge "serve.request_ns_p95"
 
 (* ------------------------------------------------------------------ *)
 (* fd helpers *)
@@ -202,15 +207,29 @@ let adjust_active d =
   Obs.Metrics.set_gauge g_active (float_of_int !active);
   Mutex.unlock active_mu
 
+(* Admission control: the acceptor takes the slot (or refuses) before
+   the handler thread exists, so the thread count is bounded by
+   [max_conns] rather than by how fast clients can connect. *)
+let try_acquire ~max_conns =
+  Mutex.lock active_mu;
+  let ok = !active < max_conns in
+  if ok then begin
+    active := !active + 1;
+    Obs.Metrics.set_gauge g_active (float_of_int !active)
+  end;
+  Mutex.unlock active_mu;
+  ok
+
 let respond_error fd msg =
   try
     let b = Bytes.of_string ("ZCER" ^ msg) in
     write_all fd b ~off:0 ~len:(Bytes.length b)
   with Unix.Unix_error _ -> ()
 
+let conn_seq = Atomic.make 0
+
 let handle_data_conn ~jobs fd =
   Obs.Metrics.incr m_conns;
-  adjust_active 1;
   Fun.protect
     ~finally:(fun () ->
       adjust_active (-1);
@@ -238,17 +257,32 @@ let handle_data_conn ~jobs fd =
       Obs.Metrics.incr m_errors;
       respond_error fd (Unix.error_message e)
   | op, codec, frame_size -> (
+      let conn_id = Atomic.fetch_and_add conn_seq 1 in
+      let t0 = Obs.now_ns () in
       let c = { fd; counter = m_bytes_in } in
-      let req_bytes = ref 0 in
+      let req_bytes = ref 0 and resp_bytes = ref 0 in
+      (* First payload bytes key the request's prefix bucket — the
+         attacker-controlled part of a CRIME-style request is its
+         start, and that is all the estimator conditions on. *)
+      let prefix = Bytes.create 16 in
+      let prefix_len = ref 0 in
       let read buf off len =
         let n = counted_read c buf off len in
+        if n > 0 && !prefix_len < 16 then begin
+          let take = min (16 - !prefix_len) n in
+          Bytes.blit buf off prefix !prefix_len take;
+          prefix_len := !prefix_len + take
+        end;
         req_bytes := !req_bytes + n;
         n
       in
       let ok = Bytes.of_string "ZCOK" in
       write_all fd ok ~off:0 ~len:4;
       Obs.Metrics.add m_bytes_out 4;
-      let write = counted_write c in
+      let write buf ~off ~len =
+        counted_write c buf ~off ~len;
+        resp_bytes := !resp_bytes + len
+      in
       let outcome =
         match op with
         | 1 ->
@@ -266,7 +300,27 @@ let handle_data_conn ~jobs fd =
                 Error (Unix.error_message e))
         | _ -> Error "bad op"
       in
+      let wall_ns = Obs.now_ns () - t0 in
       Obs.Metrics.observe m_request_bytes !req_bytes;
+      Obs.Metrics.observe h_request_ns wall_ns;
+      let plaintext = if op = 1 then !req_bytes else !resp_bytes in
+      Leak_audit.record_request
+        {
+          Leak_audit.conn = conn_id;
+          op = (if op = 1 then "compress" else "decompress");
+          req_codec = Frame.codec_name codec;
+          frame_size;
+          req_bytes = !req_bytes;
+          resp_bytes = !resp_bytes;
+          frames = (plaintext + frame_size - 1) / frame_size;
+          req_bucket =
+            (if !prefix_len > 0 then
+               Leak_audit.prefix_bucket prefix ~len:!prefix_len
+             else -1);
+          wall_ns;
+          ts_ns = Obs.now_ns ();
+          status = (match outcome with Ok () -> "ok" | Error _ -> "error");
+        };
       match outcome with
       | Ok () -> ()
       | Error _ ->
@@ -299,6 +353,17 @@ let handle_metrics_conn fd =
       | _ -> "/"
     in
     Obs.Metrics.incr m_scrapes;
+    (* Summarise request latency as gauges at scrape time: the log2
+       histogram is always exported in full; p50/p95 midpoint estimates
+       ride along for dashboards that want one number. *)
+    (match
+       List.assoc_opt "serve.request_ns"
+         (Obs.Metrics.snapshot ()).Obs.Metrics.histograms
+     with
+    | Some h when h.Obs.Metrics.count > 0 ->
+        Obs.Metrics.set_gauge g_request_p50 (Obs.Metrics.approx_quantile h 0.5);
+        Obs.Metrics.set_gauge g_request_p95 (Obs.Metrics.approx_quantile h 0.95)
+    | _ -> ());
     let resp =
       match path with
       | "/metrics" ->
@@ -322,8 +387,17 @@ let listener port =
   Unix.listen fd 64;
   fd
 
-let serve ~port ~metrics_port ~jobs =
+let serve ?(max_conns = 64) ?audit ~port ~metrics_port ~jobs () =
   Obs.set_enabled true;
+  let audit_oc =
+    match audit with
+    | None -> None
+    | Some path ->
+        let oc = open_out path in
+        Leak_audit.set_enabled true;
+        Leak_audit.set_sink (Leak_audit.Jsonl oc);
+        Some oc
+  in
   stop := false;
   let on_signal _ = stop := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -345,13 +419,106 @@ let serve ~port ~metrics_port ~jobs =
             match Unix.accept sock with
             | exception Unix.Unix_error _ -> ()
             | conn, _ ->
-                if sock = data_sock then
-                  spawn (handle_data_conn ~jobs) conn
+                if sock = data_sock then begin
+                  if try_acquire ~max_conns then
+                    spawn (handle_data_conn ~jobs) conn
+                  else begin
+                    Obs.Metrics.incr m_rejected;
+                    spawn
+                      (fun conn ->
+                        Fun.protect
+                          ~finally:(fun () ->
+                            try Unix.close conn with Unix.Unix_error _ -> ())
+                          (fun () ->
+                            respond_error conn "busy";
+                            (* Half-close and drain what the client has
+                               already uploaded (bounded), so the reply
+                               reaches it instead of being clobbered by
+                               a reset from unread inbound data. *)
+                            try
+                              Unix.shutdown conn Unix.SHUTDOWN_SEND;
+                              Unix.setsockopt_float conn Unix.SO_RCVTIMEO 2.0;
+                              let junk = Bytes.create 65536 in
+                              let budget = ref 256 in
+                              while
+                                !budget > 0
+                                && Unix.read conn junk 0 (Bytes.length junk) > 0
+                              do
+                                decr budget
+                              done
+                            with Unix.Unix_error _ -> ()))
+                      conn
+                  end
+                end
                 else spawn handle_metrics_conn conn)
           ready
   done;
   (try Unix.close data_sock with Unix.Unix_error _ -> ());
   (try Unix.close metrics_sock with Unix.Unix_error _ -> ());
   List.iter Thread.join !threads;
+  (match audit_oc with
+  | Some oc ->
+      Leak_audit.publish_estimate ();
+      Leak_audit.set_sink Leak_audit.Null;
+      close_out oc
+  | None -> ());
   Printf.printf "zc serve: %d connection(s) served, shutting down\n%!"
     (Obs.Metrics.counter_value m_conns)
+
+(* ------------------------------------------------------------------ *)
+(* Single-shot compress request against a daemon: send one plaintext,
+   return the complete framed response.  This is the [zc leak oracle]
+   probe — what a network attacker does, over the loopback. *)
+
+let request_compress ~connect ~codec ~frame_size payload =
+  match parse_host_port connect with
+  | Error _ as e -> e
+  | Ok (host, port) -> (
+      match resolve host port with
+      | Error _ as e -> e
+      | Ok addr ->
+          let fd =
+            Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          Unix.connect fd addr;
+          let hdr = Bytes.create 10 in
+          Bytes.blit_string "ZCRQ" 0 hdr 0 4;
+          Bytes.set hdr 4 '\001';
+          Bytes.set hdr 5 (Char.chr (Frame.codec_id codec));
+          Bytes.set_int32_le hdr 6 (Int32.of_int frame_size);
+          write_all fd hdr ~off:0 ~len:10;
+          let uploader =
+            Thread.create
+              (fun () ->
+                try
+                  write_all fd payload ~off:0 ~len:(Bytes.length payload);
+                  Unix.shutdown fd Unix.SHUTDOWN_SEND
+                with Unix.Unix_error _ -> ())
+              ()
+          in
+          let tag = Bytes.create 4 in
+          let result =
+            match read_exact fd tag 0 4 with
+            | exception Failure msg -> Error msg
+            | () ->
+                let b = Buffer.create 4096 in
+                let buf = Bytes.create 65536 in
+                let rec drain () =
+                  let n = Unix.read fd buf 0 (Bytes.length buf) in
+                  if n > 0 then begin
+                    Buffer.add_subbytes b buf 0 n;
+                    drain ()
+                  end
+                in
+                drain ();
+                if Bytes.to_string tag = "ZCOK" then Ok (Buffer.to_bytes b)
+                else if Bytes.to_string tag = "ZCER" then
+                  Error ("server: " ^ Buffer.contents b)
+                else Error "malformed response from server"
+          in
+          Thread.join uploader;
+          result)

@@ -242,18 +242,157 @@ let serve_cmd =
             "HTTP port serving $(b,/metrics) (Prometheus text) and \
              $(b,/metrics.json) (raw snapshot).")
   in
-  let run () port metrics_port jobs =
-    match Serve.serve ~port ~metrics_port ~jobs with
-    | () -> `Ok ()
-    | exception Unix.Unix_error (e, fn, _) ->
-        `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  let max_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent data connection limit; above it the daemon \
+             replies $(b,ZCER busy) and counts $(b,serve.rejected).")
+  in
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"PATH"
+          ~doc:
+            "Enable the leak audit plane and append one JSONL record per \
+             emitted frame and per request to $(docv); also lights up \
+             the $(b,zipchannel_leak_*) Prometheus series.")
+  in
+  let run () port metrics_port max_conns audit jobs =
+    if max_conns < 1 then `Error (false, "--max-conns must be at least 1")
+    else
+      match Serve.serve ~max_conns ?audit ~port ~metrics_port ~jobs () with
+      | () -> `Ok ()
+      | exception Unix.Unix_error (e, fn, _) ->
+          `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the streaming compression daemon: one framed request per \
           connection, per-connection metrics scraped live over HTTP")
-    Term.(ret (const run $ Obs_cli.flags $ port $ metrics_port $ jobs))
+    Term.(
+      ret
+        (const run $ Obs_cli.flags $ port $ metrics_port $ max_conns $ audit
+       $ jobs))
+
+(* ------------------------------------------------------------------ *)
+(* The leak observatory's end-to-end check: the chunk-length oracle *)
+
+let leak_oracle () codec frame_sizes connect seed secret_len body_len trials
+    json assert_monotone =
+  let module O = Attack.Chunk_oracle in
+  if frame_sizes = [] then `Error (false, "need at least one --frame-size")
+  else
+    let mk_probe ~frame_size =
+      match connect with
+      | None -> O.local_probe ~codec ~frame_size ()
+      | Some connect ->
+          fun plain -> (
+            match Serve.request_compress ~connect ~codec ~frame_size plain with
+            | Ok stream -> O.clens_of_stream stream
+            | Error msg -> failwith msg)
+    in
+    match
+      O.sweep ~seed ~secret_len ~body_len ~trials
+        ~frame_sizes:(List.sort_uniq compare frame_sizes)
+        ~mk_probe ()
+    with
+    | exception Failure msg -> `Error (false, msg)
+    | results ->
+        List.iter
+          (fun (r : O.result) ->
+            if json then
+              Printf.printf
+                "{\"frame_size\": %d, \"per_byte_rate\": %.4f, \
+                 \"chained_rate\": %.4f, \"capacity_bits\": %.4f, \
+                 \"mi_bits\": %.4f, \"recovered_positions\": %d, \
+                 \"positions\": %d, \"probes\": %d, \"secret\": \"%s\", \
+                 \"recovered\": \"%s\"}\n"
+                r.frame_size r.per_byte_rate r.chained_rate r.capacity_bits
+                r.mi_bits r.per_byte_correct r.positions r.probes r.secret
+                r.recovered
+            else
+              Printf.printf
+                "frame %6d: recovered %d/%d positions (first trial: %s vs \
+                 secret %s), capacity %.3f bits/probe, MI %.3f, %d probes\n"
+                r.frame_size r.per_byte_correct r.positions r.recovered
+                r.secret r.capacity_bits r.mi_bits r.probes)
+          results;
+        let mono = O.monotone results in
+        if not json then
+          Printf.printf
+            "leakage %s monotone in frame size (smaller frames leak at \
+             least as much, capacity estimate agrees)\n"
+            (if mono then "is" else "is NOT");
+        if assert_monotone && not mono then
+          `Error (false, "recovery/capacity not monotone in frame size")
+        else `Ok ()
+
+let leak_cmd =
+  let frame_sizes =
+    Arg.(
+      value
+      & opt (list int) [ 64; 256; 1024 ]
+      & info [ "frame-sizes" ] ~docv:"BYTES,..."
+          ~doc:"Frame sizes to sweep (ascending).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"N" ~doc:"Victim PRNG seed (deterministic).")
+  in
+  let secret_len =
+    Arg.(
+      value & opt int 8
+      & info [ "secret-len" ] ~docv:"N" ~doc:"Secret digits to recover.")
+  in
+  let body_len =
+    Arg.(
+      value & opt int 8192
+      & info [ "body-len" ] ~docv:"BYTES" ~doc:"Victim body size.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Independent victims per frame size; rates aggregate over \
+             them.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"One JSON object per frame size on stdout.")
+  in
+  let assert_monotone =
+    Arg.(
+      value & flag
+      & info [ "assert-monotone" ]
+          ~doc:
+            "Exit non-zero unless recovery rate and capacity estimate are \
+             monotone non-increasing in frame size.")
+  in
+  let oracle =
+    Cmd.v
+      (Cmd.info "oracle"
+         ~doc:
+           "Run the per-chunk length oracle: recover a secret \
+            byte-at-a-time from per-frame compressed lengths, in-process \
+            or against a $(b,zc serve) daemon with $(b,--connect), and \
+            compare measured recovery with the estimator's predicted \
+            channel capacity across frame sizes")
+      Term.(
+        ret
+          (const leak_oracle $ Obs_cli.flags $ frame_codec_arg $ frame_sizes
+         $ connect_arg $ seed $ secret_len $ body_len $ trials $ json
+         $ assert_monotone))
+  in
+  Cmd.group
+    (Cmd.info "leak" ~doc:"Leak observatory: length side-channel oracles")
+    [ oracle ]
 
 (* ------------------------------------------------------------------ *)
 (* Fuzzing *)
@@ -372,12 +511,27 @@ let obs_export format output input =
       let kind =
         if E.Span_stream.is_span_stream first then `Trace
         else if E.Snapshot_io.is_snapshot first then `Snapshot
+        else if E.Audit.is_audit_record first then `Audit
         else `Unknown
       in
       match (format, kind) with
       | _, `Unknown ->
           `Error
-            (false, input ^ ": neither a span stream nor a metrics snapshot")
+            ( false,
+              input
+              ^ ": neither a span stream, a metrics snapshot, nor an audit \
+                 record stream" )
+      | `Otlp, `Audit ->
+          let records = List.map E.Audit.of_json values in
+          write_out output
+            (E.Json.to_string (E.Audit.trace_request records) ^ "\n");
+          `Ok ()
+      | `Prom, `Audit ->
+          `Error
+            ( false,
+              input
+              ^ ": is an audit record stream; Prometheus exposition needs a \
+                 metrics snapshot (scrape the live daemon instead)" )
       | `Otlp, `Trace ->
           let events = List.map E.Span_stream.event_of_json values in
           write_out output (E.Json.to_string (E.Otlp.trace_request events) ^ "\n");
@@ -449,8 +603,9 @@ let obs_cmd =
     Cmd.v
       (Cmd.info "export"
          ~doc:
-           "Convert a --trace JSONL span stream or --metrics JSON snapshot \
-            to OTLP/JSON or Prometheus text")
+           "Convert a --trace JSONL span stream, a --metrics JSON snapshot, \
+            or a $(b,zc serve --audit) JSONL file to OTLP/JSON or \
+            Prometheus text")
       Term.(ret (const obs_export $ format $ out_opt $ in_file 0))
   in
   let profile =
@@ -482,7 +637,7 @@ let cmd =
     (Cmd.info "zc" ~doc:"compress and decompress files with the ZipChannel codecs")
     [
       compress_cmd; decompress_cmd; archive_cmd; stream_cmd; serve_cmd;
-      fuzz_cmd; obs_cmd;
+      leak_cmd; fuzz_cmd; obs_cmd;
     ]
 
 let () = exit (Cmd.eval cmd)

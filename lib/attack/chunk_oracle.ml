@@ -1,0 +1,248 @@
+(* Per-chunk length oracle: byte-at-a-time secret recovery from the
+   frame layer's per-frame clen observable, CRIME-style.
+
+   The scoring loop only ever sees what a network adversary sees — the
+   list of frame payload lengths — so the same code drives the
+   in-process probe and the zc serve loopback probe. *)
+
+module Frame = Zipchannel_compress.Frame
+module Obs = Zipchannel_obs.Obs
+module Leak_audit = Zipchannel_obs_leak.Leak_audit
+module Prng = Zipchannel_util.Prng
+module Lipsum = Zipchannel_util.Lipsum
+
+type probe = bytes -> int list
+
+let m_probes = Obs.Metrics.counter "leak.chunk.probes"
+let m_recovered = Obs.Metrics.counter "leak.chunk.bytes_recovered"
+let g_capacity = Obs.Metrics.gauge "leak.chunk.capacity_bits"
+let g_rate = Obs.Metrics.gauge "leak.chunk.recovery_rate"
+
+(* ------------------------------------------------------------------ *)
+(* Probes *)
+
+let u32_get b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let clens_of_stream data =
+  let len = Bytes.length data in
+  let fail why = invalid_arg ("Chunk_oracle.clens_of_stream: " ^ why) in
+  if len < 8 || Bytes.sub_string data 0 4 <> "ZCF1" then fail "bad magic";
+  let pos = ref 8 in
+  let clens = ref [] in
+  let finished = ref false in
+  while not !finished do
+    if !pos + 13 > len then fail "truncated frame header";
+    let tag = Char.code (Bytes.get data !pos) in
+    if tag = 0xFF then begin
+      finished := true;
+      pos := !pos + 13
+    end
+    else if tag = 0x01 || tag = 0x02 then begin
+      let clen = u32_get data (!pos + 5) in
+      clens := clen :: !clens;
+      pos := !pos + 13 + clen;
+      if !pos > len then fail "truncated frame payload"
+    end
+    else fail "unknown frame tag"
+  done;
+  List.rev !clens
+
+let local_probe ?(jobs = 1) ~codec ~frame_size () =
+ fun plain -> clens_of_stream (Frame.compress ~frame_size ~jobs ~codec plain)
+
+(* ------------------------------------------------------------------ *)
+(* The victim *)
+
+let alphabet = "0123456789"
+
+module Victim = struct
+  type t = { secret : string; body : string }
+
+  (* Query-string-like filler: lipsum words interleaved with numeric
+     parameters.  The digits matter — they give wrong candidates
+     accidental partial matches, which is the noise source that makes
+     bigger frames (more filler co-compressed with the secret) leak
+     less per probe. *)
+  let create ?(seed = 7) ?(secret_len = 8) ?(body_len = 8192) () =
+    if secret_len < 1 then invalid_arg "Chunk_oracle.Victim.create";
+    let rng = Prng.create ~seed () in
+    let secret =
+      String.init secret_len (fun _ ->
+          alphabet.[Prng.int rng (String.length alphabet)])
+    in
+    let b = Buffer.create (body_len + 64) in
+    Buffer.add_string b "secret=";
+    Buffer.add_string b secret;
+    Buffer.add_char b '&';
+    let param = ref 0 in
+    while Buffer.length b < body_len do
+      if Prng.int rng 3 = 0 then begin
+        incr param;
+        Buffer.add_string b (Printf.sprintf "p%d=" !param);
+        let digits = 2 + Prng.int rng 6 in
+        for _ = 1 to digits do
+          Buffer.add_char b alphabet.[Prng.int rng 10]
+        done;
+        Buffer.add_char b '&'
+      end
+      else begin
+        Buffer.add_string b (Lipsum.word rng);
+        Buffer.add_char b '&'
+      end
+    done;
+    { secret; body = Buffer.sub b 0 body_len }
+
+  let secret t = t.secret
+
+  let plaintext t ~guess =
+    Bytes.of_string (guess ^ "\n" ^ t.body)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+type result = {
+  frame_size : int;
+  secret : string;
+  recovered : string;
+  per_byte_correct : int;
+  positions : int;
+  probes : int;
+  per_byte_rate : float;
+  chained_rate : float;
+  capacity_bits : float;
+  mi_bits : float;
+}
+
+(* Charset pollution (BREACH): every candidate digit appears in the
+   attacker's reflection with '~' separators, so the frame's Huffman
+   table carries all ten digits whichever candidate is probed — the
+   score difference is the match extension, not table-membership noise.
+   The separators keep the pollution itself from forming 3-byte LZ77
+   matches with the secret. *)
+let pollution =
+  String.concat "~" (List.init 10 (fun d -> string_of_int d)) ^ "~"
+
+let run ?(seed = 7) ?secret_len ?body_len ?(tries = 8) ?(trials = 1)
+    ~frame_size ~probe () =
+  if trials < 1 then invalid_arg "Chunk_oracle.run: trials";
+  let probes = ref 0 in
+  let est = Leak_audit.Estimator.create ~buckets:2 ~delta_range:32 () in
+  let per_byte_correct = ref 0 in
+  let positions = ref 0 in
+  let chained_sum = ref 0. in
+  let first_secret = ref "" in
+  let first_recovered = ref "" in
+  (* One victim per trial: recovery {e rate} means success over
+     independent secrets, not one lucky secret.  Sub-seeds keep the
+     whole campaign deterministic in [seed]. *)
+  for trial = 0 to trials - 1 do
+  let v =
+    Victim.create ~seed:(seed + (9973 * trial)) ?secret_len ?body_len ()
+  in
+  let secret = Victim.secret v in
+  let n = String.length secret in
+  let k = String.length alphabet in
+  let cache : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Only the frame holding the attacker's reflection and the secret is
+     scored: downstream frames shift with the padding and would only
+     add boundary noise. *)
+  let first_clen guess =
+    match Hashtbl.find_opt cache guess with
+    | Some s -> s
+    | None ->
+        incr probes;
+        Obs.Metrics.incr m_probes;
+        let s =
+          match probe (Victim.plaintext v ~guess) with
+          | c :: _ -> c
+          | [] -> 0
+        in
+        Hashtbl.add cache guess s;
+        s
+  in
+  (* Sum the frame length over [tries] padding lengths: deflate packs
+     bits and rounds the frame up to whole bytes, so a single probe can
+     hide the one-literal saving; dithering the downstream alignment
+     with attacker-controlled padding recovers it in the sum. *)
+  let score prefix c =
+    let base = Printf.sprintf "%ssecret=%s%c|" pollution prefix alphabet.[c] in
+    let total = ref 0 in
+    for p = 0 to tries - 1 do
+      total := !total + first_clen (base ^ String.make p '#')
+    done;
+    !total
+  in
+  let scores prefix = Array.init k (fun c -> score prefix c) in
+  let argmin a =
+    let best = ref 0 in
+    Array.iteri (fun i s -> if s < a.(!best) then best := i) a;
+    !best
+  in
+  let recovered = Buffer.create n in
+  for i = 0 to n - 1 do
+    (* Oracle accuracy at this position: probe with the true prefix. *)
+    let s = scores (String.sub secret 0 i) in
+    let best = argmin s in
+    if alphabet.[best] = secret.[i] then incr per_byte_correct;
+    Array.iteri
+      (fun c sc ->
+        let bucket = if alphabet.[c] = secret.[i] then 1 else 0 in
+        Leak_audit.Estimator.observe est ~bucket ~delta:(sc - s.(best)))
+      s;
+    (* Chained recovery: the attacker only has their own prefix.  When
+       it matches the true prefix the probe cache makes this free. *)
+    let sc = scores (Buffer.contents recovered) in
+    Buffer.add_char recovered alphabet.[argmin sc]
+  done;
+  let recovered = Buffer.contents recovered in
+  let exact_prefix =
+    let i = ref 0 in
+    while !i < n && recovered.[!i] = secret.[!i] do incr i done;
+    !i
+  in
+  positions := !positions + n;
+  chained_sum := !chained_sum +. (float_of_int exact_prefix /. float_of_int n);
+  if trial = 0 then begin
+    first_secret := secret;
+    first_recovered := recovered
+  end
+  done;
+  let r =
+    {
+      frame_size;
+      secret = !first_secret;
+      recovered = !first_recovered;
+      per_byte_correct = !per_byte_correct;
+      positions = !positions;
+      probes = !probes;
+      per_byte_rate =
+        float_of_int !per_byte_correct /. float_of_int !positions;
+      chained_rate = !chained_sum /. float_of_int trials;
+      capacity_bits = Leak_audit.Estimator.capacity_bits est;
+      mi_bits = Leak_audit.Estimator.mutual_information_bits est;
+    }
+  in
+  Obs.Metrics.add m_recovered r.per_byte_correct;
+  Obs.Metrics.set_gauge g_capacity r.capacity_bits;
+  Obs.Metrics.set_gauge g_rate r.per_byte_rate;
+  r
+
+let sweep ?seed ?secret_len ?body_len ?tries ?trials ~frame_sizes ~mk_probe ()
+    =
+  List.map
+    (fun frame_size ->
+      run ?seed ?secret_len ?body_len ?tries ?trials ~frame_size
+        ~probe:(mk_probe ~frame_size) ())
+    frame_sizes
+
+let monotone results =
+  let rec ok = function
+    | a :: (b :: _ as rest) ->
+        (* ascending frame size: leakage must not grow with the frame *)
+        b.per_byte_rate <= a.per_byte_rate +. 1e-9
+        && b.capacity_bits <= a.capacity_bits +. 1e-9
+        && ok rest
+    | _ -> true
+  in
+  ok results

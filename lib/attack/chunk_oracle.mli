@@ -1,0 +1,108 @@
+(** CRIME/BREACH-style per-chunk length oracle over the frame layer.
+
+    The whole-buffer API hides compressed length behind one number; the
+    streaming frame layer exposes it per frame, on the wire (ROADMAP
+    open item 1).  This oracle exploits exactly that: the attacker
+    prepends a guess to a plaintext that also carries a secret, the
+    victim compresses it through {!Zipchannel_compress.Frame}, and the
+    attacker reads per-frame [clen]s back.  A correct guess extends an
+    LZ77 match into the secret and the frame holding both shrinks —
+    byte-at-a-time recovery from [clen] deltas alone.
+
+    The probe is abstract ([bytes -> int list]), so the same recovery
+    loop runs in-process ({!local_probe}) or against a live [zc serve]
+    daemon over the loopback (the [zc leak oracle] command).
+
+    Smaller frames leak more: the frame containing guess + secret also
+    contains everything else that fell into its [frame_size] window, and
+    that co-compressed filler is noise on the 1-byte signal.  {!sweep}
+    measures this — recovery rate versus frame size — and checks it
+    against what the {!Zipchannel_obs_leak.Leak_audit.Estimator} predicts
+    from the same probe deltas. *)
+
+(** {1 Probes} *)
+
+type probe = bytes -> int list
+(** A probe compresses the given plaintext through the frame layer and
+    returns the per-frame compressed payload lengths ([clen]s of every
+    data/flush frame, in stream order) — the attacker's observable. *)
+
+val clens_of_stream : bytes -> int list
+(** Parse a complete ZCF1 framed stream and return its data/flush frame
+    [clen]s in order.  Only headers are inspected; payloads are skipped,
+    not decoded.  @raise Invalid_argument on a malformed stream. *)
+
+val local_probe :
+  ?jobs:int -> codec:Zipchannel_compress.Frame.codec -> frame_size:int ->
+  unit -> probe
+(** In-process victim: [Frame.compress] at [frame_size] followed by
+    {!clens_of_stream}. *)
+
+(** {1 The victim} *)
+
+module Victim : sig
+  type t
+  (** A victim document: [secret=<digits>&] plus query-string-like
+      filler (lipsum words and numeric parameters), deterministic from
+      the seed.  The attacker's guess is reflected in front:
+      [plaintext = guess ^ "\n" ^ body]. *)
+
+  val create : ?seed:int -> ?secret_len:int -> ?body_len:int -> unit -> t
+  (** Defaults: seed 7, 8 secret digits, 8 KiB body. *)
+
+  val secret : t -> string
+  val plaintext : t -> guess:string -> bytes
+end
+
+val alphabet : string
+(** Candidate alphabet of secret bytes: the ten digits. *)
+
+(** {1 Recovery} *)
+
+type result = {
+  frame_size : int;
+  secret : string;  (** the first trial's secret *)
+  recovered : string;  (** chained recovery of it (attacker's own prefix) *)
+  per_byte_correct : int;
+      (** positions recovered when probing with the {e true} prefix —
+          the per-position oracle accuracy, independent of error
+          chaining — summed over all trials *)
+  positions : int;  (** total positions probed ([secret_len × trials]) *)
+  probes : int;
+  per_byte_rate : float;  (** [per_byte_correct / positions] *)
+  chained_rate : float;
+      (** mean over trials of exact-prefix length / secret length *)
+  capacity_bits : float;
+      (** Blahut–Arimoto capacity of the observed score-delta channel
+          (bucket = candidate-correct?), bits per probe *)
+  mi_bits : float;  (** plug-in mutual information of the same channel *)
+}
+
+val run :
+  ?seed:int -> ?secret_len:int -> ?body_len:int -> ?tries:int ->
+  ?trials:int -> frame_size:int -> probe:probe -> unit -> result
+(** Byte-at-a-time recovery: for each secret position, probe every
+    candidate digit appended to the known prefix — each probe summed
+    over [tries] (default 8) attacker padding lengths, which dithers
+    deflate's whole-byte rounding until a one-literal saving shows —
+    and pick the candidate with the smallest observed length for the
+    frame holding guess and secret.  Repeated over [trials] (default 1)
+    independent victims derived from [seed].  Score deltas (against the
+    position's best score) feed a two-bucket
+    {!Zipchannel_obs_leak.Leak_audit.Estimator}, whose capacity estimate
+    is reported alongside the measured recovery rate.  Also publishes
+    the [leak.chunk.*] Obs metrics. *)
+
+val sweep :
+  ?seed:int -> ?secret_len:int -> ?body_len:int -> ?tries:int ->
+  ?trials:int -> frame_sizes:int list ->
+  mk_probe:(frame_size:int -> probe) -> unit -> result list
+(** {!run} once per frame size (same seed, hence the same victims), in
+    the given order. *)
+
+val monotone : result list -> bool
+(** Given {!sweep} results sorted by ascending [frame_size]: true iff
+    measured per-byte recovery is non-increasing as frames grow {e and}
+    the capacity estimate ranks the frame sizes consistently with
+    recovery (no strict inversion: capacity never strictly increases
+    where recovery strictly decreases, and vice versa). *)

@@ -26,6 +26,7 @@ module Bigstring = Zipchannel_buf.Bigstring
 module Arena = Zipchannel_buf.Arena
 module Pipeline = Zipchannel_parallel.Pipeline
 module Obs = Zipchannel_obs.Obs
+module Leak_audit = Zipchannel_obs_leak.Leak_audit
 
 type codec = Deflate | Gzip | Bzip2 | Lzw
 
@@ -139,6 +140,11 @@ module Encoder = struct
     mutable crc : Checksum.Crc32.t;
     mutable total : int;
     mutable finished : bool;
+    (* Leak audit plane: [None] unless auditing was enabled when the
+       encoder was created.  Strictly side-band — nothing below reads
+       it to decide what bytes to emit. *)
+    audit : Leak_audit.Stream.t option;
+    mutable frames : int;
   }
 
   let create ?(frame_size = default_frame_size) ~codec ~emit () =
@@ -155,6 +161,11 @@ module Encoder = struct
         crc = Checksum.Crc32.init;
         total = 0;
         finished = false;
+        audit =
+          (if Leak_audit.enabled () then
+             Some (Leak_audit.Stream.create ~codec:(codec_name codec) ())
+           else None);
+        frames = 0;
       }
     in
     let hdr = Arena.big t.arena ~slot:0 header_len in
@@ -168,11 +179,16 @@ module Encoder = struct
      frame lives in arena slot 0, reused across frames. *)
   let emit_frame t ~tag =
     let ulen = t.pending_len in
+    (match t.audit with
+    | Some s when ulen > 0 -> Leak_audit.Stream.note_prefix s t.pending ~len:ulen
+    | _ -> ());
+    let t0 = if t.audit = None then 0 else Obs.now_ns () in
     let payload =
       if ulen = 0 then Bytes.empty
       else if ulen = t.frame_size then compress_chunk t.codec t.pending
       else compress_chunk t.codec (Bytes.sub t.pending 0 ulen)
     in
+    let enc_ns = if t.audit = None then 0 else Obs.now_ns () - t0 in
     let clen = if ulen = 0 then 0 else Bytes.length payload in
     let crc = if clen = 0 then 0 else Checksum.Crc32.digest payload in
     let flen = frame_header_len + clen in
@@ -190,6 +206,14 @@ module Encoder = struct
     Obs.Metrics.add m_enc_bytes_in ulen;
     Obs.Metrics.add m_enc_bytes_out flen;
     Obs.Metrics.observe m_frame_ulen ulen;
+    (match t.audit with
+    | Some s ->
+        let atag =
+          if tag = tag_flush then Leak_audit.Flush else Leak_audit.Data
+        in
+        Leak_audit.Stream.on_frame s ~seq:t.frames ~tag:atag ~ulen ~clen ~enc_ns;
+        t.frames <- t.frames + 1
+    | None -> ());
     t.emit frame ~off:0 ~len:flen
 
   let check_live t op = if t.finished then invalid_arg ("Frame.Encoder." ^ op ^ ": already finished")
@@ -235,6 +259,12 @@ module Encoder = struct
     render_trailer ~total:t.total ~crc:(Checksum.Crc32.value t.crc) tb;
     Bigstring.blit_of_bytes tb ~src_off:0 tr ~dst_off:0 ~len:trailer_len;
     t.finished <- true;
+    (match t.audit with
+    | Some s ->
+        Leak_audit.Stream.on_frame s ~seq:t.frames ~tag:Leak_audit.Trailer
+          ~ulen:0 ~clen:0 ~enc_ns:0;
+        t.frames <- t.frames + 1
+    | None -> ());
     t.emit tr ~off:0 ~len:trailer_len
 end
 
@@ -433,6 +463,17 @@ let compress_stream ?(frame_size = default_frame_size) ?(jobs = 1) ?capacity
   let crc = ref Checksum.Crc32.init in
   let total = ref 0 in
   let eof = ref false in
+  (* Audit: [produce] keys the stream off the first plaintext chunk,
+     workers time their compress call and thread it through the result
+     tuple, and [consume] — which the pipeline runs strictly in
+     production order on the caller's domain — emits the records, so
+     merged audit sequences are identical at any [jobs]. *)
+  let audit =
+    if Leak_audit.enabled () then
+      Some (Leak_audit.Stream.create ~codec:(codec_name codec) ())
+    else None
+  in
+  let frames = ref 0 in
   let produce ~seq =
     if !eof then None
     else begin
@@ -445,6 +486,9 @@ let compress_stream ?(frame_size = default_frame_size) ?(jobs = 1) ?capacity
       done;
       if !got = 0 then None
       else begin
+        (match audit with
+        | Some s when seq = 0 -> Leak_audit.Stream.note_prefix s buf ~len:!got
+        | _ -> ());
         crc := Checksum.Crc32.feed_sub !crc buf ~off:0 ~len:!got;
         total := !total + !got;
         Some (buf, !got)
@@ -452,14 +496,16 @@ let compress_stream ?(frame_size = default_frame_size) ?(jobs = 1) ?capacity
     end
   in
   let work (buf, len) =
+    let t0 = if audit = None then 0 else Obs.now_ns () in
     let payload =
       if len = frame_size then compress_chunk codec buf
       else compress_chunk codec (Bytes.sub buf 0 len)
     in
-    (len, payload, Checksum.Crc32.digest payload)
+    let enc_ns = if audit = None then 0 else Obs.now_ns () - t0 in
+    (len, payload, Checksum.Crc32.digest payload, enc_ns)
   in
   let fh = Bytes.create frame_header_len in
-  let consume ~seq:_ (ulen, payload, pcrc) =
+  let consume ~seq (ulen, payload, pcrc, enc_ns) =
     let clen = Bytes.length payload in
     render_frame_header ~tag:tag_data ~ulen ~clen ~crc:pcrc fh;
     write fh ~off:0 ~len:frame_header_len;
@@ -467,11 +513,22 @@ let compress_stream ?(frame_size = default_frame_size) ?(jobs = 1) ?capacity
     Obs.Metrics.incr m_enc_frames;
     Obs.Metrics.add m_enc_bytes_in ulen;
     Obs.Metrics.add m_enc_bytes_out (frame_header_len + clen);
-    Obs.Metrics.observe m_frame_ulen ulen
+    Obs.Metrics.observe m_frame_ulen ulen;
+    match audit with
+    | Some s ->
+        Leak_audit.Stream.on_frame s ~seq ~tag:Leak_audit.Data ~ulen ~clen
+          ~enc_ns;
+        frames := seq + 1
+    | None -> ()
   in
   Pipeline.run ~jobs ~capacity:slots ~produce ~work ~consume ();
   let tr = Bytes.create trailer_len in
   render_trailer ~total:!total ~crc:(Checksum.Crc32.value !crc) tr;
+  (match audit with
+  | Some s ->
+      Leak_audit.Stream.on_frame s ~seq:!frames ~tag:Leak_audit.Trailer ~ulen:0
+        ~clen:0 ~enc_ns:0
+  | None -> ());
   write tr ~off:0 ~len:trailer_len
 
 let decompress_stream ?(jobs = 1) ?capacity ~read ~write () =

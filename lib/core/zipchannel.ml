@@ -68,6 +68,12 @@ module Obs = Zipchannel_obs.Obs
 (** Observability: process-wide metrics, span tracing, and progress
     reporting wired through every layer above. *)
 
+module Leak_audit = Zipchannel_obs_leak.Leak_audit
+(** The leak observatory: per-frame audit records (lengths, baseline
+    deltas, encode wall time), bounded ring + JSONL sink, and online
+    conditional-histogram / mutual-information / channel-capacity
+    estimators over the frame-length side channel. *)
+
 module Obs_export = Zipchannel_obs_export
 (** Telemetry export and analysis: OTLP/JSON and Prometheus exporters,
     the offline span profiler, the leakage scoreboard, and per-metric

@@ -23,4 +23,5 @@ let () =
       Test_experiments.suite;
       Test_obs.suite;
       Test_obs_export.suite;
+      Test_leak_audit.suite;
     ]
