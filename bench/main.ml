@@ -137,19 +137,78 @@ let mb_string m = Printf.sprintf "%.6g" m
 
 (* One instrumented run of a case, after timing: the metric growth it
    causes, flattened to numeric pairs, plus the leak.* scoreboard derived
-   from that growth.  Metrics are only enabled for the duration, so the
-   timed runs above see the disabled fast path. *)
+   from that growth, plus the GC/allocation cost of the run (runtime.* —
+   timing-coupled, classed "ignore" by the thresholds files).  Metrics
+   are only enabled for the duration, so the timed runs above see the
+   disabled fast path. *)
 let case_metrics name =
   match List.find_opt (fun (n, _, _) -> n = name) bench_cases with
   | None -> []
   | Some (_, _, fn) ->
       Obs.set_enabled true;
       let before = Obs.Metrics.snapshot () in
+      let gc0 = Gc.quick_stat () in
       fn ();
+      let gc1 = Gc.quick_stat () in
       let after = Obs.Metrics.snapshot () in
       Obs.set_enabled false;
       let d = Obs.Metrics.delta ~before ~after in
-      Obs.Metrics.flat_pairs d @ Obs_export.Leak.derive d
+      let word_mb w = w *. float_of_int (Sys.word_size / 8) /. 1e6 in
+      let runtime =
+        [
+          ( "runtime.minor_collections",
+            float_of_int (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+          );
+          ( "runtime.major_collections",
+            float_of_int (gc1.Gc.major_collections - gc0.Gc.major_collections)
+          );
+          ( "runtime.alloc_mb",
+            word_mb
+              (gc1.Gc.minor_words -. gc0.Gc.minor_words
+              +. (gc1.Gc.major_words -. gc0.Gc.major_words)
+              -. (gc1.Gc.promoted_words -. gc0.Gc.promoted_words)) );
+          ( "runtime.promoted_words",
+            gc1.Gc.promoted_words -. gc0.Gc.promoted_words );
+        ]
+      in
+      Obs.Metrics.flat_pairs d @ Obs_export.Leak.derive d @ runtime
+
+(* Sampled wall-clock profile of a case: loop it for ~80 ms under the
+   Obs_prof ticker and report the folded stacks.  The ticker runs only
+   inside this window, never during the Bechamel timed loops — a 5 kHz
+   sampling domain triples a 240 ns cache-probe round, so sampling the
+   measured phase would commit a measurement artifact as the baseline.
+   (Side-band means byte-identical output, which the test suite pins;
+   wall-clock neutrality on sub-microsecond loops is physically out of
+   reach for any concurrent domain.)  Obs metrics stay disabled, so the
+   per-case metric deltas above are never polluted by the profiled
+   loop. *)
+let profile_budget_ns = 80_000_000
+
+let case_profile name =
+  match List.find_opt (fun (n, _, _) -> n = name) bench_cases with
+  | None -> None
+  | Some (_, _, fn) ->
+      Obs_prof.reset ();
+      Obs_prof.start ~interval_us:200 ();
+      let t0 = Obs.now_ns () in
+      let iters = ref 0 in
+      while !iters < 3 || (Obs.now_ns () - t0 < profile_budget_ns && !iters < 10_000)
+      do
+        fn ();
+        incr iters
+      done;
+      Obs_prof.stop ();
+      let r = Obs_prof.report () in
+      if r.Obs_prof.total_samples = 0 then None else Some r
+
+type result = {
+  r_name : string;
+  r_ns : float;
+  r_bytes : int;
+  r_metrics : (string * float) list;
+  r_profile : Obs_prof.report option;
+}
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -204,7 +263,14 @@ let run_bench ?(only = []) () =
                 | Some m -> [ ("bench.mb_per_s", m) ]
                 | None -> [])
             in
-            Some (name, ns, bytes, case_metrics name @ throughput)
+            Some
+              {
+                r_name = name;
+                r_ns = ns;
+                r_bytes = bytes;
+                r_metrics = case_metrics name @ throughput;
+                r_profile = case_profile name;
+              }
             end)
           (Test.elements test))
       bench_tests
@@ -217,17 +283,18 @@ let run_bench ?(only = []) () =
    the suite exists to defend, not inter-run drift — so they gate every
    run, not just --compare runs. *)
 let check_invariants results =
-  let find name = List.find_opt (fun (n, _, _, _) -> n = name) results in
+  let find name = List.find_opt (fun r -> r.r_name = name) results in
   let ns name =
     match find name with
-    | Some (_, ns, _, _) when (not (Float.is_nan ns)) && ns > 0.0 -> Some ns
+    | Some { r_ns; _ } when (not (Float.is_nan r_ns)) && r_ns > 0.0 ->
+        Some r_ns
     | _ -> None
   in
   let per_byte name =
     match find name with
-    | Some (_, ns, bytes, _)
-      when bytes > 0 && (not (Float.is_nan ns)) && ns > 0.0 ->
-        Some (ns /. float_of_int bytes)
+    | Some { r_ns; r_bytes; _ }
+      when r_bytes > 0 && (not (Float.is_nan r_ns)) && r_ns > 0.0 ->
+        Some (r_ns /. float_of_int r_bytes)
     | _ -> None
   in
   let failures = ref [] in
@@ -299,7 +366,8 @@ let write_bench_json results =
   let oc = open_out path in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, ns, bytes, metrics) ->
+    (fun i { r_name = name; r_ns = ns; r_bytes = bytes; r_metrics = metrics;
+             r_profile } ->
       let throughput_json =
         if bytes <= 0 then ""
         else
@@ -320,14 +388,41 @@ let write_bench_json results =
                         (metric_number v))
                     pairs))
       in
-      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s%s}%s\n"
+      let profile_json =
+        match r_profile with
+        | None -> ""
+        | Some (p : Obs_prof.report) ->
+            Printf.sprintf ", \"profile\": {\"samples\": %d, \"self\": {%s}}"
+              p.Obs_prof.total_samples
+              (String.concat ", "
+                 (List.map
+                    (fun (span, self, total) ->
+                      Printf.sprintf "\"%s\": [%d, %d]" (json_escape span)
+                        self total)
+                    p.Obs_prof.self))
+      in
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s%s%s}%s\n"
         (json_escape name)
         (if Float.is_nan ns then -1.0 else ns)
-        throughput_json metrics_json
+        throughput_json metrics_json profile_json
         (if i < List.length results - 1 then "," else ""))
     results;
   output_string oc "]\n";
   close_out oc;
+  Format.fprintf ppf "wrote %s@." path
+
+(* The folded-stack artifact (--folded): one [case;domain-<d>;spans N]
+   line per sampled stack, across every case that produced samples —
+   flamegraph tooling input, uploaded by CI. *)
+let write_folded path results =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      match r.r_profile with
+      | Some p -> Buffer.add_string b (Obs_prof.folded_lines ~prefix:r.r_name p)
+      | None -> ())
+    results;
+  Obs_export.Sink.atomic_write ~path (Buffer.contents b);
   Format.fprintf ppf "wrote %s@." path
 
 (* A BENCH_<n>.json snapshot: an array of {"name", "ns_per_run",
@@ -365,7 +460,22 @@ let read_bench_json path =
                       pairs
                 | _ -> []
               in
-              Some (name, ns, metrics)
+              (* Sampled self-time table, for --compare forensics. *)
+              let profile_self =
+                match Option.bind (J.member "profile" e) (J.member "self") with
+                | Some (J.Obj pairs) ->
+                    List.filter_map
+                      (fun (span, v) ->
+                        match v with
+                        | J.Arr (self :: _) ->
+                            Option.map
+                              (fun s -> (span, int_of_float s))
+                              (J.to_num self)
+                        | _ -> None)
+                      pairs
+                | _ -> []
+              in
+              Some (name, ns, metrics, profile_self)
           | _ -> None)
         entries
   | _ | (exception J.Parse_error _) ->
@@ -387,14 +497,14 @@ let compare_bench ~rules ~baseline results =
   let regressed = ref [] in
   let push rs = regressed := !regressed @ rs in
   List.iter
-    (fun (name, ns, _bytes, metrics) ->
+    (fun { r_name = name; r_ns = ns; r_metrics = metrics; r_profile; _ } ->
       match
-        List.find_opt (fun (n, _, _) -> n = name) base
+        List.find_opt (fun (n, _, _, _) -> n = name) base
       with
       | None ->
           Format.fprintf ppf "  %-32s %12s %12.0f %9s %8s@." name "-" ns "new"
             "-"
-      | Some (_, b, base_metrics) ->
+      | Some (_, b, base_metrics, base_profile) ->
           let checked =
             Gate.compare_metrics rules ~bench:name ~baseline:base_metrics
               ~current:metrics
@@ -411,7 +521,31 @@ let compare_bench ~rules ~baseline results =
             Format.fprintf ppf "  %-32s %12.0f %12.0f %8.2fx %8s@." name b ns
               (b /. ns) metrics_cell;
             Option.iter
-              (fun r -> push [ r ])
+              (fun r ->
+                push [ r ];
+                (* Forensics: when the wall-time gate fires, name the
+                   spans whose sampled self-time share moved most. *)
+                let cur_profile =
+                  match r_profile with
+                  | Some (p : Obs_prof.report) ->
+                      List.map (fun (s, self, _) -> (s, self)) p.Obs_prof.self
+                  | None -> []
+                in
+                let movers =
+                  Gate.profile_movers ~baseline:base_profile
+                    ~current:cur_profile
+                in
+                (match movers with
+                | [] ->
+                    Format.fprintf ppf
+                      "  FORENSICS %s: no sampled profile on one side@." name
+                | _ ->
+                    List.iteri
+                      (fun i m ->
+                        if i < 3 then
+                          Format.fprintf ppf "  FORENSICS %s: %a@." name
+                            Gate.pp_mover m)
+                      movers))
               (Gate.check_ns rules ~bench:name ~baseline:b ~current:ns)
           end;
           push checked)
@@ -441,13 +575,14 @@ let summarize outcomes =
 let usage () =
   prerr_endline
     "usage: main.exe [e1..e18|bench [--json] [--only a,b,...] [--compare \
-     BENCH_n.json] [--thresholds FILE.json]]";
+     BENCH_n.json] [--thresholds FILE.json] [--folded FILE.folded]]";
   exit 1
 
 let run_bench_cli rest =
   let json = ref false
   and only = ref []
   and compare = ref None
+  and folded = ref None
   and thresholds = ref None in
   let rec parse = function
     | [] -> ()
@@ -459,6 +594,9 @@ let run_bench_cli rest =
         parse rest
     | "--compare" :: path :: rest ->
         compare := Some path;
+        parse rest
+    | "--folded" :: path :: rest ->
+        folded := Some path;
         parse rest
     | "--thresholds" :: path :: rest ->
         thresholds := Some path;
@@ -482,6 +620,7 @@ let run_bench_cli rest =
   let results = run_bench ~only:(List.filter (( <> ) "") !only) () in
   check_invariants results;
   if !json then write_bench_json results;
+  Option.iter (fun path -> write_folded path results) !folded;
   match !compare with
   | Some baseline -> compare_bench ~rules ~baseline results
   | None -> ()

@@ -15,10 +15,8 @@ let setup metrics trace trace_otlp progress =
           | "-" ->
               Format.eprintf "-- metrics --@.%a@?" Obs.Metrics.pp_snapshot snap
           | path ->
-              let oc = open_out path in
-              output_string oc (Obs.Metrics.snapshot_to_json snap);
-              output_char oc '\n';
-              close_out oc));
+              Zipchannel.Obs_export.Sink.atomic_write ~path
+                (Obs.Metrics.snapshot_to_json snap ^ "\n")));
   (* --trace and --trace-otlp compose: with both, one Custom sink feeds
      the OTLP collector and tees the --trace output per event. *)
   (match (trace, trace_otlp) with
@@ -63,11 +61,20 @@ let setup metrics trace trace_otlp progress =
       at_exit (fun () ->
           Obs.Trace.set_sink Obs.Trace.Null;
           close_tee ();
-          let oc = open_out otlp_path in
-          output_string oc (Zipchannel.Obs_export.Json.to_string (drain ()));
-          output_char oc '\n';
-          close_out oc));
-  if progress then Obs.Progress.set_enabled true
+          Zipchannel.Obs_export.Sink.atomic_write ~path:otlp_path
+            (Zipchannel.Obs_export.Json.to_string (drain ()) ^ "\n")));
+  if progress then begin
+    Obs.Progress.set_enabled true;
+    (* ANSI line rewriting only on an interactive stderr that hasn't
+       opted out; campaign logs and piped runs get plain greppable
+       lines. *)
+    let no_color =
+      match Sys.getenv_opt "NO_COLOR" with Some "" | None -> false | Some _ -> true
+    in
+    if (not no_color) && Unix.isatty Unix.stderr then
+      Obs.Progress.set_style Obs.Progress.Ansi
+    else Obs.Progress.set_style Obs.Progress.Plain
+  end
 
 (* Evaluates to () for the command term; wiring happens as a side effect
    while cmdliner evaluates the arguments, i.e. before the command body

@@ -15,6 +15,7 @@
 
 module Frame = Zipchannel.Frame
 module Obs = Zipchannel.Obs
+module Obs_prof = Zipchannel.Obs_prof
 module Leak_audit = Zipchannel.Leak_audit
 
 let m_conns = Obs.Metrics.counter "serve.connections"
@@ -340,6 +341,28 @@ let http_response ~content_type body =
 let http_not_found =
   "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
 
+let started_ns = ref 0
+
+let healthz_body () =
+  Mutex.lock active_mu;
+  let active_now = !active in
+  Mutex.unlock active_mu;
+  Printf.sprintf
+    "{\"status\": \"ok\", \"uptime_s\": %.1f, \"active_connections\": %d, \
+     \"connections_total\": %d}"
+    (float_of_int (Obs.now_ns () - !started_ns) /. 1e9)
+    active_now
+    (Obs.Metrics.counter_value m_conns)
+
+let buildinfo_body =
+  lazy
+    (Printf.sprintf
+       "{\"name\": \"zipchannel\", \"ocaml\": \"%s\", \"word_size\": %d, \
+        \"os_type\": \"%s\", \"max_frame_size\": %d, \"codecs\": [%s]}"
+       Sys.ocaml_version Sys.word_size Sys.os_type Frame.max_frame_size
+       (String.concat ", "
+          (List.map (fun n -> "\"" ^ n ^ "\"") Frame.codec_names)))
+
 let handle_metrics_conn fd =
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
@@ -372,6 +395,11 @@ let handle_metrics_conn fd =
       | "/metrics.json" ->
           http_response ~content_type:"application/json"
             (Obs.Metrics.snapshot_to_json (Obs.Metrics.snapshot ()))
+      | "/healthz" ->
+          http_response ~content_type:"application/json" (healthz_body ())
+      | "/buildinfo" ->
+          http_response ~content_type:"application/json"
+            (Lazy.force buildinfo_body)
       | _ -> http_not_found
     in
     let b = Bytes.of_string resp in
@@ -389,14 +417,22 @@ let listener port =
 
 let serve ?(max_conns = 64) ?audit ~port ~metrics_port ~jobs () =
   Obs.set_enabled true;
-  let audit_oc =
+  started_ns := Obs.now_ns ();
+  (* Always-on runtime observatory: the sampler domain ticks at 1 kHz,
+     feeding prof.self.* span shares and the runtime.* GC plane into the
+     same registry the metrics listener exports. *)
+  Obs_prof.start ();
+  let audit_commit =
     match audit with
     | None -> None
     | Some path ->
-        let oc = open_out path in
+        (* Write-through a .tmp sibling, renamed into place on clean
+           shutdown, so a crash mid-stream never leaves a truncated
+           file at the published path. *)
+        let oc, commit = Zipchannel.Obs_export.Sink.open_atomic ~path in
         Leak_audit.set_enabled true;
         Leak_audit.set_sink (Leak_audit.Jsonl oc);
-        Some oc
+        Some commit
   in
   stop := false;
   let on_signal _ = stop := true in
@@ -456,11 +492,12 @@ let serve ?(max_conns = 64) ?audit ~port ~metrics_port ~jobs () =
   (try Unix.close data_sock with Unix.Unix_error _ -> ());
   (try Unix.close metrics_sock with Unix.Unix_error _ -> ());
   List.iter Thread.join !threads;
-  (match audit_oc with
-  | Some oc ->
+  Obs_prof.stop ();
+  (match audit_commit with
+  | Some commit ->
       Leak_audit.publish_estimate ();
       Leak_audit.set_sink Leak_audit.Null;
-      close_out oc
+      commit ()
   | None -> ());
   Printf.printf "zc serve: %d connection(s) served, shutting down\n%!"
     (Obs.Metrics.counter_value m_conns)
@@ -522,3 +559,62 @@ let request_compress ~connect ~codec ~frame_size payload =
           in
           Thread.join uploader;
           result)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal HTTP GET against the daemon's metrics listener — what
+   [zc obs top --connect] polls.  Returns the response body of a 200. *)
+
+let find_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = if i + n > m then None
+    else if String.sub s i n = sub then Some i else go (i + 1) in
+  go 0
+
+let http_get ~connect ~path =
+  match parse_host_port connect with
+  | Error _ as e -> e
+  | Ok (host, port) -> (
+      match resolve host port with
+      | Error _ as e -> e
+      | Ok addr -> (
+          try
+            let fd =
+              Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+            @@ fun () ->
+            Unix.connect fd addr;
+            let req =
+              Printf.sprintf
+                "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+                path host
+            in
+            let b = Bytes.of_string req in
+            write_all fd b ~off:0 ~len:(Bytes.length b);
+            let acc = Buffer.create 4096 in
+            let buf = Bytes.create 65536 in
+            let rec drain () =
+              let n = Unix.read fd buf 0 (Bytes.length buf) in
+              if n > 0 then begin
+                Buffer.add_subbytes acc buf 0 n;
+                drain ()
+              end
+            in
+            drain ();
+            let resp = Buffer.contents acc in
+            match find_sub ~sub:"\r\n\r\n" resp with
+            | None -> Error "malformed HTTP response"
+            | Some i ->
+                let body =
+                  String.sub resp (i + 4) (String.length resp - i - 4)
+                in
+                let status =
+                  match String.split_on_char ' ' resp with
+                  | _http :: code :: _ -> code
+                  | _ -> "?"
+                in
+                if status = "200" then Ok body
+                else Error (Printf.sprintf "HTTP %s from %s" status path)
+          with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)))

@@ -576,6 +576,82 @@ let obs_profile folded inputs =
       `Ok ()
   | exception (E.Json.Parse_error msg | Failure msg) -> `Error (false, msg)
 
+(* [zc obs top]: the runtime observatory view — hottest sampled spans,
+   runtime.* GC gauges, leak capacity and serve rates.  Polls a daemon's
+   /metrics.json when --connect is given; otherwise samples an
+   in-process synthetic compression workload. *)
+let obs_top connect once json_out interval duration =
+  let module E = Obs_export in
+  let emit v =
+    if json_out then print_endline (E.Top.to_json v)
+    else print_string (E.Top.render v);
+    flush stdout
+  in
+  match connect with
+  | None ->
+      (* In-process: run framed compression under the sampler for the
+         requested window, then show what it saw. *)
+      let window = if duration > 0. then duration else 1.0 in
+      Obs.set_enabled true;
+      Obs_prof.reset ();
+      Obs_prof.start ();
+      let prng = Util.Prng.create ~seed:9 () in
+      let data =
+        Bytes.of_string (Util.Lipsum.repetitive_file prng ~level:4 ~size:262_144)
+      in
+      let t0 = Obs.now_ns () in
+      while float_of_int (Obs.now_ns () - t0) /. 1e9 < window do
+        ignore (Frame.compress ~codec:Frame.Deflate data)
+      done;
+      Obs_prof.stop ();
+      let snap = Obs.Metrics.snapshot () in
+      Obs.set_enabled false;
+      emit (E.Top.of_snapshot snap);
+      `Ok ()
+  | Some addr -> (
+      let fetch () =
+        match Serve.http_get ~connect:addr ~path:"/metrics.json" with
+        | Error _ as e -> e
+        | Ok body -> (
+            match E.Snapshot_io.of_string body with
+            | snap -> Ok snap
+            | exception (E.Json.Parse_error msg | Failure msg) ->
+                Error (addr ^ ": bad /metrics.json: " ^ msg))
+      in
+      if once then
+        match fetch () with
+        | Error e -> `Error (false, e)
+        | Ok snap ->
+            emit (E.Top.of_snapshot snap);
+            `Ok ()
+      else begin
+        (* Live view: redraw every interval; ANSI screen clearing only
+           on an interactive stdout that hasn't opted out. *)
+        let ansi =
+          (match Sys.getenv_opt "NO_COLOR" with
+          | Some "" | None -> true
+          | Some _ -> false)
+          && Unix.isatty Unix.stdout
+        in
+        let t0 = Obs.now_ns () in
+        let expired () =
+          duration > 0. && float_of_int (Obs.now_ns () - t0) /. 1e9 >= duration
+        in
+        let rec loop prev =
+          match fetch () with
+          | Error e -> `Error (false, e)
+          | Ok snap ->
+              if ansi then print_string "\x1b[2J\x1b[H";
+              emit (E.Top.of_snapshot ?prev ~dt_s:interval snap);
+              if expired () then `Ok ()
+              else begin
+                Unix.sleepf interval;
+                loop (Some snap)
+              end
+        in
+        loop None
+      end)
+
 let obs_cmd =
   let out_opt =
     Arg.(
@@ -628,9 +704,56 @@ let obs_cmd =
             total/self wall time, p50/p95/max, sorted by self time")
       Term.(ret (const obs_profile $ folded $ inputs))
   in
+  let top =
+    let connect =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "connect" ] ~docv:"HOST:PORT"
+            ~doc:
+              "Poll a running $(b,zc serve) daemon's metrics listener \
+               instead of sampling an in-process workload.")
+    in
+    let once =
+      Arg.(
+        value & flag
+        & info [ "once" ]
+            ~doc:
+              "Print one snapshot and exit (machine mode; no screen \
+               rewriting).")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ] ~doc:"Emit the view as one JSON object per frame.")
+    in
+    let interval =
+      Arg.(
+        value & opt float 2.0
+        & info [ "interval" ] ~docv:"SECONDS"
+            ~doc:"Refresh period of the live view.")
+    in
+    let duration =
+      Arg.(
+        value & opt float 0.
+        & info [ "duration" ] ~docv:"SECONDS"
+            ~doc:
+              "Stop after $(docv) (0: live view runs until interrupted; \
+               the in-process workload samples for 1s).")
+    in
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:
+           "Live runtime observatory: hottest sampled spans, runtime.* GC \
+            and allocation gauges, leak.* channel capacity and serve.* \
+            rates, from a daemon's /metrics.json or an in-process sampled \
+            run")
+      Term.(
+        ret (const obs_top $ connect $ once $ json $ interval $ duration))
+  in
   Cmd.group
-    (Cmd.info "obs" ~doc:"Telemetry export and profiling")
-    [ export; profile ]
+    (Cmd.info "obs" ~doc:"Telemetry export, profiling, and the live top view")
+    [ export; profile; top ]
 
 let cmd =
   Cmd.group

@@ -68,6 +68,11 @@ module Obs = Zipchannel_obs.Obs
 (** Observability: process-wide metrics, span tracing, and progress
     reporting wired through every layer above. *)
 
+module Obs_prof = Zipchannel_obs_prof.Obs_prof
+(** Runtime observatory: always-on sampling wall-clock profiler over
+    the {!Obs.Prof} publication slots, plus the [runtime.*] GC and
+    allocation telemetry plane derived from [Gc.quick_stat] deltas. *)
+
 module Leak_audit = Zipchannel_obs_leak.Leak_audit
 (** The leak observatory: per-frame audit records (lengths, baseline
     deltas, encode wall time), bounded ring + JSONL sink, and online

@@ -338,6 +338,60 @@ module Metrics = struct
         s.histograms
 end
 
+(* ------------------------------------------------------------------ *)
+(* Sampling-profiler publication plane.
+
+   [with_span] additionally publishes the current leaf span *path*
+   ("outer;inner") into a per-domain atomic slot whenever publication is
+   on.  The path string for a span is built once at push (an allocation
+   only the profiled runs pay), kept on a per-domain DLS stack, and the
+   slot write itself is a single [Atomic.set] — so a concurrent ticker
+   thread (lib/obs_prof) can sample every slot without stopping, locking
+   or otherwise observing the instrumented domains.  Slot index aliases
+   exactly like the metric shards (domain id mod slot count); a sample
+   attributes to whichever domain wrote its slot last, which is the
+   usual sampling-profiler approximation. *)
+
+module Prof = struct
+  let flag = Atomic.make false
+
+  let slot_count = shards
+
+  let slots = Array.init shards (fun _ -> Atomic.make "")
+
+  let stack_key : string list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let publishing () = Atomic.get flag
+
+  let set_publishing b =
+    Atomic.set flag b;
+    (* Turning publication off wipes the slots so a later sampler run
+       does not attribute time to spans long since finished. *)
+    if not b then Array.iter (fun s -> Atomic.set s "") slots
+
+  let slot () = shard_index ()
+
+  let current_paths () = Array.map Atomic.get slots
+
+  let current_path () = Atomic.get slots.(shard_index ())
+
+  let push name =
+    let st = Domain.DLS.get stack_key in
+    let path = match !st with [] -> name | p :: _ -> p ^ ";" ^ name in
+    st := path :: !st;
+    Atomic.set slots.(shard_index ()) path
+
+  let pop () =
+    let st = Domain.DLS.get stack_key in
+    match !st with
+    | [] -> ()
+    | _ :: rest ->
+        st := rest;
+        Atomic.set slots.(shard_index ())
+          (match rest with [] -> "" | p :: _ -> p)
+end
+
 module Trace = struct
   type span_event = {
     phase : [ `Begin | `End ];
@@ -432,12 +486,16 @@ let emit_custom cb ev =
     (fun () -> cb ev)
 
 let with_span ?(attrs = []) name f =
+  (* Captured once: if sampling is toggled mid-span the pop below must
+     mirror whatever the push did. *)
+  let sampled = Atomic.get Prof.flag in
   match Atomic.get Trace.current with
-  | Null -> f ()
+  | Null when not sampled -> f ()
   | sink ->
     let depth = Domain.DLS.get span_depth_key in
     let d = !depth in
     depth := d + 1;
+    if sampled then Prof.push name;
     let domain = (Domain.self () :> int) in
     let t0 = now_ns () in
     let event phase ts_ns dur_ns =
@@ -450,6 +508,7 @@ let with_span ?(attrs = []) name f =
     let finish () =
       let dur = now_ns () - t0 in
       depth := d;
+      if sampled then Prof.pop ();
       match sink with
       | Jsonl oc ->
         emit_line oc (Trace.jsonl_of_event (event `End (now_ns ()) dur))
@@ -466,6 +525,22 @@ module Progress = struct
   let flag = Atomic.make false
   let set_enabled b = Atomic.set flag b
   let enabled () = Atomic.get flag
+
+  (* [Plain] (the default) appends one newline-terminated line per
+     report — safe for pipes, log files and grep.  [Ansi] rewrites a
+     single status line in place with CR + erase-line; the CLIs select
+     it only when stderr is a tty and NO_COLOR is unset, so campaign
+     logs stay line-oriented. *)
+  type style = Plain | Ansi
+
+  let style_slot = Atomic.make Plain
+  let set_style s = Atomic.set style_slot s
+  let style () = Atomic.get style_slot
+
+  let styled_line ~style line =
+    match style with
+    | Plain -> line ^ "\n"
+    | Ansi -> "\r\x1b[2K" ^ line
 
   type t = {
     label : string;
@@ -503,9 +578,14 @@ module Progress = struct
       else base
 
   let emit t =
-    emit_line stderr
-      (render ~label:t.label ~count:t.count ~total:t.total
-         ~elapsed_ns:(now_ns () - t.start))
+    let line =
+      render ~label:t.label ~count:t.count ~total:t.total
+        ~elapsed_ns:(now_ns () - t.start)
+    in
+    Mutex.lock Trace.emit_lock;
+    output_string stderr (styled_line ~style:(style ()) line);
+    flush stderr;
+    Mutex.unlock Trace.emit_lock
 
   let step ?(delta = 1) t =
     if Atomic.get flag then begin
@@ -517,5 +597,16 @@ module Progress = struct
       end
     end
 
-  let finish t = if Atomic.get flag then emit t
+  let finish t =
+    if Atomic.get flag then begin
+      emit t;
+      (* The in-place Ansi status line needs a final newline so whatever
+         prints next starts on a fresh line. *)
+      if style () = Ansi then begin
+        Mutex.lock Trace.emit_lock;
+        output_string stderr "\n";
+        flush stderr;
+        Mutex.unlock Trace.emit_lock
+      end
+    end
 end

@@ -108,6 +108,38 @@ module Metrics : sig
       [name.count]/[name.sum]), for embedding in bench JSON. *)
 end
 
+module Prof : sig
+  (** Publication plane for the side-band sampling profiler
+      ({!Zipchannel_obs_prof.Obs_prof}).  When publishing is on,
+      {!with_span} additionally writes the current span {e path}
+      ("outer;inner") into this domain's atomic slot on every span
+      push/pop — one [Atomic.set] per transition, no locks — so a ticker
+      thread can sample all slots at any rate without perturbing the
+      instrumented code.  With publishing off the cost added to
+      {!with_span} is one atomic load. *)
+
+  val set_publishing : bool -> unit
+  (** Turn slot publication on or off (default: off).  Turning it off
+      clears every slot. *)
+
+  val publishing : unit -> bool
+
+  val slot_count : int
+  (** Number of slots; domains alias into them exactly like the metric
+      shards (domain id mod slot count). *)
+
+  val slot : unit -> int
+  (** The calling domain's slot index. *)
+
+  val current_paths : unit -> string array
+  (** One entry per slot: the ";"-joined span path last published by a
+      domain mapping there, or [""] when that domain is outside any
+      span.  This is what the sampler reads each tick. *)
+
+  val current_path : unit -> string
+  (** The calling domain's own slot (tests and single-domain callers). *)
+end
+
 module Trace : sig
   type span_event = {
     phase : [ `Begin | `End ];
@@ -161,6 +193,23 @@ module Progress : sig
 
   val set_enabled : bool -> unit
   val enabled : unit -> bool
+
+  type style =
+    | Plain  (** one full line per report — greppable logs, [NO_COLOR],
+                 non-tty stderr *)
+    | Ansi  (** carriage-return + erase-line rewriting of a single
+                status line (interactive terminals) *)
+
+  val set_style : style -> unit
+  (** Default: [Plain].  CLIs should select [Ansi] only when stderr is a
+      tty and [NO_COLOR] is unset. *)
+
+  val style : unit -> style
+
+  val styled_line : style:style -> string -> string
+  (** The exact bytes written for one progress report of [line] under
+      [style] (exposed for tests): [Plain] appends a newline, [Ansi]
+      prefixes ["\r\x1b[2K"] with no newline. *)
 
   type t
 

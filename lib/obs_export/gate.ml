@@ -196,3 +196,38 @@ let pp_regression ppf r =
   else
     Format.fprintf ppf "%s: %s %g -> %g (%+.2f%%, allowed %a)" r.bench r.metric
       r.baseline r.current r.change_pct pp_klass r.allowed
+
+type mover = {
+  span : string;
+  baseline_share : float;
+  current_share : float;
+  delta_pt : float;
+}
+
+let profile_movers ~baseline ~current =
+  let total l = List.fold_left (fun acc (_, n) -> acc + n) 0 l in
+  let bt = total baseline and ct = total current in
+  if bt = 0 || ct = 0 then []
+  else begin
+    let share total n = 100. *. float_of_int n /. float_of_int total in
+    let names = Hashtbl.create 32 in
+    List.iter (fun (n, _) -> Hashtbl.replace names n ()) baseline;
+    List.iter (fun (n, _) -> Hashtbl.replace names n ()) current;
+    let count l name =
+      match List.assoc_opt name l with Some n -> n | None -> 0
+    in
+    Hashtbl.fold
+      (fun name () acc ->
+        let b = share bt (count baseline name)
+        and c = share ct (count current name) in
+        { span = name; baseline_share = b; current_share = c; delta_pt = c -. b }
+        :: acc)
+      names []
+    |> List.sort (fun a b ->
+           let da = Float.abs a.delta_pt and db = Float.abs b.delta_pt in
+           if da <> db then compare db da else compare a.span b.span)
+  end
+
+let pp_mover ppf m =
+  Format.fprintf ppf "span %s self-share %.1f%% -> %.1f%% (%+.1fpt)" m.span
+    m.baseline_share m.current_share m.delta_pt

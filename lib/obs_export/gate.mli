@@ -65,3 +65,24 @@ val check_ns :
   rules -> bench:string -> baseline:float -> current:float -> regression option
 
 val pp_regression : Format.formatter -> regression -> unit
+
+type mover = {
+  span : string;
+  baseline_share : float;  (** self-time share in the baseline run, % *)
+  current_share : float;  (** self-time share in the current run, % *)
+  delta_pt : float;  (** [current_share -. baseline_share], points *)
+}
+
+val profile_movers :
+  baseline:(string * int) list ->
+  current:(string * int) list ->
+  mover list
+(** Forensics for a fired [ns_per_run] gate: given per-span self-sample
+    counts from the baseline and current sampled profiles, normalise
+    each side to self-time shares and rank spans by absolute share
+    movement (descending; ties by name).  Spans present on only one
+    side count as 0% on the other.  Empty when either profile has no
+    samples. *)
+
+val pp_mover : Format.formatter -> mover -> unit
+(** [span deflate.compress self-share 31.0% -> 52.4% (+21.4pt)]. *)

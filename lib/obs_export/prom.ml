@@ -10,6 +10,34 @@ let sanitize name =
 
 let metric_name name = "zipchannel_" ^ sanitize name
 
+let label_name name =
+  let s = sanitize name in
+  if s = "" then "_"
+  else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let num v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
@@ -20,18 +48,21 @@ let exposition (s : Metrics.snapshot) =
   List.iter
     (fun (name, v) ->
       let n = metric_name name ^ "_total" in
+      line "# HELP %s %s" n (escape_help name);
       line "# TYPE %s counter" n;
       line "%s %d" n v)
     s.counters;
   List.iter
     (fun (name, v) ->
       let n = metric_name name in
+      line "# HELP %s %s" n (escape_help name);
       line "# TYPE %s gauge" n;
       line "%s %s" n (num v))
     s.gauges;
   List.iter
     (fun (name, (hs : Metrics.histogram_snapshot)) ->
       let n = metric_name name in
+      line "# HELP %s %s" n (escape_help name);
       line "# TYPE %s histogram" n;
       (* Log2 bucket b counts v <= 2^b, so the cumulative count up to
          bucket b is exactly the classic-histogram count for le = 2^b. *)

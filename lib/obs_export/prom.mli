@@ -9,4 +9,14 @@ val sanitize : string -> string
 val metric_name : string -> string
 (** [metric_name "taint.gadget_hits"] is ["zipchannel_taint_gadget_hits"]. *)
 
+val label_name : string -> string
+(** {!sanitize}, then guarantees a valid label name: never empty, never
+    starting with a digit (prefixed [_] if it would). *)
+
+val escape_help : string -> string
+(** Escape a [# HELP] text per the exposition format: [\\] and newline. *)
+
+val escape_label_value : string -> string
+(** Escape a label value: [\\], newline, and the double quote. *)
+
 val exposition : Zipchannel_obs.Obs.Metrics.snapshot -> string

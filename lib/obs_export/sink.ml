@@ -1,0 +1,29 @@
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    ensure_dir (Filename.dirname dir);
+    (* A concurrent writer may have created it between the check and
+       here; only re-raise when the directory still doesn't exist. *)
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let ensure_parent_dir path = ensure_dir (Filename.dirname path)
+
+let atomic_write ~path content =
+  ensure_parent_dir path;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let open_atomic ~path =
+  ensure_parent_dir path;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  let commit () =
+    close_out oc;
+    Sys.rename tmp path
+  in
+  (oc, commit)

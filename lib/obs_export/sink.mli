@@ -1,0 +1,24 @@
+(** Crash-safe file sinks for telemetry artifacts.
+
+    [--metrics=PATH], [--audit=PATH] and the OTLP dump used to write
+    their destination in place, so a crash (or SIGKILL) mid-write left
+    a truncated, unparseable JSON file.  Everything here writes to
+    [PATH ^ ".tmp"] and renames over the destination — on POSIX the
+    rename is atomic, so readers only ever see the previous complete
+    snapshot or the new one — and creates missing parent directories
+    first. *)
+
+val ensure_parent_dir : string -> unit
+(** Create the missing ancestors of [path]'s directory (like
+    [mkdir -p (dirname path)]).  No-op when they exist. *)
+
+val atomic_write : path:string -> string -> unit
+(** Write [content] to [path ^ ".tmp"], flush, and rename onto [path].
+    Creates missing parent directories. *)
+
+val open_atomic : path:string -> out_channel * (unit -> unit)
+(** [open_atomic ~path] opens [path ^ ".tmp"] for writing (creating
+    parent directories) and returns the channel plus a [commit]
+    function that closes it and renames it onto [path].  For streaming
+    sinks (audit JSONL) that want the same only-ever-complete-files
+    guarantee on clean shutdown. *)

@@ -1,0 +1,154 @@
+module Metrics = Zipchannel_obs.Obs.Metrics
+
+type row = { name : string; value : float; rate : float option }
+
+type view = {
+  samples : int;
+  spans : (string * int * float) list;
+  runtime : row list;
+  leak : row list;
+  serve : row list;
+}
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let self_prefix = "prof.self."
+
+let of_snapshot ?prev ?(dt_s = 0.) (cur : Metrics.snapshot) =
+  let prev_counters =
+    match prev with Some p -> p.Metrics.counters | None -> []
+  in
+  let prev_counter n =
+    match List.assoc_opt n prev_counters with Some v -> v | None -> 0
+  in
+  (* Spans from the prof.self.* counters; windowed when prev given. *)
+  let counter_delta n v = if prev = None then v else max 0 (v - prev_counter n) in
+  let samples =
+    match List.assoc_opt "prof.samples" cur.counters with
+    | Some v -> counter_delta "prof.samples" v
+    | None -> 0
+  in
+  let spans =
+    List.filter_map
+      (fun (n, v) ->
+        if has_prefix self_prefix n then
+          let d = counter_delta n v in
+          if d > 0 then
+            let name =
+              String.sub n (String.length self_prefix)
+                (String.length n - String.length self_prefix)
+            in
+            let share =
+              if samples > 0 then
+                100. *. float_of_int d /. float_of_int samples
+              else 0.
+            in
+            Some (name, d, share)
+          else None
+        else None)
+      cur.counters
+    |> List.sort (fun (na, a, _) (nb, b, _) ->
+           if a <> b then compare b a else compare na nb)
+  in
+  let section prefix =
+    let counters =
+      List.filter_map
+        (fun (n, v) ->
+          if has_prefix prefix n then
+            let rate =
+              if prev <> None && dt_s > 0. then
+                Some (float_of_int (max 0 (v - prev_counter n)) /. dt_s)
+              else None
+            in
+            Some { name = n; value = float_of_int v; rate }
+          else None)
+        cur.counters
+    in
+    let gauges =
+      List.filter_map
+        (fun (n, v) ->
+          if has_prefix prefix n then Some { name = n; value = v; rate = None }
+          else None)
+        cur.gauges
+    in
+    let histograms =
+      List.concat_map
+        (fun (n, (hs : Metrics.histogram_snapshot)) ->
+          if has_prefix prefix n then
+            [
+              {
+                name = n ^ ".count";
+                value = float_of_int hs.count;
+                rate = None;
+              };
+              { name = n ^ ".sum"; value = float_of_int hs.sum; rate = None };
+            ]
+          else [])
+        cur.histograms
+    in
+    List.sort (fun a b -> compare a.name b.name) (counters @ gauges @ histograms)
+  in
+  {
+    samples;
+    spans;
+    runtime = section "runtime.";
+    leak = section "leak.";
+    serve = section "serve.";
+  }
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4f" v
+
+let render v =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "samples %d" v.samples;
+  List.iter
+    (fun (name, self, share) -> line "span %s %.1f%% (%d)" name share self)
+    v.spans;
+  let rows rs =
+    List.iter
+      (fun r ->
+        match r.rate with
+        | Some rate -> line "%s %s (%.1f/s)" r.name (fnum r.value) rate
+        | None -> line "%s %s" r.name (fnum r.value))
+      rs
+  in
+  rows v.runtime;
+  rows v.leak;
+  rows v.serve;
+  Buffer.contents b
+
+let to_json v =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "{\"samples\": %d, \"spans\": {" v.samples);
+  List.iteri
+    (fun i (name, self, share) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "%s: {\"self\": %d, \"share\": %.4f}"
+           (Json.quote name) self share))
+    v.spans;
+  Buffer.add_string b "}";
+  let section label rs =
+    Buffer.add_string b (Printf.sprintf ", %s: {" (Json.quote label));
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b (Printf.sprintf "%s: " (Json.quote r.name));
+        (match r.rate with
+        | Some rate ->
+            Buffer.add_string b
+              (Printf.sprintf "{\"value\": %s, \"rate\": %.6g}" (fnum r.value)
+                 rate)
+        | None -> Buffer.add_string b (fnum r.value)))
+      rs;
+    Buffer.add_string b "}"
+  in
+  section "runtime" v.runtime;
+  section "leak" v.leak;
+  section "serve" v.serve;
+  Buffer.add_string b "}";
+  Buffer.contents b

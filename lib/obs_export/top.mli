@@ -1,0 +1,44 @@
+(** The [zc obs top] view: hottest sampled spans, runtime gauges, leak
+    capacity and serve rates, derived from one (or a pair of) metric
+    snapshots.
+
+    Works identically on an in-process {!Zipchannel_obs.Obs.Metrics}
+    snapshot and on one parsed from a daemon's [/metrics.json] via
+    {!Snapshot_io}, so the live terminal view and the [--once] machine
+    mode share all logic. *)
+
+type row = {
+  name : string;  (** original (dotted) metric name *)
+  value : float;  (** current value; for histograms, the [.count]/[.sum]
+                      flattened pairs appear as separate rows *)
+  rate : float option;
+      (** per-second growth since the previous snapshot — only for
+          counters, only when a previous snapshot was supplied *)
+}
+
+type view = {
+  samples : int;  (** profiler samples in the window *)
+  spans : (string * int * float) list;
+      (** hottest spans: (name, self samples, share of all samples),
+          share descending *)
+  runtime : row list;  (** [runtime.*] *)
+  leak : row list;  (** [leak.*] *)
+  serve : row list;  (** [serve.*] *)
+}
+
+val of_snapshot :
+  ?prev:Zipchannel_obs.Obs.Metrics.snapshot ->
+  ?dt_s:float ->
+  Zipchannel_obs.Obs.Metrics.snapshot ->
+  view
+(** Build the view.  With [prev] (and [dt_s > 0.]), span shares are
+    computed over the window's sample {e delta} and counter rows carry
+    a rate; without, over process lifetime totals. *)
+
+val render : view -> string
+(** Plain greppable text, one fact per line:
+    [samples N] / [span <name> <share>% (<self>)] /
+    [<metric> <value>] (with [ (<rate>/s)] appended when known). *)
+
+val to_json : view -> string
+(** One JSON object mirroring {!view}. *)

@@ -24,4 +24,5 @@ let () =
       Test_obs.suite;
       Test_obs_export.suite;
       Test_leak_audit.suite;
+      Test_obs_prof.suite;
     ]

@@ -134,6 +134,21 @@ let test_progress_render () =
     (render ~label:"lab" ~count:10 ~total:(Some 10)
        ~elapsed_ns:5_000_000_000)
 
+(* NO_COLOR / non-tty support: the bytes written per progress report are
+   a pure function of the style, so campaign logs can be asserted here
+   without a pty. *)
+let test_progress_styles () =
+  Alcotest.(check string) "plain appends a newline" "[lab] 5\n"
+    (Obs.Progress.styled_line ~style:Obs.Progress.Plain "[lab] 5");
+  Alcotest.(check string) "ansi rewrites the line in place" "\r\x1b[2K[lab] 5"
+    (Obs.Progress.styled_line ~style:Obs.Progress.Ansi "[lab] 5");
+  Alcotest.(check bool) "default style is plain (greppable)" true
+    (Obs.Progress.style () = Obs.Progress.Plain);
+  Obs.Progress.set_style Obs.Progress.Ansi;
+  Alcotest.(check bool) "set_style sticks" true
+    (Obs.Progress.style () = Obs.Progress.Ansi);
+  Obs.Progress.set_style Obs.Progress.Plain
+
 let test_histogram_quantiles () =
   Alcotest.(check (float 1e-9)) "bucket 0 midpoint" 1.0
     (Obs.Metrics.bucket_midpoint 0);
@@ -323,6 +338,8 @@ let suite =
         test_delta_gauge_unchanged;
       Alcotest.test_case "progress line & ETA rendering" `Quick
         test_progress_render;
+      Alcotest.test_case "progress NO_COLOR/tty styles" `Quick
+        test_progress_styles;
       Alcotest.test_case "histogram midpoint quantiles" `Quick
         test_histogram_quantiles;
       QCheck_alcotest.to_alcotest qcheck_shard_merge;

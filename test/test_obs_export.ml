@@ -389,6 +389,255 @@ let test_gate_compare () =
   Alcotest.(check bool) "faster is never an ns regression" true
     (E.Gate.check_ns rules ~bench:"b" ~baseline:100. ~current:50. = None)
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition edge cases *)
+
+let test_prom_edges () =
+  Alcotest.(check string) "sanitize maps everything else to _" "a_b_c_1"
+    (E.Prom.sanitize "a.b-c 1");
+  Alcotest.(check string) "metric_name prefixes and sanitizes"
+    "zipchannel_taint_gadget_hits"
+    (E.Prom.metric_name "taint.gadget_hits");
+  Alcotest.(check string) "label_name: leading digit gets prefixed" "_9lives"
+    (E.Prom.label_name "9lives");
+  Alcotest.(check string) "label_name: never empty" "_" (E.Prom.label_name "");
+  Alcotest.(check string) "label_name: valid names pass through" "codec"
+    (E.Prom.label_name "codec");
+  Alcotest.(check string) "escape_help: backslash and newline" "a\\\\b\\nc"
+    (E.Prom.escape_help "a\\b\nc");
+  Alcotest.(check string) "escape_label_value also quotes the double quote"
+    "v\\\"w\\\\x\\ny"
+    (E.Prom.escape_label_value "v\"w\\x\ny");
+  (* Every series carries a HELP line naming the original dotted metric. *)
+  let snap =
+    {
+      Obs.Metrics.counters = [ ("a.b", 1) ];
+      gauges = [ ("g.h", 2.0) ];
+      histograms =
+        [ ("x.y", { Obs.Metrics.count = 1; sum = 1; buckets = [ (0, 1) ] }) ];
+    }
+  in
+  let text = E.Prom.exposition snap in
+  List.iter
+    (fun help ->
+      Alcotest.(check bool) (Printf.sprintf "HELP line %S present" help) true
+        (List.mem help (String.split_on_char '\n' text)))
+    [
+      "# HELP zipchannel_a_b_total a.b";
+      "# HELP zipchannel_g_h g.h";
+      "# HELP zipchannel_x_y x.y";
+    ]
+
+(* Property: the classic-histogram translation of the log2 buckets has
+   cumulative le counts that are monotone non-decreasing and end at the
+   observation count. *)
+let qcheck_prom_cumulative =
+  QCheck.Test.make ~name:"prometheus le buckets are cumulative and monotone"
+    ~count:50
+    QCheck.(small_list (int_bound 1_000_000))
+    (fun values ->
+      Obs.Metrics.reset ();
+      Obs.set_enabled true;
+      let h = Obs.Metrics.histogram "q.hist" in
+      List.iter (Obs.Metrics.observe h) values;
+      let snap = Obs.Metrics.snapshot () in
+      Obs.set_enabled false;
+      Obs.Metrics.reset ();
+      let text = E.Prom.exposition snap in
+      let bucket_counts =
+        List.filter_map
+          (fun line ->
+            if String.starts_with ~prefix:"zipchannel_q_hist_bucket{" line then
+              match String.rindex_opt line ' ' with
+              | Some i ->
+                  int_of_string_opt
+                    (String.sub line (i + 1) (String.length line - i - 1))
+              | None -> None
+            else None)
+          (String.split_on_char '\n' text)
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      match (values, bucket_counts) with
+      | [], [] -> true
+      | [], _ :: _ -> List.for_all (( = ) 0) bucket_counts
+      | _ :: _, [] -> false
+      | _ ->
+          monotone bucket_counts
+          && List.nth bucket_counts (List.length bucket_counts - 1)
+             = List.length values)
+
+(* ------------------------------------------------------------------ *)
+(* Profile movers: forensics behind a fired ns_per_run gate *)
+
+let test_gate_movers () =
+  (match
+     E.Gate.profile_movers
+       ~baseline:[ ("a", 50); ("b", 50) ]
+       ~current:[ ("a", 75); ("b", 25) ]
+   with
+  | [ m1; m2 ] ->
+      Alcotest.(check string) "equal movement ties break by name" "a"
+        m1.E.Gate.span;
+      Alcotest.(check (float 1e-9)) "a baseline share" 50. m1.E.Gate.baseline_share;
+      Alcotest.(check (float 1e-9)) "a current share" 75. m1.E.Gate.current_share;
+      Alcotest.(check (float 1e-9)) "a delta" 25. m1.E.Gate.delta_pt;
+      Alcotest.(check (float 1e-9)) "b delta" (-25.) m2.E.Gate.delta_pt
+  | ms -> Alcotest.failf "expected 2 movers, got %d" (List.length ms));
+  (* A span on one side only counts as 0% on the other. *)
+  (match
+     E.Gate.profile_movers ~baseline:[ ("old", 10) ] ~current:[ ("new", 10) ]
+   with
+  | [ m1; m2 ] ->
+      Alcotest.(check string) "vanished span ranked" "new" m1.E.Gate.span;
+      Alcotest.(check (float 1e-9)) "new appears from 0%" 100.
+        m1.E.Gate.delta_pt;
+      Alcotest.(check (float 1e-9)) "old drops to 0%" (-100.) m2.E.Gate.delta_pt
+  | ms -> Alcotest.failf "expected 2 movers, got %d" (List.length ms));
+  Alcotest.(check int) "no samples on one side: no forensics" 0
+    (List.length (E.Gate.profile_movers ~baseline:[] ~current:[ ("a", 5) ]));
+  let m =
+    {
+      E.Gate.span = "deflate.compress";
+      baseline_share = 31.0;
+      current_share = 52.4;
+      delta_pt = 21.4;
+    }
+  in
+  Alcotest.(check string) "pp_mover format"
+    "span deflate.compress self-share 31.0% -> 52.4% (+21.4pt)"
+    (Format.asprintf "%a" E.Gate.pp_mover m)
+
+(* ------------------------------------------------------------------ *)
+(* zc obs top: the view built from one or a pair of snapshots *)
+
+let top_snapshot =
+  {
+    Obs.Metrics.counters =
+      [
+        ("prof.samples", 200);
+        ("prof.self.x", 150);
+        ("prof.self.y", 50);
+        ("runtime.minor_collections", 10);
+        ("serve.connections", 20);
+      ];
+    gauges =
+      [ ("runtime.heap_mb", 12.5); ("leak.capacity_bits_per_frame", 0.4) ];
+    histograms =
+      [
+        ( "serve.request_ns",
+          { Obs.Metrics.count = 3; sum = 12; buckets = [ (0, 1); (2, 2) ] } );
+      ];
+  }
+
+let test_top_view () =
+  let v = E.Top.of_snapshot top_snapshot in
+  Alcotest.(check int) "lifetime samples" 200 v.E.Top.samples;
+  Alcotest.(check bool) "spans ranked with lifetime shares" true
+    (v.E.Top.spans = [ ("x", 150, 75.); ("y", 50, 25.) ]);
+  let names rows = List.map (fun r -> r.E.Top.name) rows in
+  Alcotest.(check (list string)) "runtime section, sorted"
+    [ "runtime.heap_mb"; "runtime.minor_collections" ]
+    (names v.E.Top.runtime);
+  Alcotest.(check (list string)) "leak section" [ "leak.capacity_bits_per_frame" ]
+    (names v.E.Top.leak);
+  Alcotest.(check (list string)) "histograms flatten to .count/.sum rows"
+    [ "serve.connections"; "serve.request_ns.count"; "serve.request_ns.sum" ]
+    (names v.E.Top.serve);
+  Alcotest.(check bool) "no rates without a previous snapshot" true
+    (List.for_all (fun r -> r.E.Top.rate = None) (v.E.Top.runtime @ v.E.Top.serve));
+  let rendered = E.Top.render v in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "render has %S" line) true
+        (List.mem line (String.split_on_char '\n' rendered)))
+    [
+      "samples 200";
+      "span x 75.0% (150)";
+      "span y 25.0% (50)";
+      "runtime.heap_mb 12.5000";
+      "serve.connections 20";
+    ]
+
+let test_top_windowed () =
+  let prev =
+    {
+      Obs.Metrics.counters =
+        [ ("prof.samples", 100); ("prof.self.x", 100); ("serve.connections", 10) ];
+      gauges = [];
+      histograms = [];
+    }
+  in
+  let v = E.Top.of_snapshot ~prev ~dt_s:2.0 top_snapshot in
+  Alcotest.(check int) "windowed sample delta" 100 v.E.Top.samples;
+  Alcotest.(check bool) "span shares over the window delta" true
+    (v.E.Top.spans = [ ("x", 50, 50.); ("y", 50, 50.) ]);
+  let rate name rows =
+    match List.find_opt (fun r -> r.E.Top.name = name) rows with
+    | Some r -> r.E.Top.rate
+    | None -> None
+  in
+  Alcotest.(check (option (float 1e-9))) "counter rate = delta / dt" (Some 5.0)
+    (rate "serve.connections" v.E.Top.serve);
+  Alcotest.(check (option (float 1e-9))) "absent-in-prev counters rate from 0"
+    (Some 5.0)
+    (rate "runtime.minor_collections" v.E.Top.runtime);
+  (* JSON mirror parses and carries the same numbers. *)
+  let j = Json.parse (E.Top.to_json v) in
+  Alcotest.(check (option (float 1e-9))) "json samples" (Some 100.)
+    (Option.bind (Json.member "samples" j) Json.to_num);
+  Alcotest.(check (option (float 1e-9))) "json span share" (Some 50.)
+    (Option.bind
+       (Option.bind
+          (Option.bind (Json.member "spans" j) (Json.member "x"))
+          (Json.member "share"))
+       Json.to_num)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe sinks: atomic writes, parent-dir creation *)
+
+let test_sink_atomic () =
+  let base = Filename.temp_file "zc-sink" "" in
+  Sys.remove base;
+  Fun.protect ~finally:(fun () ->
+      let rec rm p =
+        if Sys.file_exists p then
+          if Sys.is_directory p then begin
+            Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+            Sys.rmdir p
+          end
+          else Sys.remove p
+      in
+      rm base)
+  @@ fun () ->
+  (* Nested parents that don't exist yet get created. *)
+  let path = Filename.concat base (Filename.concat "a" "b/out.json") in
+  E.Sink.atomic_write ~path "{\"ok\": true}\n";
+  Alcotest.(check string) "content lands at the destination"
+    "{\"ok\": true}\n" (read_fixture path);
+  Alcotest.(check bool) "no .tmp residue" false
+    (Sys.file_exists (path ^ ".tmp"));
+  (* Overwrite goes through the same rename, replacing the old content. *)
+  E.Sink.atomic_write ~path "v2\n";
+  Alcotest.(check string) "rename replaces previous content" "v2\n"
+    (read_fixture path);
+  (* Streaming variant: nothing at the destination until commit. *)
+  let spath = Filename.concat base "stream/audit.jsonl" in
+  let oc, commit = E.Sink.open_atomic ~path:spath in
+  output_string oc "{\"frame\": 1}\n";
+  flush oc;
+  Alcotest.(check bool) "destination absent before commit" false
+    (Sys.file_exists spath);
+  Alcotest.(check bool) "tmp carries the stream" true
+    (Sys.file_exists (spath ^ ".tmp"));
+  commit ();
+  Alcotest.(check string) "commit publishes the stream" "{\"frame\": 1}\n"
+    (read_fixture spath);
+  Alcotest.(check bool) "tmp gone after commit" false
+    (Sys.file_exists (spath ^ ".tmp"))
+
 let suite =
   ( "obs_export",
     [
@@ -410,4 +659,12 @@ let suite =
       Alcotest.test_case "gate classification & thresholds file" `Quick
         test_gate_classify;
       Alcotest.test_case "gate per-metric comparison" `Quick test_gate_compare;
+      Alcotest.test_case "prometheus edge cases & HELP lines" `Quick
+        test_prom_edges;
+      QCheck_alcotest.to_alcotest qcheck_prom_cumulative;
+      Alcotest.test_case "gate profile movers" `Quick test_gate_movers;
+      Alcotest.test_case "top view from one snapshot" `Quick test_top_view;
+      Alcotest.test_case "top view windowed with rates" `Quick
+        test_top_windowed;
+      Alcotest.test_case "atomic sinks & parent dirs" `Quick test_sink_atomic;
     ] )
