@@ -1,7 +1,7 @@
 (* Benchmark & reproduction harness.
 
    Usage:
-     main.exe            run every experiment (E1-E18) then the timing suite
+     main.exe            run every experiment (E1-E19) then the timing suite
      main.exe e7         run one experiment
      main.exe bench      run only the Bechamel timing suite
 
@@ -47,6 +47,10 @@ let bench_cases : (string * int * (unit -> unit)) list =
         ignore (Compress.Lzw.compress text_10k));
     ("lzw/compress-1m-text", 1_048_576, fun () ->
         ignore (Compress.Lzw.compress text_1m));
+    ("lz4/compress-10k-text", 10_000, fun () ->
+        ignore (Compress.Lz4.compress text_10k));
+    ("snappy/compress-10k-text", 10_000, fun () ->
+        ignore (Compress.Snappy.compress text_10k));
     ("frame/deflate-pipelined-1m-jobs1", 1_048_576, fun () ->
         ignore (Frame.compress ~codec:Frame.Deflate text_1m));
     ("frame/deflate-pipelined-1m-jobs4", 1_048_576, fun () ->
@@ -60,6 +64,12 @@ let bench_cases : (string * int * (unit -> unit)) list =
          ignore
            (Attack.Chunk_oracle.run ~seed:7 ~secret_len:2 ~body_len:512
               ~tries:4 ~trials:1 ~frame_size:64 ~probe ())));
+    ("leak/memcomp-oracle", 0, fun () ->
+        (* mini run: 2 secret bytes through the ratio oracle; the
+           instrumented run surfaces the leak.memcomp.* metrics *)
+        ignore
+          (Attack.Memcomp.run ~seed:7 ~secret_len:2 ~tries:4
+             ~oracle:Attack.Memcomp.Ratio ()));
     ("huffman/encode-10k-text", 10_000, fun () ->
         ignore (Compress.Huffman.encode text_10k));
     ("bwt/transform-4k-random", 4096, fun () ->
@@ -574,7 +584,7 @@ let summarize outcomes =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [e1..e18|bench [--json] [--only a,b,...] [--compare \
+    "usage: main.exe [e1..e19|bench [--json] [--only a,b,...] [--compare \
      BENCH_n.json] [--thresholds FILE.json] [--folded FILE.folded]]";
   exit 1
 
@@ -636,6 +646,6 @@ let () =
       match Experiments.run ~id ppf with
       | Some _ -> ()
       | None ->
-          prerr_endline ("unknown experiment: " ^ id ^ " (use e1..e18 or bench)");
+          prerr_endline ("unknown experiment: " ^ id ^ " (use e1..e19 or bench)");
           exit 1)
   | _ -> usage ()

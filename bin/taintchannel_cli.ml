@@ -43,6 +43,13 @@ let run target file size seed jobs () =
   | "bzip2" ->
       report_engine "bzip2" (fun () -> Taintchannel.Bzip2_gadget.run (input ()));
       `Ok ()
+  | "lz4" ->
+      report_engine "lz4" (fun () -> Taintchannel.Lz4_gadget.run (input ()));
+      `Ok ()
+  | "snappy" ->
+      report_engine "snappy" (fun () ->
+          Taintchannel.Snappy_gadget.run (input ()));
+      `Ok ()
   | "aes" ->
       report_engine "aes" (fun () ->
           Taintchannel.Aes.run_taint ~key:aes_key (input ()));
@@ -58,6 +65,8 @@ let run target file size seed jobs () =
           case Zlib data;
           case Lzw data;
           case Bzip2 data;
+          case Lz4 data;
+          case Snappy data;
           case (Aes { key = aes_key }) data;
         ];
       `Ok ()
@@ -72,7 +81,9 @@ let run target file size seed jobs () =
   | other -> `Error (false, "unknown target: " ^ other)
 
 let target =
-  let doc = "Analysis target: zlib, ncompress, bzip2, aes, all or memcpy." in
+  let doc =
+    "Analysis target: zlib, ncompress, bzip2, lz4, snappy, aes, all or memcpy."
+  in
   Arg.(value & opt string "bzip2" & info [ "t"; "target" ] ~docv:"TARGET" ~doc)
 
 let file =

@@ -105,14 +105,14 @@ let experiments_cmd =
          available cores (output is identical for any value)."
   in
   let only =
-    let doc = "Run a single experiment (E1-E18) instead of all of them." in
+    let doc = "Run a single experiment (E1-E19) instead of all of them." in
     Arg.(
       value
       & opt (some string) None
       & info [ "e"; "only" ] ~docv:"ID" ~doc)
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run every paper experiment (E1-E18)")
+    (Cmd.info "experiments" ~doc:"Run every paper experiment (E1-E19)")
     Term.(ret (const experiments $ seed $ jobs $ only $ Obs_cli.flags))
 
 let cmd =

@@ -1,0 +1,82 @@
+(** Memory-compression ratio/timing oracle against a simulated
+    page-compression store.
+
+    After "Practical Timing Side Channel Attacks on Memory Compression"
+    (Schwarzl et al., PAPERS.md): a ZRAM-style store compresses 4-KiB
+    pages with LZ4 on swap-out, and an attacker who grooms its
+    controlled data into the same page as a secret learns, from the
+    page's compressed size or the size-dependent swap latency, whether a
+    reflected guess extended an LZ4 match into the secret — CRIME's loop
+    with the OS memory subsystem as the compression boundary.  Recovery
+    is byte-at-a-time over the hex {!alphabet} with charset pollution
+    and padding dithering, as in {!Chunk_oracle}.
+
+    Everything is deterministic in the seed: probe noise derives from
+    the probe's coordinates (trial, position, candidate, padding step)
+    rather than a shared stream, so results are byte-identical at any
+    [jobs]. *)
+
+val page_size : int
+(** 4096 — the store's page granularity. *)
+
+val alphabet : string
+(** Candidate alphabet of secret bytes: the sixteen hex digits. *)
+
+(** The victim page: filler, a [key=<secret>] marker, and the attacker's
+    region immediately after it (the attacker grooms co-location, as in
+    the paper). *)
+module Page : sig
+  type t
+
+  val create : ?seed:int -> ?secret_len:int -> ?region_len:int -> unit -> t
+  (** Defaults: seed 7, 16 hex secret bytes, 512 attacker bytes. *)
+
+  val secret : t -> string
+
+  val render : t -> guess:string -> pad:int -> bytes
+  (** The exact [page_size]-byte page the store would compress for one
+      probe: the attacker region reflects [pollution + "key=" + guess]
+      and shifts its junk padding by [pad] so the byte saving of a
+      correct guess cannot hide behind an alignment accident.
+      @raise Invalid_argument if the guess does not fit the region. *)
+end
+
+type oracle =
+  | Ratio  (** the attacker reads exact compressed page sizes *)
+  | Timing
+      (** the attacker times swap cycles; latency is one cache-hit write
+          per compressed byte under {!Zipchannel_cache.Timing}, CLT
+          aggregated, averaged over [measurements] cycles per probe *)
+
+type result = {
+  oracle : oracle;
+  secret : string;  (** first trial's secret *)
+  recovered : string;  (** first trial's chained recovery *)
+  per_byte_correct : int;  (** positions where the true-prefix probe won *)
+  positions : int;
+  probes : int;  (** page compressions performed *)
+  per_byte_rate : float;
+  chained_rate : float;  (** mean exact-prefix fraction across trials *)
+  capacity_bits : float;  (** {!Zipchannel_obs_leak.Leak_audit} estimate *)
+  mi_bits : float;
+  classifier_accuracy : float;
+      (** held-out accuracy of an MLP separating match from non-match
+          probes on (z-score, rank) features *)
+}
+
+val run :
+  ?seed:int ->
+  ?secret_len:int ->
+  ?trials:int ->
+  ?tries:int ->
+  ?measurements:int ->
+  ?oracle:oracle ->
+  ?jobs:int ->
+  ?timing:Zipchannel_cache.Timing.t ->
+  unit ->
+  result
+(** Run the attack.  Defaults: seed 7, 16 secret bytes, 1 trial, 8
+    padding steps per candidate, 400 timed swap cycles per probe, the
+    {!Timing} oracle with {!Timer_attack.default_config}'s timing model,
+    sequential.  Candidates fan out over [jobs] domains; the result is
+    identical for any value.  Publishes [leak.memcomp.*] metrics. *)

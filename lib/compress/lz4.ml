@@ -1,0 +1,193 @@
+module Obs = Zipchannel_obs.Obs
+
+(* LZ4 block format: a stream of sequences, each a token byte (literal
+   length in the high nibble, match length - 4 in the low nibble, 15
+   meaning "read 255-run extension bytes"), the literal bytes, a 2-byte
+   little-endian match offset, and the match-length extension bytes.  The
+   block ends with a literals-only sequence.  This container prefixes the
+   block with the decompressed length as a 4-byte little-endian word, the
+   same out-of-band length every real LZ4 framing carries. *)
+
+let header_len = 4
+let min_match = 4
+let max_offset = 0xffff
+
+(* The reference implementation's match finder: a 2^12-slot table of
+   positions indexed by a multiplicative hash of the next 4 bytes.  The
+   hash input is raw attacker/victim data and the table index feeds
+   straight into a load and a store — the same "value used as address"
+   shape as zlib's UPDATE_HASH head probe (Clueless's leakage class). *)
+let hash_bits = 12
+let hash_size = 1 lsl hash_bits
+let hash_const = 2654435761 (* LZ4's 32-bit Knuth multiplier *)
+
+let hash_of_quad v = ((v * hash_const) land 0xffffffff) lsr (32 - hash_bits)
+
+let quad b i =
+  Char.code (Bytes.unsafe_get b i)
+  lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (i + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (i + 3)) lsl 24)
+
+let m_bytes_in = Obs.Metrics.counter "kernel.lz4.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "kernel.lz4.bytes_out"
+let m_probes = Obs.Metrics.counter "kernel.lz4.htab_probes"
+
+(* Encoder spec margins: a match may not start within the last 12 bytes
+   and must leave the last 5 bytes as literals. *)
+let mf_limit = 12
+let last_literals = 5
+
+let put_byte buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_run_extension buf len =
+  let rest = ref len in
+  while !rest >= 255 do
+    put_byte buf 255;
+    rest := !rest - 255
+  done;
+  put_byte buf !rest
+
+let emit_sequence buf src ~anchor ~lit_len ~offset ~match_len =
+  let lit_nibble = if lit_len >= 15 then 15 else lit_len in
+  match match_len with
+  | None ->
+      (* final literals-only sequence: no offset, match nibble 0 *)
+      put_byte buf (lit_nibble lsl 4);
+      if lit_len >= 15 then put_run_extension buf (lit_len - 15);
+      Buffer.add_subbytes buf src anchor lit_len
+  | Some mlen ->
+      let m = mlen - min_match in
+      let match_nibble = if m >= 15 then 15 else m in
+      put_byte buf ((lit_nibble lsl 4) lor match_nibble);
+      if lit_len >= 15 then put_run_extension buf (lit_len - 15);
+      Buffer.add_subbytes buf src anchor lit_len;
+      put_byte buf (offset land 0xff);
+      put_byte buf (offset lsr 8);
+      if m >= 15 then put_run_extension buf (m - 15)
+
+let compress src =
+  Obs.with_span "lz4.compress"
+  @@ fun _ ->
+  let n = Bytes.length src in
+  let buf = Buffer.create (header_len + n + (n / 128) + 16) in
+  put_byte buf (n land 0xff);
+  put_byte buf ((n lsr 8) land 0xff);
+  put_byte buf ((n lsr 16) land 0xff);
+  put_byte buf ((n lsr 24) land 0xff);
+  let probes = ref 0 in
+  if n > 0 then begin
+    let table = Array.make hash_size (-1) in
+    let anchor = ref 0 in
+    let i = ref 0 in
+    let scan_limit = n - mf_limit in
+    while !i < scan_limit do
+      let h = hash_of_quad (quad src !i) in
+      let candidate = table.(h) in
+      incr probes;
+      table.(h) <- !i;
+      if
+        candidate >= 0
+        && !i - candidate <= max_offset
+        && quad src candidate = quad src !i
+      then begin
+        (* extend the match, leaving the spec's literal tail *)
+        let limit = n - last_literals in
+        let len = ref min_match in
+        while
+          !i + !len < limit
+          && Bytes.unsafe_get src (candidate + !len)
+             = Bytes.unsafe_get src (!i + !len)
+        do
+          incr len
+        done;
+        emit_sequence buf src ~anchor:!anchor ~lit_len:(!i - !anchor)
+          ~offset:(!i - candidate) ~match_len:(Some !len);
+        i := !i + !len;
+        anchor := !i
+      end
+      else incr i
+    done;
+    emit_sequence buf src ~anchor:!anchor ~lit_len:(n - !anchor) ~offset:0
+      ~match_len:None
+  end;
+  let out = Buffer.to_bytes buf in
+  Obs.Metrics.add m_bytes_in n;
+  Obs.Metrics.add m_bytes_out (Bytes.length out);
+  if Obs.enabled () then Obs.Metrics.add m_probes !probes;
+  out
+
+(* Decompression-bomb guard: every byte of payload can contribute at most
+   255 output bytes (a match-length extension byte of 255), so a declared
+   length beyond [255 * payload + 64] cannot be honest.  Checked before
+   the output buffer is allocated; saturates instead of overflowing. *)
+let max_declared_length ~payload_bytes =
+  if payload_bytes > (max_int - 64) / 255 then max_int
+  else (255 * payload_bytes) + 64
+
+let decompress_result data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  Codec_error.protect ~codec:"lz4" ~offset:(fun () -> !pos)
+  @@ fun () ->
+  let byte () =
+    if !pos >= len then failwith "Lz4.decompress: truncated input";
+    let v = Char.code (Bytes.unsafe_get data !pos) in
+    incr pos;
+    v
+  in
+  if len < header_len then failwith "Lz4.decompress: truncated input";
+  (* explicit lets: operand evaluation order of [lor] is unspecified *)
+  let b0 = byte () in
+  let b1 = byte () in
+  let b2 = byte () in
+  let b3 = byte () in
+  let n = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  if n > max_declared_length ~payload_bytes:(len - header_len) then
+    failwith "Lz4.decompress: declared length exceeds what the input can encode";
+  let out = Bytes.create n in
+  let op = ref 0 in
+  (* a 255-run length extension, bounded by what [out] can still hold so
+     a forged run cannot drive the accumulator anywhere near overflow *)
+  let run_extension base =
+    let run = ref base in
+    let continue = ref (base = 15) in
+    while !continue do
+      let v = byte () in
+      run := !run + v;
+      if !run > n - !op + min_match then
+        failwith "Lz4.decompress: run length exceeds declared length";
+      if v < 255 then continue := false
+    done;
+    !run
+  in
+  while !op < n do
+    let token = byte () in
+    let lit_len = run_extension (token lsr 4) in
+    if lit_len > n - !op then
+      failwith "Lz4.decompress: literal run exceeds declared length";
+    if !pos + lit_len > len then failwith "Lz4.decompress: truncated input";
+    Bytes.blit data !pos out !op lit_len;
+    pos := !pos + lit_len;
+    op := !op + lit_len;
+    if !op < n then begin
+      let lo = byte () in
+      let offset = lo lor (byte () lsl 8) in
+      if offset = 0 || offset > !op then
+        failwith "Lz4.decompress: invalid match offset";
+      let match_len = min_match + run_extension (token land 0xf) in
+      if match_len > n - !op then
+        failwith "Lz4.decompress: match exceeds declared length";
+      (* byte-wise copy: overlapping matches replicate, as the format
+         requires *)
+      let from = !op - offset in
+      for k = 0 to match_len - 1 do
+        Bytes.unsafe_set out (!op + k) (Bytes.unsafe_get out (from + k))
+      done;
+      op := !op + match_len
+    end
+  done;
+  if !pos < len then failwith "Lz4.decompress: trailing bytes after block end";
+  out
+
+let decompress data = Codec_error.unwrap (decompress_result data)

@@ -1,0 +1,55 @@
+(** LZ4 block compression.
+
+    A stream of sequences, each a token byte (literal length in the high
+    nibble, match length - 4 in the low nibble, 15 meaning "add 255-run
+    extension bytes"), the literal bytes, a 2-byte little-endian match
+    offset, and match-length extension bytes; the block ends with a
+    literals-only sequence.  The container prefixes the block with the
+    decompressed length as a 4-byte little-endian word — the out-of-band
+    length every real LZ4 framing carries.
+
+    The match finder probes a [2^12]-slot position table indexed by a
+    multiplicative hash of the next 4 input bytes, so the table index is a
+    pure function of raw input data — the same "value used as address"
+    gadget shape as zlib's UPDATE_HASH head probe (modeled in
+    [Taintchannel.Lz4_gadget]). *)
+
+val header_len : int
+(** 4: the little-endian decompressed length stored up front. *)
+
+val min_match : int
+(** 4 — the shortest encodable match. *)
+
+val hash_bits : int
+(** 12: the match-finder table has [2^12] slots. *)
+
+val hash_const : int
+(** 2654435761, LZ4's 32-bit Knuth multiplicative constant. *)
+
+val hash_of_quad : int -> int
+(** [((v * hash_const) land 0xffffffff) lsr (32 - hash_bits)] — the
+    table slot probed for a 4-byte little-endian group [v]. *)
+
+val quad : bytes -> int -> int
+(** The 4 bytes at an offset as a little-endian 32-bit group (the hash
+    input).  Unchecked bounds: the caller stays 4 bytes clear of the
+    end. *)
+
+val max_declared_length : payload_bytes:int -> int
+(** Decompression-bomb bound: the most bytes a payload could expand to
+    (each payload byte contributes at most 255 output bytes via a
+    match-run extension).  Saturates to [max_int] instead of
+    overflowing. *)
+
+val compress : bytes -> bytes
+
+val decompress_result : bytes -> (bytes, Codec_error.t) result
+(** Safe decoder: truncated, corrupt or bomb-shaped input (a declared
+    length beyond {!max_declared_length}, an offset outside the produced
+    output, a run past the declared length) is an [Error] with the byte
+    offset of the fault; nothing is allocated for a bomb and no exception
+    escapes this boundary. *)
+
+val decompress : bytes -> bytes
+(** [Codec_error.unwrap] of {!decompress_result}.
+    @raise Failure on malformed input. *)

@@ -229,9 +229,25 @@ let compress input =
    [min_bits] wide, and after [c] codes the longest dictionary string is
    [c] bytes (each new entry extends a previous string by one byte), so
    [c] codes can emit at most [c * (c + 1) / 2] bytes. *)
+(* Largest [c] for which [c * (c + 1)] cannot overflow, i.e. the integer
+   square root bound of [2 * max_int].  Derived from [max_int] instead of a
+   hard-coded [1 lsl 31] so the guard is correct at any word size (the old
+   constant wrapped to a small number on 32-bit OCaml, letting the product
+   below overflow). *)
+let triangular_cap =
+  let fits c = c = 0 || c + 1 <= max_int / c in
+  let c = ref (int_of_float (Float.sqrt (2.0 *. float_of_int max_int))) in
+  while not (fits !c) do
+    decr c
+  done;
+  while fits (!c + 1) do
+    incr c
+  done;
+  !c
+
 let max_declared_length ~payload_bits =
   let c = payload_bits / min_bits in
-  if c >= 1 lsl 31 then max_int else c * (c + 1) / 2
+  if c > triangular_cap then max_int else c * (c + 1) / 2
 
 let decompress_result data =
   let r = Bitio.Reader.create data in

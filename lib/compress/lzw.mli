@@ -72,6 +72,17 @@ val compress_with_probes : bytes -> bytes * probe list
 (** Also returns every hash-table probe in execution order — the memory
     trace an attacker of the Listing 2 gadget observes. *)
 
+val triangular_cap : int
+(** Largest [c] for which [c * (c + 1)] fits in an [int] — the integer
+    square root bound of [2 * max_int], computed from [max_int] so it is
+    correct at any word size. *)
+
+val max_declared_length : payload_bits:int -> int
+(** The decompression-bomb bound: the most bytes a payload of
+    [payload_bits] could possibly expand to ([c * (c + 1) / 2] for
+    [c = payload_bits / min_bits] codes, saturating to [max_int] past
+    {!triangular_cap}).  Exposed so the overflow boundary is testable. *)
+
 val decompress_result : bytes -> (bytes, Codec_error.t) result
 (** Safe decoder: truncated, corrupt or bomb-shaped input (a header
     declaring more output than the payload could possibly encode) is an

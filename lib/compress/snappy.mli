@@ -1,0 +1,53 @@
+(** Snappy compression (raw format).
+
+    A varint decompressed length, then tagged elements: the low 2 bits of
+    each tag byte select a literal run (00; length in the high 6 bits,
+    60..63 meaning extra little-endian length bytes), a copy with a
+    1-byte offset (01; 3-bit length, 11-bit offset), a copy with a 2-byte
+    little-endian offset (10; 6-bit length), or a copy with a 4-byte
+    offset (11; decoded, never emitted).  Copies emit at most 64 bytes
+    each; longer matches split.
+
+    The match finder probes a [2^14]-slot position table indexed by a
+    multiplicative hash of the next 4 input bytes — the hash-head gadget
+    shape, modeled in [Taintchannel.Snappy_gadget]. *)
+
+val min_match : int
+(** 4 — matches shorter than this are left as literals. *)
+
+val max_copy_len : int
+(** 64 — the longest copy a single element can emit. *)
+
+val hash_bits : int
+(** 14: the match-finder table has [2^14] slots. *)
+
+val hash_const : int
+(** 0x1e35a7bd, snappy's multiplicative hash constant. *)
+
+val hash_of_quad : int -> int
+(** [((v * hash_const) land 0xffffffff) lsr (32 - hash_bits)] — the
+    table slot probed for a 4-byte little-endian group [v]. *)
+
+val quad : bytes -> int -> int
+(** The 4 bytes at an offset as a little-endian 32-bit group (the hash
+    input).  Unchecked bounds: the caller stays 4 bytes clear of the
+    end. *)
+
+val max_declared_length : payload_bytes:int -> int
+(** Decompression-bomb bound: the densest element is a 2-byte-offset copy
+    (3 payload bytes emitting 64 output bytes), so the payload cannot
+    honestly expand beyond [22 * payload + 8] bytes.  Saturates to
+    [max_int] instead of overflowing. *)
+
+val compress : bytes -> bytes
+
+val decompress_result : bytes -> (bytes, Codec_error.t) result
+(** Safe decoder: truncated, corrupt or bomb-shaped input (a declared
+    length beyond {!max_declared_length}, a malformed varint, a copy
+    offset outside the produced output, a run past the declared length)
+    is an [Error] with the byte offset of the fault; nothing is allocated
+    for a bomb and no exception escapes this boundary. *)
+
+val decompress : bytes -> bytes
+(** [Codec_error.unwrap] of {!decompress_result}.
+    @raise Failure on malformed input. *)

@@ -166,7 +166,7 @@ let e4_survey ?(seed = default_seed) ?(jobs = 1) ppf =
       name (List.length gadgets) (100.0 *. best);
     (name, best)
   in
-  (* The three analyses run on independent engines over [jobs] domains;
+  (* The five analyses run on independent engines over [jobs] domains;
      results come back in case order, so the printed rows (and all
      metrics) are byte-identical for any [jobs]. *)
   let results =
@@ -175,6 +175,8 @@ let e4_survey ?(seed = default_seed) ?(jobs = 1) ppf =
         Tc.Survey.case ~label:"LZ77/Zlib" Tc.Survey.Zlib input;
         Tc.Survey.case ~label:"LZ78/LZW" Tc.Survey.Lzw input;
         Tc.Survey.case ~label:"BWT/Bzip2" Tc.Survey.Bzip2 input;
+        Tc.Survey.case ~label:"LZ4" Tc.Survey.Lz4 input;
+        Tc.Survey.case ~label:"Snappy" Tc.Survey.Snappy input;
       ]
   in
   let rows =
@@ -694,10 +696,52 @@ let e18_zlib_sgx_attack ?(seed = default_seed) ?(size = 4000) ppf =
         ];
     }
 
+let e19_memcomp_oracle ?(seed = default_seed) ?(jobs = 1) ppf =
+  let title =
+    "memory-compression ratio/timing oracle (Schwarzl et al., E7-style \
+     page store)"
+  in
+  header ppf "E19" title;
+  (* Same attack twice: first reading exact compressed page sizes (the
+     ratio oracle), then only a noisy swap latency (the timing oracle).
+     Both are deterministic in the seed and byte-identical at any
+     [jobs]. *)
+  let ratio = Attack.Memcomp.run ~seed ~oracle:Attack.Memcomp.Ratio ~jobs () in
+  Format.fprintf ppf
+    "  ratio oracle:   %2d/%2d bytes  (secret %s, recovered %s)@."
+    ratio.Attack.Memcomp.per_byte_correct ratio.positions ratio.secret
+    ratio.recovered;
+  let timing =
+    Attack.Memcomp.run ~seed ~oracle:Attack.Memcomp.Timing ~jobs ()
+  in
+  Format.fprintf ppf
+    "  timing oracle:  %2d/%2d bytes  (chained prefix %.0f%%, %d page \
+     compressions)@."
+    timing.Attack.Memcomp.per_byte_correct timing.positions
+    (100.0 *. timing.chained_rate)
+    timing.probes;
+  Format.fprintf ppf
+    "  channel:        %.2f capacity bits, %.2f MI bits, classifier %.0f%%@."
+    timing.capacity_bits timing.mi_bits
+    (100.0 *. timing.classifier_accuracy);
+  footer ppf
+    {
+      id = "E19";
+      title;
+      metrics =
+        [
+          ("ratio per-byte rate", ratio.Attack.Memcomp.per_byte_rate);
+          ("timing per-byte rate", timing.Attack.Memcomp.per_byte_rate);
+          ("timing chained rate", timing.chained_rate);
+          ("capacity bits", timing.capacity_bits);
+          ("classifier accuracy", timing.classifier_accuracy);
+        ];
+    }
+
 let ids =
   [
     "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-    "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18";
+    "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19";
   ]
 
 (* One dispatch point for bench, both CLIs, and [all]: experiment id
@@ -723,6 +767,7 @@ let dispatch ~seed ?jobs id =
   | "e16" -> Some (fun ppf -> e16_tool_comparison ~seed ppf)
   | "e17" -> Some (fun ppf -> e17_lzw_sgx_attack ~seed ppf)
   | "e18" -> Some (fun ppf -> e18_zlib_sgx_attack ~seed ppf)
+  | "e19" -> Some (fun ppf -> e19_memcomp_oracle ~seed ~jobs:(jobs_or 1) ppf)
   | _ -> None
 
 let run ?(seed = default_seed) ?jobs ~id ppf =

@@ -87,8 +87,17 @@ val e18_zlib_sgx_attack : ?seed:int -> ?size:int -> Format.formatter -> outcome
     the SGX controlled channel, on lowercase text (full recovery) and
     random data (the unconditional 2-bit leak). *)
 
+val e19_memcomp_oracle : ?seed:int -> ?jobs:int -> Format.formatter -> outcome
+(** The field's OS-level sequel to E7: a simulated ZRAM-style
+    page-compression store where attacker data is groomed into the same
+    4-KiB page as a secret, probed first through the exact
+    compressed-size (ratio) oracle and then through the noisy swap-latency
+    (timing) oracle of {!Zipchannel_attack.Memcomp}; reports per-byte and
+    chained recovery, channel capacity, and the MLP match/non-match
+    classifier's held-out accuracy. *)
+
 val ids : string list
-(** ["E1"; ...; "E18"], the valid inputs to {!run}. *)
+(** ["E1"; ...; "E19"], the valid inputs to {!run}. *)
 
 val run :
   ?seed:int -> ?jobs:int -> id:string -> Format.formatter -> outcome option
@@ -99,7 +108,7 @@ val run :
 
 val all :
   ?seed:int -> ?jobs:int -> Format.formatter -> outcome list
-(** Run E1–E18 in order.  [jobs] is passed to the experiments that
+(** Run E1–E19 in order.  [jobs] is passed to the experiments that
     support it; every metric is identical for any value.  With
     {!Zipchannel_obs.Obs.Progress} enabled, prints one progress line per
     completed experiment. *)

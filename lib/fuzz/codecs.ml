@@ -66,6 +66,20 @@ let all =
       max_plain = 2048;
     };
     {
+      name = "lz4";
+      compress = C.Lz4.compress;
+      decode = C.Lz4.decompress_result;
+      decode_exn = C.Lz4.decompress;
+      max_plain = 4096;
+    };
+    {
+      name = "snappy";
+      compress = C.Snappy.compress;
+      decode = C.Snappy.decompress_result;
+      decode_exn = C.Snappy.decompress;
+      max_plain = 4096;
+    };
+    {
       name = "rle1";
       compress = C.Rle1.encode;
       decode = C.Rle1.decode_result;

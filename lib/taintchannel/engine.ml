@@ -49,6 +49,13 @@ type t = {
   mutable gadget_cache : gadget_acc option;
   mutable gadget_order : string array; (* first-occurrence order *)
   mutable gadget_count : int;
+  (* Location -> fake code address.  Assigned sequentially on first use so
+     distinct locations can never collide (Hashtbl.hash folded to 24 bits
+     could, and its value differs across OCaml versions); the mapping is a
+     pure function of first-occurrence order, so it is stable across runs,
+     word sizes and compiler releases. *)
+  code_addrs : (string, int) Hashtbl.t;
+  mutable next_code_slot : int;
   mutable control : string array; (* execution order *)
   mutable control_len : int;
   pages : (int, Tval.t array) Hashtbl.t; (* page index -> 4 KiB of slots *)
@@ -76,6 +83,8 @@ let create ?(log_limit = 100_000) ~name input =
     gadget_cache = None;
     gadget_order = [||];
     gadget_count = 0;
+    code_addrs = Hashtbl.create 16;
+    next_code_slot = 0;
     control = [||];
     control_len = 0;
     pages = Hashtbl.create 64;
@@ -142,8 +151,20 @@ let stage_input t ~base =
   done
 
 (* A stable fake code address per location string, so reports resemble the
-   tool's output. *)
-let code_addr_of location = 0x7f0000000000 lor (Hashtbl.hash location land 0xffffff)
+   tool's output.  Addresses come from a per-engine registry: the first
+   distinct location gets [code_addr_base], the next one 0x40 above it, and
+   so on — collision-free and independent of [Hashtbl.hash]. *)
+let code_addr_base = 0x7f0000000000
+let code_addr_stride = 0x40
+
+let code_addr_of t location =
+  match Hashtbl.find_opt t.code_addrs location with
+  | Some addr -> addr
+  | None ->
+      let addr = code_addr_base + (t.next_code_slot * code_addr_stride) in
+      t.next_code_slot <- t.next_code_slot + 1;
+      Hashtbl.add t.code_addrs location addr;
+      addr
 
 let bump t = t.seq <- t.seq + 1
 
@@ -194,7 +215,7 @@ let note_gadget t ~location ~mnemonic ~kind ~size ~addr ~index =
       let g =
         {
           g_location = location;
-          g_code_addr = code_addr_of location;
+          g_code_addr = code_addr_of t location;
           g_mnemonic = mnemonic;
           g_kind = kind;
           g_size = size;

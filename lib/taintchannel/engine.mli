@@ -62,6 +62,16 @@ val instruction_count : t -> int
 val gadgets : t -> Gadget.t list
 (** Detected gadgets, ordered by first occurrence. *)
 
+val code_addr_base : int
+(** Simulated instruction addresses come from a per-engine registry:
+    the first distinct report location an engine sees gets this base,
+    each subsequent one the next [code_addr_stride]-spaced slot.
+    Deterministic per engine, collision-free by construction, and stable
+    across runs and OCaml versions (the old scheme hashed the location
+    string with [Hashtbl.hash], which both collides and varies). *)
+
+val code_addr_stride : int
+
 val control_trace : t -> string list
 (** Control-flow events in execution order. *)
 

@@ -1,0 +1,75 @@
+open Zipchannel_taint
+module Lz4 = Zipchannel_compress.Lz4
+
+let table_base = 0x7f51c0000000
+
+let location_load = "/path/to/liblz4.so.1.9.4!LZ4_compress_generic+312"
+let location_store = "/path/to/liblz4.so.1.9.4!LZ4_compress_generic+327"
+let location = location_store
+
+let src_base = 0x7f51bf000000
+
+(* The multiplier's set bits, least significant first: the imul is modeled
+   as the shift-add expansion so taint propagates through Tval's per-bit
+   add rule exactly once per partial product. *)
+let mult_bits =
+  let rec bits k c = if c = 0 then [] else if c land 1 = 1 then k :: bits (k + 1) (c lsr 1) else bits (k + 1) (c lsr 1) in
+  bits 0 Lz4.hash_const
+
+let run ?(table_base = table_base) input =
+  let e = Engine.create ~name:"lz4" input in
+  Engine.stage_input e ~base:src_base;
+  let n = Bytes.length input in
+  if n >= Lz4.min_match then begin
+    let base = Tval.const ~width:48 table_base in
+    for i = 0 to n - Lz4.min_match do
+      (* LZ4_read32(p): four staged input bytes assembled little-endian. *)
+      let byte k =
+        Tval.zero_extend ~width:48
+          (Engine.load e ~location:"liblz4!LZ4_read32"
+             ~mnemonic:"movzbl (src,i)"
+             ~addr:(Tval.const ~width:48 (src_base + i + k))
+             ~size:1 ())
+      in
+      let group =
+        Tval.logor (byte 0)
+          (Tval.logor
+             (Tval.shift_left (byte 1) 8)
+             (Tval.logor
+                (Tval.shift_left (byte 2) 16)
+                (Tval.shift_left (byte 3) 24)))
+      in
+      Engine.log_op e ~location:"liblz4!LZ4_read32" ~mnemonic:"mov (src) -> %eax"
+        ~operands:[ ("eax", group) ];
+      (* LZ4_hash4: imul with the Knuth constant (shift-add expansion),
+         keep 32 bits, take the top hash_bits. *)
+      let product =
+        List.fold_left
+          (fun acc k -> Tval.add acc (Tval.shift_left group k))
+          (Tval.const ~width:48 0)
+          mult_bits
+      in
+      Engine.log_op e ~location:"liblz4!LZ4_hash4"
+        ~mnemonic:"imul $0x9e3779b1, %eax"
+        ~operands:[ ("eax", product) ];
+      let h =
+        Tval.shift_right_logical
+          (Tval.truncate ~width:32 product)
+          (32 - Lz4.hash_bits)
+      in
+      Engine.log_op e ~location:"liblz4!LZ4_hash4" ~mnemonic:"shr $20, %eax"
+        ~operands:[ ("eax", h) ];
+      (* The table probe: read the candidate position, then write the
+         current one — both through an address derived from raw input
+         bytes (4-byte entries, so the index is scaled by 4). *)
+      let addr = Tval.add base (Tval.shift_left (Tval.zero_extend ~width:48 h) 2) in
+      ignore
+        (Engine.load e ~location:location_load
+           ~mnemonic:"mov (%rbp,%rax,4) -> %ecx" ~index:("rax", h) ~addr
+           ~size:4 ());
+      Engine.store e ~location:location_store
+        ~mnemonic:"mov %esi -> (%rbp,%rax,4)" ~index:("rax", h) ~addr ~size:4
+        ~value:(Tval.const ~width:32 i) ()
+    done
+  end;
+  e

@@ -1,0 +1,25 @@
+(** TaintChannel model of the LZ4 match-finder hash probe.
+
+    [LZ4_compress_generic] hashes the next 4 source bytes with
+    [h = (read32(p) * 2654435761) >> (32 - hash_bits)] and both reads and
+    writes [hashTable\[h\]] — a load and a store whose address is a pure
+    function of raw input data, the "value used as address" pattern
+    (Clueless) that zlib's INSERT_STRING exhibits.  The imul is modeled as
+    its shift-add expansion so per-bit taint flows through {!Tval.add}'s
+    merge rule. *)
+
+val table_base : int
+(** Default virtual base of the [hashTable] array. *)
+
+val location_load : string
+(** Report location of the candidate read [mov (%rbp,%rax,4) -> %ecx]. *)
+
+val location_store : string
+(** Report location of the position write [mov %esi -> (%rbp,%rax,4)]. *)
+
+val location : string
+(** Alias for {!location_store}, the primary gadget. *)
+
+val run : ?table_base:int -> bytes -> Engine.t
+(** Execute the hash-insertion loop over the whole input under the
+    instrumentation engine. *)

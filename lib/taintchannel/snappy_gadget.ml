@@ -1,0 +1,70 @@
+open Zipchannel_taint
+module Snappy = Zipchannel_compress.Snappy
+
+let table_base = 0x7f62d0000000
+
+let location_load = "/path/to/libsnappy.so.1.1.10!CompressFragment+489"
+let location_store = "/path/to/libsnappy.so.1.1.10!CompressFragment+502"
+let location = location_store
+
+let src_base = 0x7f62cf000000
+
+let mult_bits =
+  let rec bits k c = if c = 0 then [] else if c land 1 = 1 then k :: bits (k + 1) (c lsr 1) else bits (k + 1) (c lsr 1) in
+  bits 0 Snappy.hash_const
+
+let run ?(table_base = table_base) input =
+  let e = Engine.create ~name:"snappy" input in
+  Engine.stage_input e ~base:src_base;
+  let n = Bytes.length input in
+  if n >= Snappy.min_match then begin
+    let base = Tval.const ~width:48 table_base in
+    for i = 0 to n - Snappy.min_match do
+      (* UNALIGNED_LOAD32(ip): four staged input bytes, little-endian. *)
+      let byte k =
+        Tval.zero_extend ~width:48
+          (Engine.load e ~location:"libsnappy!UNALIGNED_LOAD32"
+             ~mnemonic:"movzbl (ip,i)"
+             ~addr:(Tval.const ~width:48 (src_base + i + k))
+             ~size:1 ())
+      in
+      let group =
+        Tval.logor (byte 0)
+          (Tval.logor
+             (Tval.shift_left (byte 1) 8)
+             (Tval.logor
+                (Tval.shift_left (byte 2) 16)
+                (Tval.shift_left (byte 3) 24)))
+      in
+      Engine.log_op e ~location:"libsnappy!UNALIGNED_LOAD32"
+        ~mnemonic:"mov (ip) -> %eax" ~operands:[ ("eax", group) ];
+      (* HashBytes: imul with 0x1e35a7bd (shift-add expansion), keep 32
+         bits, take the top hash_bits. *)
+      let product =
+        List.fold_left
+          (fun acc k -> Tval.add acc (Tval.shift_left group k))
+          (Tval.const ~width:48 0)
+          mult_bits
+      in
+      Engine.log_op e ~location:"libsnappy!HashBytes"
+        ~mnemonic:"imul $0x1e35a7bd, %eax"
+        ~operands:[ ("eax", product) ];
+      let h =
+        Tval.shift_right_logical
+          (Tval.truncate ~width:32 product)
+          (32 - Snappy.hash_bits)
+      in
+      Engine.log_op e ~location:"libsnappy!HashBytes" ~mnemonic:"shr $18, %eax"
+        ~operands:[ ("eax", h) ];
+      (* table_\[h\]: candidate read then position write, 2-byte entries. *)
+      let addr = Tval.add base (Tval.shift_left (Tval.zero_extend ~width:48 h) 1) in
+      ignore
+        (Engine.load e ~location:location_load
+           ~mnemonic:"movzwl (%rbp,%rax,2) -> %ecx" ~index:("rax", h) ~addr
+           ~size:2 ());
+      Engine.store e ~location:location_store
+        ~mnemonic:"mov %si -> (%rbp,%rax,2)" ~index:("rax", h) ~addr ~size:2
+        ~value:(Tval.const ~width:16 (i land 0xffff)) ()
+    done
+  end;
+  e

@@ -1,0 +1,24 @@
+(** TaintChannel model of the snappy match-finder hash probe.
+
+    [CompressFragment] hashes the next 4 source bytes with
+    [h = (load32(ip) * 0x1e35a7bd) >> (32 - hash_bits)] and both reads
+    and writes [table\[h\]] — the same hash-head gadget shape as zlib's
+    INSERT_STRING and LZ4's table probe.  The imul is modeled as its
+    shift-add expansion so per-bit taint flows through {!Tval.add}'s
+    merge rule. *)
+
+val table_base : int
+(** Default virtual base of the working table. *)
+
+val location_load : string
+(** Report location of the candidate read. *)
+
+val location_store : string
+(** Report location of the position write. *)
+
+val location : string
+(** Alias for {!location_store}, the primary gadget. *)
+
+val run : ?table_base:int -> bytes -> Engine.t
+(** Execute the hash-insertion loop over the whole input under the
+    instrumentation engine. *)

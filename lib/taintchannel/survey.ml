@@ -4,7 +4,7 @@
    which makes the merged report a deterministic function of the case
    list alone — byte-identical for any [jobs]. *)
 
-type target = Zlib | Lzw | Bzip2 | Aes of { key : bytes }
+type target = Zlib | Lzw | Bzip2 | Lz4 | Snappy | Aes of { key : bytes }
 
 type case = { label : string; target : target; input : bytes }
 
@@ -17,6 +17,8 @@ let case ?label target input =
         | Zlib -> "zlib"
         | Lzw -> "lzw"
         | Bzip2 -> "bzip2"
+        | Lz4 -> "lz4"
+        | Snappy -> "snappy"
         | Aes _ -> "aes")
   in
   { label; target; input }
@@ -38,6 +40,8 @@ let run_case c =
         | Zlib -> Zlib_gadget.run c.input
         | Lzw -> Lzw_gadget.run c.input
         | Bzip2 -> Bzip2_gadget.run c.input
+        | Lz4 -> Lz4_gadget.run c.input
+        | Snappy -> Snappy_gadget.run c.input
         | Aes { key } -> Aes.run_taint ~key c.input
       in
       Obs.Metrics.incr m_cases;

@@ -7,7 +7,7 @@
     byte-identical for any [jobs] value (the merge rule is: no merge —
     per-case reports are concatenated in case order). *)
 
-type target = Zlib | Lzw | Bzip2 | Aes of { key : bytes }
+type target = Zlib | Lzw | Bzip2 | Lz4 | Snappy | Aes of { key : bytes }
 
 type case = { label : string; target : target; input : bytes }
 

@@ -1,0 +1,23 @@
+let () =
+  (* 17 MiB of a 4-byte LE incrementing counter: no quad repeats within
+     the 64 KiB window, so the encoder emits one giant literal run. *)
+  let n = 17 * 1024 * 1024 in
+  let b = Bytes.create n in
+  for i = 0 to (n / 4) - 1 do
+    Bytes.set b (4*i) (Char.chr (i land 0xff));
+    Bytes.set b (4*i+1) (Char.chr ((i lsr 8) land 0xff));
+    Bytes.set b (4*i+2) (Char.chr ((i lsr 16) land 0xff));
+    Bytes.set b (4*i+3) (Char.chr ((i lsr 24) land 0xff))
+  done;
+  let enc = Zipchannel_compress.Snappy.compress b in
+  (match Zipchannel_compress.Snappy.decompress_result enc with
+   | Ok out ->
+       if Bytes.equal out b then print_endline "snappy roundtrip OK"
+       else print_endline "snappy SILENT CORRUPTION: decoded != input"
+   | Error e -> Printf.printf "snappy decode error: %s\n" e.Zipchannel_compress.Codec_error.reason);
+  let enc4 = Zipchannel_compress.Lz4.compress b in
+  (match Zipchannel_compress.Lz4.decompress_result enc4 with
+   | Ok out ->
+       if Bytes.equal out b then print_endline "lz4 roundtrip OK"
+       else print_endline "lz4 SILENT CORRUPTION"
+   | Error e -> Printf.printf "lz4 decode error: %s\n" e.Zipchannel_compress.Codec_error.reason)

@@ -61,6 +61,8 @@ let reproducers () =
     (find "bzip2", truncated (find "bzip2") ~reason:"truncated" plain);
     (find "deflate", truncated (find "deflate") ~reason:"truncated" plain);
     (find "rfc1951", truncated (find "rfc1951") ~reason:"truncated" plain);
+    (find "lz4", truncated (find "lz4") ~reason:"truncated" plain);
+    (find "snappy", truncated (find "snappy") ~reason:"truncated" plain);
     (* Forged-length decompression bombs. *)
     ( find "lzw",
       minimized (find "lzw") ~reason:"exceeds what the input can encode"
@@ -73,6 +75,14 @@ let reproducers () =
          Bytes.set b 2 '\xff';
          Bytes.set b 3 '\xff';
          b) );
+    ( find "lz4",
+      minimized (find "lz4") ~reason:"exceeds what the input can encode"
+        (* 4-byte LE header declaring a 2 GiB block over an empty payload. *)
+        (Bytes.of_string "\xff\xff\xff\x7f") );
+    ( find "snappy",
+      minimized (find "snappy") ~reason:"exceeds what the input can encode"
+        (* varint declaring 4 GiB of plaintext over an empty payload. *)
+        (Bytes.of_string "\xff\xff\xff\xff\x0f") );
     ( find "bzip2",
       minimized (find "bzip2") ~reason:"block length exceeds maximum"
         (let w = Compress.Bitio.Writer.create () in

@@ -555,6 +555,54 @@ let test_timer_attack_below_controlled_channel () =
   Alcotest.(check bool) "controlled channel wins" true
     (ctrl.Sgx_attack.bit_accuracy > timer.Timer_attack.bit_accuracy)
 
+(* ------------------------------------------------------------------ *)
+(* Memory-compression oracle (E19) *)
+
+let test_memcomp_page_separates_truth () =
+  (* A page reflecting the true secret byte must compress strictly
+     smaller than one reflecting a wrong guess: the "key=<byte>" probe
+     extends an LZ4 match into the secret marker. *)
+  let page = Memcomp.Page.create ~seed:11 () in
+  let secret = Memcomp.Page.secret page in
+  let truth = String.make 1 secret.[0] in
+  let wrong = if truth = "0" then "1" else "0" in
+  let size g =
+    Bytes.length
+      (Zipchannel_compress.Lz4.compress
+         (Memcomp.Page.render page ~guess:g ~pad:0))
+  in
+  Alcotest.(check bool) "true guess compresses smaller" true
+    (size truth < size wrong)
+
+let test_memcomp_ratio_recovery () =
+  let r = Memcomp.run ~seed:7 ~secret_len:8 ~oracle:Memcomp.Ratio () in
+  Alcotest.(check int) "all positions probed" 8 r.Memcomp.positions;
+  Alcotest.(check bool) "recovers >= 75% of bytes" true
+    (r.Memcomp.per_byte_rate >= 0.75);
+  Alcotest.(check int) "recovered string is full length" 8
+    (String.length r.Memcomp.recovered)
+
+let test_memcomp_timing_recovery () =
+  let r = Memcomp.run ~seed:7 ~secret_len:8 ~oracle:Memcomp.Timing () in
+  Alcotest.(check bool) "noisy oracle still recovers >= 75%" true
+    (r.Memcomp.per_byte_rate >= 0.75);
+  Alcotest.(check bool) "channel carries information" true
+    (r.Memcomp.capacity_bits > 0.)
+
+let test_memcomp_jobs_invariant () =
+  (* Probe noise is keyed by probe coordinates, not a shared stream, so
+     the whole result record is identical at any fan-out. *)
+  let run jobs =
+    Memcomp.run ~seed:3 ~secret_len:4 ~oracle:Memcomp.Timing ~jobs ()
+  in
+  Alcotest.(check bool) "jobs 1 = jobs 4" true (run 1 = run 4)
+
+let test_memcomp_seed_changes_secret () =
+  let secret seed = Memcomp.Page.secret (Memcomp.Page.create ~seed ()) in
+  Alcotest.(check bool) "different seeds, different secrets" false
+    (secret 1 = secret 2);
+  Alcotest.(check bool) "same seed, same secret" true (secret 5 = secret 5)
+
 let test_corpus_deterministic () =
   let a = Corpus.repetitiveness (Prng.create ~seed:5 ()) in
   let b = Corpus.repetitiveness (Prng.create ~seed:5 ()) in
@@ -614,4 +662,14 @@ let suite =
         test_timer_attack_periodic_beats_jittery;
       Alcotest.test_case "timer below controlled channel" `Quick
         test_timer_attack_below_controlled_channel;
+      Alcotest.test_case "memcomp page separates truth" `Quick
+        test_memcomp_page_separates_truth;
+      Alcotest.test_case "memcomp ratio recovery" `Quick
+        test_memcomp_ratio_recovery;
+      Alcotest.test_case "memcomp timing recovery" `Quick
+        test_memcomp_timing_recovery;
+      Alcotest.test_case "memcomp jobs invariant" `Quick
+        test_memcomp_jobs_invariant;
+      Alcotest.test_case "memcomp seed changes secret" `Quick
+        test_memcomp_seed_changes_secret;
     ] )

@@ -739,6 +739,125 @@ let qcheck_lzw_low_alphabet =
       in
       Bytes.equal b (Lzw.decompress (Lzw.compress b)))
 
+let test_lzw_triangular_cap_boundary () =
+  (* The bomb bound is c*(c+1)/2 for c full codes; triangular_cap is the
+     largest c whose product fits, so the cap itself must not overflow
+     and cap+1 must. *)
+  let c = Lzw.triangular_cap in
+  Alcotest.(check bool) "cap fits" true (c * (c + 1) >= 0 && c + 1 <= max_int / c);
+  Alcotest.(check bool) "cap+1 overflows" true ((c + 1) * (c + 2) < 0);
+  (* Small payloads stay on the exact triangular formula... *)
+  Alcotest.(check int) "exact for 10 codes"
+    (10 * 11 / 2)
+    (Lzw.max_declared_length ~payload_bits:(10 * 9));
+  (* ...and past the cap the bound saturates instead of going negative
+     (the 1 lsl 31 bug: on 32-bit hosts the old guard was 0 or negative,
+     accepting every forged length). *)
+  Alcotest.(check int) "saturates" max_int
+    (Lzw.max_declared_length ~payload_bits:max_int);
+  Alcotest.(check bool) "never negative" true
+    (Lzw.max_declared_length ~payload_bits:(Lzw.triangular_cap * 9) >= 0)
+
+let test_lz4_roundtrip_basic () =
+  roundtrip "text" Lz4.compress Lz4.decompress
+    (Bytes.of_string "the quick brown fox jumps over the lazy dog");
+  roundtrip "empty" Lz4.compress Lz4.decompress Bytes.empty;
+  roundtrip "single" Lz4.compress Lz4.decompress (Bytes.of_string "k");
+  roundtrip "short" Lz4.compress Lz4.decompress (Bytes.of_string "abc")
+
+let test_lz4_overlapping_match () =
+  (* A run of one byte forces offset-1 overlapping copies. *)
+  roundtrip "aaaa" Lz4.compress Lz4.decompress (Bytes.make 1000 'a');
+  roundtrip "abab" Lz4.compress Lz4.decompress
+    (Bytes.of_string (String.concat "" (List.init 200 (fun _ -> "ab"))))
+
+let test_lz4_long_runs () =
+  (* Literal and match runs past 15 exercise the 255-extension bytes. *)
+  let t = prng () in
+  roundtrip "long literals" Lz4.compress Lz4.decompress (Prng.bytes t 5_000);
+  roundtrip "long match" Lz4.compress Lz4.decompress
+    (Bytes.of_string (String.make 20 'x' ^ "salt" ^ String.make 4_000 'x'))
+
+let test_lz4_compresses_text () =
+  let t = prng () in
+  let text = Bytes.of_string (Lipsum.repetitive_file t ~level:2 ~size:20_000) in
+  let enc = Lz4.compress text in
+  Alcotest.(check bool) "smaller" true (Bytes.length enc < Bytes.length text / 2)
+
+let test_lz4_hash_matches_spec () =
+  (* Knuth multiplicative hash, high hash_bits of the low 32 bits. *)
+  let v = 0x04030201 in
+  Alcotest.(check int) "hash formula"
+    (((v * Lz4.hash_const) land 0xffffffff) lsr (32 - Lz4.hash_bits))
+    (Lz4.hash_of_quad v);
+  let b = Bytes.of_string "\x01\x02\x03\x04rest" in
+  Alcotest.(check int) "quad is little-endian" v (Lz4.quad b 0)
+
+let test_lz4_bad_offset () =
+  (* token: 1 literal, match len 4; offset 0 is never valid. *)
+  let bad = Bytes.of_string "\x05\x00\x00\x00\x10a\x00\x00" in
+  match Lz4.decompress_result bad with
+  | Ok _ -> Alcotest.fail "offset 0 decoded"
+  | Error e ->
+      Alcotest.(check bool) "mentions the offset" true
+        (Str_search.contains e.Codec_error.reason "invalid match offset")
+
+let test_snappy_roundtrip_basic () =
+  roundtrip "text" Snappy.compress Snappy.decompress
+    (Bytes.of_string "the quick brown fox jumps over the lazy dog");
+  roundtrip "empty" Snappy.compress Snappy.decompress Bytes.empty;
+  roundtrip "single" Snappy.compress Snappy.decompress (Bytes.of_string "k")
+
+let test_snappy_copy_forms () =
+  (* Overlapping copy-1, long matches split at 64 bytes, and >60-byte
+     literal runs that need the extension length byte. *)
+  roundtrip "aaaa" Snappy.compress Snappy.decompress (Bytes.make 1000 'a');
+  let t = prng () in
+  roundtrip "long literals" Snappy.compress Snappy.decompress
+    (Prng.bytes t 5_000);
+  roundtrip "far match" Snappy.compress Snappy.decompress
+    (Bytes.of_string
+       ("needle" ^ String.make 3_000 '.' ^ "needle" ^ String.make 200 '!'))
+
+let test_snappy_compresses_text () =
+  let t = prng () in
+  let text = Bytes.of_string (Lipsum.repetitive_file t ~level:2 ~size:20_000) in
+  let enc = Snappy.compress text in
+  Alcotest.(check bool) "smaller" true (Bytes.length enc < Bytes.length text / 2)
+
+let test_snappy_hash_matches_spec () =
+  let v = 0x64636261 in
+  Alcotest.(check int) "hash formula"
+    (((v * Snappy.hash_const) land 0xffffffff) lsr (32 - Snappy.hash_bits))
+    (Snappy.hash_of_quad v);
+  let b = Bytes.of_string "abcdtail" in
+  Alcotest.(check int) "quad is little-endian" v (Snappy.quad b 0)
+
+let test_snappy_bad_offset () =
+  (* varint 4, literal "a", then a copy-1 reaching before the output. *)
+  let bad = Bytes.of_string "\x04\x00a\x05\x09" in
+  match Snappy.decompress_result bad with
+  | Ok _ -> Alcotest.fail "out-of-range copy decoded"
+  | Error e ->
+      Alcotest.(check bool) "mentions the offset" true
+        (Str_search.contains e.Codec_error.reason "invalid copy offset")
+
+let qcheck_lz4 =
+  QCheck.Test.make ~name:"lz4 roundtrip (random)" ~count:150
+    QCheck.(pair small_nat (list (int_bound 255)))
+    (fun (seed, _) ->
+      let t = Prng.create ~seed () in
+      let input = Prng.bytes t (Prng.int t 3_000) in
+      Bytes.equal input (Lz4.decompress (Lz4.compress input)))
+
+let qcheck_snappy =
+  QCheck.Test.make ~name:"snappy roundtrip (random)" ~count:150
+    QCheck.(pair small_nat (list (int_bound 255)))
+    (fun (seed, _) ->
+      let t = Prng.create ~seed () in
+      let input = Prng.bytes t (Prng.int t 3_000) in
+      Bytes.equal input (Snappy.decompress (Snappy.compress input)))
+
 let suite =
   ( "compress",
     [
@@ -829,4 +948,19 @@ let suite =
       Alcotest.test_case "lzw probes" `Quick test_lzw_probes_cover_input;
       QCheck_alcotest.to_alcotest qcheck_lzw;
       QCheck_alcotest.to_alcotest qcheck_lzw_low_alphabet;
+      Alcotest.test_case "lzw triangular cap boundary" `Quick
+        test_lzw_triangular_cap_boundary;
+      Alcotest.test_case "lz4 basic" `Quick test_lz4_roundtrip_basic;
+      Alcotest.test_case "lz4 overlap" `Quick test_lz4_overlapping_match;
+      Alcotest.test_case "lz4 long runs" `Quick test_lz4_long_runs;
+      Alcotest.test_case "lz4 compresses" `Quick test_lz4_compresses_text;
+      Alcotest.test_case "lz4 hash spec" `Quick test_lz4_hash_matches_spec;
+      Alcotest.test_case "lz4 bad offset" `Quick test_lz4_bad_offset;
+      QCheck_alcotest.to_alcotest qcheck_lz4;
+      Alcotest.test_case "snappy basic" `Quick test_snappy_roundtrip_basic;
+      Alcotest.test_case "snappy copy forms" `Quick test_snappy_copy_forms;
+      Alcotest.test_case "snappy compresses" `Quick test_snappy_compresses_text;
+      Alcotest.test_case "snappy hash spec" `Quick test_snappy_hash_matches_spec;
+      Alcotest.test_case "snappy bad offset" `Quick test_snappy_bad_offset;
+      QCheck_alcotest.to_alcotest qcheck_snappy;
     ] )

@@ -28,7 +28,11 @@ let test_e4 () =
   Alcotest.(check bool) "bzip2 leaks everything" true
     (metric o "coverage BWT/Bzip2" = 1.0);
   Alcotest.(check bool) "lzw leaks all but the first byte" true
-    (metric o "coverage LZ78/LZW" > 0.999)
+    (metric o "coverage LZ78/LZW" > 0.999);
+  Alcotest.(check bool) "lz4 hash head leaks everything" true
+    (metric o "coverage LZ4" = 1.0);
+  Alcotest.(check bool) "snappy hash head leaks everything" true
+    (metric o "coverage Snappy" = 1.0)
 
 let test_e5 () =
   let o = Zipchannel.Experiments.e5_zlib_recovery null_ppf in
@@ -109,6 +113,15 @@ let test_e18_small () =
   Alcotest.(check bool) "direct bits read" true
     (metric o "random direct-bit accuracy" > 0.98)
 
+let test_e19 () =
+  let o = Zipchannel.Experiments.e19_memcomp_oracle null_ppf in
+  Alcotest.(check bool) "ratio oracle >= 75%" true
+    (metric o "ratio per-byte rate" >= 0.75);
+  Alcotest.(check bool) "timing oracle >= 75%" true
+    (metric o "timing per-byte rate" >= 0.75);
+  Alcotest.(check bool) "positive channel capacity" true
+    (metric o "capacity bits" > 0.)
+
 let suite =
   ( "experiments",
     [
@@ -127,4 +140,5 @@ let suite =
       Alcotest.test_case "E16 tool comparison" `Slow test_e16;
       Alcotest.test_case "E17 lzw sgx (small)" `Slow test_e17_small;
       Alcotest.test_case "E18 zlib sgx (small)" `Slow test_e18_small;
+      Alcotest.test_case "E19 memcomp oracle" `Slow test_e19;
     ] )

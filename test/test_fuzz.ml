@@ -258,6 +258,39 @@ let bzip2_bomb () =
         (contains e.Compress.Codec_error.reason "block length exceeds maximum")
   | Ok _ -> assert false
 
+let lz4_bomb () =
+  (* 4-byte LE header declaring 0x7fffffff plaintext bytes over an empty
+     payload: the LZ4 worst-case bound (255 per input byte) cannot cover
+     it, so the guard fires before the output buffer exists. *)
+  let bomb = Bytes.of_string "\xff\xff\xff\x7f" in
+  cheap_reject "lz4" Compress.Lz4.decompress_result bomb;
+  match Compress.Lz4.decompress_result bomb with
+  | Error e ->
+      Alcotest.(check bool) "mentions the guard" true
+        (contains e.Compress.Codec_error.reason "exceeds what the input can encode")
+  | Ok _ -> assert false
+
+let snappy_bomb () =
+  (* 5-byte varint declaring ~4 GiB of plaintext over an empty payload;
+     the run-length bound (22 per input byte) rejects it up front. *)
+  let bomb = Bytes.of_string "\xff\xff\xff\xff\x0f" in
+  cheap_reject "snappy" Compress.Snappy.decompress_result bomb;
+  match Compress.Snappy.decompress_result bomb with
+  | Error e ->
+      Alcotest.(check bool) "mentions the guard" true
+        (contains e.Compress.Codec_error.reason "exceeds what the input can encode")
+  | Ok _ -> assert false
+
+let snappy_varint_overflow () =
+  (* Six continuation bytes push the varint shift past 32 bits; the
+     decoder must call the length malformed, not wrap it. *)
+  let bomb = Bytes.of_string "\xff\xff\xff\xff\xff\x01" in
+  match Compress.Snappy.decompress_result bomb with
+  | Ok _ -> Alcotest.fail "overflowing varint decoded"
+  | Error e ->
+      Alcotest.(check bool) "mentions the varint" true
+        (contains e.Compress.Codec_error.reason "malformed length varint")
+
 let rle2_run_bomb () =
   (* ~100 RUNA digits demand ~2^100 zeros; the doubling accumulator must
      trip the output cap instead of overflowing into a negative count
@@ -461,6 +494,10 @@ let suite =
       Alcotest.test_case "lzw bomb rejected cheaply" `Quick lzw_bomb;
       Alcotest.test_case "huffman bomb rejected cheaply" `Quick huffman_bomb;
       Alcotest.test_case "bzip2 bomb rejected cheaply" `Quick bzip2_bomb;
+      Alcotest.test_case "lz4 bomb rejected cheaply" `Quick lz4_bomb;
+      Alcotest.test_case "snappy bomb rejected cheaply" `Quick snappy_bomb;
+      Alcotest.test_case "snappy varint overflow rejected" `Quick
+        snappy_varint_overflow;
       Alcotest.test_case "rle2 run bomb rejected cheaply" `Quick rle2_run_bomb;
       Alcotest.test_case "rle2 max_output respected" `Quick
         rle2_max_output_respected;

@@ -176,6 +176,99 @@ let test_bzip2_gadget_full_coverage () =
 (* ------------------------------------------------------------------ *)
 (* AES *)
 
+let test_lz4_gadget_hash_head () =
+  let input = Prng.bytes (prng ()) 64 in
+  let e = Lz4_gadget.run input in
+  let find loc =
+    List.find (fun g -> g.Gadget.location = loc) (Engine.gadgets e)
+  in
+  let store = find Lz4_gadget.location_store in
+  let load = find Lz4_gadget.location_load in
+  (* One probe per 4-byte window. *)
+  Alcotest.(check int) "one store per window" 61 store.Gadget.count;
+  Alcotest.(check int) "one load per window" 61 load.Gadget.count;
+  Alcotest.(check (float 1e-9)) "every byte reaches a probe" 1.0
+    (Gadget.coverage store ~input_length:64);
+  (* The first probe's address must carry all four window bytes (byte i
+     is staged with tag i+1). *)
+  let ex = store.Gadget.example_addr in
+  let carries tag =
+    let rec scan bit =
+      bit < Tval.width ex
+      && (Tagset.mem tag (Tval.taint ex bit) || scan (bit + 1))
+    in
+    scan 0
+  in
+  for tag = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "byte %d taints the address" (tag - 1))
+      true (carries tag)
+  done
+
+let test_snappy_gadget_hash_head () =
+  let input = Prng.bytes (prng ()) 64 in
+  let e = Snappy_gadget.run input in
+  let store =
+    List.find
+      (fun g -> g.Gadget.location = Snappy_gadget.location)
+      (Engine.gadgets e)
+  in
+  Alcotest.(check int) "one store per window" 61 store.Gadget.count;
+  Alcotest.(check (float 1e-9)) "every byte reaches a probe" 1.0
+    (Gadget.coverage store ~input_length:64);
+  let ex = store.Gadget.example_addr in
+  let carries tag =
+    let rec scan bit =
+      bit < Tval.width ex
+      && (Tagset.mem tag (Tval.taint ex bit) || scan (bit + 1))
+    in
+    scan 0
+  in
+  for tag = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "byte %d taints the address" (tag - 1))
+      true (carries tag)
+  done
+
+let test_code_addrs_distinct_and_stable () =
+  (* The registry fix: Hashtbl.hash collided distinct report locations
+     onto one simulated instruction address (and moved across compiler
+     versions); the per-engine registry must give every location its own
+     stable slot on the base/stride grid. *)
+  let input = Prng.bytes (prng ()) 48 in
+  let cases =
+    [
+      Survey.case Survey.Zlib input;
+      Survey.case Survey.Lz4 input;
+      Survey.case Survey.Snappy input;
+    ]
+  in
+  let snapshot () =
+    List.map
+      (fun ((c : Survey.case), e) ->
+        ( c.Survey.label,
+          List.map
+            (fun g -> (g.Gadget.location, g.Gadget.code_addr))
+            (Engine.gadgets e) ))
+      (Survey.run cases)
+  in
+  let s1 = snapshot () in
+  Alcotest.(check bool) "stable across runs" true (s1 = snapshot ());
+  List.iter
+    (fun (label, gads) ->
+      let locs = List.sort_uniq compare (List.map fst gads) in
+      let addrs = List.sort_uniq compare (List.map snd gads) in
+      Alcotest.(check int)
+        (label ^ ": distinct locations, distinct addresses")
+        (List.length locs) (List.length addrs);
+      List.iter
+        (fun (_, addr) ->
+          Alcotest.(check bool) (label ^ ": address on the registry grid") true
+            (addr >= Engine.code_addr_base
+            && (addr - Engine.code_addr_base) mod Engine.code_addr_stride = 0))
+        gads)
+    s1
+
 let of_hex s =
   Bytes.init (String.length s / 2) (fun i ->
       Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
@@ -330,6 +423,11 @@ let suite =
       Alcotest.test_case "lzw gadget coverage" `Quick test_lzw_gadget_coverage_all_but_first;
       Alcotest.test_case "bzip2 gadget Fig4" `Quick test_bzip2_gadget_fig4_pairs;
       Alcotest.test_case "bzip2 gadget coverage" `Quick test_bzip2_gadget_full_coverage;
+      Alcotest.test_case "lz4 gadget hash head" `Quick test_lz4_gadget_hash_head;
+      Alcotest.test_case "snappy gadget hash head" `Quick
+        test_snappy_gadget_hash_head;
+      Alcotest.test_case "code addrs distinct and stable" `Quick
+        test_code_addrs_distinct_and_stable;
       Alcotest.test_case "aes fips vector" `Quick test_aes_fips_vector;
       Alcotest.test_case "aes sp800-38a vector" `Quick test_aes_second_vector;
       Alcotest.test_case "aes validation" `Quick test_aes_block_validation;
